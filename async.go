@@ -1,0 +1,56 @@
+package plurality
+
+import (
+	"fmt"
+
+	"plurality/internal/async"
+	"plurality/internal/rng"
+)
+
+// AsyncResult reports how an asynchronous run ended.
+type AsyncResult struct {
+	// Ticks is the number of single-vertex updates executed.
+	Ticks int64
+	// Rounds is Ticks/N, the synchronous-equivalent round count.
+	Rounds float64
+	// Consensus reports whether all vertices agreed within the budget.
+	Consensus bool
+	// Winner is the final plurality opinion.
+	Winner int
+}
+
+// RunAsync executes the asynchronous variant of the configured
+// dynamics (paper §1.1): one uniformly random vertex updates per tick.
+// Supported protocols: ThreeMajority(), TwoChoices(), Voter().
+// maxTicks bounds the run (0 means 10^10).
+func RunAsync(cfg Config, maxTicks int64) (AsyncResult, error) {
+	if err := cfg.validate(); err != nil {
+		return AsyncResult{}, err
+	}
+	var d async.Dynamics
+	switch cfg.Protocol.Name() {
+	case "3-majority":
+		d = async.ThreeMajority
+	case "2-choices":
+		d = async.TwoChoices
+	case "voter":
+		d = async.Voter
+	default:
+		return AsyncResult{}, fmt.Errorf("%w: protocol %q has no asynchronous variant", errConfig, cfg.Protocol.Name())
+	}
+	v, err := cfg.Init.build(cfg.N)
+	if err != nil {
+		return AsyncResult{}, err
+	}
+	if maxTicks <= 0 {
+		maxTicks = 10_000_000_000
+	}
+	r := rng.New(rng.DeriveSeed(cfg.Seed, 0))
+	res := async.Run(r, d, v, maxTicks)
+	return AsyncResult{
+		Ticks:     res.Ticks,
+		Rounds:    res.Rounds,
+		Consensus: res.Consensus,
+		Winner:    res.Winner,
+	}, nil
+}

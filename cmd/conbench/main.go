@@ -1,0 +1,113 @@
+// Command conbench regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	conbench -list
+//	conbench -run fig1 [-scale quick|full] [-seed N] [-csv dir]
+//	conbench -run all  [-scale quick|full]
+//
+// Each experiment ID corresponds to one figure, table, or theorem of
+// "3-Majority and 2-Choices with Many Opinions" (PODC 2025); see
+// DESIGN.md for the index and EXPERIMENTS.md for recorded results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"plurality/internal/experiments"
+	"plurality/internal/tablefmt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "conbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("conbench", flag.ContinueOnError)
+	var (
+		list     = fs.Bool("list", false, "list experiment IDs and exit")
+		runID    = fs.String("run", "", "experiment ID to run, or 'all'")
+		scaleStr = fs.String("scale", "quick", "problem scale: quick or full")
+		seed     = fs.Uint64("seed", 1, "base random seed")
+		par      = fs.Int("par", 0, "worker parallelism (0 = all cores)")
+		csvDir   = fs.String("csv", "", "also write each table as CSV into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %-28s %s\n", e.ID, e.Artifact, e.Title)
+		}
+		return nil
+	}
+	if *runID == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -run or -list")
+	}
+
+	scale, err := experiments.ParseScale(*scaleStr)
+	if err != nil {
+		return err
+	}
+	opts := experiments.Options{Scale: scale, Seed: *seed, Parallelism: *par}
+
+	var selected []experiments.Experiment
+	if *runID == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runID, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("# %s — %s (%s)\n", e.ID, e.Title, e.Artifact)
+		start := time.Now()
+		tables := e.Run(opts)
+		fmt.Printf("# completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+		if err := tablefmt.RenderAll(os.Stdout, tables); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, e.ID, tables); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSVs(dir, id string, tables []tablefmt.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i := range tables {
+		name := fmt.Sprintf("%s_%d.csv", id, i)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := tables[i].WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-run", "nope"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-run", "fig1", "-scale", "huge"}); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing -run accepted")
+	}
+}
+
+func TestRunExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	// lem55 is the fastest experiment.
+	if err := run([]string{"-run", "lem55", "-csv", dir}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "lem55_*.csv"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no CSV written: %v %v", matches, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty CSV")
+	}
+}
+
+func TestRunCommaSeparatedIDs(t *testing.T) {
+	if err := run([]string{"-run", "lem52,lem55"}); err != nil {
+		t.Fatalf("comma-separated run: %v", err)
+	}
+}

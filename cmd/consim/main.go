@@ -1,0 +1,126 @@
+// Command consim runs a single consensus-dynamics trajectory and
+// prints a per-round trace: γ_t, live opinions, and the leader.
+//
+// Usage:
+//
+//	consim -n 1000000 -k 100 -protocol 3-majority [-init balanced]
+//	       [-seed 1] [-every 10] [-max-rounds 0] [-adversary 0]
+//
+// Protocols: 3-majority, 2-choices, voter, median, undecided, h<k>
+// (e.g. h5). Inits: balanced, zipf, geometric, planted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"plurality"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "consim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("consim", flag.ContinueOnError)
+	var (
+		n         = fs.Int64("n", 100_000, "number of vertices")
+		k         = fs.Int("k", 10, "number of opinions")
+		protoName = fs.String("protocol", "3-majority", "dynamics: 3-majority, 2-choices, voter, median, undecided, h<m>")
+		initName  = fs.String("init", "balanced", "initial configuration: balanced, zipf, geometric, planted")
+		initParam = fs.Float64("init-param", 1, "zipf exponent / geometric ratio / planted extra fraction")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		every     = fs.Int("every", 1, "print every this many rounds")
+		maxRounds = fs.Int("max-rounds", 0, "round budget (0 = default)")
+		advF      = fs.Int64("adversary", 0, "hinder-adversary per-round budget F (0 = none)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	proto, err := parseProtocol(*protoName)
+	if err != nil {
+		return err
+	}
+	init, err := parseInit(*initName, *k, *initParam)
+	if err != nil {
+		return err
+	}
+
+	cfg := plurality.Config{
+		N:         *n,
+		Protocol:  proto,
+		Init:      init,
+		Seed:      *seed,
+		MaxRounds: *maxRounds,
+	}
+	if *advF > 0 {
+		cfg.Adversary = plurality.HinderAdversary(*advF)
+	}
+	if *every < 1 {
+		*every = 1
+	}
+	fmt.Printf("%-8s %-12s %-8s %-8s %-10s\n", "round", "gamma", "live", "leader", "leaderfrac")
+	cfg.OnRound = func(round int, s plurality.Snapshot) bool {
+		if round%*every != 0 {
+			return false
+		}
+		op, frac := s.Leader()
+		fmt.Printf("%-8d %-12.6g %-8d %-8d %-10.6g\n", round, s.Gamma(), s.Live(), op, frac)
+		return false
+	}
+	res, err := plurality.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if res.Consensus {
+		fmt.Printf("\nconsensus on opinion %d after %d rounds\n", res.Winner, res.Rounds)
+	} else {
+		fmt.Printf("\nno consensus within %d rounds (leader: opinion %d)\n", res.Rounds, res.Winner)
+	}
+	return nil
+}
+
+func parseProtocol(name string) (plurality.Protocol, error) {
+	switch name {
+	case "3-majority":
+		return plurality.ThreeMajority(), nil
+	case "2-choices":
+		return plurality.TwoChoices(), nil
+	case "voter":
+		return plurality.Voter(), nil
+	case "median":
+		return plurality.Median(), nil
+	case "undecided":
+		return plurality.Undecided(), nil
+	}
+	if strings.HasPrefix(name, "h") {
+		h, err := strconv.Atoi(name[1:])
+		if err != nil || h < 1 {
+			return plurality.Protocol{}, fmt.Errorf("bad h-majority spec %q", name)
+		}
+		return plurality.HMajority(h), nil
+	}
+	return plurality.Protocol{}, fmt.Errorf("unknown protocol %q", name)
+}
+
+func parseInit(name string, k int, param float64) (plurality.Init, error) {
+	switch name {
+	case "balanced":
+		return plurality.Balanced(k), nil
+	case "zipf":
+		return plurality.Zipf(k, param), nil
+	case "geometric":
+		return plurality.Geometric(k, param), nil
+	case "planted":
+		return plurality.PlantedBias(k, param), nil
+	default:
+		return plurality.Init{}, fmt.Errorf("unknown init %q", name)
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseProtocol(t *testing.T) {
+	cases := []struct {
+		in     string
+		want   string
+		wantOK bool
+	}{
+		{"3-majority", "3-majority", true},
+		{"2-choices", "2-choices", true},
+		{"voter", "voter", true},
+		{"median", "median", true},
+		{"undecided", "undecided", true},
+		{"h5", "majority-h5", true},
+		{"h1", "majority-h1", true},
+		{"h0", "", false},
+		{"hx", "", false},
+		{"quantum", "", false},
+	}
+	for _, c := range cases {
+		p, err := parseProtocol(c.in)
+		if c.wantOK {
+			if err != nil {
+				t.Errorf("parseProtocol(%q): %v", c.in, err)
+				continue
+			}
+			if p.Name() != c.want {
+				t.Errorf("parseProtocol(%q) = %q, want %q", c.in, p.Name(), c.want)
+			}
+		} else if err == nil {
+			t.Errorf("parseProtocol(%q) should fail", c.in)
+		}
+	}
+}
+
+func TestParseInit(t *testing.T) {
+	for _, name := range []string{"balanced", "zipf", "geometric", "planted"} {
+		if _, err := parseInit(name, 4, 0.5); err != nil {
+			t.Errorf("parseInit(%q): %v", name, err)
+		}
+	}
+	if _, err := parseInit("weird", 4, 0.5); err == nil {
+		t.Error("parseInit(weird) should fail")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if err := run([]string{"-n", "500", "-k", "4", "-protocol", "2-choices", "-every", "100"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-protocol", "nope"}); err == nil {
+		t.Fatal("bad protocol accepted")
+	}
+	if err := run([]string{"-init", "nope"}); err == nil {
+		t.Fatal("bad init accepted")
+	}
+}

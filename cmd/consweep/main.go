@@ -1,0 +1,133 @@
+// Command consweep sweeps a parameter (k or n) for one or more
+// protocols and prints median consensus times — the generic tool
+// behind figures like the paper's Figure 1.
+//
+// Usage:
+//
+//	consweep -sweep k -values 2,4,8,16,32 -n 100000 -protocols 3-majority,2-choices
+//	consweep -sweep n -values 1000,10000,100000 -k 32 -protocols 3-majority
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"plurality"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "consweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("consweep", flag.ContinueOnError)
+	var (
+		sweep  = fs.String("sweep", "k", "parameter to sweep: k or n")
+		values = fs.String("values", "2,4,8,16,32,64", "comma-separated sweep values")
+		n      = fs.Int64("n", 100_000, "number of vertices (fixed when sweeping k)")
+		k      = fs.Int("k", 32, "number of opinions (fixed when sweeping n)")
+		protos = fs.String("protocols", "3-majority,2-choices", "comma-separated protocols")
+		trials = fs.Int("trials", 5, "trials per point")
+		seed   = fs.Uint64("seed", 1, "base seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	vals, err := parseInts(*values)
+	if err != nil {
+		return err
+	}
+	protoNames := strings.Split(*protos, ",")
+
+	fmt.Printf("%-10s", *sweep)
+	for _, p := range protoNames {
+		fmt.Printf(" %-16s", strings.TrimSpace(p))
+	}
+	fmt.Println()
+
+	for _, val := range vals {
+		fmt.Printf("%-10d", val)
+		for pi, pname := range protoNames {
+			proto, err := protocolByName(strings.TrimSpace(pname))
+			if err != nil {
+				return err
+			}
+			curN, curK := *n, *k
+			switch *sweep {
+			case "k":
+				curK = int(val)
+			case "n":
+				curN = val
+			default:
+				return fmt.Errorf("unknown sweep parameter %q", *sweep)
+			}
+			results, err := plurality.RunMany(plurality.Config{
+				N:        curN,
+				Protocol: proto,
+				Init:     plurality.Balanced(curK),
+				Seed:     *seed + uint64(pi)*101 + uint64(val),
+			}, *trials)
+			if err != nil {
+				return err
+			}
+			fmt.Printf(" %-16.4g", medianRounds(results))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func protocolByName(name string) (plurality.Protocol, error) {
+	switch name {
+	case "3-majority":
+		return plurality.ThreeMajority(), nil
+	case "2-choices":
+		return plurality.TwoChoices(), nil
+	case "voter":
+		return plurality.Voter(), nil
+	case "median":
+		return plurality.Median(), nil
+	default:
+		return plurality.Protocol{}, fmt.Errorf("unknown protocol %q", name)
+	}
+}
+
+func parseInts(csv string) ([]int64, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sweep values")
+	}
+	return out, nil
+}
+
+func medianRounds(results []plurality.Result) float64 {
+	rounds := make([]int, len(results))
+	for i, r := range results {
+		rounds[i] = r.Rounds
+	}
+	for i := 1; i < len(rounds); i++ {
+		for j := i; j > 0 && rounds[j] < rounds[j-1]; j-- {
+			rounds[j], rounds[j-1] = rounds[j-1], rounds[j]
+		}
+	}
+	m := len(rounds) / 2
+	if len(rounds)%2 == 1 {
+		return float64(rounds[m])
+	}
+	return float64(rounds[m-1]+rounds[m]) / 2
+}

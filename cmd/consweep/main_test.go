@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+
+	"plurality"
+)
+
+func TestParseInts(t *testing.T) {
+	vals, err := parseInts("2, 4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{2, 4, 8}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("parseInts = %v", vals)
+		}
+	}
+	if _, err := parseInts("2,x"); err == nil {
+		t.Error("non-numeric accepted")
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestProtocolByName(t *testing.T) {
+	for _, name := range []string{"3-majority", "2-choices", "voter", "median"} {
+		p, err := protocolByName(name)
+		if err != nil || p.Name() != name {
+			t.Errorf("protocolByName(%q) = %q, %v", name, p.Name(), err)
+		}
+	}
+	if _, err := protocolByName("nope"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestMedianRounds(t *testing.T) {
+	results := []plurality.Result{{Rounds: 5}, {Rounds: 1}, {Rounds: 3}}
+	if got := medianRounds(results); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	even := []plurality.Result{{Rounds: 2}, {Rounds: 4}}
+	if got := medianRounds(even); got != 3 {
+		t.Fatalf("even median = %v", got)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if err := run([]string{"-sweep", "k", "-values", "2,4", "-n", "400", "-protocols", "3-majority", "-trials", "2"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-sweep", "n", "-values", "300,600", "-k", "3", "-protocols", "voter", "-trials", "1"}); err != nil {
+		t.Fatalf("n sweep: %v", err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-sweep", "q", "-values", "2"}); err == nil {
+		t.Fatal("bad sweep parameter accepted")
+	}
+	if err := run([]string{"-protocols", "nope", "-values", "2"}); err == nil {
+		t.Fatal("bad protocol accepted")
+	}
+}

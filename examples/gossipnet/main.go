@@ -1,0 +1,52 @@
+// Gossip network: the dynamics as a real concurrent system. Every node
+// is a goroutine; pulls travel over channels; rounds are synchronized
+// by a two-phase barrier. The demo runs 2-Choices on 400 nodes three
+// ways — clean, with 5% of the nodes crashed, and with 40% pull loss —
+// showing that the protocol's self-stabilizing drift survives both
+// fault models (at the price of extra rounds).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plurality"
+)
+
+func main() {
+	const (
+		n = 400
+		k = 4
+	)
+	base := plurality.GossipConfig{
+		N:        n,
+		Protocol: plurality.TwoChoices(),
+		Init:     plurality.Balanced(k),
+		Seed:     21,
+	}
+
+	fmt.Printf("gossip 2-Choices: %d node goroutines, %d opinions, balanced start\n\n", n, k)
+	fmt.Printf("%-26s %-8s %-10s %-22s\n", "scenario", "rounds", "decided", "final counts")
+
+	run := func(name string, mutate func(*plurality.GossipConfig)) {
+		cfg := base
+		mutate(&cfg)
+		res, err := plurality.RunGossip(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s %-8d %-10v %v\n", name, res.Rounds, res.Consensus, res.FinalCounts)
+	}
+
+	run("clean", func(*plurality.GossipConfig) {})
+	run("5% nodes crashed", func(cfg *plurality.GossipConfig) {
+		for id := 0; id < n/20; id++ {
+			cfg.Crashed = append(cfg.Crashed, id*20)
+		}
+	})
+	run("40% pull loss", func(cfg *plurality.GossipConfig) {
+		cfg.LossProb = 0.4
+	})
+
+	fmt.Println("\ncrashed nodes stay frozen (their counts persist); loss only slows the race.")
+}

@@ -1,0 +1,57 @@
+// Poll aggregation: the plurality-consensus use case that motivates
+// the paper's Theorem 2.6. A fleet of 200k sensors each starts with a
+// noisy local estimate (one of 12 candidate readings); the true
+// reading has a small popularity edge. Gossiping with 2-Choices — two
+// random peers per round, adopt only on agreement — the fleet
+// collectively recovers the true reading with high probability, even
+// though no sensor ever counts votes.
+//
+// The demo sweeps the initial margin around the paper's threshold
+// √(α₁·log n/n) and reports how often the true reading wins.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"plurality"
+)
+
+func main() {
+	const (
+		n      = 200_000
+		k      = 12
+		trials = 30
+	)
+	logN := math.Log(float64(n))
+	alpha1 := 1.0 / float64(k)
+	threshold := math.Sqrt(alpha1 * logN / float64(n)) // Theorem 2.6 margin shape
+
+	fmt.Printf("poll aggregation with 2-Choices: n=%d sensors, k=%d candidate readings\n", n, k)
+	fmt.Printf("Theorem 2.6 margin threshold: %.5f (%.0f sensors)\n\n", threshold, threshold*n)
+	fmt.Printf("%-12s %-14s %-14s\n", "margin/thr", "extra sensors", "P[true wins]")
+
+	for _, mult := range []float64{0, 0.5, 1, 2, 4} {
+		extraFrac := mult * threshold
+		results, err := plurality.RunMany(plurality.Config{
+			N:        n,
+			Protocol: plurality.TwoChoices(),
+			Init:     plurality.PlantedBias(k, extraFrac),
+			Seed:     7,
+		}, trials)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wins := 0
+		for _, res := range results {
+			if res.Consensus && res.Winner == 0 {
+				wins++
+			}
+		}
+		fmt.Printf("%-12.1f %-14.0f %-14.3f\n", mult, extraFrac*n, float64(wins)/trials)
+	}
+
+	fmt.Println("\nbelow the threshold the winner is a coin flip among leaders;")
+	fmt.Println("above it the true reading wins essentially always (Theorem 2.6).")
+}

@@ -1,0 +1,99 @@
+package plurality
+
+import (
+	"fmt"
+
+	"plurality/internal/gossip"
+)
+
+// GossipConfig describes a run of the dynamics as an actual
+// message-passing system: one goroutine per node, pull-based opinion
+// exchange over channels, synchronous rounds via a two-phase barrier
+// (see internal/gossip). Use it to study fault models the count-space
+// engine cannot express — crashed nodes and lossy pulls.
+type GossipConfig struct {
+	// N is the number of nodes. Required.
+	N int
+	// Protocol must be ThreeMajority(), TwoChoices() or Voter().
+	Protocol Protocol
+	// Init generates the initial opinion counts. Required.
+	Init Init
+	// Seed makes executions reproducible.
+	Seed uint64
+	// Crashed lists node IDs crashed from the start: they answer every
+	// pull with a failure and never change opinion.
+	Crashed []int
+	// LossProb is the per-pull loss probability in [0, 1). A node any
+	// of whose pulls fail keeps its opinion for that round.
+	LossProb float64
+	// MaxRounds bounds the run; 0 means 100000.
+	MaxRounds int
+}
+
+// GossipResult reports how a gossip run ended.
+type GossipResult struct {
+	// Rounds is the number of synchronous rounds executed.
+	Rounds int
+	// Consensus reports whether all non-crashed nodes agreed.
+	Consensus bool
+	// Winner is the agreed opinion (or current alive plurality).
+	Winner int
+	// FinalCounts is the final opinion histogram including any frozen
+	// crashed nodes.
+	FinalCounts []int64
+}
+
+// RunGossip executes the configured dynamics on a real concurrent
+// gossip network until all alive nodes agree or the round budget runs
+// out. The network is torn down before returning.
+func RunGossip(cfg GossipConfig) (GossipResult, error) {
+	if cfg.N < 1 {
+		return GossipResult{}, fmt.Errorf("%w: N = %d", errConfig, cfg.N)
+	}
+	if cfg.Init.build == nil {
+		return GossipResult{}, fmt.Errorf("%w: Init is required", errConfig)
+	}
+	var rule gossip.Rule
+	switch cfg.Protocol.Name() {
+	case "3-majority":
+		rule = gossip.ThreeMajority
+	case "2-choices":
+		rule = gossip.TwoChoices
+	case "voter":
+		rule = gossip.Voter
+	default:
+		return GossipResult{}, fmt.Errorf("%w: protocol %q has no gossip form", errConfig, cfg.Protocol.Name())
+	}
+	v, err := cfg.Init.build(int64(cfg.N))
+	if err != nil {
+		return GossipResult{}, err
+	}
+	nw, err := gossip.New(gossip.Config{
+		N:        cfg.N,
+		Rule:     rule,
+		Init:     v,
+		Seed:     cfg.Seed,
+		Crashed:  cfg.Crashed,
+		LossProb: cfg.LossProb,
+	})
+	if err != nil {
+		return GossipResult{}, err
+	}
+	defer nw.Close()
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 100_000
+	}
+	res := nw.Run(maxRounds)
+	final := nw.Counts()
+	counts := make([]int64, final.K())
+	for i := range counts {
+		counts[i] = final.Count(i)
+	}
+	return GossipResult{
+		Rounds:      res.Rounds,
+		Consensus:   res.Consensus,
+		Winner:      int(res.Winner),
+		FinalCounts: counts,
+	}, nil
+}

@@ -1,0 +1,92 @@
+package plurality
+
+import "testing"
+
+func TestRunGossipBasics(t *testing.T) {
+	res, err := RunGossip(GossipConfig{
+		N:        150,
+		Protocol: ThreeMajority(),
+		Init:     Balanced(3),
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus {
+		t.Fatalf("no consensus: %+v", res)
+	}
+	var total int64
+	for _, c := range res.FinalCounts {
+		total += c
+	}
+	if total != 150 {
+		t.Fatalf("final counts %v do not sum to 150", res.FinalCounts)
+	}
+	if res.FinalCounts[res.Winner] != 150 {
+		t.Fatalf("winner %d does not hold everyone: %v", res.Winner, res.FinalCounts)
+	}
+}
+
+func TestRunGossipWithCrashes(t *testing.T) {
+	res, err := RunGossip(GossipConfig{
+		N:        100,
+		Protocol: TwoChoices(),
+		Init:     Balanced(2),
+		Seed:     2,
+		Crashed:  []int{0, 99}, // one frozen node per side
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus {
+		t.Fatal("alive nodes did not converge")
+	}
+	// Both opinions survive in the histogram: each side froze a node.
+	if res.FinalCounts[0] == 0 || res.FinalCounts[1] == 0 {
+		t.Fatalf("frozen nodes missing from counts: %v", res.FinalCounts)
+	}
+}
+
+func TestRunGossipValidation(t *testing.T) {
+	base := GossipConfig{
+		N:        50,
+		Protocol: ThreeMajority(),
+		Init:     Balanced(2),
+	}
+	bad := base
+	bad.N = 0
+	if _, err := RunGossip(bad); err == nil {
+		t.Error("N=0 accepted")
+	}
+	bad = base
+	bad.Protocol = Median()
+	if _, err := RunGossip(bad); err == nil {
+		t.Error("median gossip accepted")
+	}
+	bad = base
+	bad.Init = Init{}
+	if _, err := RunGossip(bad); err == nil {
+		t.Error("missing init accepted")
+	}
+	bad = base
+	bad.LossProb = 1
+	if _, err := RunGossip(bad); err == nil {
+		t.Error("loss prob 1 accepted")
+	}
+}
+
+func TestRunGossipLossyStillDecides(t *testing.T) {
+	res, err := RunGossip(GossipConfig{
+		N:        120,
+		Protocol: TwoChoices(),
+		Init:     Balanced(3),
+		Seed:     3,
+		LossProb: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus {
+		t.Fatal("lossy gossip did not converge")
+	}
+}

@@ -1,0 +1,132 @@
+package plurality
+
+import (
+	"fmt"
+
+	"plurality/internal/graph"
+	"plurality/internal/rng"
+)
+
+// Topology selects a graph family for RunOnGraph — the paper's §2.5
+// open problem of running the dynamics beyond the complete graph.
+// Construct values with the topology constructors below.
+type Topology struct {
+	name  string
+	build func(n int, r *rng.Rand) (graph.Graph, error)
+}
+
+// CompleteTopology is the paper's setting: every vertex samples
+// uniformly among all n vertices (self-loops included).
+func CompleteTopology() Topology {
+	return Topology{name: "complete", build: func(n int, _ *rng.Rand) (graph.Graph, error) {
+		return graph.NewComplete(n)
+	}}
+}
+
+// RingTopology is the circulant graph where each vertex is adjacent
+// to the radius nearest vertices on each side — the low-conductance
+// extreme.
+func RingTopology(radius int) Topology {
+	return Topology{name: "ring", build: func(n int, _ *rng.Rand) (graph.Graph, error) {
+		return graph.NewRing(n, radius)
+	}}
+}
+
+// TorusTopology is the side×side two-dimensional torus; RunOnGraph
+// requires N = side².
+func TorusTopology(side int) Topology {
+	return Topology{name: "torus", build: func(n int, _ *rng.Rand) (graph.Graph, error) {
+		if side*side != n {
+			return nil, fmt.Errorf("plurality: torus side %d does not match N=%d", side, n)
+		}
+		return graph.NewTorus(side, side)
+	}}
+}
+
+// RandomRegularTopology is a uniformly random simple d-regular graph —
+// an expander with high probability, the fast sparse topology.
+func RandomRegularTopology(d int) Topology {
+	return Topology{name: "random-regular", build: func(n int, r *rng.Rand) (graph.Graph, error) {
+		return graph.NewRandomRegular(n, d, r)
+	}}
+}
+
+// HypercubeTopology is the dim-dimensional hypercube; RunOnGraph
+// requires N = 2^dim.
+func HypercubeTopology(dim int) Topology {
+	return Topology{name: "hypercube", build: func(n int, _ *rng.Rand) (graph.Graph, error) {
+		if n != 1<<dim {
+			return nil, fmt.Errorf("plurality: hypercube dim %d does not match N=%d", dim, n)
+		}
+		return graph.NewHypercube(dim)
+	}}
+}
+
+// GraphConfig describes an agent-based run on an explicit topology.
+// Unlike Config's count-space engine, this engine is O(n) per round
+// but works on any graph.
+type GraphConfig struct {
+	// N is the number of vertices. Required.
+	N int
+	// Topology is the graph family. Required.
+	Topology Topology
+	// Protocol must be one of ThreeMajority(), TwoChoices() or
+	// Voter() — the rules with per-vertex forms on general graphs.
+	Protocol Protocol
+	// Init generates the opinion counts; vertices are assigned
+	// uniformly at random (well-mixed start). Required.
+	Init Init
+	// Seed makes runs reproducible.
+	Seed uint64
+	// MaxRounds bounds the run; 0 means 100000.
+	MaxRounds int
+}
+
+// RunOnGraph executes an agent-based run on the configured topology.
+func RunOnGraph(cfg GraphConfig) (Result, error) {
+	if cfg.N < 1 {
+		return Result{}, fmt.Errorf("%w: N = %d", errConfig, cfg.N)
+	}
+	if cfg.Topology.build == nil {
+		return Result{}, fmt.Errorf("%w: Topology is required", errConfig)
+	}
+	if cfg.Init.build == nil {
+		return Result{}, fmt.Errorf("%w: Init is required", errConfig)
+	}
+	rule, err := ruleFor(cfg.Protocol)
+	if err != nil {
+		return Result{}, err
+	}
+	r := rng.New(rng.DeriveSeed(cfg.Seed, 0))
+	g, err := cfg.Topology.build(cfg.N, r)
+	if err != nil {
+		return Result{}, err
+	}
+	v, err := cfg.Init.build(int64(cfg.N))
+	if err != nil {
+		return Result{}, err
+	}
+	st, err := graph.NewState(g, v.K(), graph.ShuffledAssignment(v, r))
+	if err != nil {
+		return Result{}, err
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 100_000
+	}
+	res := graph.Run(r, st, rule, maxRounds)
+	return Result{Rounds: res.Rounds, Consensus: res.Consensus, Winner: int(res.Winner)}, nil
+}
+
+func ruleFor(p Protocol) (graph.Rule, error) {
+	switch p.Name() {
+	case "3-majority":
+		return graph.ThreeMajorityRule{}, nil
+	case "2-choices":
+		return graph.TwoChoicesRule{}, nil
+	case "voter":
+		return graph.VoterRule{}, nil
+	default:
+		return nil, fmt.Errorf("%w: protocol %q has no general-graph rule", errConfig, p.Name())
+	}
+}

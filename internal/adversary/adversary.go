@@ -1,0 +1,178 @@
+// Package adversary implements the bounded adversary of the paper's
+// §2.5 (studied for 3-Majority by Ghaffari & Lengler, PODC 2018): after
+// every round the adversary may corrupt the opinions of up to F
+// vertices, F = o(n). GL18 show 3-Majority still reaches (almost)
+// consensus for F = O(√n/k^1.5); the `adv` experiment measures how the
+// consensus delay grows with F and where the process stalls.
+//
+// Because the dynamics run on the complete graph, an adversary
+// strategy is just a bounded mutation of the opinion-count vector; the
+// strategies plug into core.RunConfig.PostRound.
+package adversary
+
+import (
+	"fmt"
+
+	"plurality/internal/population"
+	"plurality/internal/rng"
+)
+
+// Adversary corrupts up to its budget of vertices after each round.
+type Adversary interface {
+	// Name identifies the strategy.
+	Name() string
+	// Corrupt mutates v, changing the opinions of at most F vertices,
+	// and preserves the population invariants.
+	Corrupt(round int, r *rng.Rand, v *population.Vector)
+}
+
+// PostRound adapts an Adversary to the core engine's PostRound hook.
+func PostRound(a Adversary) func(round int, r *rng.Rand, v *population.Vector) {
+	if a == nil {
+		return nil
+	}
+	return func(round int, r *rng.Rand, v *population.Vector) {
+		a.Corrupt(round, r, v)
+	}
+}
+
+// Hinder is the strongest stalling strategy against consensus on a
+// complete graph: every round it moves up to F vertices from the
+// current plurality opinion to the smallest surviving rival, pushing
+// the configuration back toward balance. (It never revives extinct
+// opinions, preserving validity.)
+type Hinder struct {
+	// F is the per-round corruption budget.
+	F int64
+}
+
+var _ Adversary = Hinder{}
+
+// Name implements Adversary.
+func (a Hinder) Name() string { return fmt.Sprintf("hinder-F%d", a.F) }
+
+// Corrupt implements Adversary.
+func (a Hinder) Corrupt(_ int, _ *rng.Rand, v *population.Vector) {
+	if a.F <= 0 {
+		return
+	}
+	counts := v.Counts()
+	top, topCount := v.MaxOpinion()
+	// Smallest surviving opinion other than the plurality.
+	weakest, weakestCount := -1, int64(0)
+	for i, c := range counts {
+		if i == top || c == 0 {
+			continue
+		}
+		if weakest == -1 || c < weakestCount {
+			weakest, weakestCount = i, c
+		}
+	}
+	if weakest == -1 {
+		return // consensus already; nothing to stall without reviving
+	}
+	move := a.F
+	// Never invert the order: moving more than half the gap would make
+	// the "weakest" the new plurality, which helps rather than hinders.
+	if gap := (topCount - weakestCount) / 2; move > gap {
+		move = gap
+	}
+	if move <= 0 {
+		return
+	}
+	counts[top] -= move
+	counts[weakest] += move
+	v.SetAll(counts)
+}
+
+// Help accelerates consensus: every round it moves up to F vertices
+// from the smallest surviving opinion to the plurality. It serves as
+// the control strategy in the adversary experiments.
+type Help struct {
+	// F is the per-round corruption budget.
+	F int64
+}
+
+var _ Adversary = Help{}
+
+// Name implements Adversary.
+func (a Help) Name() string { return fmt.Sprintf("help-F%d", a.F) }
+
+// Corrupt implements Adversary.
+func (a Help) Corrupt(_ int, _ *rng.Rand, v *population.Vector) {
+	if a.F <= 0 {
+		return
+	}
+	counts := v.Counts()
+	top, _ := v.MaxOpinion()
+	weakest, weakestCount := -1, int64(0)
+	for i, c := range counts {
+		if i == top || c == 0 {
+			continue
+		}
+		if weakest == -1 || c < weakestCount {
+			weakest, weakestCount = i, c
+		}
+	}
+	if weakest == -1 {
+		return
+	}
+	move := a.F
+	if move > weakestCount {
+		move = weakestCount
+	}
+	counts[weakest] -= move
+	counts[top] += move
+	v.SetAll(counts)
+}
+
+// Scatter corrupts F uniformly random vertices to uniformly random
+// surviving opinions — unbiased noise rather than a directed attack.
+type Scatter struct {
+	// F is the per-round corruption budget.
+	F int64
+}
+
+var _ Adversary = Scatter{}
+
+// Name implements Adversary.
+func (a Scatter) Name() string { return fmt.Sprintf("scatter-F%d", a.F) }
+
+// Corrupt implements Adversary.
+func (a Scatter) Corrupt(_ int, r *rng.Rand, v *population.Vector) {
+	if a.F <= 0 {
+		return
+	}
+	counts := v.Counts()
+	live := make([]int, 0, len(counts))
+	for i, c := range counts {
+		if c > 0 {
+			live = append(live, i)
+		}
+	}
+	if len(live) < 2 {
+		return
+	}
+	n := v.N()
+	for m := int64(0); m < a.F; m++ {
+		// A uniformly random vertex belongs to opinion i with
+		// probability counts[i]/n.
+		target := r.Int63n(n)
+		from := -1
+		var acc int64
+		for i, c := range counts {
+			acc += c
+			if target < acc {
+				from = i
+				break
+			}
+		}
+		to := live[r.Intn(len(live))]
+		if from == to || counts[from] == 0 {
+			continue
+		}
+		counts[from]--
+		counts[to]++
+	}
+	v.SetAll(counts)
+}

@@ -1,0 +1,131 @@
+// Package async implements the asynchronous variants of the consensus
+// dynamics (paper §1.1): at each tick a single uniformly random vertex
+// updates its opinion by the protocol's rule. Cooper, Mallmann-Trenn,
+// Radzik, Shimizu and Shiraga (SODA 2025) proved the asynchronous
+// 3-Majority consensus time is Õ(min(kn, n^{3/2})) — one synchronous
+// round corresponding to n asynchronous ticks — and the paper notes
+// its techniques give an alternative proof. The async experiment
+// (`conbench -run async`) checks that correspondence empirically.
+//
+// On the complete graph with self-loops the asynchronous process is a
+// function of the count vector alone; package async evolves the counts
+// through a Fenwick tree, so one tick costs O(log k).
+package async
+
+import (
+	"fmt"
+
+	"plurality/internal/population"
+	"plurality/internal/rng"
+)
+
+// Dynamics is a single-vertex-update rule applied at every tick.
+type Dynamics int
+
+// Supported asynchronous dynamics.
+const (
+	ThreeMajority Dynamics = iota + 1
+	TwoChoices
+	Voter
+)
+
+// Name returns a short identifier.
+func (d Dynamics) Name() string {
+	switch d {
+	case ThreeMajority:
+		return "async-3-majority"
+	case TwoChoices:
+		return "async-2-choices"
+	case Voter:
+		return "async-voter"
+	default:
+		return "async-unknown"
+	}
+}
+
+// Tick applies one asynchronous update to the configuration held in f:
+// a uniformly random vertex re-samples its opinion by the rule. It
+// returns the opinion the updating vertex ended the tick with.
+func (d Dynamics) Tick(r *rng.Rand, f *population.Fenwick) int {
+	// The updating vertex is uniform, so its current opinion has law
+	// count/total; sampled neighbors are uniform vertices too (the
+	// complete graph has self-loops).
+	own := f.Sample(r)
+	var next int
+	switch d {
+	case ThreeMajority:
+		w1 := f.Sample(r)
+		w2 := f.Sample(r)
+		if w1 == w2 {
+			next = w1
+		} else {
+			next = f.Sample(r)
+		}
+	case TwoChoices:
+		w1 := f.Sample(r)
+		w2 := f.Sample(r)
+		if w1 == w2 {
+			next = w1
+		} else {
+			next = own
+		}
+	case Voter:
+		next = f.Sample(r)
+	default:
+		panic(fmt.Sprintf("async: unknown dynamics %d", d))
+	}
+	if next != own {
+		f.Move(own, next)
+	}
+	return next
+}
+
+// RunResult reports how an asynchronous run ended.
+type RunResult struct {
+	// Ticks is the number of single-vertex updates executed.
+	Ticks int64
+	// Rounds is Ticks/n, the synchronous-equivalent round count.
+	Rounds float64
+	// Consensus reports whether all vertices agree.
+	Consensus bool
+	// Winner is the final plurality opinion.
+	Winner int
+}
+
+// Run executes d from configuration v until consensus or maxTicks
+// updates. v is not modified.
+func Run(r *rng.Rand, d Dynamics, v *population.Vector, maxTicks int64) RunResult {
+	f := population.NewFenwick(v.Counts())
+	n := f.Total()
+	finish := func(ticks int64, consensus bool, winner int) RunResult {
+		return RunResult{
+			Ticks:     ticks,
+			Rounds:    float64(ticks) / float64(n),
+			Consensus: consensus,
+			Winner:    winner,
+		}
+	}
+	if op, ok := consensusOf(f); ok {
+		return finish(0, true, op)
+	}
+	for t := int64(1); t <= maxTicks; t++ {
+		next := d.Tick(r, f)
+		// Only the opinion that just gained a vertex can have reached
+		// consensus, so the check is O(1) per tick.
+		if f.Count(next) == n {
+			return finish(t, true, next)
+		}
+	}
+	vec := f.Vector()
+	op, _ := vec.MaxOpinion()
+	return finish(maxTicks, false, op)
+}
+
+func consensusOf(f *population.Fenwick) (int, bool) {
+	for i := 0; i < f.K(); i++ {
+		if f.Count(i) == f.Total() {
+			return i, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"plurality/internal/population"
+	"plurality/internal/rng"
+)
+
+// The exactness tests are the load-bearing validation of the engine:
+// the O(k) count-space samplers must agree in distribution with the
+// literal Definition 3.1 per-vertex process. We verify (a) one-round
+// conditional means against the paper's closed forms (Lemma 4.1),
+// (b) one-round variances against exact per-vertex computations, and
+// (c) fast-vs-reference agreement of empirical means within Monte
+// Carlo error.
+
+// monteCarloMoments runs `trials` independent one-round steps of p
+// from v0 and returns the per-opinion empirical mean and variance of
+// the next-round counts.
+func monteCarloMoments(t *testing.T, p Protocol, v0 *population.Vector, trials int, seed uint64) (mean, variance []float64) {
+	t.Helper()
+	r := rng.New(seed)
+	s := &Scratch{}
+	k := v0.K()
+	sum := make([]float64, k)
+	sumSq := make([]float64, k)
+	v := v0.Clone()
+	for i := 0; i < trials; i++ {
+		v.CopyFrom(v0)
+		p.Step(r, v, s)
+		for j := 0; j < k; j++ {
+			c := float64(v.Count(j))
+			sum[j] += c
+			sumSq[j] += c * c
+		}
+	}
+	mean = make([]float64, k)
+	variance = make([]float64, k)
+	for j := 0; j < k; j++ {
+		mean[j] = sum[j] / float64(trials)
+		variance[j] = sumSq[j]/float64(trials) - mean[j]*mean[j]
+	}
+	return mean, variance
+}
+
+// expectedNextCount3Maj returns n·E[α'(i)] per Lemma 4.1(i).
+func expectedNextCount3Maj(v *population.Vector, i int) float64 {
+	return float64(v.N()) * v.Alpha(i) * (1 + v.Alpha(i) - v.Gamma())
+}
+
+// exactVarNextCount3Maj: counts'(i) ~ Bin(n, p_i), so Var = n·p(1−p).
+func exactVarNextCount3Maj(v *population.Vector, i int) float64 {
+	p := v.Alpha(i) * (1 + v.Alpha(i) - v.Gamma())
+	return float64(v.N()) * p * (1 - p)
+}
+
+// exactVarNextCount2Choices: counts'(i) is a sum of independent
+// per-vertex indicators with the two success probabilities of Eq. (6).
+func exactVarNextCount2Choices(v *population.Vector, i int) float64 {
+	a := v.Alpha(i)
+	g := v.Gamma()
+	pOwn := 1 - g + a*a
+	pOther := a * a
+	ci := float64(v.Count(i))
+	rest := float64(v.N()) - ci
+	return ci*pOwn*(1-pOwn) + rest*pOther*(1-pOther)
+}
+
+func testConfigs() []*population.Vector {
+	return []*population.Vector{
+		population.MustFromCounts([]int64{500, 300, 150, 50}),
+		population.MustFromCounts([]int64{250, 250, 250, 250}),
+		population.MustFromCounts([]int64{900, 50, 25, 25}),
+		population.MustFromCounts([]int64{10, 700, 290}),
+	}
+}
+
+func TestThreeMajorityMeanMatchesLemma41(t *testing.T) {
+	const trials = 20000
+	for ci, v0 := range testConfigs() {
+		mean, _ := monteCarloMoments(t, ThreeMajority{}, v0, trials, 100+uint64(ci))
+		for i := 0; i < v0.K(); i++ {
+			want := expectedNextCount3Maj(v0, i)
+			sd := math.Sqrt(exactVarNextCount3Maj(v0, i))
+			se := sd / math.Sqrt(trials)
+			if math.Abs(mean[i]-want) > 5*se+1e-9 {
+				t.Errorf("config %d opinion %d: mean %v, want %v (se %v)", ci, i, mean[i], want, se)
+			}
+		}
+	}
+}
+
+func TestThreeMajorityVarianceExact(t *testing.T) {
+	const trials = 20000
+	for ci, v0 := range testConfigs() {
+		_, variance := monteCarloMoments(t, ThreeMajority{}, v0, trials, 200+uint64(ci))
+		for i := 0; i < v0.K(); i++ {
+			want := exactVarNextCount3Maj(v0, i)
+			if want < 1 {
+				continue
+			}
+			if math.Abs(variance[i]-want) > 0.15*want {
+				t.Errorf("config %d opinion %d: variance %v, want %v", ci, i, variance[i], want)
+			}
+		}
+	}
+}
+
+func TestTwoChoicesMeanMatchesLemma41(t *testing.T) {
+	// Lemma 4.1(i) gives the same conditional mean for both dynamics.
+	const trials = 20000
+	for ci, v0 := range testConfigs() {
+		mean, _ := monteCarloMoments(t, TwoChoices{}, v0, trials, 300+uint64(ci))
+		for i := 0; i < v0.K(); i++ {
+			want := expectedNextCount3Maj(v0, i)
+			sd := math.Sqrt(exactVarNextCount2Choices(v0, i))
+			se := sd/math.Sqrt(trials) + 1e-9
+			if math.Abs(mean[i]-want) > 5*se {
+				t.Errorf("config %d opinion %d: mean %v, want %v (se %v)", ci, i, mean[i], want, se)
+			}
+		}
+	}
+}
+
+func TestTwoChoicesVarianceExact(t *testing.T) {
+	const trials = 20000
+	for ci, v0 := range testConfigs() {
+		_, variance := monteCarloMoments(t, TwoChoices{}, v0, trials, 400+uint64(ci))
+		for i := 0; i < v0.K(); i++ {
+			want := exactVarNextCount2Choices(v0, i)
+			if want < 1 {
+				continue
+			}
+			if math.Abs(variance[i]-want) > 0.15*want {
+				t.Errorf("config %d opinion %d: variance %v, want %v", ci, i, variance[i], want)
+			}
+		}
+	}
+}
+
+// TestFastMatchesReference compares the empirical one-round mean of the
+// O(k) samplers against the literal per-vertex reference steppers.
+func TestFastMatchesReference(t *testing.T) {
+	pairs := []struct {
+		fast, ref Protocol
+	}{
+		{ThreeMajority{}, Reference{Rule: RefThreeMajority}},
+		{TwoChoices{}, Reference{Rule: RefTwoChoices}},
+		{Voter{}, Reference{Rule: RefVoter}},
+		{Median{}, Reference{Rule: RefMedian}},
+	}
+	v0 := population.MustFromCounts([]int64{400, 250, 250, 100})
+	const trials = 15000
+	for _, pair := range pairs {
+		pair := pair
+		t.Run(pair.fast.Name(), func(t *testing.T) {
+			fm, fv := monteCarloMoments(t, pair.fast, v0, trials, 500)
+			rm, _ := monteCarloMoments(t, pair.ref, v0, trials, 600)
+			for i := 0; i < v0.K(); i++ {
+				// Two independent Monte Carlo means; compare within
+				// combined standard error.
+				se := math.Sqrt(2*fv[i]/trials) + 1e-9
+				if math.Abs(fm[i]-rm[i]) > 6*se {
+					t.Errorf("opinion %d: fast mean %v vs reference mean %v (se %v)", i, fm[i], rm[i], se)
+				}
+			}
+		})
+	}
+}
+
+// TestHMajority3MatchesThreeMajority verifies the distributional
+// equivalence (majority of 3 with uniform tie-break == Definition 3.1
+// 3-Majority) by forcing the H >= 4 sampled code path with H = 3
+// semantics: we compare HMajority{5}'s invariants separately and the
+// closed-form h=3 equality analytically via the sampled path of a
+// custom 3-sample majority.
+func TestHMajority3MatchesThreeMajority(t *testing.T) {
+	// HMajority{3} delegates to ThreeMajority; verify the *sampled*
+	// law agrees by comparing HMajority{3} (closed form) to the
+	// reference three-majority stepper.
+	v0 := population.MustFromCounts([]int64{300, 200, 100})
+	const trials = 15000
+	hm, hv := monteCarloMoments(t, HMajority{H: 3}, v0, trials, 700)
+	rm, _ := monteCarloMoments(t, Reference{Rule: RefThreeMajority}, v0, trials, 800)
+	for i := 0; i < v0.K(); i++ {
+		se := math.Sqrt(2*hv[i]/trials) + 1e-9
+		if math.Abs(hm[i]-rm[i]) > 6*se {
+			t.Errorf("opinion %d: h=3 mean %v vs 3-majority reference %v", i, hm[i], rm[i])
+		}
+	}
+}
+
+// TestHMajorityDriftStrengthens: larger h gives stronger drift toward
+// the current plurality, so E[count of the largest opinion] should be
+// non-decreasing in h from a biased configuration.
+func TestHMajorityDriftStrengthens(t *testing.T) {
+	v0 := population.MustFromCounts([]int64{400, 300, 300})
+	const trials = 8000
+	prev := -math.MaxFloat64
+	for _, h := range []int{1, 3, 5, 7} {
+		mean, _ := monteCarloMoments(t, HMajority{H: h}, v0, trials, 900+uint64(h))
+		if mean[0] < prev-3 { // small slack for Monte Carlo noise
+			t.Errorf("h=%d: plurality mean %v dropped below h-smaller value %v", h, mean[0], prev)
+		}
+		prev = mean[0]
+	}
+}
+
+// TestMedianAdoptionProbMatchesSampledLaw cross-checks the closed-form
+// per-class CDF used by the O(k²) Median stepper against Monte Carlo
+// frequencies from the reference stepper.
+func TestMedianAdoptionProbMatchesSampledLaw(t *testing.T) {
+	v0 := population.MustFromCounts([]int64{300, 500, 200})
+	// All mass of class 0 transitions with the closed-form pmf; check
+	// each destination probability sums to 1 and matches frequencies.
+	for own := 0; own < 3; own++ {
+		total := 0.0
+		for x := 0; x < 3; x++ {
+			p := MedianAdoptionProb(v0, own, x)
+			if p < -1e-12 || p > 1+1e-12 {
+				t.Fatalf("pmf out of range: own=%d x=%d p=%v", own, x, p)
+			}
+			total += p
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("pmf for own=%d sums to %v", own, total)
+		}
+	}
+	// Monte Carlo: track where class-2 vertices end up under the fast
+	// stepper; destination 0 requires both samples < own.
+	r := rng.New(42)
+	s := &Scratch{}
+	const trials = 20000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		v := v0.Clone()
+		Median{}.Step(r, v, s)
+		sum += float64(v.Count(0))
+	}
+	want := 0.0
+	for own := 0; own < 3; own++ {
+		want += float64(v0.Count(own)) * MedianAdoptionProb(v0, own, 0)
+	}
+	got := sum / trials
+	if math.Abs(got-want) > 0.02*want+1 {
+		t.Errorf("median: mean next count(0) = %v, want %v", got, want)
+	}
+}
+
+// TestGammaSubmartingale verifies Lemma 4.1(iii): E[γ'] >= γ for both
+// headline dynamics, at several configurations.
+func TestGammaSubmartingale(t *testing.T) {
+	const trials = 30000
+	for _, p := range []Protocol{ThreeMajority{}, TwoChoices{}} {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			for ci, v0 := range testConfigs() {
+				r := rng.New(1000 + uint64(ci))
+				s := &Scratch{}
+				sum := 0.0
+				for i := 0; i < trials; i++ {
+					v := v0.Clone()
+					p.Step(r, v, s)
+					sum += v.Gamma()
+				}
+				meanGamma := sum / trials
+				// Allow a tiny Monte Carlo tolerance below γ.
+				if meanGamma < v0.Gamma()-0.002 {
+					t.Errorf("config %d: E[γ'] = %v < γ = %v", ci, meanGamma, v0.Gamma())
+				}
+			}
+		})
+	}
+}
+
+// TestVarianceBoundsLemma41 verifies that the paper's variance *bounds*
+// (Lemma 4.1(i)) indeed dominate the exact variances.
+func TestVarianceBoundsLemma41(t *testing.T) {
+	for _, v0 := range testConfigs() {
+		n := float64(v0.N())
+		for i := 0; i < v0.K(); i++ {
+			a := v0.Alpha(i)
+			g := v0.Gamma()
+			exact3 := exactVarNextCount3Maj(v0, i) / (n * n) // Var of α'(i)
+			bound3 := a / n
+			if exact3 > bound3+1e-12 {
+				t.Errorf("3-majority: exact var %v exceeds Lemma 4.1 bound %v", exact3, bound3)
+			}
+			exact2 := exactVarNextCount2Choices(v0, i) / (n * n)
+			bound2 := a * (a + g) / n
+			if exact2 > bound2+1e-12 {
+				t.Errorf("2-choices: exact var %v exceeds Lemma 4.1 bound %v", exact2, bound2)
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"plurality/internal/population"
+	"plurality/internal/rng"
+)
+
+// FuzzStepInvariants drives both headline dynamics from arbitrary
+// configurations and checks conservation, non-negativity, validity
+// (extinct opinions stay extinct) and consensus absorption.
+func FuzzStepInvariants(f *testing.F) {
+	f.Add([]byte{10, 20, 30}, uint64(1))
+	f.Add([]byte{0, 1}, uint64(2))
+	f.Add([]byte{255, 0, 0, 255}, uint64(3))
+	f.Add([]byte{1}, uint64(4))
+	f.Fuzz(func(t *testing.T, raw []byte, seed uint64) {
+		if len(raw) == 0 || len(raw) > 64 {
+			return
+		}
+		counts := make([]int64, len(raw))
+		var n int64
+		for i, b := range raw {
+			counts[i] = int64(b)
+			n += int64(b)
+		}
+		if n == 0 {
+			counts[0] = 1
+			n = 1
+		}
+		extinct := make([]bool, len(counts))
+		for i, c := range counts {
+			extinct[i] = c == 0
+		}
+		r := rng.New(seed)
+		s := &Scratch{}
+		for _, p := range []Protocol{ThreeMajority{}, TwoChoices{}, Voter{}, Median{}} {
+			v := population.MustFromCounts(counts)
+			for round := 0; round < 4; round++ {
+				p.Step(r, v, s)
+				if err := v.Validate(); err != nil {
+					t.Fatalf("%s: %v (from %v)", p.Name(), err, counts)
+				}
+				if v.N() != n {
+					t.Fatalf("%s: population changed %d -> %d", p.Name(), n, v.N())
+				}
+				for i, wasExtinct := range extinct {
+					if wasExtinct && v.Count(i) != 0 {
+						t.Fatalf("%s: extinct opinion %d revived (from %v)", p.Name(), i, counts)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"plurality/internal/population"
+	"plurality/internal/rng"
+)
+
+// HMajority is the h-Majority dynamics (paper §2.5, BCNPST17): each
+// vertex samples h uniformly random vertices with replacement and
+// adopts the most frequent opinion among the samples, ties broken
+// uniformly at random among the tied opinions.
+//
+//   - h = 1 coincides in law with Voter.
+//   - h = 2 also coincides in law with Voter: the two samples either
+//     agree (adopt) or tie, and a uniform pick of the two tied samples
+//     is a single uniform sample.
+//   - h = 3 coincides in law with 3-Majority: taking the majority of
+//     three samples with a uniform three-way tie-break yields adoption
+//     probability α(i)(1 + α(i) − γ), the same as Eq. (5). The h = 3
+//     step therefore reuses the O(k) multinomial path; the tests
+//     verify the equivalence against the sampled path.
+//
+// For h ≥ 4 no closed form for the adoption law is used; the step
+// samples each vertex's h draws through an alias table, which costs
+// O(n·h + k) per round but remains exact.
+type HMajority struct {
+	// H is the number of samples per vertex; must be >= 1.
+	H int
+}
+
+var _ Protocol = HMajority{}
+
+// Name implements Protocol.
+func (p HMajority) Name() string { return fmt.Sprintf("majority-h%d", p.H) }
+
+// Step implements Protocol.
+func (p HMajority) Step(r *rng.Rand, v *population.Vector, s *Scratch) {
+	switch {
+	case p.H < 1:
+		panic(fmt.Sprintf("core: HMajority with H=%d < 1", p.H))
+	case p.H <= 2:
+		Voter{}.Step(r, v, s)
+		return
+	case p.H == 3:
+		ThreeMajority{}.Step(r, v, s)
+		return
+	}
+
+	k := v.K()
+	counts := v.Counts()
+	nf := float64(v.N())
+	weights := s.Probs(k)
+	for i, c := range counts {
+		weights[i] = float64(c) / nf
+	}
+	alias := rng.NewAlias(weights)
+
+	next := s.Outs(k)
+	for i := range next {
+		next[i] = 0
+	}
+	samples := make([]int, p.H)
+	tally := s.Aux(k)
+	for vtx := int64(0); vtx < v.N(); vtx++ {
+		next[sampleMajority(r, alias, p.H, samples, tally)]++
+	}
+	v.SetAll(next)
+}

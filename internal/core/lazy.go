@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+
+	"plurality/internal/population"
+	"plurality/internal/rng"
+)
+
+// Lazy wraps a protocol with per-vertex laziness: each round every
+// vertex independently keeps its current opinion with probability Beta
+// and otherwise applies the base rule. Lazy variants are the standard
+// robustness ablation for consensus dynamics (cf. the quasi-majority
+// functional-voting framework of Shimizu & Shiraga, ICALP 2020, cited
+// in the paper's §1.1): laziness scales every drift term by (1−β), so
+// consensus times stretch by ≈1/(1−β) without changing who wins.
+//
+// The counts-space step stays exact: for own-opinion-independent base
+// rules (3-Majority, Voter, h-Majority) the active vertices per class
+// are A(i) ~ Bin(c(i), 1−β) and their destinations follow the base
+// law; 2-Choices composes the same way because "lazy" and "samples
+// disagreed" both mean keeping the current opinion.
+type Lazy struct {
+	// Base is the wrapped dynamics; ThreeMajority, TwoChoices, Voter
+	// and HMajority are supported.
+	Base Protocol
+	// Beta is the per-round probability of staying put, in [0, 1).
+	Beta float64
+}
+
+var _ Protocol = Lazy{}
+
+// Name implements Protocol.
+func (p Lazy) Name() string {
+	return fmt.Sprintf("lazy%.2f-%s", p.Beta, p.Base.Name())
+}
+
+// Step implements Protocol.
+func (p Lazy) Step(r *rng.Rand, v *population.Vector, s *Scratch) {
+	if p.Beta < 0 || p.Beta >= 1 {
+		panic(fmt.Sprintf("core: Lazy.Beta = %v out of [0, 1)", p.Beta))
+	}
+	if p.Beta == 0 {
+		p.Base.Step(r, v, s)
+		return
+	}
+	switch base := p.Base.(type) {
+	case TwoChoices:
+		p.stepTwoChoices(r, v, s)
+	case ThreeMajority, Voter, HMajority:
+		p.stepIndependentLaw(r, v, s, base)
+	default:
+		panic(fmt.Sprintf("core: Lazy does not support %s", p.Base.Name()))
+	}
+}
+
+// stepIndependentLaw handles base rules whose adoption law does not
+// depend on the vertex's own opinion: split each class into stayers
+// and movers, run the base rule on a synthetic population of movers,
+// and merge.
+func (p Lazy) stepIndependentLaw(r *rng.Rand, v *population.Vector, s *Scratch, base Protocol) {
+	k := v.K()
+	counts := v.Counts()
+	stay := make([]int64, k)
+	var movers int64
+	for i, c := range counts {
+		if c == 0 {
+			stay[i] = 0
+			continue
+		}
+		stay[i] = r.Binomial(c, p.Beta)
+		movers += c - stay[i]
+	}
+	if movers == 0 {
+		return
+	}
+	// The movers' destinations follow the base law evaluated at the
+	// FULL configuration (samples are drawn from everyone, including
+	// stayers), so run the base step on a copy holding the full
+	// configuration but only reassign `movers` vertices: all supported
+	// base rules reduce to Multinomial(n, law(v)), so we sample
+	// Multinomial(movers, law(v)) by running the base on a scaled
+	// population. ThreeMajority and Voter expose their laws directly;
+	// HMajority's sampled path draws per-vertex, so loop movers there.
+	next := s.Outs(k)
+	switch b := base.(type) {
+	case ThreeMajority:
+		probs := make([]float64, k)
+		for i := range probs {
+			probs[i] = b.AdoptionProb(v, i)
+		}
+		r.Multinomial(movers, probs, next)
+	case Voter:
+		probs := make([]float64, k)
+		nf := float64(v.N())
+		for i, c := range counts {
+			probs[i] = float64(c) / nf
+		}
+		r.Multinomial(movers, probs, next)
+	case HMajority:
+		// Reuse the per-vertex sampled path on a temporary vector of
+		// the full configuration, drawing one winner per mover.
+		for i := range next {
+			next[i] = 0
+		}
+		nf := float64(v.N())
+		weights := make([]float64, k)
+		for i, c := range counts {
+			weights[i] = float64(c) / nf
+		}
+		alias := rng.NewAlias(weights)
+		tally := s.Aux(k)
+		samples := make([]int, b.H)
+		for m := int64(0); m < movers; m++ {
+			next[sampleMajority(r, alias, b.H, samples, tally)]++
+		}
+	}
+	for i := range next {
+		next[i] += stay[i]
+	}
+	v.SetAll(next)
+}
+
+// stepTwoChoices composes laziness with the agreement decomposition:
+// a vertex moves only if it is active (prob 1−β) AND its two samples
+// agree (prob γ), and the agreed destination law is unchanged.
+func (p Lazy) stepTwoChoices(r *rng.Rand, v *population.Vector, s *Scratch) {
+	k := v.K()
+	counts := v.Counts()
+	gamma := v.Gamma()
+	if gamma >= 1 {
+		return
+	}
+	nf := float64(v.N())
+	activeAgree := (1 - p.Beta) * gamma
+
+	agree := s.Aux(k)
+	var totalAgree int64
+	for i, c := range counts {
+		if c == 0 {
+			agree[i] = 0
+			continue
+		}
+		agree[i] = r.Binomial(c, activeAgree)
+		totalAgree += agree[i]
+	}
+	next := s.Outs(k)
+	if totalAgree == 0 {
+		copy(next, counts)
+		v.SetAll(next)
+		return
+	}
+	probs := s.Probs(k)
+	for i, c := range counts {
+		if c == 0 {
+			probs[i] = 0
+			continue
+		}
+		a := float64(c) / nf
+		probs[i] = a * a
+	}
+	r.Multinomial(totalAgree, probs, next)
+	for i := range next {
+		next[i] += counts[i] - agree[i]
+	}
+	v.SetAll(next)
+}
+
+// sampleMajority draws h samples from the alias table and returns the
+// majority with uniform tie-breaking; tally must be a zeroed buffer of
+// length k (it is re-zeroed before returning).
+func sampleMajority(r *rng.Rand, alias *rng.Alias, h int, samples []int, tally []int64) int {
+	best := -1
+	bestCount := int64(0)
+	for j := 0; j < h; j++ {
+		o := alias.Sample(r)
+		samples[j] = o
+		tally[o]++
+		if tally[o] > bestCount {
+			bestCount = tally[o]
+			best = o
+		}
+	}
+	winner := best
+	ties := 0
+	for j := 0; j < h; j++ {
+		o := samples[j]
+		if tally[o] != bestCount {
+			continue
+		}
+		ties++
+		if r.Intn(ties) == 0 {
+			winner = o
+		}
+		tally[o] = -tally[o]
+	}
+	for j := 0; j < h; j++ {
+		tally[samples[j]] = 0
+	}
+	return winner
+}

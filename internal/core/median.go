@@ -1,0 +1,105 @@
+package core
+
+import (
+	"plurality/internal/population"
+	"plurality/internal/rng"
+)
+
+// Median is the median rule of Doerr, Goldberg, Minder, Sauerwald and
+// Scheideler (DGMSS11), the protocol in which 2-Choices was first
+// implicitly studied (paper §1.1): opinions are totally ordered
+// 0 < 1 < ... < k−1, and each vertex adopts the median of its own
+// opinion and two uniformly random samples. For k = 2 it coincides in
+// law with 2-Choices.
+//
+// One synchronous round is sampled per current-opinion class: the new
+// opinion of a vertex with opinion j has CDF
+//
+//	Pr[new ≤ x] = 1 − (1 − F(x))²  if j ≤ x   (one sample ≤ x suffices)
+//	Pr[new ≤ x] = F(x)²            if j > x   (both samples must be ≤ x)
+//
+// where F is the configuration's opinion CDF, so each class's
+// destinations form a multinomial in O(k) and the whole round costs
+// O(k²).
+type Median struct{}
+
+var _ Protocol = Median{}
+
+// Name implements Protocol.
+func (Median) Name() string { return "median" }
+
+// Step implements Protocol.
+func (Median) Step(r *rng.Rand, v *population.Vector, s *Scratch) {
+	k := v.K()
+	counts := v.Counts()
+	nf := float64(v.N())
+
+	// cdf[x] = F(x) = Pr[sample <= x].
+	cdf := s.Probs(k)
+	acc := 0.0
+	for i, c := range counts {
+		acc += float64(c) / nf
+		cdf[i] = acc
+	}
+
+	next := s.Outs(k)
+	for i := range next {
+		next[i] = 0
+	}
+	pmf := make([]float64, k)
+	dest := s.Aux(k)
+	for j, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := 0.0
+		for x := 0; x < k; x++ {
+			var cur float64
+			if j <= x {
+				d := 1 - cdf[x]
+				cur = 1 - d*d
+			} else {
+				cur = cdf[x] * cdf[x]
+			}
+			p := cur - prev
+			if p < 0 {
+				p = 0 // guard against floating-point rounding
+			}
+			pmf[x] = p
+			prev = cur
+		}
+		r.Multinomial(c, pmf, dest)
+		for x := 0; x < k; x++ {
+			next[x] += dest[x]
+		}
+	}
+	v.SetAll(next)
+}
+
+// MedianAdoptionProb returns the exact probability that a vertex with
+// opinion own ends the round with opinion x under the Median rule.
+// Exported for the exactness tests.
+func MedianAdoptionProb(v *population.Vector, own, x int) float64 {
+	cdfAt := func(y int) float64 {
+		if y < 0 {
+			return 0
+		}
+		acc := 0.0
+		for i := 0; i <= y && i < v.K(); i++ {
+			acc += v.Alpha(i)
+		}
+		return acc
+	}
+	cdfNew := func(y int) float64 {
+		if y < 0 {
+			return 0
+		}
+		f := cdfAt(y)
+		if own <= y {
+			d := 1 - f
+			return 1 - d*d
+		}
+		return f * f
+	}
+	return cdfNew(x) - cdfNew(x-1)
+}

@@ -1,0 +1,92 @@
+// Package core implements the paper's consensus dynamics — 3-Majority
+// and 2-Choices (Shimizu & Shiraga, PODC 2025, Definition 3.1) — plus
+// the related dynamics used as baselines and extensions: Voter
+// (1-Choice), h-Majority, the Median rule of Doerr et al. (DGMSS11),
+// and the Undecided-State Dynamics.
+//
+// All protocols here run on the n-vertex complete graph with
+// self-loops, where a "random neighbor" is a uniformly random vertex.
+// On that graph the opinion-count vector is a sufficient statistic for
+// the whole process, and each protocol's one-round transition is
+// sampled exactly from the counts:
+//
+//   - 3-Majority: by Eq. (5) of the paper the probability that a vertex
+//     adopts opinion i is p(i) = α(i)(1 + α(i) − γ), independent of its
+//     current opinion, so the next counts are exactly Multinomial(n, p).
+//   - 2-Choices: a vertex's two samples agree on opinion D with
+//     Pr[D=i] = α(i)², independent of its own opinion; "agree on your
+//     own opinion and keep it" is indistinguishable from adopting it.
+//     With A(j) ~ Bin(c(j), γ) agreeing vertices per class and
+//     T ~ Multinomial(ΣA(j), α²/γ) agreed destinations, the next counts
+//     are exactly c'(i) = c(i) − A(i) + T(i).
+//
+// Package core also provides brute-force per-vertex reference
+// implementations of Definition 3.1 (see reference.go), against which
+// the exact count-space samplers are validated in the tests.
+package core
+
+import (
+	"plurality/internal/population"
+	"plurality/internal/rng"
+)
+
+// Protocol is a synchronous consensus dynamics: Step advances the
+// configuration by one round, in place, sampling from the exact
+// one-round transition law.
+//
+// Implementations are stateless: all working memory lives in the
+// Scratch, so a single Protocol value may be shared across goroutines
+// as long as each goroutine uses its own Rand and Scratch.
+type Protocol interface {
+	// Name returns a short stable identifier (e.g. "3-majority").
+	Name() string
+	// Step advances v by one synchronous round.
+	Step(r *rng.Rand, v *population.Vector, s *Scratch)
+}
+
+// Scratch holds reusable working buffers for Step so that running a
+// dynamics allocates nothing per round. The zero value is ready to
+// use; buffers grow on demand.
+type Scratch struct {
+	probs []float64
+	outs  []int64
+	aux   []int64
+	ops   []int32
+}
+
+// Probs returns a float64 buffer of length k.
+func (s *Scratch) Probs(k int) []float64 {
+	if cap(s.probs) < k {
+		s.probs = make([]float64, k)
+	}
+	s.probs = s.probs[:k]
+	return s.probs
+}
+
+// Outs returns an int64 buffer of length k.
+func (s *Scratch) Outs(k int) []int64 {
+	if cap(s.outs) < k {
+		s.outs = make([]int64, k)
+	}
+	s.outs = s.outs[:k]
+	return s.outs
+}
+
+// Aux returns a second int64 buffer of length k.
+func (s *Scratch) Aux(k int) []int64 {
+	if cap(s.aux) < k {
+		s.aux = make([]int64, k)
+	}
+	s.aux = s.aux[:k]
+	return s.aux
+}
+
+// Ops returns an int32 buffer of length n (per-vertex opinions, used
+// by the reference steppers and by h-Majority for h > 3).
+func (s *Scratch) Ops(n int) []int32 {
+	if cap(s.ops) < n {
+		s.ops = make([]int32, n)
+	}
+	s.ops = s.ops[:n]
+	return s.ops
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"plurality/internal/population"
+	"plurality/internal/rng"
+)
+
+// allProtocols lists every counts-space protocol for invariant tests.
+func allProtocols() []Protocol {
+	return []Protocol{
+		ThreeMajority{},
+		TwoChoices{},
+		Voter{},
+		HMajority{H: 1},
+		HMajority{H: 2},
+		HMajority{H: 3},
+		HMajority{H: 5},
+		Median{},
+		Undecided{},
+		Reference{Rule: RefThreeMajority},
+		Reference{Rule: RefTwoChoices},
+		Reference{Rule: RefVoter},
+		Reference{Rule: RefMedian},
+	}
+}
+
+func TestProtocolNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range allProtocols() {
+		name := p.Name()
+		if name == "" {
+			t.Errorf("%T has empty name", p)
+		}
+		if seen[name] {
+			t.Errorf("duplicate protocol name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+// TestStepPreservesInvariants: counts stay non-negative and sum to n
+// for every protocol across many random configurations.
+func TestStepPreservesInvariants(t *testing.T) {
+	r := rng.New(1)
+	for _, p := range allProtocols() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			s := &Scratch{}
+			for trial := 0; trial < 30; trial++ {
+				k := 2 + r.Intn(8)
+				counts := make([]int64, k)
+				var n int64
+				for i := range counts {
+					counts[i] = int64(r.Intn(50))
+					n += counts[i]
+				}
+				if n == 0 {
+					counts[0] = 1
+				}
+				v := population.MustFromCounts(counts)
+				for round := 0; round < 5; round++ {
+					p.Step(r, v, s)
+					if err := v.Validate(); err != nil {
+						t.Fatalf("trial %d round %d: %v (counts=%v)", trial, round, err, v.Counts())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConsensusAbsorbing: once every vertex agrees, no protocol can
+// leave the consensus state (validity condition).
+func TestConsensusAbsorbing(t *testing.T) {
+	r := rng.New(2)
+	for _, p := range allProtocols() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			s := &Scratch{}
+			v := population.MustFromCounts([]int64{0, 57, 0, 0})
+			for round := 0; round < 10; round++ {
+				p.Step(r, v, s)
+				if op, ok := v.Consensus(); !ok || op != 1 {
+					t.Fatalf("round %d: consensus broken, counts=%v", round, v.Counts())
+				}
+			}
+		})
+	}
+}
+
+// TestExtinctStaysExtinct: the validity condition requires that an
+// opinion with no supporters can never reappear.
+func TestExtinctStaysExtinct(t *testing.T) {
+	r := rng.New(3)
+	for _, p := range allProtocols() {
+		p := p
+		if (p == Undecided{}) {
+			continue // the undecided slot legitimately refills
+		}
+		t.Run(p.Name(), func(t *testing.T) {
+			s := &Scratch{}
+			v := population.MustFromCounts([]int64{40, 0, 60, 0, 30})
+			for round := 0; round < 20; round++ {
+				p.Step(r, v, s)
+				if v.Count(1) != 0 || v.Count(3) != 0 {
+					t.Fatalf("round %d: extinct opinion resurrected, counts=%v", round, v.Counts())
+				}
+			}
+		})
+	}
+}
+
+// TestUndecidedExtinctDecidedStaysExtinct: for USD, an extinct real
+// opinion stays extinct even though the undecided pool refills.
+func TestUndecidedExtinctDecidedStaysExtinct(t *testing.T) {
+	r := rng.New(4)
+	s := &Scratch{}
+	// Slots: opinions {0,1,2}, slot 3 = undecided. Opinion 1 extinct.
+	v := population.MustFromCounts([]int64{40, 0, 30, 30})
+	for round := 0; round < 30; round++ {
+		(Undecided{}).Step(r, v, s)
+		if v.Count(1) != 0 {
+			t.Fatalf("round %d: extinct decided opinion resurrected: %v", round, v.Counts())
+		}
+	}
+}
+
+// TestStepInvariantsProperty drives the two headline dynamics through
+// randomized configurations via testing/quick.
+func TestStepInvariantsProperty(t *testing.T) {
+	r := rng.New(5)
+	s := &Scratch{}
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		counts := make([]int64, len(raw))
+		var n int64
+		for i, x := range raw {
+			counts[i] = int64(x)
+			n += int64(x)
+		}
+		if n == 0 {
+			counts[0] = 1
+		}
+		for _, p := range []Protocol{ThreeMajority{}, TwoChoices{}} {
+			v := population.MustFromCounts(counts)
+			before := v.N()
+			p.Step(r, v, s)
+			if v.N() != before || v.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHMajorityPanicsOnBadH(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HMajority{H:0} did not panic")
+		}
+	}()
+	v := population.MustFromCounts([]int64{1, 1})
+	HMajority{H: 0}.Step(rng.New(1), v, &Scratch{})
+}
+
+func TestReferencePanicsOnHugeN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reference with huge n did not panic")
+		}
+	}()
+	v := population.MustFromCounts([]int64{1 << 23})
+	Reference{Rule: RefVoter}.Step(rng.New(1), v, &Scratch{})
+}
+
+func TestMedian3(t *testing.T) {
+	cases := []struct{ a, b, c, want int32 }{
+		{1, 2, 3, 2}, {3, 2, 1, 2}, {2, 2, 5, 2}, {5, 5, 5, 5},
+		{0, 9, 4, 4}, {9, 0, 4, 4}, {4, 9, 0, 4},
+	}
+	for _, c := range cases {
+		if got := median3(c.a, c.b, c.c); got != c.want {
+			t.Errorf("median3(%d,%d,%d) = %d, want %d", c.a, c.b, c.c, got, c.want)
+		}
+	}
+}
+
+func TestUndecidedSlot(t *testing.T) {
+	if UndecidedSlot(5) != 4 {
+		t.Fatal("UndecidedSlot(5) != 4")
+	}
+}
+
+func TestDecidedConsensus(t *testing.T) {
+	v := population.MustFromCounts([]int64{10, 0, 0}) // slot 2 = undecided
+	if op, ok := DecidedConsensus(v); !ok || op != 0 {
+		t.Fatalf("DecidedConsensus = (%d, %v)", op, ok)
+	}
+	v = population.MustFromCounts([]int64{9, 0, 1})
+	if _, ok := DecidedConsensus(v); ok {
+		t.Fatal("DecidedConsensus true with undecided vertices")
+	}
+	v = population.MustFromCounts([]int64{5, 5, 0})
+	if _, ok := DecidedConsensus(v); ok {
+		t.Fatal("DecidedConsensus true without consensus")
+	}
+}
+
+func TestScratchBuffersGrow(t *testing.T) {
+	s := &Scratch{}
+	if len(s.Probs(4)) != 4 || len(s.Outs(8)) != 8 || len(s.Aux(2)) != 2 || len(s.Ops(16)) != 16 {
+		t.Fatal("scratch buffers have wrong lengths")
+	}
+	// Shrinking reuses capacity.
+	p := s.Probs(2)
+	if len(p) != 2 {
+		t.Fatal("shrunk buffer has wrong length")
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"plurality/internal/population"
+	"plurality/internal/rng"
+)
+
+// Reference wraps a protocol with a brute-force per-vertex step that
+// follows Definition 3.1 literally: it materializes a vertex→opinion
+// assignment, samples uniformly random vertices for every vertex, and
+// applies the update rule. It costs O(n) (or O(n·h)) per round and
+// exists to validate the exact O(k) count-space samplers — the tests
+// check that fast and reference steppers agree in distribution.
+type Reference struct {
+	// Rule selects which dynamics to emulate.
+	Rule ReferenceRule
+}
+
+// ReferenceRule enumerates the dynamics with reference implementations.
+type ReferenceRule int
+
+// Reference rules. They mirror Definition 3.1 and the baselines.
+const (
+	RefThreeMajority ReferenceRule = iota + 1
+	RefTwoChoices
+	RefVoter
+	RefMedian
+)
+
+var _ Protocol = Reference{}
+
+// Name implements Protocol.
+func (p Reference) Name() string {
+	switch p.Rule {
+	case RefThreeMajority:
+		return "3-majority-reference"
+	case RefTwoChoices:
+		return "2-choices-reference"
+	case RefVoter:
+		return "voter-reference"
+	case RefMedian:
+		return "median-reference"
+	default:
+		return "reference-unknown"
+	}
+}
+
+// Step implements Protocol by literal per-vertex simulation.
+func (p Reference) Step(r *rng.Rand, v *population.Vector, s *Scratch) {
+	n := v.N()
+	if n > 1<<22 {
+		panic(fmt.Sprintf("core: Reference.Step is per-vertex; n=%d too large", n))
+	}
+	k := v.K()
+	counts := v.Counts()
+
+	// Materialize vertex opinions; vertex identity is exchangeable on
+	// the complete graph, so any assignment consistent with the counts
+	// yields the same count-process law.
+	ops := s.Ops(int(n))
+	idx := 0
+	for op, c := range counts {
+		for j := int64(0); j < c; j++ {
+			ops[idx] = int32(op)
+			idx++
+		}
+	}
+
+	next := s.Outs(k)
+	for i := range next {
+		next[i] = 0
+	}
+	sample := func() int32 { return ops[r.Int63n(n)] }
+	for vtx := int64(0); vtx < n; vtx++ {
+		var newOp int32
+		switch p.Rule {
+		case RefThreeMajority:
+			w1, w2, w3 := sample(), sample(), sample()
+			if w1 == w2 {
+				newOp = w1
+			} else {
+				newOp = w3
+			}
+		case RefTwoChoices:
+			w1, w2 := sample(), sample()
+			if w1 == w2 {
+				newOp = w1
+			} else {
+				newOp = ops[vtx]
+			}
+		case RefVoter:
+			newOp = sample()
+		case RefMedian:
+			newOp = median3(ops[vtx], sample(), sample())
+		default:
+			panic(fmt.Sprintf("core: unknown reference rule %d", p.Rule))
+		}
+		next[newOp]++
+	}
+	v.SetAll(next)
+}
+
+// median3 returns the median of three ordered opinions.
+func median3(a, b, c int32) int32 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"plurality/internal/population"
+	"plurality/internal/rng"
+)
+
+// ThreeMajority is the 3-Majority dynamics of Definition 3.1: each
+// vertex samples three uniformly random vertices w1, w2, w3 (with
+// replacement, self-loops included) and adopts opn(w1) if
+// opn(w1) = opn(w2), else opn(w3).
+//
+// One synchronous round is sampled exactly as Multinomial(n, p) with
+// p(i) = α(i)(1 + α(i) − γ), the per-vertex adoption law of Eq. (5);
+// the law does not depend on the vertex's own opinion, so the counts
+// update in O(k) regardless of n.
+type ThreeMajority struct{}
+
+var _ Protocol = ThreeMajority{}
+
+// Name implements Protocol.
+func (ThreeMajority) Name() string { return "3-majority" }
+
+// Step implements Protocol.
+func (ThreeMajority) Step(r *rng.Rand, v *population.Vector, s *Scratch) {
+	k := v.K()
+	counts := v.Counts()
+	probs := s.Probs(k)
+	gamma := v.Gamma()
+	nf := float64(v.N())
+	for i, c := range counts {
+		if c == 0 {
+			// Validity: an extinct opinion has p(i) = 0 and can never
+			// return (Eq. (5) with α(i) = 0).
+			probs[i] = 0
+			continue
+		}
+		a := float64(c) / nf
+		probs[i] = a * (1 + a - gamma)
+	}
+	next := s.Outs(k)
+	r.Multinomial(v.N(), probs, next)
+	v.SetAll(next)
+}
+
+// AdoptionProb returns the exact probability that a vertex adopts
+// opinion i in one round of 3-Majority from configuration v (Eq. (5)).
+// Exported for tests and the drift experiments.
+func (ThreeMajority) AdoptionProb(v *population.Vector, i int) float64 {
+	a := v.Alpha(i)
+	return a * (1 + a - v.Gamma())
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"plurality/internal/population"
+	"plurality/internal/rng"
+)
+
+// TwoChoices is the 2-Choices dynamics of Definition 3.1: each vertex
+// samples two uniformly random vertices w1, w2 (with replacement,
+// self-loops included); if opn(w1) = opn(w2) it adopts that opinion,
+// otherwise it keeps its own.
+//
+// One synchronous round is sampled exactly in O(k) by the "agreement"
+// decomposition: a vertex's two samples agree with probability γ, and
+// conditioned on agreement the agreed opinion D is distributed as
+// Pr[D=i] = α(i)²/γ independently of the vertex's own opinion. A
+// vertex whose agreed opinion is its own keeps it, which coincides
+// with adopting it, so with
+//
+//	A(j) ~ Bin(c(j), γ)  independent per class (agreeing vertices),
+//	T    ~ Multinomial(Σ_j A(j), α²/γ)  (agreed destinations),
+//
+// the next counts are exactly c'(i) = c(i) − A(i) + T(i). This matches
+// the per-vertex law of Eq. (6): Pr[opn'(v)=i] = 1 − γ + α(i)² when
+// opn(v)=i and α(i)² otherwise.
+type TwoChoices struct{}
+
+var _ Protocol = TwoChoices{}
+
+// Name implements Protocol.
+func (TwoChoices) Name() string { return "2-choices" }
+
+// Step implements Protocol.
+func (TwoChoices) Step(r *rng.Rand, v *population.Vector, s *Scratch) {
+	k := v.K()
+	counts := v.Counts()
+	gamma := v.Gamma()
+	if gamma >= 1 {
+		return // consensus is absorbing; every pair of samples agrees on the winner
+	}
+	nf := float64(v.N())
+
+	agree := s.Aux(k)
+	var totalAgree int64
+	for i, c := range counts {
+		if c == 0 {
+			agree[i] = 0
+			continue
+		}
+		agree[i] = r.Binomial(c, gamma)
+		totalAgree += agree[i]
+	}
+
+	next := s.Outs(k)
+	if totalAgree == 0 {
+		copy(next, counts)
+		v.SetAll(next)
+		return
+	}
+
+	// Destination law of the agreed opinion: q(i) ∝ α(i)². The
+	// multinomial sampler normalizes, so the γ divisor is omitted.
+	probs := s.Probs(k)
+	for i, c := range counts {
+		if c == 0 {
+			probs[i] = 0
+			continue
+		}
+		a := float64(c) / nf
+		probs[i] = a * a
+	}
+	dest := next // reuse as the multinomial output buffer
+	r.Multinomial(totalAgree, probs, dest)
+	for i := range dest {
+		dest[i] += counts[i] - agree[i]
+	}
+	v.SetAll(dest)
+}
+
+// AdoptionProb returns the exact probability that a vertex currently
+// holding opinion own ends round t with opinion i (Eq. (6)). Exported
+// for tests and the drift experiments.
+func (TwoChoices) AdoptionProb(v *population.Vector, own, i int) float64 {
+	a := v.Alpha(i)
+	if own == i {
+		return 1 - v.Gamma() + a*a
+	}
+	return a * a
+}

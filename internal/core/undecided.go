@@ -1,0 +1,93 @@
+package core
+
+import (
+	"plurality/internal/population"
+	"plurality/internal/rng"
+)
+
+// Undecided is the Undecided-State Dynamics (paper §2.5; Angluin,
+// Aspnes & Eisenstat 2007 and the long line of follow-ups), included
+// because the paper names its k-opinion consensus time as the central
+// open question the new techniques might attack.
+//
+// The configuration uses opinion slot K−1 of the Vector as the
+// "undecided" state; slots 0..K−2 are real opinions. In the pull
+// variant implemented here each vertex samples one uniformly random
+// vertex per round:
+//
+//   - a decided vertex keeps its opinion if the sample is undecided or
+//     agrees with it, and becomes undecided otherwise;
+//   - an undecided vertex adopts the sample's state (possibly staying
+//     undecided).
+//
+// One synchronous round in counts: per decided class i the departures
+// D(i) ~ Bin(c(i), 1 − α(i) − u) move to undecided, and the undecided
+// class redistributes as T ~ Multinomial(c(u), α) over all states.
+type Undecided struct{}
+
+var _ Protocol = Undecided{}
+
+// Name implements Protocol.
+func (Undecided) Name() string { return "undecided" }
+
+// UndecidedSlot returns the index of the undecided state for a
+// configuration with k slots.
+func UndecidedSlot(k int) int { return k - 1 }
+
+// Step implements Protocol.
+func (Undecided) Step(r *rng.Rand, v *population.Vector, s *Scratch) {
+	k := v.K()
+	if k < 2 {
+		return // one slot means everyone is undecided or consensus is trivial
+	}
+	u := k - 1
+	counts := v.Counts()
+	nf := float64(v.N())
+	uFrac := float64(counts[u]) / nf
+
+	// Departures from each decided class into the undecided pool.
+	departed := s.Aux(k)
+	var totalDeparted int64
+	for i := 0; i < u; i++ {
+		departed[i] = 0
+		if counts[i] == 0 {
+			continue
+		}
+		a := float64(counts[i]) / nf
+		leave := 1 - a - uFrac
+		if leave < 0 {
+			leave = 0
+		}
+		departed[i] = r.Binomial(counts[i], leave)
+		totalDeparted += departed[i]
+	}
+
+	// Redistribution of the undecided pool over all states.
+	next := s.Outs(k)
+	if counts[u] > 0 {
+		probs := s.Probs(k)
+		for i, c := range counts {
+			probs[i] = float64(c) / nf
+		}
+		r.Multinomial(counts[u], probs, next)
+	} else {
+		for i := range next {
+			next[i] = 0
+		}
+	}
+	for i := 0; i < u; i++ {
+		next[i] += counts[i] - departed[i]
+	}
+	next[u] += totalDeparted
+	v.SetAll(next)
+}
+
+// DecidedConsensus reports whether all vertices are decided on one
+// opinion, which is the USD termination condition.
+func DecidedConsensus(v *population.Vector) (opinion int, ok bool) {
+	u := UndecidedSlot(v.K())
+	if v.Count(u) != 0 {
+		return 0, false
+	}
+	return v.Consensus()
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"plurality/internal/population"
+)
+
+// TestUndecidedOneRoundLaw pins the USD counts update to its exact
+// conditional expectations: a decided vertex of opinion i stays with
+// probability α(i) + u (sampled same opinion or an undecided vertex)
+// and becomes undecided otherwise; an undecided vertex adopts opinion
+// i with probability α(i). Hence
+//
+//	E[c'(i)] = c(i)·(α(i) + u) + c(u)·α(i)
+//	E[c'(u)] = c(u)·u + Σ_i c(i)·(1 − α(i) − u).
+func TestUndecidedOneRoundLaw(t *testing.T) {
+	// Slots: opinions {0, 1, 2}, slot 3 = undecided.
+	v0 := population.MustFromCounts([]int64{400, 250, 150, 200})
+	const trials = 30000
+	mean, _ := monteCarloMoments(t, Undecided{}, v0, trials, 777)
+
+	n := float64(v0.N())
+	u := v0.Alpha(3)
+	for i := 0; i < 3; i++ {
+		a := v0.Alpha(i)
+		want := float64(v0.Count(i))*(a+u) + float64(v0.Count(3))*a
+		se := math.Sqrt(n) / math.Sqrt(trials) * 3 // coarse bound on SEM of a count
+		if math.Abs(mean[i]-want) > 6*se+1 {
+			t.Errorf("opinion %d: mean %v, want %v", i, mean[i], want)
+		}
+	}
+	wantU := float64(v0.Count(3)) * u
+	for i := 0; i < 3; i++ {
+		a := v0.Alpha(i)
+		wantU += float64(v0.Count(i)) * (1 - a - u)
+	}
+	if math.Abs(mean[3]-wantU) > 10 {
+		t.Errorf("undecided pool mean %v, want %v", mean[3], wantU)
+	}
+}
+
+// TestUndecidedBiasAmplification: USD's signature property is that the
+// undecided phase amplifies the leader's relative advantage — from a
+// biased decided start, the leading opinion's expected share grows.
+func TestUndecidedBiasAmplification(t *testing.T) {
+	v0 := population.MustFromCounts([]int64{550, 450, 0}) // slot 2 = undecided
+	const trials = 20000
+	mean, _ := monteCarloMoments(t, Undecided{}, v0, trials, 778)
+	// After one round, decided counts shrink (collisions create
+	// undecided) but the leader keeps a larger share of the decided
+	// mass than its initial 55%.
+	decided := mean[0] + mean[1]
+	if decided >= 1000 {
+		t.Fatalf("no undecided vertices created: %v", mean)
+	}
+	if share := mean[0] / decided; share <= 0.55 {
+		t.Errorf("leader decided-share %v did not grow from 0.55", share)
+	}
+}
+
+// TestUndecidedSingleSlot covers the degenerate k = 1 configuration.
+func TestUndecidedSingleSlot(t *testing.T) {
+	v := population.MustFromCounts([]int64{10})
+	Undecided{}.Step(nil, v, &Scratch{}) // must be a no-op, not a panic
+	if v.Count(0) != 10 {
+		t.Fatalf("counts changed: %v", v.Counts())
+	}
+}

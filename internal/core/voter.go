@@ -1,0 +1,35 @@
+package core
+
+import (
+	"plurality/internal/population"
+	"plurality/internal/rng"
+)
+
+// Voter is the 1-Choice (pull voter) dynamics: each vertex adopts the
+// opinion of a single uniformly random vertex. It is the classic
+// baseline against which 3-Majority's and 2-Choices' drift is
+// contrasted — the voter model has no drift toward the plurality
+// (E[α'(i)] = α(i)) and reaches consensus only by diffusion, in Θ(n)
+// expected rounds.
+//
+// One synchronous round is exactly Multinomial(n, α).
+type Voter struct{}
+
+var _ Protocol = Voter{}
+
+// Name implements Protocol.
+func (Voter) Name() string { return "voter" }
+
+// Step implements Protocol.
+func (Voter) Step(r *rng.Rand, v *population.Vector, s *Scratch) {
+	k := v.K()
+	counts := v.Counts()
+	probs := s.Probs(k)
+	nf := float64(v.N())
+	for i, c := range counts {
+		probs[i] = float64(c) / nf
+	}
+	next := s.Outs(k)
+	r.Multinomial(v.N(), probs, next)
+	v.SetAll(next)
+}

@@ -1,0 +1,190 @@
+// Package experiments contains one driver per figure, table, and
+// quantitative theorem of the paper. Every driver regenerates the
+// corresponding artifact empirically — consensus-time scaling curves,
+// drift tables, thresholds — and returns its results as renderable
+// tables. The experiment IDs, paper artifacts, and expectations are
+// indexed in DESIGN.md; measured-vs-paper records live in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"plurality/internal/tablefmt"
+)
+
+// Scale selects the problem sizes of an experiment run.
+type Scale int
+
+// Scales. Quick targets seconds per experiment (used by tests and the
+// root benchmarks); Full targets the paper-credible sizes printed in
+// EXPERIMENTS.md and takes minutes.
+const (
+	Quick Scale = iota + 1
+	Full
+)
+
+// ParseScale converts a flag string to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "quick":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown scale %q (want quick or full)", s)
+	}
+}
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale selects Quick or Full problem sizes (default Quick).
+	Scale Scale
+	// Seed is the base seed for all trials (default 1).
+	Seed uint64
+	// Parallelism bounds worker goroutines (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (o Options) normalized() Options {
+	if o.Scale == 0 {
+		o.Scale = Quick
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Experiment couples an ID with its driver.
+type Experiment struct {
+	// ID is the short identifier accepted by conbench -run.
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Artifact names the paper figure/table/theorem reproduced.
+	Artifact string
+	// Run executes the experiment and returns its result tables.
+	Run func(opts Options) []tablefmt.Table
+}
+
+// registry is populated by init-free explicit registration in All.
+func All() []Experiment {
+	list := []Experiment{
+		{
+			ID:       "fig1",
+			Title:    "Consensus time vs k for 3-Majority and 2-Choices",
+			Artifact: "Figure 1 (a),(b)",
+			Run:      runFig1,
+		},
+		{
+			ID:       "table1",
+			Title:    "One-round drift of α, δ, γ under stopping-time conditions",
+			Artifact: "Table 1 / Lemma 4.1 / Lemma 4.5",
+			Run:      runTable1,
+		},
+		{
+			ID:       "thm11",
+			Title:    "Scaling exponents of the consensus time",
+			Artifact: "Theorem 1.1",
+			Run:      runThm11,
+		},
+		{
+			ID:       "thm21",
+			Title:    "Consensus time O(log n / γ0) from large-norm configurations",
+			Artifact: "Theorem 2.1",
+			Run:      runThm21,
+		},
+		{
+			ID:       "thm22",
+			Title:    "Growth of the ℓ²-norm γ_t from the balanced configuration",
+			Artifact: "Theorem 2.2 / Lemma 5.12",
+			Run:      runThm22,
+		},
+		{
+			ID:       "thm26",
+			Title:    "Plurality consensus threshold in the initial margin",
+			Artifact: "Theorem 2.6",
+			Run:      runThm26,
+		},
+		{
+			ID:       "thm27",
+			Title:    "Ω(k) lower bound from the balanced configuration",
+			Artifact: "Theorem 2.7",
+			Run:      runThm27,
+		},
+		{
+			ID:       "lem52",
+			Title:    "Weak opinions vanish within O(log n / γ0) rounds",
+			Artifact: "Lemma 5.2 / Lemma 2.3",
+			Run:      runLem52,
+		},
+		{
+			ID:       "lem55",
+			Title:    "Initial bias makes the trailing opinion weak",
+			Artifact: "Lemma 5.5 / Lemma 2.4",
+			Run:      runLem55,
+		},
+		{
+			ID:       "rem25",
+			Title:    "Opinion-count decay: live opinions after T rounds",
+			Artifact: "Remark 2.5 (BCEKMN17 bound)",
+			Run:      runRem25,
+		},
+		{
+			ID:       "bern",
+			Title:    "Bernstein condition and Freedman bound vs empirical tails",
+			Artifact: "§3.2–3.3, Lemma 4.2, Lemma 4.7",
+			Run:      runBern,
+		},
+		{
+			ID:       "async",
+			Title:    "Asynchronous vs synchronous 3-Majority (ticks/n vs rounds)",
+			Artifact: "§1.1 (CMRSS25 correspondence)",
+			Run:      runAsync,
+		},
+		{
+			ID:       "adv",
+			Title:    "Consensus delay under a bounded adversary",
+			Artifact: "§2.5 (GL18 adversary)",
+			Run:      runAdv,
+		},
+		{
+			ID:       "hmaj",
+			Title:    "h-Majority generalization",
+			Artifact: "§2.5 (h-Majority)",
+			Run:      runHMaj,
+		},
+		{
+			ID:       "graphs",
+			Title:    "Dynamics beyond the complete graph",
+			Artifact: "§2.5 open problem",
+			Run:      runGraphs,
+		},
+		{
+			ID:       "zoo",
+			Title:    "Protocol zoo: all dynamics on the same instances",
+			Artifact: "§1.1 baselines + §2.5 USD open question",
+			Run:      runZoo,
+		},
+		{
+			ID:       "gossip",
+			Title:    "Message-passing execution vs engine; crash/loss faults",
+			Artifact: "Definition 3.1 as a real distributed system",
+			Run:      runGossip,
+		},
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].ID < list[j].ID })
+	return list
+}
+
+// ByID finds an experiment by its identifier.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

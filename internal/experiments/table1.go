@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+
+	"plurality/internal/core"
+	"plurality/internal/population"
+	"plurality/internal/rng"
+	"plurality/internal/stats"
+	"plurality/internal/tablefmt"
+	"plurality/internal/theory"
+)
+
+// driftEstimate measures the one-round conditional drift of a scalar
+// functional of the configuration by Monte Carlo.
+func driftEstimate(p core.Protocol, v0 *population.Vector, trials int, seed uint64, f func(*population.Vector) float64) (mean, sem float64) {
+	r := rng.New(seed)
+	s := &core.Scratch{}
+	base := f(v0)
+	var w stats.Welford
+	v := v0.Clone()
+	for i := 0; i < trials; i++ {
+		v.CopyFrom(v0)
+		p.Step(r, v, s)
+		w.Add(f(v) - base)
+	}
+	return w.Mean(), w.SEM()
+}
+
+// table1Row is one drift inequality of Table 1 instantiated at a
+// concrete configuration satisfying its stopping-time condition.
+type table1Row struct {
+	label     string // paper condition
+	fractions []float64
+	opinionI  int
+	opinionJ  int // -1 when the row concerns α or γ
+	quantity  string
+	// bound returns (threshold, isLower): the measured drift must be
+	// >= threshold when isLower, <= threshold otherwise.
+	bound func(v *population.Vector) (float64, bool)
+}
+
+// runTable1 reproduces Table 1: each drift inequality is checked by
+// Monte Carlo at a configuration satisfying its condition. Both
+// dynamics share the conditional means (Lemma 4.1), so each row is
+// evaluated for 3-Majority and 2-Choices.
+func runTable1(opts Options) []tablefmt.Table {
+	opts = opts.normalized()
+	n, trials := int64(1000), 20000
+	if opts.Scale == Full {
+		n, trials = 10_000, 60_000
+	}
+	c := theory.Default()
+
+	rows := []table1Row{
+		{
+			label:     "E[Δα(i)] <= C·α(i)²  (t < τ↑_i)",
+			fractions: leadersFracs(0.25, 0.25, 8),
+			opinionI:  0, opinionJ: -1,
+			quantity: "Δα(i)",
+			bound: func(v *population.Vector) (float64, bool) {
+				a := v.Alpha(0)
+				cc := (1 + c.CAlphaUp) * (1 + c.CAlphaUp)
+				return cc * a * a, false
+			},
+		},
+		{
+			label:     "E[Δα(i)] >= -C·α(i)²  (t < min{τweak_i, τ↑_i})",
+			fractions: append([]float64{0.4, 0.2}, repeat(0.05, 8)...),
+			opinionI:  1, opinionJ: -1,
+			quantity: "Δα(i)",
+			bound: func(v *population.Vector) (float64, bool) {
+				a := v.Alpha(1)
+				cc := c.CWeak * (1 + c.CAlphaUp) * (1 + c.CAlphaUp) / (1 - c.CWeak)
+				return -cc * a * a, true
+			},
+		},
+		{
+			label:     "E[Δα(i)] <= 0  (t < min{τactive_i, τ↓_γ})",
+			fractions: append([]float64{0.5, 0.1}, repeat(0.05, 8)...),
+			opinionI:  1, opinionJ: -1,
+			quantity: "Δα(i)",
+			bound: func(*population.Vector) (float64, bool) {
+				return 0, false
+			},
+		},
+		{
+			label:     "E[Δδ(i,j)] >= 0  (t < min{τweak_j, τ↓_δ})",
+			fractions: leadersFracs(0.27, 0.23, 8),
+			opinionI:  0, opinionJ: 1,
+			quantity: "Δδ(i,j)",
+			bound: func(*population.Vector) (float64, bool) {
+				return 0, true
+			},
+		},
+		{
+			label:     "E[Δδ(i,j)] >= C·α(i)·δ  (t < min{τweak_j, τ↓_δ, τ↓_i})",
+			fractions: leadersFracs(0.27, 0.23, 8),
+			opinionI:  0, opinionJ: 1,
+			quantity: "Δδ(i,j)",
+			bound: func(v *population.Vector) (float64, bool) {
+				cc := (1 - 2*c.CWeak) * (1 - c.CAlphaDown) * (1 - c.CDeltaDown) / (1 - c.CWeak)
+				return cc * v.Alpha(0) * v.Bias(0, 1), true
+			},
+		},
+		{
+			label:     "E[Δγ] >= 0  (always)",
+			fractions: repeat(0.1, 10),
+			opinionI:  -1, opinionJ: -1,
+			quantity: "Δγ",
+			bound: func(*population.Vector) (float64, bool) {
+				return 0, true
+			},
+		},
+	}
+
+	table := tablefmt.Table{
+		Title: "Table 1: one-round drift inequalities (paper constants, Def. 4.4)",
+		Notes: fmt.Sprintf("Monte Carlo with n=%d, %d one-round trials per cell; "+
+			"'ok' requires the measured drift to satisfy the bound within 3 standard errors.", n, trials),
+		Columns: []string{"condition", "dynamics", "measured E[Δ]", "SEM", "bound", "dir", "ok"},
+	}
+
+	protos := []core.Protocol{core.ThreeMajority{}, core.TwoChoices{}}
+	for ri, row := range rows {
+		v0, err := population.FromFractions(n, row.fractions)
+		if err != nil {
+			panic(err)
+		}
+		verifyRowPrecondition(row, v0, c)
+		f := rowFunctional(row)
+		for pi, p := range protos {
+			mean, sem := driftEstimate(p, v0, trials, opts.Seed*31+uint64(ri*10+pi), f)
+			threshold, isLower := row.bound(v0)
+			ok := false
+			dir := "<="
+			if isLower {
+				dir = ">="
+				ok = mean >= threshold-3*sem
+			} else {
+				ok = mean <= threshold+3*sem
+			}
+			table.AddRow(row.label, p.Name(), mean, sem, threshold, dir, ok)
+		}
+	}
+	return []tablefmt.Table{table}
+}
+
+// rowFunctional maps a row to the scalar whose drift it measures.
+func rowFunctional(row table1Row) func(*population.Vector) float64 {
+	switch {
+	case row.quantity == "Δγ":
+		return (*population.Vector).Gamma
+	case row.opinionJ >= 0:
+		i, j := row.opinionI, row.opinionJ
+		return func(v *population.Vector) float64 { return v.Bias(i, j) }
+	default:
+		i := row.opinionI
+		return func(v *population.Vector) float64 { return v.Alpha(i) }
+	}
+}
+
+// verifyRowPrecondition panics if the crafted configuration does not
+// satisfy the row's stopping-time condition at round 0 — a programming
+// error in the experiment, not a property of the dynamics.
+func verifyRowPrecondition(row table1Row, v *population.Vector, c theory.Constants) {
+	gamma := v.Gamma()
+	if row.opinionJ >= 0 {
+		if c.IsWeak(v.Alpha(row.opinionJ), gamma) {
+			panic(fmt.Sprintf("experiments: table1 row %q: opinion j is weak at round 0", row.label))
+		}
+		if v.Bias(row.opinionI, row.opinionJ) < 0 {
+			panic(fmt.Sprintf("experiments: table1 row %q: negative initial bias", row.label))
+		}
+	}
+}
+
+// leadersFracs builds fractions with two leaders at a and b and rest
+// of the mass split over `others` equal followers.
+func leadersFracs(a, b float64, others int) []float64 {
+	fr := []float64{a, b}
+	rest := (1 - a - b) / float64(others)
+	for i := 0; i < others; i++ {
+		fr = append(fr, rest)
+	}
+	return fr
+}
+
+// repeat returns x repeated m times.
+func repeat(x float64, m int) []float64 {
+	out := make([]float64, m)
+	for i := range out {
+		out[i] = x
+	}
+	return out
+}

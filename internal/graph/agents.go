@@ -1,0 +1,184 @@
+package graph
+
+import (
+	"fmt"
+
+	"plurality/internal/population"
+	"plurality/internal/rng"
+)
+
+// Rule is a per-vertex synchronous update rule: given the current
+// opinion assignment, it returns vertex v's next opinion. Rules must
+// not mutate opinions.
+type Rule interface {
+	// Name identifies the rule.
+	Name() string
+	// Update returns the next opinion of vertex v.
+	Update(r *rng.Rand, g Graph, opinions []int32, v int) int32
+}
+
+// ThreeMajorityRule is Definition 3.1's 3-Majority on an arbitrary
+// graph: sample three random neighbors w1, w2, w3; adopt opn(w1) if
+// opn(w1) = opn(w2), else opn(w3).
+type ThreeMajorityRule struct{}
+
+var _ Rule = ThreeMajorityRule{}
+
+// Name implements Rule.
+func (ThreeMajorityRule) Name() string { return "3-majority" }
+
+// Update implements Rule.
+func (ThreeMajorityRule) Update(r *rng.Rand, g Graph, opinions []int32, v int) int32 {
+	w1 := opinions[g.RandNeighbor(v, r)]
+	w2 := opinions[g.RandNeighbor(v, r)]
+	if w1 == w2 {
+		return w1
+	}
+	return opinions[g.RandNeighbor(v, r)]
+}
+
+// TwoChoicesRule is Definition 3.1's 2-Choices on an arbitrary graph:
+// sample two random neighbors; adopt their opinion if they agree, else
+// keep your own.
+type TwoChoicesRule struct{}
+
+var _ Rule = TwoChoicesRule{}
+
+// Name implements Rule.
+func (TwoChoicesRule) Name() string { return "2-choices" }
+
+// Update implements Rule.
+func (TwoChoicesRule) Update(r *rng.Rand, g Graph, opinions []int32, v int) int32 {
+	w1 := opinions[g.RandNeighbor(v, r)]
+	w2 := opinions[g.RandNeighbor(v, r)]
+	if w1 == w2 {
+		return w1
+	}
+	return opinions[v]
+}
+
+// VoterRule adopts the opinion of one random neighbor.
+type VoterRule struct{}
+
+var _ Rule = VoterRule{}
+
+// Name implements Rule.
+func (VoterRule) Name() string { return "voter" }
+
+// Update implements Rule.
+func (VoterRule) Update(r *rng.Rand, g Graph, opinions []int32, v int) int32 {
+	return opinions[g.RandNeighbor(v, r)]
+}
+
+// State is a per-vertex opinion assignment on a graph, evolved
+// synchronously by a Rule.
+type State struct {
+	g        Graph
+	k        int
+	opinions []int32
+	next     []int32
+}
+
+// NewState builds a State over g with k opinion labels and the given
+// initial assignment (copied; len(assign) must equal g.N(), labels in
+// [0, k)).
+func NewState(g Graph, k int, assign []int32) (*State, error) {
+	if len(assign) != g.N() {
+		return nil, fmt.Errorf("%w: assignment length %d != n %d", ErrGraph, len(assign), g.N())
+	}
+	for v, o := range assign {
+		if o < 0 || int(o) >= k {
+			return nil, fmt.Errorf("%w: opinion %d at vertex %d out of [0,%d)", ErrGraph, o, v, k)
+		}
+	}
+	return &State{
+		g:        g,
+		k:        k,
+		opinions: append([]int32(nil), assign...),
+		next:     make([]int32, len(assign)),
+	}, nil
+}
+
+// BlockAssignment assigns opinions to vertices in contiguous blocks
+// matching the counts of v — vertex order is topology-correlated,
+// which models geographically clustered opinions on structured graphs.
+func BlockAssignment(v *population.Vector) []int32 {
+	assign := make([]int32, 0, v.N())
+	for op := 0; op < v.K(); op++ {
+		for j := int64(0); j < v.Count(op); j++ {
+			assign = append(assign, int32(op))
+		}
+	}
+	return assign
+}
+
+// ShuffledAssignment assigns opinions matching the counts of v in
+// uniformly random vertex order (well-mixed initial conditions).
+func ShuffledAssignment(v *population.Vector, r *rng.Rand) []int32 {
+	assign := BlockAssignment(v)
+	r.Shuffle(len(assign), func(i, j int) { assign[i], assign[j] = assign[j], assign[i] })
+	return assign
+}
+
+// Graph returns the underlying topology.
+func (st *State) Graph() Graph { return st.g }
+
+// K returns the number of opinion labels.
+func (st *State) K() int { return st.k }
+
+// Opinions returns the current assignment (shared storage; read-only).
+func (st *State) Opinions() []int32 { return st.opinions }
+
+// Counts materializes the current opinion counts as a Vector.
+func (st *State) Counts() *population.Vector {
+	counts := make([]int64, st.k)
+	for _, o := range st.opinions {
+		counts[o]++
+	}
+	v, err := population.FromCounts(counts)
+	if err != nil {
+		panic(fmt.Sprintf("graph: invalid state counts: %v", err))
+	}
+	return v
+}
+
+// Consensus reports whether all vertices agree, and on what.
+func (st *State) Consensus() (opinion int32, ok bool) {
+	first := st.opinions[0]
+	for _, o := range st.opinions[1:] {
+		if o != first {
+			return 0, false
+		}
+	}
+	return first, true
+}
+
+// Step advances the state by one synchronous round of rule.
+func (st *State) Step(r *rng.Rand, rule Rule) {
+	for v := range st.opinions {
+		st.next[v] = rule.Update(r, st.g, st.opinions, v)
+	}
+	st.opinions, st.next = st.next, st.opinions
+}
+
+// RunResult reports how an agent-based run ended.
+type RunResult struct {
+	Rounds    int
+	Consensus bool
+	Winner    int32
+}
+
+// Run executes rule on st until consensus or maxRounds.
+func Run(r *rng.Rand, st *State, rule Rule, maxRounds int) RunResult {
+	if op, ok := st.Consensus(); ok {
+		return RunResult{Rounds: 0, Consensus: true, Winner: op}
+	}
+	for t := 1; t <= maxRounds; t++ {
+		st.Step(r, rule)
+		if op, ok := st.Consensus(); ok {
+			return RunResult{Rounds: t, Consensus: true, Winner: op}
+		}
+	}
+	op, _ := st.Counts().MaxOpinion()
+	return RunResult{Rounds: maxRounds, Consensus: false, Winner: int32(op)}
+}

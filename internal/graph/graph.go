@@ -1,0 +1,304 @@
+// Package graph provides the topology substrate for running the
+// consensus dynamics beyond the complete graph — the paper's §2.5 open
+// problem ("analyze 3-Majority or 2-Choices with many opinions on
+// graphs other than the complete graph"). It defines a minimal Graph
+// interface sufficient for pull-based dynamics (sampling a uniformly
+// random neighbor), a set of standard topologies, and an agent-based
+// synchronous engine that runs any of the core update rules on any
+// Graph.
+package graph
+
+import (
+	"errors"
+	"fmt"
+
+	"plurality/internal/rng"
+)
+
+// Graph is a topology on vertices 0..N()-1 supporting uniform random
+// neighbor sampling, which is all the pull-based dynamics need.
+// Implementations must be safe for concurrent reads.
+type Graph interface {
+	// Name identifies the topology family.
+	Name() string
+	// N returns the number of vertices.
+	N() int
+	// Degree returns vertex v's degree (counting a self-loop once).
+	Degree(v int) int
+	// RandNeighbor returns a uniformly random neighbor of v.
+	RandNeighbor(v int, r *rng.Rand) int
+}
+
+// ErrGraph reports invalid graph construction parameters.
+var ErrGraph = errors.New("graph: invalid parameters")
+
+// Complete is the n-vertex complete graph with self-loops — the
+// paper's underlying graph, on which a random neighbor is a uniformly
+// random vertex.
+type Complete struct {
+	n int
+}
+
+var _ Graph = Complete{}
+
+// NewComplete returns the complete graph with self-loops on n vertices.
+func NewComplete(n int) (Complete, error) {
+	if n < 1 {
+		return Complete{}, fmt.Errorf("%w: Complete needs n >= 1, got %d", ErrGraph, n)
+	}
+	return Complete{n: n}, nil
+}
+
+// Name implements Graph.
+func (Complete) Name() string { return "complete" }
+
+// N implements Graph.
+func (g Complete) N() int { return g.n }
+
+// Degree implements Graph.
+func (g Complete) Degree(int) int { return g.n }
+
+// RandNeighbor implements Graph.
+func (g Complete) RandNeighbor(_ int, r *rng.Rand) int { return r.Intn(g.n) }
+
+// Adj is an explicit adjacency-list graph; the constructors below
+// build the standard topologies as Adj values.
+type Adj struct {
+	name string
+	adj  [][]int32
+}
+
+var _ Graph = (*Adj)(nil)
+
+// Name implements Graph.
+func (g *Adj) Name() string { return g.name }
+
+// N implements Graph.
+func (g *Adj) N() int { return len(g.adj) }
+
+// Degree implements Graph.
+func (g *Adj) Degree(v int) int { return len(g.adj[v]) }
+
+// RandNeighbor implements Graph.
+func (g *Adj) RandNeighbor(v int, r *rng.Rand) int {
+	nbrs := g.adj[v]
+	return int(nbrs[r.Intn(len(nbrs))])
+}
+
+// Neighbors returns v's adjacency list (shared storage; read-only).
+func (g *Adj) Neighbors(v int) []int32 { return g.adj[v] }
+
+// NewRing returns the cycle on n vertices where each vertex is
+// adjacent to the radius nearest vertices on each side (a circulant
+// graph; radius = 1 is the plain cycle). Rings have constant
+// conductance ~radius/n, the slow extreme for consensus.
+func NewRing(n, radius int) (*Adj, error) {
+	if n < 3 || radius < 1 || 2*radius >= n {
+		return nil, fmt.Errorf("%w: Ring needs n >= 3, 1 <= radius < n/2, got n=%d radius=%d", ErrGraph, n, radius)
+	}
+	adj := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		nbrs := make([]int32, 0, 2*radius)
+		for d := 1; d <= radius; d++ {
+			nbrs = append(nbrs, int32((v+d)%n), int32((v-d+n)%n))
+		}
+		adj[v] = nbrs
+	}
+	return &Adj{name: fmt.Sprintf("ring-r%d", radius), adj: adj}, nil
+}
+
+// NewTorus returns the w×h two-dimensional torus (4-regular).
+func NewTorus(w, h int) (*Adj, error) {
+	if w < 3 || h < 3 {
+		return nil, fmt.Errorf("%w: Torus needs w, h >= 3, got %dx%d", ErrGraph, w, h)
+	}
+	n := w * h
+	adj := make([][]int32, n)
+	idx := func(x, y int) int32 { return int32(((y+h)%h)*w + (x+w)%w) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			adj[y*w+x] = []int32{idx(x+1, y), idx(x-1, y), idx(x, y+1), idx(x, y-1)}
+		}
+	}
+	return &Adj{name: "torus", adj: adj}, nil
+}
+
+// NewHypercube returns the dim-dimensional hypercube on 2^dim vertices.
+func NewHypercube(dim int) (*Adj, error) {
+	if dim < 1 || dim > 30 {
+		return nil, fmt.Errorf("%w: Hypercube needs 1 <= dim <= 30, got %d", ErrGraph, dim)
+	}
+	n := 1 << dim
+	adj := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		nbrs := make([]int32, dim)
+		for b := 0; b < dim; b++ {
+			nbrs[b] = int32(v ^ (1 << b))
+		}
+		adj[v] = nbrs
+	}
+	return &Adj{name: "hypercube", adj: adj}, nil
+}
+
+// NewRandomRegular returns a random d-regular simple graph on n
+// vertices via Steger–Wormald stub pairing: stubs are matched one edge
+// at a time, re-drawing pairs that would create a self-loop or
+// parallel edge, with a full restart when the remaining stubs admit no
+// valid pair. n·d must be even. Random regular graphs are expanders
+// with high probability, the fast extreme for consensus beyond the
+// complete graph.
+func NewRandomRegular(n, d int, r *rng.Rand) (*Adj, error) {
+	if n < 4 || d < 3 || d >= n || n*d%2 != 0 {
+		return nil, fmt.Errorf("%w: RandomRegular needs n >= 4, 3 <= d < n, n·d even; got n=%d d=%d", ErrGraph, n, d)
+	}
+	const maxAttempts = 200
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if adj, ok := pairStubsStegerWormald(n, d, r); ok {
+			return &Adj{name: fmt.Sprintf("random-%d-regular", d), adj: adj}, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: RandomRegular(n=%d, d=%d) failed to produce a simple graph after %d attempts", ErrGraph, n, d, maxAttempts)
+}
+
+// pairStubsStegerWormald performs one pairing attempt: pick two random
+// unmatched stubs, accept unless they form a self-loop or duplicate
+// edge, and restart the whole attempt when a valid pair cannot be
+// found among the remaining stubs.
+func pairStubsStegerWormald(n, d int, r *rng.Rand) ([][]int32, bool) {
+	stubs := make([]int32, 0, n*d)
+	for v := 0; v < n; v++ {
+		for j := 0; j < d; j++ {
+			stubs = append(stubs, int32(v))
+		}
+	}
+	adj := make([][]int32, n)
+	for v := range adj {
+		adj[v] = make([]int32, 0, d)
+	}
+	seen := make(map[int64]bool, len(stubs)/2)
+	edgeKey := func(a, b int32) int64 {
+		if a > b {
+			a, b = b, a
+		}
+		return int64(a)<<32 | int64(b)
+	}
+	for len(stubs) > 0 {
+		// The retry budget is per edge; when the tail of the pairing
+		// gets stuck (e.g. all remaining stubs belong to one vertex)
+		// the whole attempt restarts.
+		const triesPerEdge = 200
+		placed := false
+		for try := 0; try < triesPerEdge; try++ {
+			i := r.Intn(len(stubs))
+			j := r.Intn(len(stubs))
+			if i == j {
+				continue
+			}
+			a, b := stubs[i], stubs[j]
+			if a == b || seen[edgeKey(a, b)] {
+				continue
+			}
+			seen[edgeKey(a, b)] = true
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+			// Remove both stubs (higher index first).
+			if i < j {
+				i, j = j, i
+			}
+			stubs[i] = stubs[len(stubs)-1]
+			stubs = stubs[:len(stubs)-1]
+			stubs[j] = stubs[len(stubs)-1]
+			stubs = stubs[:len(stubs)-1]
+			placed = true
+			break
+		}
+		if !placed {
+			return nil, false
+		}
+	}
+	return adj, true
+}
+
+// NewGNP returns an Erdős–Rényi G(n, p) graph. Vertices that end up
+// isolated receive a self-loop so that RandNeighbor remains total.
+func NewGNP(n int, p float64, r *rng.Rand) (*Adj, error) {
+	if n < 2 || p < 0 || p > 1 {
+		return nil, fmt.Errorf("%w: GNP needs n >= 2 and p in [0,1], got n=%d p=%v", ErrGraph, n, p)
+	}
+	adj := make([][]int32, n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Bernoulli(p) {
+				adj[u] = append(adj[u], int32(v))
+				adj[v] = append(adj[v], int32(u))
+			}
+		}
+	}
+	for v := range adj {
+		if len(adj[v]) == 0 {
+			adj[v] = append(adj[v], int32(v))
+		}
+	}
+	return &Adj{name: "gnp", adj: adj}, nil
+}
+
+// NewSBM returns a two-block stochastic block model: vertices split
+// into two halves, intra-block edges with probability pIn and
+// inter-block with pOut. Used for the community-sensitivity extension
+// experiments (cf. the 2-Choices metastability literature in §1.1).
+func NewSBM(n int, pIn, pOut float64, r *rng.Rand) (*Adj, error) {
+	if n < 4 || pIn < 0 || pIn > 1 || pOut < 0 || pOut > 1 {
+		return nil, fmt.Errorf("%w: SBM needs n >= 4 and probabilities in [0,1]", ErrGraph)
+	}
+	half := n / 2
+	adj := make([][]int32, n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if (u < half) == (v < half) {
+				p = pIn
+			}
+			if r.Bernoulli(p) {
+				adj[u] = append(adj[u], int32(v))
+				adj[v] = append(adj[v], int32(u))
+			}
+		}
+	}
+	for v := range adj {
+		if len(adj[v]) == 0 {
+			adj[v] = append(adj[v], int32(v))
+		}
+	}
+	return &Adj{name: "sbm", adj: adj}, nil
+}
+
+// IsConnected reports whether g is connected (BFS from vertex 0).
+func IsConnected(g Graph) bool {
+	n := g.N()
+	if n == 0 {
+		return false
+	}
+	adjg, ok := g.(*Adj)
+	if !ok {
+		// Complete graphs (the only non-Adj implementation) are
+		// connected by construction.
+		return true
+	}
+	visited := make([]bool, n)
+	queue := make([]int32, 0, n)
+	queue = append(queue, 0)
+	visited[0] = true
+	seen := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adjg.adj[v] {
+			if !visited[w] {
+				visited[w] = true
+				seen++
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen == n
+}

@@ -1,0 +1,173 @@
+package population
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"plurality/internal/rng"
+)
+
+func TestFenwickBasics(t *testing.T) {
+	counts := []int64{3, 0, 5, 2}
+	f := NewFenwick(counts)
+	if f.K() != 4 || f.Total() != 10 {
+		t.Fatalf("K=%d Total=%d", f.K(), f.Total())
+	}
+	for i, c := range counts {
+		if f.Count(i) != c {
+			t.Fatalf("Count(%d) = %d, want %d", i, f.Count(i), c)
+		}
+	}
+	f.Add(1, 4)
+	f.Add(2, -5)
+	if f.Total() != 9 || f.Count(1) != 4 || f.Count(2) != 0 {
+		t.Fatalf("after updates: total=%d counts=%v", f.Total(), f.Counts())
+	}
+	f.Move(3, 0)
+	if f.Count(3) != 1 || f.Count(0) != 4 || f.Total() != 9 {
+		t.Fatalf("after move: %v", f.Counts())
+	}
+	f.Move(0, 0) // no-op
+	if f.Count(0) != 4 {
+		t.Fatal("self-move changed counts")
+	}
+}
+
+func TestFenwickPanics(t *testing.T) {
+	t.Run("negative build", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		NewFenwick([]int64{1, -1})
+	})
+	t.Run("zero total", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		NewFenwick([]int64{0, 0})
+	})
+	t.Run("negative after add", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		f := NewFenwick([]int64{1, 1})
+		f.Add(0, -2)
+	})
+}
+
+func TestFenwickSampleDistribution(t *testing.T) {
+	counts := []int64{10, 0, 30, 60}
+	f := NewFenwick(counts)
+	r := rng.New(42)
+	const trials = 200000
+	hist := make([]int, len(counts))
+	for i := 0; i < trials; i++ {
+		hist[f.Sample(r)]++
+	}
+	if hist[1] != 0 {
+		t.Fatalf("zero-count opinion sampled %d times", hist[1])
+	}
+	for i, c := range counts {
+		want := float64(c) / 100
+		got := float64(hist[i]) / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("opinion %d frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestFenwickSampleAfterUpdates(t *testing.T) {
+	f := NewFenwick([]int64{5, 5})
+	f.Add(0, -5) // all mass on opinion 1
+	r := rng.New(7)
+	for i := 0; i < 100; i++ {
+		if got := f.Sample(r); got != 1 {
+			t.Fatalf("Sample = %d, want 1", got)
+		}
+	}
+}
+
+func TestFenwickMatchesLinearScanProperty(t *testing.T) {
+	// Property: for random count vectors and random updates, tree
+	// prefix queries implied by Sample agree with the plain counts.
+	f := func(raw []uint8, updates []uint16) bool {
+		counts := make([]int64, 0, len(raw)+1)
+		var total int64
+		for _, x := range raw {
+			counts = append(counts, int64(x))
+			total += int64(x)
+		}
+		if total == 0 {
+			counts = append(counts, 1)
+		}
+		fw := NewFenwick(counts)
+		for _, u := range updates {
+			i := int(u) % len(counts)
+			if fw.Count(i) > 0 && u%2 == 0 {
+				fw.Add(i, -1)
+			} else {
+				fw.Add(i, 1)
+			}
+			if fw.Total() == 0 {
+				fw.Add(i, 1)
+			}
+		}
+		got := fw.Counts()
+		var sum int64
+		for _, c := range got {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		return sum == fw.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFenwickVector(t *testing.T) {
+	f := NewFenwick([]int64{2, 3})
+	v := f.Vector()
+	if v.N() != 5 || v.Count(1) != 3 {
+		t.Fatalf("Vector = %v", v.Counts())
+	}
+	// The materialized vector must be independent of the tree.
+	f.Add(0, 1)
+	if v.Count(0) != 2 {
+		t.Fatal("Vector shares storage with Fenwick")
+	}
+}
+
+func TestFenwickSingleOpinion(t *testing.T) {
+	f := NewFenwick([]int64{7})
+	r := rng.New(1)
+	for i := 0; i < 20; i++ {
+		if got := f.Sample(r); got != 0 {
+			t.Fatalf("Sample = %d", got)
+		}
+	}
+}
+
+func BenchmarkFenwickSampleK1024(b *testing.B) {
+	counts := make([]int64, 1024)
+	for i := range counts {
+		counts[i] = int64(i%13 + 1)
+	}
+	f := NewFenwick(counts)
+	r := rng.New(1)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += f.Sample(r)
+	}
+	_ = sink
+}

@@ -1,0 +1,171 @@
+package population
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Balanced returns the most balanced configuration of n vertices over k
+// opinions: every opinion gets ⌊n/k⌋ supporters and the first n mod k
+// opinions one extra. This is the worst case for consensus (γ₀ = 1/k
+// up to rounding) and the initial configuration of the Theorem 2.7
+// lower-bound experiments. It panics unless 1 <= k <= n.
+func Balanced(n int64, k int) *Vector {
+	if k < 1 || int64(k) > n {
+		panic(fmt.Sprintf("population: Balanced needs 1 <= k <= n, got k=%d n=%d", k, n))
+	}
+	counts := make([]int64, k)
+	base := n / int64(k)
+	extra := n % int64(k)
+	for i := range counts {
+		counts[i] = base
+		if int64(i) < extra {
+			counts[i]++
+		}
+	}
+	return &Vector{counts: counts, n: n}
+}
+
+// PlantedBias returns a balanced configuration in which opinion 0 has
+// been given extra additional supporters, taken round-robin from the
+// other opinions. This realizes the Theorem 2.6 plurality-consensus
+// initial condition: bias δ(0, j) ≈ extra/n over every rival j.
+// It panics unless 2 <= k <= n, 0 <= extra, and the donors can afford
+// the transfer.
+func PlantedBias(n int64, k int, extra int64) *Vector {
+	if k < 2 || int64(k) > n {
+		panic(fmt.Sprintf("population: PlantedBias needs 2 <= k <= n, got k=%d n=%d", k, n))
+	}
+	if extra < 0 {
+		panic("population: PlantedBias with negative extra")
+	}
+	v := Balanced(n, k)
+	counts := v.counts
+	remaining := extra
+	for remaining > 0 {
+		moved := false
+		for i := 1; i < k && remaining > 0; i++ {
+			if counts[i] > 0 {
+				counts[i]--
+				counts[0]++
+				remaining--
+				moved = true
+			}
+		}
+		if !moved {
+			panic("population: PlantedBias extra exceeds donor supply")
+		}
+	}
+	return v
+}
+
+// FromFractions rounds the fraction vector fracs (non-negative, summing
+// to anything positive; normalized internally) to an integer
+// configuration of n vertices using the largest-remainder method, so
+// the result is within one vertex of proportional for every opinion.
+func FromFractions(n int64, fracs []float64) (*Vector, error) {
+	if len(fracs) == 0 {
+		return nil, fmt.Errorf("%w: no opinions", ErrInvalid)
+	}
+	total := 0.0
+	for i, f := range fracs {
+		if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, fmt.Errorf("%w: bad fraction %v at %d", ErrInvalid, f, i)
+		}
+		total += f
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("%w: zero total fraction", ErrInvalid)
+	}
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	counts := make([]int64, len(fracs))
+	rems := make([]rem, 0, len(fracs))
+	var assigned int64
+	for i, f := range fracs {
+		exact := f / total * float64(n)
+		fl := math.Floor(exact)
+		counts[i] = int64(fl)
+		assigned += counts[i]
+		rems = append(rems, rem{idx: i, frac: exact - fl})
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].idx < rems[b].idx
+	})
+	for i := 0; assigned < n; i++ {
+		counts[rems[i%len(rems)].idx]++
+		assigned++
+	}
+	return FromCounts(counts)
+}
+
+// Zipf returns a configuration whose fractions follow a Zipf law with
+// exponent s: α(i) ∝ 1/(i+1)^s. Larger s concentrates mass on the
+// leading opinions (large γ₀); s = 0 reduces to Balanced. Used to
+// sweep γ₀ in the Theorem 2.1 experiments.
+func Zipf(n int64, k int, s float64) (*Vector, error) {
+	if k < 1 || int64(k) > n {
+		return nil, fmt.Errorf("%w: Zipf needs 1 <= k <= n, got k=%d n=%d", ErrInvalid, k, n)
+	}
+	fracs := make([]float64, k)
+	for i := range fracs {
+		fracs[i] = math.Pow(float64(i+1), -s)
+	}
+	return FromFractions(n, fracs)
+}
+
+// Geometric returns a configuration whose fractions decay
+// geometrically: α(i) ∝ ratio^i for 0 < ratio <= 1. ratio = 1 reduces
+// to Balanced; small ratios give γ₀ close to (1-ratio)²/(1-ratio²)
+// independent of k.
+func Geometric(n int64, k int, ratio float64) (*Vector, error) {
+	if k < 1 || int64(k) > n {
+		return nil, fmt.Errorf("%w: Geometric needs 1 <= k <= n, got k=%d n=%d", ErrInvalid, k, n)
+	}
+	if ratio <= 0 || ratio > 1 || math.IsNaN(ratio) {
+		return nil, fmt.Errorf("%w: Geometric ratio %v out of (0, 1]", ErrInvalid, ratio)
+	}
+	fracs := make([]float64, k)
+	w := 1.0
+	for i := range fracs {
+		fracs[i] = w
+		w *= ratio
+	}
+	return FromFractions(n, fracs)
+}
+
+// TwoLeaders returns a configuration in which opinions 0 and 1 jointly
+// hold topFrac of the population — opinion 0 holding bias more
+// fraction than opinion 1 — and the remaining mass is spread evenly
+// over opinions 2..k-1. This is the initial condition for the
+// bias-amplification experiments (Lemmas 5.5 and 5.10: two strong
+// opinions, small or zero bias between them).
+func TwoLeaders(n int64, k int, topFrac, bias float64) (*Vector, error) {
+	if k < 2 || int64(k) > n {
+		return nil, fmt.Errorf("%w: TwoLeaders needs 2 <= k <= n, got k=%d n=%d", ErrInvalid, k, n)
+	}
+	if topFrac <= 0 || topFrac > 1 || bias < 0 || bias > topFrac {
+		return nil, fmt.Errorf("%w: TwoLeaders topFrac=%v bias=%v out of range", ErrInvalid, topFrac, bias)
+	}
+	fracs := make([]float64, k)
+	fracs[0] = topFrac/2 + bias/2
+	fracs[1] = topFrac/2 - bias/2
+	if k > 2 {
+		rest := (1 - topFrac) / float64(k-2)
+		for i := 2; i < k; i++ {
+			fracs[i] = rest
+		}
+	} else {
+		// With k == 2 all mass is on the two leaders.
+		scale := 1 / topFrac
+		fracs[0] *= scale
+		fracs[1] *= scale
+	}
+	return FromFractions(n, fracs)
+}

@@ -1,0 +1,233 @@
+// Package population represents opinion configurations of synchronous
+// consensus dynamics: the count vector (c(1), ..., c(k)) of how many of
+// the n vertices currently support each opinion, together with the
+// derived quantities the paper analyzes — the fractions α(i), the
+// squared ℓ²-norm γ = Σ α(i)², and pairwise biases δ(i,j) = α(i)−α(j)
+// (paper Definition 3.2).
+//
+// On the complete graph with self-loops the count vector is a complete
+// description of the process state, which is what makes the exact
+// O(k)-per-round engine in internal/core possible.
+package population
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Vector is an opinion configuration: counts[i] vertices hold opinion i,
+// for i in [0, K). The representation maintains the invariant that all
+// counts are non-negative and sum to N.
+//
+// Opinions are indexed from 0 here; the paper indexes them from 1.
+type Vector struct {
+	counts []int64
+	n      int64
+}
+
+// ErrInvalid reports a configuration that violates the count invariants.
+var ErrInvalid = errors.New("population: invalid configuration")
+
+// FromCounts builds a Vector from an explicit count slice. The slice is
+// copied. It returns an error if counts is empty, any entry is
+// negative, or the total is zero.
+func FromCounts(counts []int64) (*Vector, error) {
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("%w: no opinions", ErrInvalid)
+	}
+	var n int64
+	for i, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("%w: negative count %d for opinion %d", ErrInvalid, c, i)
+		}
+		n += c
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("%w: zero total population", ErrInvalid)
+	}
+	return &Vector{counts: append([]int64(nil), counts...), n: n}, nil
+}
+
+// MustFromCounts is FromCounts that panics on error; for tests and
+// package-internal construction of known-valid configurations.
+func MustFromCounts(counts []int64) *Vector {
+	v, err := FromCounts(counts)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Clone returns a deep copy.
+func (v *Vector) Clone() *Vector {
+	return &Vector{counts: append([]int64(nil), v.counts...), n: v.n}
+}
+
+// CopyFrom overwrites the receiver with src's configuration. The two
+// vectors must have the same K.
+func (v *Vector) CopyFrom(src *Vector) {
+	if len(v.counts) != len(src.counts) {
+		panic("population: CopyFrom with mismatched K")
+	}
+	copy(v.counts, src.counts)
+	v.n = src.n
+}
+
+// K returns the number of opinion slots (including extinct opinions).
+func (v *Vector) K() int { return len(v.counts) }
+
+// N returns the number of vertices.
+func (v *Vector) N() int64 { return v.n }
+
+// Count returns the number of vertices supporting opinion i.
+func (v *Vector) Count(i int) int64 { return v.counts[i] }
+
+// Counts returns the backing count slice as a mutable view. It exists
+// for the dynamics engines in internal/core and internal/async, which
+// update configurations in place on their hot path; callers that
+// mutate it must preserve the sum-to-N, non-negative invariant (or
+// call SetAll to re-establish it). All other callers should treat the
+// result as read-only.
+func (v *Vector) Counts() []int64 { return v.counts }
+
+// SetAll replaces the counts (length must equal K) and recomputes N.
+// It panics if the invariants are violated; engines use it after bulk
+// in-place updates.
+func (v *Vector) SetAll(counts []int64) {
+	if len(counts) != len(v.counts) {
+		panic("population: SetAll with mismatched K")
+	}
+	var n int64
+	for i, c := range counts {
+		if c < 0 {
+			panic(fmt.Sprintf("population: SetAll negative count %d at %d", c, i))
+		}
+		n += c
+	}
+	copy(v.counts, counts)
+	v.n = n
+}
+
+// Alpha returns α(i) = Count(i)/N, the fraction supporting opinion i.
+func (v *Vector) Alpha(i int) float64 {
+	return float64(v.counts[i]) / float64(v.n)
+}
+
+// Gamma returns γ = Σ_i α(i)², the squared ℓ²-norm of the fraction
+// vector (paper Definition 3.2(iii)). γ ∈ [1/k, 1] always, with γ = 1
+// exactly at consensus.
+func (v *Vector) Gamma() float64 {
+	nf := float64(v.n)
+	sum := 0.0
+	for _, c := range v.counts {
+		if c == 0 {
+			continue
+		}
+		a := float64(c) / nf
+		sum += a * a
+	}
+	return sum
+}
+
+// SumCubes returns ‖α‖₃³ = Σ_i α(i)³, used by the Lemma 4.1 variance
+// bounds.
+func (v *Vector) SumCubes() float64 {
+	nf := float64(v.n)
+	sum := 0.0
+	for _, c := range v.counts {
+		if c == 0 {
+			continue
+		}
+		a := float64(c) / nf
+		sum += a * a * a
+	}
+	return sum
+}
+
+// Bias returns δ(i,j) = α(i) − α(j) (paper Definition 3.2(ii)).
+func (v *Vector) Bias(i, j int) float64 {
+	return float64(v.counts[i]-v.counts[j]) / float64(v.n)
+}
+
+// Live returns the number of opinions with at least one supporter.
+func (v *Vector) Live() int {
+	live := 0
+	for _, c := range v.counts {
+		if c > 0 {
+			live++
+		}
+	}
+	return live
+}
+
+// MaxOpinion returns the index and count of the most-supported opinion
+// (lowest index on ties).
+func (v *Vector) MaxOpinion() (opinion int, count int64) {
+	for i, c := range v.counts {
+		if c > count {
+			opinion, count = i, c
+		}
+	}
+	return opinion, count
+}
+
+// TopTwo returns the indices of the two most-supported opinions
+// (first >= second in count; ties broken by lower index). K must be
+// at least 2.
+func (v *Vector) TopTwo() (first, second int) {
+	if len(v.counts) < 2 {
+		panic("population: TopTwo needs K >= 2")
+	}
+	first, second = 0, 1
+	if v.counts[1] > v.counts[0] {
+		first, second = 1, 0
+	}
+	for i := 2; i < len(v.counts); i++ {
+		switch {
+		case v.counts[i] > v.counts[first]:
+			second = first
+			first = i
+		case v.counts[i] > v.counts[second]:
+			second = i
+		}
+	}
+	return first, second
+}
+
+// Consensus reports whether every vertex supports the same opinion and,
+// if so, which one.
+func (v *Vector) Consensus() (opinion int, ok bool) {
+	for i, c := range v.counts {
+		if c == v.n {
+			return i, true
+		}
+		if c != 0 {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// Validate checks the representation invariants. Engines call this in
+// tests and after complex in-place updates.
+func (v *Vector) Validate() error {
+	var n int64
+	for i, c := range v.counts {
+		if c < 0 {
+			return fmt.Errorf("%w: negative count %d for opinion %d", ErrInvalid, c, i)
+		}
+		n += c
+	}
+	if n != v.n {
+		return fmt.Errorf("%w: counts sum to %d, recorded N is %d", ErrInvalid, n, v.n)
+	}
+	if n == 0 {
+		return fmt.Errorf("%w: zero total population", ErrInvalid)
+	}
+	return nil
+}
+
+// String renders a compact representation for logs and error messages.
+func (v *Vector) String() string {
+	return fmt.Sprintf("population.Vector{n=%d k=%d live=%d γ=%.4g}", v.n, v.K(), v.Live(), v.Gamma())
+}

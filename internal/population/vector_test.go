@@ -1,0 +1,359 @@
+package population
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromCountsValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		counts []int64
+		wantOK bool
+	}{
+		{"nil", nil, false},
+		{"empty", []int64{}, false},
+		{"negative", []int64{3, -1}, false},
+		{"all zero", []int64{0, 0}, false},
+		{"ok", []int64{1, 0, 2}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v, err := FromCounts(c.counts)
+			if c.wantOK && err != nil {
+				t.Fatalf("unexpected error %v", err)
+			}
+			if !c.wantOK {
+				if err == nil {
+					t.Fatal("expected error")
+				}
+				if !errors.Is(err, ErrInvalid) {
+					t.Fatalf("error %v does not wrap ErrInvalid", err)
+				}
+				return
+			}
+			if err := v.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestFromCountsCopies(t *testing.T) {
+	src := []int64{1, 2}
+	v := MustFromCounts(src)
+	src[0] = 99
+	if v.Count(0) != 1 {
+		t.Fatal("FromCounts did not copy its input")
+	}
+}
+
+func TestBasicQuantities(t *testing.T) {
+	v := MustFromCounts([]int64{6, 3, 1, 0})
+	if v.N() != 10 || v.K() != 4 {
+		t.Fatalf("N=%d K=%d", v.N(), v.K())
+	}
+	if got := v.Alpha(0); got != 0.6 {
+		t.Errorf("Alpha(0) = %v", got)
+	}
+	wantGamma := 0.36 + 0.09 + 0.01
+	if got := v.Gamma(); math.Abs(got-wantGamma) > 1e-12 {
+		t.Errorf("Gamma = %v, want %v", got, wantGamma)
+	}
+	wantCubes := 0.216 + 0.027 + 0.001
+	if got := v.SumCubes(); math.Abs(got-wantCubes) > 1e-12 {
+		t.Errorf("SumCubes = %v, want %v", got, wantCubes)
+	}
+	if got := v.Bias(0, 1); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("Bias = %v", got)
+	}
+	if got := v.Live(); got != 3 {
+		t.Errorf("Live = %d", got)
+	}
+	if op, c := v.MaxOpinion(); op != 0 || c != 6 {
+		t.Errorf("MaxOpinion = (%d, %d)", op, c)
+	}
+	if _, ok := v.Consensus(); ok {
+		t.Error("Consensus reported on non-consensus state")
+	}
+}
+
+func TestConsensusDetection(t *testing.T) {
+	v := MustFromCounts([]int64{0, 5, 0})
+	op, ok := v.Consensus()
+	if !ok || op != 1 {
+		t.Fatalf("Consensus = (%d, %v), want (1, true)", op, ok)
+	}
+}
+
+func TestTopTwo(t *testing.T) {
+	cases := []struct {
+		counts        []int64
+		first, second int
+	}{
+		{[]int64{5, 3, 4}, 0, 2},
+		{[]int64{1, 9, 2, 8}, 1, 3},
+		{[]int64{4, 4}, 0, 1},
+		{[]int64{0, 0, 7}, 2, 0},
+	}
+	for _, c := range cases {
+		v := MustFromCounts(c.counts)
+		f, s := v.TopTwo()
+		if f != c.first || s != c.second {
+			t.Errorf("TopTwo(%v) = (%d,%d), want (%d,%d)", c.counts, f, s, c.first, c.second)
+		}
+	}
+}
+
+func TestCloneAndCopyFrom(t *testing.T) {
+	v := MustFromCounts([]int64{2, 3})
+	c := v.Clone()
+	c.Counts()[0] = 99
+	if v.Count(0) != 2 {
+		t.Fatal("Clone shares backing storage")
+	}
+	dst := MustFromCounts([]int64{1, 1})
+	dst.CopyFrom(v)
+	if dst.Count(0) != 2 || dst.Count(1) != 3 || dst.N() != 5 {
+		t.Fatalf("CopyFrom result %v", dst.Counts())
+	}
+}
+
+func TestSetAll(t *testing.T) {
+	v := MustFromCounts([]int64{1, 1})
+	v.SetAll([]int64{4, 6})
+	if v.N() != 10 || v.Count(1) != 6 {
+		t.Fatalf("SetAll result N=%d counts=%v", v.N(), v.Counts())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetAll with negative count did not panic")
+			}
+		}()
+		v.SetAll([]int64{-1, 2})
+	}()
+}
+
+func TestGammaBoundsProperty(t *testing.T) {
+	// γ ∈ [1/live, 1] for every valid configuration (Cauchy–Schwarz).
+	f := func(raw []uint16) bool {
+		counts := make([]int64, 0, len(raw))
+		var total int64
+		for _, x := range raw {
+			counts = append(counts, int64(x))
+			total += int64(x)
+		}
+		if len(counts) == 0 || total == 0 {
+			return true
+		}
+		v := MustFromCounts(counts)
+		g := v.Gamma()
+		live := float64(v.Live())
+		return g <= 1+1e-12 && g >= 1/live-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalanced(t *testing.T) {
+	v := Balanced(10, 3)
+	want := []int64{4, 3, 3}
+	for i, c := range want {
+		if v.Count(i) != c {
+			t.Fatalf("Balanced(10,3) = %v, want %v", v.Counts(), want)
+		}
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// γ of a perfectly balanced configuration is exactly 1/k.
+	v = Balanced(1000, 8)
+	if g := v.Gamma(); math.Abs(g-1.0/8) > 1e-12 {
+		t.Errorf("balanced gamma = %v", g)
+	}
+}
+
+func TestBalancedPanics(t *testing.T) {
+	for _, c := range []struct {
+		n int64
+		k int
+	}{{5, 0}, {5, 6}, {0, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Balanced(%d,%d) did not panic", c.n, c.k)
+				}
+			}()
+			Balanced(c.n, c.k)
+		}()
+	}
+}
+
+func TestPlantedBias(t *testing.T) {
+	v := PlantedBias(100, 4, 12)
+	if v.Count(0) != 25+12 {
+		t.Fatalf("opinion 0 count = %d", v.Count(0))
+	}
+	if v.N() != 100 {
+		t.Fatalf("N = %d", v.N())
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Bias over every rival is at least 12/100 - rounding.
+	for j := 1; j < 4; j++ {
+		if b := v.Bias(0, j); b < 0.12-0.02 {
+			t.Errorf("bias over %d = %v too small", j, b)
+		}
+	}
+}
+
+func TestPlantedBiasExhaustsDonors(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when extra exceeds donor supply")
+		}
+	}()
+	PlantedBias(10, 2, 6) // opinion 1 has only 5 to give
+}
+
+func TestFromFractions(t *testing.T) {
+	v, err := FromFractions(10, []float64{0.5, 0.25, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{5, 3, 2} // largest remainder breaks the .5 tie to index 1
+	got := v.Counts()
+	var sum int64
+	for i := range got {
+		sum += got[i]
+	}
+	if sum != 10 {
+		t.Fatalf("counts %v do not sum to 10", got)
+	}
+	if got[0] != want[0] {
+		t.Fatalf("counts %v, want leading 5", got)
+	}
+	if _, err := FromFractions(10, []float64{-1, 2}); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := FromFractions(10, []float64{0, 0}); err == nil {
+		t.Error("zero mass accepted")
+	}
+	if _, err := FromFractions(10, []float64{math.NaN()}); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestFromFractionsProportionalProperty(t *testing.T) {
+	f := func(rawN uint16, raw []uint8) bool {
+		n := int64(rawN) + int64(len(raw)) + 1
+		if len(raw) == 0 {
+			return true
+		}
+		fracs := make([]float64, len(raw))
+		total := 0.0
+		for i, x := range raw {
+			fracs[i] = float64(x)
+			total += fracs[i]
+		}
+		if total == 0 {
+			fracs[0] = 1
+			total = 1
+		}
+		v, err := FromFractions(n, fracs)
+		if err != nil {
+			return false
+		}
+		if v.N() != n {
+			return false
+		}
+		// Largest remainder keeps every count within 1 of proportional.
+		for i := range fracs {
+			exact := fracs[i] / total * float64(n)
+			if math.Abs(float64(v.Count(i))-exact) > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfAndGeometric(t *testing.T) {
+	z, err := Zipf(1000, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Count(0) <= z.Count(9) {
+		t.Errorf("Zipf counts not decreasing: %v", z.Counts())
+	}
+	flat, err := Zipf(1000, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := flat.Gamma(); math.Abs(g-0.1) > 1e-9 {
+		t.Errorf("Zipf(s=0) gamma = %v, want 0.1", g)
+	}
+
+	geo, err := Geometric(1000, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo.Count(0) < 2*geo.Count(1)-2 {
+		t.Errorf("Geometric ratio not respected: %v", geo.Counts())
+	}
+	if _, err := Geometric(1000, 10, 0); err == nil {
+		t.Error("ratio 0 accepted")
+	}
+	if _, err := Geometric(1000, 10, 1.5); err == nil {
+		t.Error("ratio > 1 accepted")
+	}
+	if _, err := Zipf(5, 10, 1); err == nil {
+		t.Error("k > n accepted")
+	}
+}
+
+func TestTwoLeaders(t *testing.T) {
+	v, err := TwoLeaders(1000, 10, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Alpha(0) + v.Alpha(1); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("leader mass = %v, want 0.5", got)
+	}
+	if got := v.Bias(0, 1); math.Abs(got-0.1) > 0.01 {
+		t.Errorf("leader bias = %v, want 0.1", got)
+	}
+	// Followers share the rest evenly.
+	if c2, c9 := v.Count(2), v.Count(9); absInt64(c2-c9) > 1 {
+		t.Errorf("followers unbalanced: %d vs %d", c2, c9)
+	}
+	if _, err := TwoLeaders(1000, 10, 0, 0); err == nil {
+		t.Error("zero topFrac accepted")
+	}
+	if _, err := TwoLeaders(1000, 10, 0.5, 0.6); err == nil {
+		t.Error("bias > topFrac accepted")
+	}
+	// k = 2 special case puts everything on the leaders.
+	v2, err := TwoLeaders(100, 2, 0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.N() != 100 || v2.Count(0)+v2.Count(1) != 100 {
+		t.Errorf("k=2 TwoLeaders = %v", v2.Counts())
+	}
+}
+
+func absInt64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,87 @@
+package rng
+
+// Alias is a Walker–Vose alias table for O(1) sampling from a fixed
+// discrete distribution over {0, ..., k-1}. Build cost is O(k).
+//
+// The table is immutable after construction and safe for concurrent
+// sampling as long as each goroutine uses its own *Rand.
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds an alias table for the given non-negative weights.
+// Weights need not be normalized. It panics if weights is empty or if
+// every weight is zero or negative.
+func NewAlias(weights []float64) *Alias {
+	k := len(weights)
+	if k == 0 {
+		panic("rng: NewAlias with no weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("rng: NewAlias with zero total weight")
+	}
+
+	a := &Alias{
+		prob:  make([]float64, k),
+		alias: make([]int32, k),
+	}
+	// Scaled probabilities: mean 1.
+	scaled := make([]float64, k)
+	scale := float64(k) / total
+	small := make([]int32, 0, k)
+	large := make([]int32, 0, k)
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		scaled[i] = w * scale
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		// Only reachable through floating-point rounding; treat as full.
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a
+}
+
+// K returns the number of categories.
+func (a *Alias) K() int { return len(a.prob) }
+
+// Sample draws one category index according to the table's weights.
+func (a *Alias) Sample(r *Rand) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}

@@ -1,0 +1,179 @@
+package rng
+
+import "math"
+
+// binvCutoff is the n*min(p,1-p) threshold below which the inversion
+// algorithm (BINV) is used; above it the BTPE rejection algorithm is
+// used. 30 is the value recommended by Kachitvichyanukul & Schmeiser.
+const binvCutoff = 30.0
+
+// Binomial returns an exact sample from the Binomial(n, p) distribution:
+// the number of successes in n independent trials of probability p.
+//
+// The sampler is exact (not a normal approximation): it uses the BINV
+// inversion algorithm when n*min(p,1-p) < 30 and a BTPE-style
+// accept/reject algorithm (Kachitvichyanukul & Schmeiser, 1988)
+// otherwise. Values of p outside [0, 1] are clamped. Panics if n < 0.
+func (r *Rand) Binomial(n int64, p float64) int64 {
+	switch {
+	case n < 0:
+		panic("rng: Binomial with n < 0")
+	case n == 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	}
+	if p > 0.5 {
+		return n - r.binomialSmallP(n, 1-p)
+	}
+	return r.binomialSmallP(n, p)
+}
+
+// binomialSmallP samples Binomial(n, p) for 0 < p <= 0.5, n >= 1.
+func (r *Rand) binomialSmallP(n int64, p float64) int64 {
+	if float64(n)*p < binvCutoff {
+		return r.binomialBINV(n, p)
+	}
+	return r.binomialBTPE(n, p)
+}
+
+// binomialBINV samples via sequential inversion of the CDF, walking up
+// from 0 using the recurrence f(x+1) = f(x) * (n-x)/(x+1) * p/q.
+// Requires n*p < binvCutoff so that q^n does not underflow.
+func (r *Rand) binomialBINV(n int64, p float64) int64 {
+	q := 1 - p
+	s := p / q
+	a := float64(n+1) * s
+	f := math.Exp(float64(n) * math.Log(q)) // q^n; safe: n*p < 30 => exponent > -60
+	for {
+		u := r.Float64()
+		fx := f
+		var x int64
+		for {
+			if u < fx {
+				return x
+			}
+			u -= fx
+			x++
+			if x > n {
+				break // numeric leakage beyond the support; redraw
+			}
+			fx *= a/float64(x) - s
+		}
+	}
+}
+
+// binomialBTPE samples via the BTPE algorithm (Binomial, Triangle,
+// Parallelogram, Exponential): a piecewise-majorizing accept/reject
+// scheme with squeeze steps. The final inconclusive-squeeze test
+// evaluates the exact density ratio in log space, so the sampler is
+// exact up to float64 rounding. Requires 0 < p <= 0.5, n*p >= binvCutoff.
+func (r *Rand) binomialBTPE(n int64, p float64) int64 {
+	var (
+		nf  = float64(n)
+		q   = 1 - p
+		npq = nf * p * q
+		fm  = nf*p + p
+		m   = math.Floor(fm) // mode of the distribution
+	)
+	p1 := math.Floor(2.195*math.Sqrt(npq)-4.6*q) + 0.5
+	xm := m + 0.5
+	xl := xm - p1
+	xr := xm + p1
+	c := 0.134 + 20.5/(15.3+m)
+	al := (fm - xl) / (fm - xl*p)
+	laml := al * (1 + 0.5*al)
+	ar := (xr - fm) / (xr * q)
+	lamr := ar * (1 + 0.5*ar)
+	p2 := p1 * (1 + 2*c)
+	p3 := p2 + c/laml
+	p4 := p3 + c/lamr
+
+	for {
+		var y float64
+		u := r.Float64() * p4
+		v := r.Float64()
+		switch {
+		case u <= p1:
+			// Triangle region: accept immediately.
+			y = math.Floor(xm - p1*v + u)
+			return clampToRange(y, n)
+		case u <= p2:
+			// Parallelogram region.
+			x := xl + (u-p1)/c
+			v = v*c + 1 - math.Abs(m-x+0.5)/p1
+			if v > 1 {
+				continue
+			}
+			y = math.Floor(x)
+		case u <= p3:
+			// Left exponential tail.
+			y = math.Floor(xl + math.Log(v)/laml)
+			if y < 0 {
+				continue
+			}
+			v *= (u - p2) * laml
+		default:
+			// Right exponential tail.
+			y = math.Floor(xr - math.Log(v)/lamr)
+			if y > nf {
+				continue
+			}
+			v *= (u - p3) * lamr
+		}
+
+		k := math.Abs(y - m)
+		if k > 20 && k < npq/2-1 {
+			// Squeeze: quick accept / quick reject via quadratic bounds
+			// on log(f(y)/f(m)).
+			rho := (k / npq) * ((k*(k/3+0.625)+1.0/6)/npq + 0.5)
+			t := -k * k / (2 * npq)
+			a := math.Log(v)
+			if a < t-rho {
+				return clampToRange(y, n)
+			}
+			if a > t+rho {
+				continue
+			}
+		}
+
+		// Exact test: accept iff v <= f(y)/f(m), evaluated by the
+		// recurrence f(x+1)/f(x) = (a/(x+1) - s) in log space so the
+		// comparison never under/overflows.
+		if math.Log(v) <= logDensityRatio(nf, p, q, m, y) {
+			return clampToRange(y, n)
+		}
+	}
+}
+
+// logDensityRatio returns log(f(y)/f(m)) for the Binomial(n, p) pmf f,
+// where m is the mode, using the positive-factor recurrence
+// f(x)/f(x-1) = a/x - s with s = p/q and a = (n+1)s.
+func logDensityRatio(nf, p, q, m, y float64) float64 {
+	s := p / q
+	a := s * (nf + 1)
+	logf := 0.0
+	switch {
+	case m < y:
+		for i := m + 1; i <= y; i++ {
+			logf += math.Log(a/i - s)
+		}
+	case m > y:
+		for i := y + 1; i <= m; i++ {
+			logf -= math.Log(a/i - s)
+		}
+	}
+	return logf
+}
+
+// clampToRange converts the accepted float sample to int64, guarding
+// against floating-point edge effects at the boundaries of the support.
+func clampToRange(y float64, n int64) int64 {
+	if y < 0 {
+		return 0
+	}
+	if v := int64(y); v <= n {
+		return v
+	}
+	return n
+}

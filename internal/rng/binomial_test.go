@@ -1,0 +1,221 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := New(1)
+	cases := []struct {
+		n    int64
+		p    float64
+		want int64
+	}{
+		{0, 0.5, 0},
+		{10, 0, 0},
+		{10, -0.5, 0},
+		{10, 1, 10},
+		{10, 1.5, 10},
+		{1 << 40, 0, 0},
+		{1 << 40, 1, 1 << 40},
+	}
+	for _, c := range cases {
+		if got := r.Binomial(c.n, c.p); got != c.want {
+			t.Errorf("Binomial(%d, %v) = %d, want %d", c.n, c.p, got, c.want)
+		}
+	}
+}
+
+func TestBinomialPanicsOnNegativeN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Binomial(-1, 0.5) did not panic")
+		}
+	}()
+	New(1).Binomial(-1, 0.5)
+}
+
+func TestBinomialSupport(t *testing.T) {
+	r := New(2)
+	for _, c := range []struct {
+		n int64
+		p float64
+	}{
+		{1, 0.5}, {7, 0.2}, {100, 0.01}, {100, 0.99},
+		{1000, 0.5}, {1000000, 0.4}, {1000000, 1e-7},
+	} {
+		for i := 0; i < 300; i++ {
+			v := r.Binomial(c.n, c.p)
+			if v < 0 || v > c.n {
+				t.Fatalf("Binomial(%d, %v) = %d out of support", c.n, c.p, v)
+			}
+		}
+	}
+}
+
+// TestBinomialMoments verifies mean and variance across both the BINV
+// regime (np < 30) and the BTPE regime (np >= 30), and across the
+// p <= 0.5 / p > 0.5 symmetry split.
+func TestBinomialMoments(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int64
+		p      float64
+		trials int
+	}{
+		{"binv_tiny", 10, 0.3, 200000},
+		{"binv_moderate", 500, 0.02, 200000},
+		{"binv_halfsym", 10, 0.7, 200000},
+		{"btpe_small", 100, 0.5, 200000},
+		{"btpe_large", 100000, 0.3, 50000},
+		{"btpe_sym", 100000, 0.7, 50000},
+		{"btpe_boundary", 60, 0.5, 200000}, // np = 30 exactly at cutoff
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			r := New(1234)
+			mean := float64(c.n) * c.p
+			variance := mean * (1 - c.p)
+			var sum, sumSq float64
+			for i := 0; i < c.trials; i++ {
+				v := float64(r.Binomial(c.n, c.p))
+				sum += v
+				sumSq += v * v
+			}
+			gotMean := sum / float64(c.trials)
+			gotVar := sumSq/float64(c.trials) - gotMean*gotMean
+			// Allow 6 standard errors on the mean.
+			seMean := math.Sqrt(variance / float64(c.trials))
+			if math.Abs(gotMean-mean) > 6*seMean+1e-9 {
+				t.Errorf("mean = %v, want %v (±%v)", gotMean, mean, 6*seMean)
+			}
+			if math.Abs(gotVar-variance) > 0.1*variance+1e-9 {
+				t.Errorf("variance = %v, want %v", gotVar, variance)
+			}
+		})
+	}
+}
+
+// TestBinomialChiSquareBINV compares empirical frequencies against the
+// exact pmf in the inversion regime.
+func TestBinomialChiSquareBINV(t *testing.T) {
+	r := New(77)
+	const n, p, trials = 12, 0.35, 120000
+	counts := make([]int, n+1)
+	for i := 0; i < trials; i++ {
+		counts[r.Binomial(n, p)]++
+	}
+	chi2, df := binomialChi2(counts, n, p, trials)
+	// 0.999 quantiles of chi-square for df up to 13 are all below 35.
+	if chi2 > 35 {
+		t.Fatalf("chi2 = %.2f (df=%d) too large; counts = %v", chi2, df, counts)
+	}
+}
+
+// TestBinomialChiSquareBTPE compares empirical bucket frequencies
+// against the exact pmf in the rejection regime, bucketing the tails.
+func TestBinomialChiSquareBTPE(t *testing.T) {
+	r := New(78)
+	const n, p, trials = 150, 0.4, 120000
+	counts := make([]int, n+1)
+	for i := 0; i < trials; i++ {
+		counts[r.Binomial(n, p)]++
+	}
+	// Bucket [lo, hi] around the mean, tails merged.
+	lo, hi := 40, 80
+	buckets := make([]int, hi-lo+3)
+	expected := make([]float64, hi-lo+3)
+	pmf := exactBinomialPMF(n, p)
+	for x := 0; x <= n; x++ {
+		idx := 0
+		switch {
+		case x < lo:
+			idx = 0
+		case x > hi:
+			idx = len(buckets) - 1
+		default:
+			idx = x - lo + 1
+		}
+		buckets[idx] += counts[x]
+		expected[idx] += pmf[x] * trials
+	}
+	chi2 := 0.0
+	df := 0
+	for i := range buckets {
+		if expected[i] < 5 {
+			continue
+		}
+		d := float64(buckets[i]) - expected[i]
+		chi2 += d * d / expected[i]
+		df++
+	}
+	// Generous threshold: 0.9999 quantile for ~43 df is about 80.
+	if chi2 > 90 {
+		t.Fatalf("chi2 = %.2f over %d cells too large", chi2, df)
+	}
+}
+
+func binomialChi2(counts []int, n int64, p float64, trials int) (float64, int) {
+	pmf := exactBinomialPMF(n, p)
+	chi2 := 0.0
+	df := 0
+	for x, c := range counts {
+		exp := pmf[x] * float64(trials)
+		if exp < 5 {
+			continue
+		}
+		d := float64(c) - exp
+		chi2 += d * d / exp
+		df++
+	}
+	return chi2, df - 1
+}
+
+// exactBinomialPMF computes the pmf by the stable log recurrence.
+func exactBinomialPMF(n int64, p float64) []float64 {
+	pmf := make([]float64, n+1)
+	logp, logq := math.Log(p), math.Log(1-p)
+	logC := 0.0 // log C(n, 0)
+	for x := int64(0); x <= n; x++ {
+		if x > 0 {
+			logC += math.Log(float64(n-x+1)) - math.Log(float64(x))
+		}
+		pmf[x] = math.Exp(logC + float64(x)*logp + float64(n-x)*logq)
+	}
+	return pmf
+}
+
+// TestBinomialLargeNSanity exercises n big enough that naive Bernoulli
+// summation would be infeasible, checking normalized deviation.
+func TestBinomialLargeNSanity(t *testing.T) {
+	r := New(5)
+	const n, p = int64(1_000_000_000), 0.25
+	mean := float64(n) * p
+	sd := math.Sqrt(mean * (1 - p))
+	for i := 0; i < 200; i++ {
+		v := float64(r.Binomial(n, p))
+		if math.Abs(v-mean) > 8*sd {
+			t.Fatalf("Binomial(%d,%v) = %v is %v sds from mean", n, p, v, math.Abs(v-mean)/sd)
+		}
+	}
+}
+
+func BenchmarkBinomialBINV(b *testing.B) {
+	r := New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += r.Binomial(1000, 0.01)
+	}
+	_ = sink
+}
+
+func BenchmarkBinomialBTPE(b *testing.B) {
+	r := New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += r.Binomial(1_000_000, 0.3)
+	}
+	_ = sink
+}

@@ -1,0 +1,71 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBinomialSupport: for arbitrary (n, p, seed), samples must stay
+// in [0, n] — across the BINV/BTPE split, the p > 1/2 reflection, and
+// degenerate p.
+func FuzzBinomialSupport(f *testing.F) {
+	f.Add(uint32(10), 0.5, uint64(1))
+	f.Add(uint32(1000), 0.01, uint64(2))
+	f.Add(uint32(1_000_000), 0.999, uint64(3))
+	f.Add(uint32(0), 0.5, uint64(4))
+	f.Add(uint32(59), 0.5, uint64(5))  // just below the BTPE cutoff
+	f.Add(uint32(61), 0.5, uint64(6))  // just above the BTPE cutoff
+	f.Add(uint32(77), -1.0, uint64(7)) // clamped p
+	f.Add(uint32(77), 2.0, uint64(8))
+	f.Fuzz(func(t *testing.T, n uint32, p float64, seed uint64) {
+		if math.IsNaN(p) {
+			return // NaN probability has no defined semantics
+		}
+		r := New(seed)
+		for i := 0; i < 8; i++ {
+			v := r.Binomial(int64(n), p)
+			if v < 0 || v > int64(n) {
+				t.Fatalf("Binomial(%d, %v) = %d out of support", n, p, v)
+			}
+		}
+	})
+}
+
+// FuzzMultinomialConservation: counts must be non-negative and sum to
+// n for arbitrary weight vectors (after sanitizing invalid weights the
+// way callers are documented to).
+func FuzzMultinomialConservation(f *testing.F) {
+	f.Add(uint16(100), []byte{1, 2, 3}, uint64(1))
+	f.Add(uint16(0), []byte{5}, uint64(2))
+	f.Add(uint16(65535), []byte{0, 0, 7, 0}, uint64(3))
+	f.Fuzz(func(t *testing.T, n uint16, rawWeights []byte, seed uint64) {
+		if len(rawWeights) == 0 {
+			return
+		}
+		weights := make([]float64, len(rawWeights))
+		total := 0.0
+		for i, b := range rawWeights {
+			weights[i] = float64(b)
+			total += weights[i]
+		}
+		if total == 0 {
+			weights[0] = 1
+		}
+		r := New(seed)
+		out := make([]int64, len(weights))
+		r.Multinomial(int64(n), weights, out)
+		var sum int64
+		for i, c := range out {
+			if c < 0 {
+				t.Fatalf("negative count %d at %d", c, i)
+			}
+			if weights[i] == 0 && c != 0 {
+				t.Fatalf("zero-weight category %d received %d", i, c)
+			}
+			sum += c
+		}
+		if sum != int64(n) {
+			t.Fatalf("counts sum to %d, want %d", sum, n)
+		}
+	})
+}

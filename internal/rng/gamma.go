@@ -1,0 +1,70 @@
+package rng
+
+import "math"
+
+// Gamma returns a sample from the Gamma distribution with the given
+// shape and unit scale, using the Marsaglia–Tsang squeeze method
+// (exact accept/reject) with the standard boosting transform for
+// shape < 1. It panics for non-positive shape.
+func (r *Rand) Gamma(shape float64) float64 {
+	if shape <= 0 || math.IsNaN(shape) {
+		panic("rng: Gamma with non-positive shape")
+	}
+	if shape < 1 {
+		// Boost: G(a) = G(a+1) · U^{1/a}.
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.gammaMT(shape+1) * math.Pow(u, 1/shape)
+	}
+	return r.gammaMT(shape)
+}
+
+// gammaMT samples Gamma(shape) for shape >= 1.
+func (r *Rand) gammaMT(shape float64) float64 {
+	d := shape - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet fills out with one sample from the symmetric
+// Dirichlet(concentration, ..., concentration) distribution over the
+// simplex of dimension len(out). Small concentrations give spiky
+// (high-γ) fraction vectors, large ones near-balanced vectors.
+func (r *Rand) Dirichlet(concentration float64, out []float64) {
+	if len(out) == 0 {
+		panic("rng: Dirichlet with empty output")
+	}
+	total := 0.0
+	for i := range out {
+		out[i] = r.Gamma(concentration)
+		total += out[i]
+	}
+	if total <= 0 {
+		// Astronomically unlikely underflow for tiny concentrations;
+		// fall back to a uniform corner.
+		out[r.Intn(len(out))] = 1
+		total = 1
+	}
+	for i := range out {
+		out[i] /= total
+	}
+}

@@ -1,0 +1,116 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGammaMoments(t *testing.T) {
+	// Gamma(shape) has mean = shape and variance = shape.
+	for _, shape := range []float64{0.3, 0.5, 1, 2.5, 10} {
+		shape := shape
+		r := New(31)
+		const trials = 200000
+		var sum, sumSq float64
+		for i := 0; i < trials; i++ {
+			v := r.Gamma(shape)
+			if v < 0 {
+				t.Fatalf("Gamma(%v) produced %v", shape, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / trials
+		variance := sumSq/trials - mean*mean
+		seMean := math.Sqrt(shape / trials) // sd/√trials
+		if math.Abs(mean-shape) > 8*seMean {
+			t.Errorf("Gamma(%v) mean = %v", shape, mean)
+		}
+		if math.Abs(variance-shape) > 0.1*shape {
+			t.Errorf("Gamma(%v) variance = %v", shape, variance)
+		}
+	}
+}
+
+func TestGammaPanics(t *testing.T) {
+	for _, shape := range []float64{0, -1, math.NaN()} {
+		shape := shape
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Gamma(%v) did not panic", shape)
+				}
+			}()
+			New(1).Gamma(shape)
+		}()
+	}
+}
+
+func TestDirichletSimplex(t *testing.T) {
+	r := New(32)
+	out := make([]float64, 8)
+	for trial := 0; trial < 200; trial++ {
+		r.Dirichlet(0.5, out)
+		sum := 0.0
+		for _, x := range out {
+			if x < 0 || x > 1 {
+				t.Fatalf("component %v outside [0,1]", x)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("components sum to %v", sum)
+		}
+	}
+}
+
+func TestDirichletSymmetricMeans(t *testing.T) {
+	r := New(33)
+	const k, trials = 4, 50000
+	out := make([]float64, k)
+	sums := make([]float64, k)
+	for i := 0; i < trials; i++ {
+		r.Dirichlet(2, out)
+		for j, x := range out {
+			sums[j] += x
+		}
+	}
+	for j, s := range sums {
+		if math.Abs(s/trials-0.25) > 0.005 {
+			t.Errorf("component %d mean %v, want 0.25", j, s/trials)
+		}
+	}
+}
+
+func TestDirichletConcentrationEffect(t *testing.T) {
+	// Smaller concentration → spikier draws → larger E[Σ x²].
+	r := New(34)
+	avgGamma := func(conc float64) float64 {
+		out := make([]float64, 10)
+		total := 0.0
+		const trials = 20000
+		for i := 0; i < trials; i++ {
+			r.Dirichlet(conc, out)
+			g := 0.0
+			for _, x := range out {
+				g += x * x
+			}
+			total += g
+		}
+		return total / trials
+	}
+	spiky := avgGamma(0.1)
+	flat := avgGamma(10)
+	if spiky <= flat {
+		t.Fatalf("concentration effect inverted: γ(0.1)=%v <= γ(10)=%v", spiky, flat)
+	}
+}
+
+func TestDirichletPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(1).Dirichlet(1, nil)
+}

@@ -1,0 +1,252 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMultinomialSumsToN(t *testing.T) {
+	r := New(1)
+	probs := []float64{0.1, 0.2, 0.3, 0.4}
+	out := make([]int64, len(probs))
+	for _, n := range []int64{0, 1, 5, 1000, 1 << 30} {
+		r.Multinomial(n, probs, out)
+		var sum int64
+		for _, c := range out {
+			if c < 0 {
+				t.Fatalf("negative count %d for n=%d", c, n)
+			}
+			sum += c
+		}
+		if sum != n {
+			t.Fatalf("counts sum to %d, want %d", sum, n)
+		}
+	}
+}
+
+func TestMultinomialSumProperty(t *testing.T) {
+	r := New(2)
+	f := func(n uint16, rawProbs []float64) bool {
+		if len(rawProbs) == 0 {
+			return true
+		}
+		probs := make([]float64, len(rawProbs))
+		total := 0.0
+		for i, p := range rawProbs {
+			probs[i] = math.Abs(p)
+			if math.IsNaN(probs[i]) || math.IsInf(probs[i], 0) {
+				probs[i] = 0
+			}
+			total += probs[i]
+		}
+		if total <= 0 {
+			probs[0] = 1
+		}
+		out := make([]int64, len(probs))
+		r.Multinomial(int64(n), probs, out)
+		var sum int64
+		for _, c := range out {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		return sum == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultinomialZeroProbGetsZero(t *testing.T) {
+	r := New(3)
+	probs := []float64{0.5, 0, 0.5, 0}
+	out := make([]int64, 4)
+	for i := 0; i < 100; i++ {
+		r.Multinomial(1000, probs, out)
+		if out[1] != 0 || out[3] != 0 {
+			t.Fatalf("zero-probability category received mass: %v", out)
+		}
+	}
+}
+
+func TestMultinomialSingleCategory(t *testing.T) {
+	r := New(4)
+	out := make([]int64, 1)
+	r.Multinomial(42, []float64{3.7}, out)
+	if out[0] != 42 {
+		t.Fatalf("single category got %d, want 42", out[0])
+	}
+}
+
+func TestMultinomialUnnormalizedWeights(t *testing.T) {
+	// Weights {2, 6} should behave like probabilities {0.25, 0.75}.
+	r := New(5)
+	out := make([]int64, 2)
+	const n, trials = 1000, 2000
+	total := 0.0
+	for i := 0; i < trials; i++ {
+		r.Multinomial(n, []float64{2, 6}, out)
+		total += float64(out[0])
+	}
+	mean := total / trials
+	want := 0.25 * n
+	se := math.Sqrt(0.25 * 0.75 * n / trials)
+	if math.Abs(mean-want) > 8*se {
+		t.Fatalf("category-0 mean = %v, want %v", mean, want)
+	}
+}
+
+func TestMultinomialMarginalMoments(t *testing.T) {
+	r := New(6)
+	probs := []float64{0.05, 0.15, 0.3, 0.5}
+	const n, trials = 10000, 5000
+	out := make([]int64, len(probs))
+	sums := make([]float64, len(probs))
+	sumSqs := make([]float64, len(probs))
+	for i := 0; i < trials; i++ {
+		r.Multinomial(n, probs, out)
+		for j, c := range out {
+			sums[j] += float64(c)
+			sumSqs[j] += float64(c) * float64(c)
+		}
+	}
+	for j, p := range probs {
+		mean := sums[j] / trials
+		wantMean := float64(n) * p
+		variance := sumSqs[j]/trials - mean*mean
+		wantVar := float64(n) * p * (1 - p)
+		seMean := math.Sqrt(wantVar / trials)
+		if math.Abs(mean-wantMean) > 6*seMean {
+			t.Errorf("category %d mean = %v, want %v", j, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.15*wantVar {
+			t.Errorf("category %d variance = %v, want %v", j, variance, wantVar)
+		}
+	}
+}
+
+func TestMultinomialPanics(t *testing.T) {
+	r := New(7)
+	t.Run("len mismatch", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic on length mismatch")
+			}
+		}()
+		r.Multinomial(10, []float64{1, 1}, make([]int64, 3))
+	})
+	t.Run("zero mass", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic on zero total probability")
+			}
+		}()
+		r.Multinomial(10, []float64{0, 0}, make([]int64, 2))
+	})
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	r := New(8)
+	weights := []float64{1, 0, 3, 6}
+	a := NewAlias(weights)
+	if a.K() != 4 {
+		t.Fatalf("K = %d, want 4", a.K())
+	}
+	const trials = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < trials; i++ {
+		counts[a.Sample(r)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight category sampled %d times", counts[1])
+	}
+	total := 10.0
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("category %d frequency = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasSingle(t *testing.T) {
+	a := NewAlias([]float64{2.5})
+	r := New(9)
+	for i := 0; i < 50; i++ {
+		if got := a.Sample(r); got != 0 {
+			t.Fatalf("Sample = %d, want 0", got)
+		}
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic on empty weights")
+			}
+		}()
+		NewAlias(nil)
+	})
+	t.Run("all zero", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic on all-zero weights")
+			}
+		}()
+		NewAlias([]float64{0, 0})
+	})
+}
+
+func TestAliasManyCategories(t *testing.T) {
+	// Uniform over 1000 categories; spot-check frequency bounds.
+	k := 1000
+	weights := make([]float64, k)
+	for i := range weights {
+		weights[i] = 1
+	}
+	a := NewAlias(weights)
+	r := New(10)
+	counts := make([]int, k)
+	const trials = 500000
+	for i := 0; i < trials; i++ {
+		counts[a.Sample(r)]++
+	}
+	want := float64(trials) / float64(k)
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("category %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func BenchmarkMultinomialK100(b *testing.B) {
+	r := New(1)
+	probs := make([]float64, 100)
+	for i := range probs {
+		probs[i] = float64(i + 1)
+	}
+	out := make([]int64, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Multinomial(1_000_000, probs, out)
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	weights := make([]float64, 1024)
+	for i := range weights {
+		weights[i] = float64(i%7 + 1)
+	}
+	a := NewAlias(weights)
+	r := New(1)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += a.Sample(r)
+	}
+	_ = sink
+}

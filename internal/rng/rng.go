@@ -1,0 +1,190 @@
+// Package rng provides the random-number substrate for the plurality
+// library: a fast, reproducible xoshiro256++ generator plus the exact
+// discrete samplers (binomial, multinomial, categorical) that the
+// counts-based consensus-dynamics engine in internal/core relies on.
+//
+// The package deliberately does not use math/rand: the engine needs
+// (a) reproducible streams that are stable across platforms and Go
+// releases, (b) an exact binomial sampler (math/rand has none), and
+// (c) cheap derivation of statistically independent sub-streams for
+// parallel trials.
+package rng
+
+import "math"
+
+// Rand is a xoshiro256++ pseudo-random generator. It is NOT safe for
+// concurrent use; create one Rand per goroutine (see Fork and New).
+//
+// The zero value is not usable; construct with New.
+type Rand struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances *x by the splitmix64 update and returns the next
+// output. It is used to expand seeds into full xoshiro state and to
+// derive independent sub-stream seeds.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded deterministically from seed. Distinct
+// seeds yield (for all practical purposes) independent streams.
+func New(seed uint64) *Rand {
+	var r Rand
+	r.Reseed(seed)
+	return &r
+}
+
+// Reseed resets the generator state deterministically from seed.
+func (r *Rand) Reseed(seed uint64) {
+	x := seed
+	r.s0 = splitmix64(&x)
+	r.s1 = splitmix64(&x)
+	r.s2 = splitmix64(&x)
+	r.s3 = splitmix64(&x)
+	// xoshiro must not be seeded with the all-zero state; splitmix64 of
+	// any seed cannot produce four zero outputs, but guard regardless.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s0+r.s3, 23) + r.s0
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Uint64n returns a uniformly random integer in [0, n). It panics if
+// n == 0. The implementation is Lemire's nearly-divisionless method
+// with rejection, so the result is exactly uniform.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	hi, lo := mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n // (2^64 - n) mod n without overflow
+		for lo < thresh {
+			hi, lo = mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return hi, lo
+}
+
+// Intn returns a uniformly random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int63n returns a uniformly random int64 in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with n <= 0")
+	}
+	return int64(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniformly random float64 in [0, 1) with 53 random bits.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p (clamped to [0, 1]).
+func (r *Rand) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Fork derives a new generator whose stream is independent of the
+// receiver's future output. It is the supported way to hand independent
+// generators to worker goroutines.
+func (r *Rand) Fork() *Rand {
+	x := r.Uint64()
+	y := r.Uint64()
+	seed := x
+	_ = splitmix64(&seed)
+	return New(seed ^ rotl(y, 32))
+}
+
+// DeriveSeed maps (base, index) to a well-mixed 64-bit seed, so that
+// parallel trials i = 0, 1, ... get reproducible independent streams.
+func DeriveSeed(base, index uint64) uint64 {
+	x := base
+	a := splitmix64(&x)
+	x = index ^ rotl(a, 17)
+	return splitmix64(&x)
+}
+
+// Shuffle pseudo-randomly permutes the order of n elements using the
+// Fisher–Yates algorithm; swap exchanges elements i and j.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// NormFloat64 returns a standard normal variate via the Marsaglia polar
+// method. It is used only by test/statistics helpers, never by the
+// exact dynamics engine.
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Exp returns an exponential variate with rate 1.
+func (r *Rand) Exp() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}

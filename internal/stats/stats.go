@@ -1,0 +1,254 @@
+// Package stats provides the small statistics toolkit used by the
+// experiment harness: streaming moments, quantiles, least-squares and
+// log-log slope fits, and binomial confidence intervals.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Welford accumulates a running mean and variance in a numerically
+// stable way. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean, or 0 with no observations.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance, or 0 with fewer than two
+// observations.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (w *Welford) Max() float64 { return w.max }
+
+// SEM returns the standard error of the mean.
+func (w *Welford) SEM() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.Std() / math.Sqrt(float64(w.n))
+}
+
+// Summary holds descriptive statistics for a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Q25    float64
+	Median float64
+	Q75    float64
+	Max    float64
+}
+
+// Summarize computes descriptive statistics. It returns the zero
+// Summary for an empty sample. The input is not modified.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var w Welford
+	for _, x := range sorted {
+		w.Add(x)
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   w.Mean(),
+		Std:    w.Std(),
+		Min:    sorted[0],
+		Q25:    quantileSorted(sorted, 0.25),
+		Median: quantileSorted(sorted, 0.5),
+		Q75:    quantileSorted(sorted, 0.75),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by linear
+// interpolation. It returns NaN for an empty sample. The input is not
+// modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the sample median (NaN for an empty sample).
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// LinearFit holds the result of an ordinary least-squares line fit
+// y = Slope*x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// FitLine fits y = a*x + b by ordinary least squares. It returns the
+// zero fit when fewer than two distinct x values are supplied.
+func FitLine(xs, ys []float64) LinearFit {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return LinearFit{}
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}
+	}
+	slope := sxy / sxx
+	fit := LinearFit{
+		Slope:     slope,
+		Intercept: my - slope*mx,
+	}
+	if syy > 0 {
+		fit.R2 = sxy * sxy / (sxx * syy)
+	} else {
+		fit.R2 = 1
+	}
+	return fit
+}
+
+// LogLogSlope fits log(y) = s*log(x) + c and returns the fit; points
+// with non-positive coordinates are dropped. This is how the
+// experiments extract empirical scaling exponents (e.g. consensus time
+// ~ k^s in Theorem 1.1).
+func LogLogSlope(xs, ys []float64) LinearFit {
+	lx := make([]float64, 0, len(xs))
+	ly := make([]float64, 0, len(ys))
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	return FitLine(lx, ly)
+}
+
+// WilsonInterval returns the Wilson score interval for a binomial
+// proportion with successes out of n trials at z standard normal
+// quantiles of confidence (z = 1.96 for 95%).
+func WilsonInterval(successes, n int, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	p := float64(successes) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Histogram counts xs into nbins equal-width bins on [lo, hi].
+// Out-of-range values are clamped into the first/last bin.
+func Histogram(xs []float64, lo, hi float64, nbins int) []int {
+	if nbins <= 0 || hi <= lo {
+		return nil
+	}
+	bins := make([]int, nbins)
+	width := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		idx := int((x - lo) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= nbins {
+			idx = nbins - 1
+		}
+		bins[idx]++
+	}
+	return bins
+}

@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.Var() != 0 || w.SEM() != 0 {
+		t.Fatal("zero Welford not zeroed")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	// Sample variance of this classic set is 32/7.
+	if !almostEqual(w.Var(), 32.0/7, 1e-12) {
+		t.Errorf("Var = %v, want %v", w.Var(), 32.0/7)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordMatchesDirectComputation(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var w Welford
+		sum := 0.0
+		for _, x := range xs {
+			w.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		ss := 0.0
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		direct := ss / float64(len(xs)-1)
+		scale := math.Max(1, math.Abs(direct))
+		return almostEqual(w.Mean(), mean, 1e-6*math.Max(1, math.Abs(mean))) &&
+			almostEqual(w.Var(), direct, 1e-6*scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("unexpected summary %+v", s)
+	}
+	if !almostEqual(s.Mean, 3, 1e-12) {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if !almostEqual(s.Q25, 2, 1e-12) || !almostEqual(s.Q75, 4, 1e-12) {
+		t.Errorf("quartiles = %v, %v", s.Q25, s.Q75)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Errorf("empty summary N = %d", empty.N)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3, 20},
+		{-0.5, 10}, {1.5, 40},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty sample should be NaN")
+	}
+	// Input must not be reordered.
+	orig := []float64{3, 1, 2}
+	Quantile(orig, 0.5)
+	if orig[0] != 3 || orig[1] != 1 || orig[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestMedianAndMean(t *testing.T) {
+	if got := Median([]float64{1, 2, 3, 4, 100}); got != 3 {
+		t.Errorf("Median = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	fit := FitLine(xs, ys)
+	if !almostEqual(fit.Slope, 2, 1e-12) || !almostEqual(fit.Intercept, 1, 1e-12) {
+		t.Fatalf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	if fit := FitLine([]float64{1}, []float64{2}); fit != (LinearFit{}) {
+		t.Errorf("single-point fit = %+v", fit)
+	}
+	if fit := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3}); fit != (LinearFit{}) {
+		t.Errorf("vertical fit = %+v", fit)
+	}
+	if fit := FitLine([]float64{1, 2}, []float64{5}); fit != (LinearFit{}) {
+		t.Errorf("mismatched lengths fit = %+v", fit)
+	}
+	// Constant y: slope 0, perfect fit.
+	fit := FitLine([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if !almostEqual(fit.Slope, 0, 1e-12) || !almostEqual(fit.R2, 1, 1e-12) {
+		t.Errorf("constant-y fit = %+v", fit)
+	}
+}
+
+func TestLogLogSlopePowerLaw(t *testing.T) {
+	// y = 3 x^2 should give slope 2 exactly.
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	fit := LogLogSlope(xs, ys)
+	if !almostEqual(fit.Slope, 2, 1e-9) {
+		t.Fatalf("slope = %v, want 2", fit.Slope)
+	}
+}
+
+func TestLogLogSlopeDropsNonPositive(t *testing.T) {
+	xs := []float64{-1, 0, 1, 2, 4}
+	ys := []float64{5, 5, 1, 2, 4} // usable points are exactly y = x
+	fit := LogLogSlope(xs, ys)
+	if !almostEqual(fit.Slope, 1, 1e-9) {
+		t.Fatalf("slope = %v, want 1", fit.Slope)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(0, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty interval = [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(50, 100, 1.96)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Errorf("interval [%v, %v] should contain 0.5", lo, hi)
+	}
+	if lo < 0.39 || hi > 0.61 {
+		t.Errorf("interval [%v, %v] too wide for n=100", lo, hi)
+	}
+	lo, hi = WilsonInterval(100, 100, 1.96)
+	if hi < 1-1e-9 {
+		t.Errorf("all-success hi = %v, want about 1", hi)
+	}
+	if lo < 0.95 {
+		t.Errorf("all-success lo = %v too low", lo)
+	}
+	lo, hi = WilsonInterval(0, 100, 1.96)
+	if lo != 0 || hi > 0.05 {
+		t.Errorf("no-success interval = [%v, %v]", lo, hi)
+	}
+}
+
+func TestWilsonIntervalOrderingProperty(t *testing.T) {
+	f := func(s, n uint8) bool {
+		trials := int(n)
+		succ := int(s)
+		if succ > trials {
+			succ = trials
+		}
+		lo, hi := WilsonInterval(succ, trials, 1.96)
+		if lo < 0 || hi > 1 || lo > hi {
+			return false
+		}
+		if trials == 0 {
+			return true
+		}
+		p := float64(succ) / float64(trials)
+		return lo <= p+1e-12 && hi >= p-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins := Histogram([]float64{0.1, 0.9, 1.5, 3.9, -5, 99}, 0, 4, 4)
+	want := []int{3, 1, 0, 2} // -5 clamps into bin 0, 99 into bin 3
+	for i := range want {
+		if bins[i] != want[i] {
+			t.Fatalf("bins = %v, want %v", bins, want)
+		}
+	}
+	if Histogram(nil, 0, 1, 0) != nil {
+		t.Error("zero-bin histogram should be nil")
+	}
+	if Histogram(nil, 1, 1, 5) != nil {
+		t.Error("empty-range histogram should be nil")
+	}
+}

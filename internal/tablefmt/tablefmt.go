@@ -1,0 +1,133 @@
+// Package tablefmt renders the experiment tables as aligned text and
+// CSV. Every experiment driver in internal/experiments produces
+// []Table, which cmd/conbench prints and EXPERIMENTS.md records.
+package tablefmt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of string cells with one header row.
+type Table struct {
+	Title   string
+	Notes   string // free-form commentary printed under the title
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, converting each cell with Cell.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = Cell(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Cell formats a single value compactly: floats with %.4g, everything
+// else with %v.
+func Cell(v interface{}) string {
+	switch x := v.(type) {
+	case float64:
+		return strconv.FormatFloat(x, 'g', 4, 64)
+	case float32:
+		return strconv.FormatFloat(float64(x), 'g', 4, 32)
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if t.Notes != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Notes); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteString("\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	rules := make([]string, len(t.Columns))
+	for i := range rules {
+		rules[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(rules); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b) // strings.Builder never errors
+	return b.String()
+}
+
+// WriteCSV writes the table (header + rows) in CSV form.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderAll renders a sequence of tables.
+func RenderAll(w io.Writer, tables []Table) error {
+	for i := range tables {
+		if err := tables[i].Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCellFormats(t *testing.T) {
+	cases := []struct {
+		in   interface{}
+		want string
+	}{
+		{3.14159265, "3.142"},
+		{float32(2.5), "2.5"},
+		{"abc", "abc"},
+		{42, "42"},
+		{int64(7), "7"},
+		{true, "true"},
+	}
+	for _, c := range cases {
+		if got := Cell(c.in); got != c.want {
+			t.Errorf("Cell(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddRowAndRender(t *testing.T) {
+	tb := Table{
+		Title:   "demo",
+		Notes:   "a note",
+		Columns: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("longer-name", 20)
+	out := tb.String()
+	for _, want := range []string{"== demo ==", "a note", "name", "value", "alpha", "longer-name", "20"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Header must come before rows.
+	if strings.Index(out, "name") > strings.Index(out, "alpha") {
+		t.Error("header after data row")
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	tb := Table{Columns: []string{"a", "b"}}
+	tb.AddRow("xx", "y")
+	tb.AddRow("x", "yy")
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d: %q", len(lines), lines)
+	}
+	// Column b must start at the same offset in each data line.
+	off1 := strings.Index(lines[2], "y")
+	off2 := strings.Index(lines[3], "yy")
+	if off1 != off2 {
+		t.Errorf("misaligned columns: %q vs %q", lines[2], lines[3])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := Table{Columns: []string{"x", "y"}}
+	tb.AddRow(1, "a,b")
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.HasPrefix(got, "x,y\n") {
+		t.Errorf("csv header missing: %q", got)
+	}
+	if !strings.Contains(got, `"a,b"`) {
+		t.Errorf("csv quoting missing: %q", got)
+	}
+}
+
+// failWriter errors after a fixed number of bytes to exercise the
+// error-propagation paths.
+type failWriter struct{ remaining int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.remaining <= 0 {
+		return 0, errWriterFull
+	}
+	n := len(p)
+	if n > w.remaining {
+		n = w.remaining
+	}
+	w.remaining -= n
+	if n < len(p) {
+		return n, errWriterFull
+	}
+	return n, nil
+}
+
+var errWriterFull = &writerFullError{}
+
+type writerFullError struct{}
+
+func (*writerFullError) Error() string { return "writer full" }
+
+func TestRenderPropagatesWriteErrors(t *testing.T) {
+	tb := Table{Title: "t", Notes: "n", Columns: []string{"a"}}
+	tb.AddRow("x")
+	// The full render is 17 bytes; fail at truncation points covering
+	// title, notes, header, rule, row, and the trailing newline.
+	for _, budget := range []int{0, 3, 10, 12, 14, 16} {
+		if err := tb.Render(&failWriter{remaining: budget}); err == nil {
+			t.Errorf("budget %d: expected write error", budget)
+		}
+	}
+	if err := tb.Render(&failWriter{remaining: 17}); err != nil {
+		t.Errorf("full budget should succeed, got %v", err)
+	}
+}
+
+func TestWriteCSVPropagatesErrors(t *testing.T) {
+	tb := Table{Columns: []string{"a", "b"}}
+	tb.AddRow(1, 2)
+	if err := tb.WriteCSV(&failWriter{remaining: 2}); err == nil {
+		t.Error("expected csv write error")
+	}
+}
+
+func TestRenderAllPropagatesErrors(t *testing.T) {
+	tables := []Table{{Title: "one", Columns: []string{"c"}}}
+	if err := RenderAll(&failWriter{remaining: 1}, tables); err == nil {
+		t.Error("expected error from RenderAll")
+	}
+}
+
+func TestRenderAll(t *testing.T) {
+	tables := []Table{
+		{Title: "one", Columns: []string{"c"}},
+		{Title: "two", Columns: []string{"c"}},
+	}
+	var sb strings.Builder
+	if err := RenderAll(&sb, tables); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "one") || !strings.Contains(out, "two") {
+		t.Errorf("RenderAll output %q", out)
+	}
+}

@@ -1,0 +1,104 @@
+package theory
+
+import (
+	"testing"
+
+	"plurality/internal/population"
+)
+
+func TestStoppingTimesSynthetic(t *testing.T) {
+	// Drive the tracker through a hand-built trajectory of three
+	// opinions and check each first-hit round.
+	st := NewStoppingTimes(0, 1)
+	trajectory := [][]int64{
+		{50, 40, 10}, // round 0: α0(0)=0.5, α0(1)=0.4, δ0=0.1, γ0=0.42
+		{52, 38, 10}, // round 1
+		{60, 30, 10}, // round 2: α(0)=0.6 ≥ 1.1·0.5 → τ↑_I = 2
+		{70, 20, 10}, // round 3: α(1)=0.2 ≤ 0.9·0.4 → τ↓_J fired earlier? 0.3 ≤ 0.36 at round 2
+		{85, 5, 10},  // round 4
+		{90, 0, 10},  // round 5: J vanishes
+	}
+	for round, counts := range trajectory {
+		st.Observe(round, population.MustFromCounts(counts))
+	}
+	if st.Alpha0I != 0.5 || st.Alpha0J != 0.4 || st.Delta0 != 0.1 {
+		t.Fatalf("reference values wrong: %+v", st)
+	}
+	if st.TauUpI != 2 {
+		t.Errorf("τ↑_I = %d, want 2", st.TauUpI)
+	}
+	if st.TauDownJ != 2 { // 30/100 = 0.3 ≤ 0.9·0.4 = 0.36
+		t.Errorf("τ↓_J = %d, want 2", st.TauDownJ)
+	}
+	if st.TauVanishJ != 5 {
+		t.Errorf("τvanish_J = %d, want 5", st.TauVanishJ)
+	}
+	if st.TauVanishI != Unset {
+		t.Errorf("τvanish_I = %d, want Unset", st.TauVanishI)
+	}
+	if st.TauDownI != Unset {
+		t.Errorf("τ↓_I = %d, want Unset", st.TauDownI)
+	}
+	// γ grows along this trajectory, so τ↑_γ fires and τ↓_γ does not.
+	if st.TauUpGamma == Unset {
+		t.Error("τ↑_γ never fired despite γ growth")
+	}
+	if st.TauDownGamma != Unset {
+		t.Errorf("τ↓_γ = %d, want Unset", st.TauDownGamma)
+	}
+	// δ grows from 0.1 to 0.9: τ↑_δ fires, τ↓_δ does not.
+	if st.TauUpDelta == Unset || st.TauDownDelta != Unset {
+		t.Errorf("δ stopping times wrong: up=%d down=%d", st.TauUpDelta, st.TauDownDelta)
+	}
+}
+
+func TestStoppingTimesWeakBeforeVanish(t *testing.T) {
+	// Vanishing implies weakness (α = 0 ≤ (1−c)γ), so τweak ≤ τvanish
+	// on every trajectory where both fire.
+	st := NewStoppingTimes(0, 1)
+	trajectory := [][]int64{
+		{10, 45, 45},
+		{5, 50, 45},
+		{0, 55, 45},
+	}
+	for round, counts := range trajectory {
+		st.Observe(round, population.MustFromCounts(counts))
+	}
+	if st.TauVanishI == Unset || st.TauWeakI == Unset {
+		t.Fatalf("expected both weak and vanish to fire: %+v", st)
+	}
+	if st.TauWeakI > st.TauVanishI {
+		t.Fatalf("τweak (%d) after τvanish (%d)", st.TauWeakI, st.TauVanishI)
+	}
+}
+
+func TestStoppingTimesAbsDelta(t *testing.T) {
+	st := NewStoppingTimes(0, 1)
+	st.XDelta = 0.5
+	st.Observe(0, population.MustFromCounts([]int64{50, 50}))
+	if st.TauAbsDelta != Unset {
+		t.Fatal("τ+_δ fired at zero bias")
+	}
+	// Negative bias also counts (|δ| threshold).
+	st.Observe(1, population.MustFromCounts([]int64{20, 80}))
+	if st.TauAbsDelta != 1 {
+		t.Fatalf("τ+_δ = %d, want 1", st.TauAbsDelta)
+	}
+}
+
+func TestStoppingTimesZeroConstantsDefaulted(t *testing.T) {
+	st := &StoppingTimes{I: 0, J: 1}
+	st.reset()
+	st.Observe(0, population.MustFromCounts([]int64{60, 40}))
+	if st.C == (Constants{}) {
+		t.Fatal("constants not defaulted")
+	}
+}
+
+func TestStoppingTimesXDeltaDisabled(t *testing.T) {
+	st := NewStoppingTimes(0, 1)
+	st.Observe(0, population.MustFromCounts([]int64{90, 10}))
+	if st.TauAbsDelta != Unset {
+		t.Fatal("τ+_δ fired with threshold disabled")
+	}
+}

@@ -1,0 +1,343 @@
+// Package theory encodes the paper's analytical apparatus in
+// executable form: the Lemma 4.1 closed-form drift expressions, the
+// Definition 4.4 weak/strong/active classification with the paper's
+// constants, the Bernstein condition of Definition 3.3, the
+// Freedman-type tail bound of Corollary 3.8, and the theorem-level
+// consensus-time predictors used by the experiments to normalize
+// measured round counts.
+package theory
+
+import (
+	"math"
+
+	"plurality/internal/population"
+)
+
+// Dynamics selects which of the two headline protocols a bound refers
+// to (several of the paper's expressions differ between them).
+type Dynamics int
+
+// The two dynamics analyzed by the paper.
+const (
+	ThreeMajority Dynamics = iota + 1
+	TwoChoices
+)
+
+// String returns the paper's name for the dynamics.
+func (d Dynamics) String() string {
+	switch d {
+	case ThreeMajority:
+		return "3-Majority"
+	case TwoChoices:
+		return "2-Choices"
+	default:
+		return "unknown"
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 4.1: one-round conditional expectations and variance bounds.
+// ---------------------------------------------------------------------------
+
+// ExpAlphaNext returns E_{t-1}[α_t(i)] = α(i)(1 + α(i) − γ), the
+// conditional one-round expectation shared by both dynamics
+// (Lemma 4.1(i), Eq. (1)).
+func ExpAlphaNext(alpha, gamma float64) float64 {
+	return alpha * (1 + alpha - gamma)
+}
+
+// VarAlphaBound returns the Lemma 4.1(i) upper bound on
+// Var_{t-1}[α_t(i)]: α(i)/n for 3-Majority and α(i)(α(i)+γ)/n for
+// 2-Choices.
+func VarAlphaBound(d Dynamics, alpha, gamma, n float64) float64 {
+	switch d {
+	case ThreeMajority:
+		return alpha / n
+	case TwoChoices:
+		return alpha * (alpha + gamma) / n
+	default:
+		return math.NaN()
+	}
+}
+
+// ExpDeltaNext returns E_{t-1}[δ_t(i,j)] =
+// δ(i,j)(1 + α(i) + α(j) − γ) (Lemma 4.1(ii), Eq. (3)).
+func ExpDeltaNext(delta, alphaI, alphaJ, gamma float64) float64 {
+	return delta * (1 + alphaI + alphaJ - gamma)
+}
+
+// VarDeltaBound returns the Lemma 4.1(ii) upper bound on
+// Var_{t-1}[δ_t(i,j)].
+func VarDeltaBound(d Dynamics, alphaI, alphaJ, gamma, n float64) float64 {
+	s := alphaI + alphaJ
+	switch d {
+	case ThreeMajority:
+		return 2 * s / n
+	case TwoChoices:
+		return s * (s + gamma) / n
+	default:
+		return math.NaN()
+	}
+}
+
+// ExpGammaNextLowerBound returns the Lemma 4.1(iii) lower bound on
+// E_{t-1}[γ_t]: γ + (1−γ)/n for 3-Majority and
+// γ + (1−√γ)(1−γ)γ/n for 2-Choices. In particular the bound is always
+// at least γ (γ_t is a submartingale, Eq. (2)).
+func ExpGammaNextLowerBound(d Dynamics, gamma, n float64) float64 {
+	switch d {
+	case ThreeMajority:
+		return gamma + (1-gamma)/n
+	case TwoChoices:
+		return gamma + (1-math.Sqrt(gamma))*(1-gamma)*gamma/n
+	default:
+		return math.NaN()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Definition 4.4: stopping-time classification and the paper's constants.
+// ---------------------------------------------------------------------------
+
+// Constants carries the universal constants of Definition 4.4. The
+// paper proves its lemmas for the concrete values in Default.
+type Constants struct {
+	CAlphaUp   float64 // c↑_α
+	CAlphaDown float64 // c↓_α
+	CDeltaUp   float64 // c↑_δ
+	CDeltaDown float64 // c↓_δ
+	CGammaUp   float64 // c↑_γ
+	CGammaDown float64 // c↓_γ
+	CWeak      float64 // c_weak: i is weak when α(i) ≤ (1 − c_weak)·γ
+	CActive    float64 // c_active: i is active when α(i) ≥ (1 − c_active)·γ₀
+	CEta       float64 // c↑_η (2-Choices scaled bias, Definition 5.3)
+}
+
+// Default returns the constants the paper fixes below Definition 4.4
+// (c↑_α = c↓_α = c_weak = 1/10, c↑_δ = c↓_δ = c_active = 1/20,
+// c↑_γ = c↓_γ = 1/30) and c↑_η = 1/1000 from Definition 5.3.
+func Default() Constants {
+	return Constants{
+		CAlphaUp:   1.0 / 10,
+		CAlphaDown: 1.0 / 10,
+		CDeltaUp:   1.0 / 20,
+		CDeltaDown: 1.0 / 20,
+		CGammaUp:   1.0 / 30,
+		CGammaDown: 1.0 / 30,
+		CWeak:      1.0 / 10,
+		CActive:    1.0 / 20,
+		CEta:       1.0 / 1000,
+	}
+}
+
+// IsWeak reports whether an opinion with fraction alpha is weak at a
+// configuration with norm gamma: α(i) ≤ (1 − c_weak)·γ
+// (Definition 4.4(iv)).
+func (c Constants) IsWeak(alpha, gamma float64) bool {
+	return alpha <= (1-c.CWeak)*gamma
+}
+
+// IsActive reports whether an opinion with fraction alpha is active
+// relative to the initial norm gamma0: α(i) ≥ (1 − c_active)·γ₀
+// (Definition 4.4(v)).
+func (c Constants) IsActive(alpha, gamma0 float64) bool {
+	return alpha >= (1-c.CActive)*gamma0
+}
+
+// WeakSet returns the indices of the supported opinions that are weak
+// at configuration v. The most popular opinion is never weak
+// (max α(i) ≥ γ always).
+func (c Constants) WeakSet(v *population.Vector) []int {
+	gamma := v.Gamma()
+	var weak []int
+	for i := 0; i < v.K(); i++ {
+		if v.Count(i) > 0 && c.IsWeak(v.Alpha(i), gamma) {
+			weak = append(weak, i)
+		}
+	}
+	return weak
+}
+
+// ScaledBias returns η(i,j) = δ(i,j)/√max{α(i), α(j)}, the 2-Choices
+// bias measure of Definition 5.3. It returns 0 when both opinions are
+// extinct.
+func ScaledBias(v *population.Vector, i, j int) float64 {
+	m := math.Max(v.Alpha(i), v.Alpha(j))
+	if m == 0 {
+		return 0
+	}
+	return v.Bias(i, j) / math.Sqrt(m)
+}
+
+// ---------------------------------------------------------------------------
+// §3.2–3.3: Bernstein condition and the Freedman-type inequality.
+// ---------------------------------------------------------------------------
+
+// BernsteinMGFBound returns the (D, s)-Bernstein moment-generating-
+// function bound exp(λ²s/2 / (1 − |λ|D/3)) of Definition 3.3, and
+// ok = false when |λ|·D ≥ 3 (outside the condition's domain).
+func BernsteinMGFBound(lambda, d, s float64) (bound float64, ok bool) {
+	if math.Abs(lambda)*d >= 3 {
+		return math.Inf(1), false
+	}
+	return math.Exp(lambda * lambda * s / 2 / (1 - math.Abs(lambda)*d/3)), true
+}
+
+// FreedmanTail returns the Corollary 3.8 tail bound
+// exp(−h²/2 / (T·s + h·D/3)) on Pr[∃t ≤ T: X_t − X_0 ≥ h] for a
+// supermartingale whose one-step increments satisfy the one-sided
+// (D, s)-Bernstein condition.
+func FreedmanTail(h, t, s, d float64) float64 {
+	if h <= 0 {
+		return 1
+	}
+	return math.Exp(-(h * h / 2) / (t*s + h*d/3))
+}
+
+// BernsteinParamsAlpha returns the (D, s) Bernstein parameters that
+// Lemma 4.2(i) establishes for the centered increment
+// α_t(i) − E[α_t(i)]: D = 1/n for both dynamics, s = α(i)/n for
+// 3-Majority and α(i)(α(i)+γ)/n for 2-Choices.
+func BernsteinParamsAlpha(dyn Dynamics, alpha, gamma, n float64) (d, s float64) {
+	return 1 / n, VarAlphaBound(dyn, alpha, gamma, n)
+}
+
+// BernsteinParamsDelta returns the (D, s) parameters of Lemma 4.2(ii)
+// for the centered bias increment: D = 2/n.
+func BernsteinParamsDelta(dyn Dynamics, alphaI, alphaJ, gamma, n float64) (d, s float64) {
+	return 2 / n, VarDeltaBound(dyn, alphaI, alphaJ, gamma, n)
+}
+
+// BernsteinParamsGamma returns the one-sided (D, s) parameters of
+// Lemma 4.2(iii) for γ_{t-1} − γ_t: D = 2√γ/n, s = 4γ^{1.5}/n for
+// 3-Majority and 8γ²/n for 2-Choices.
+func BernsteinParamsGamma(dyn Dynamics, gamma, n float64) (d, s float64) {
+	d = 2 * math.Sqrt(gamma) / n
+	switch dyn {
+	case ThreeMajority:
+		s = 4 * math.Pow(gamma, 1.5) / n
+	case TwoChoices:
+		s = 8 * gamma * gamma / n
+	default:
+		s = math.NaN()
+	}
+	return d, s
+}
+
+// ---------------------------------------------------------------------------
+// Theorem-level predictors: the shapes the experiments normalize by.
+// ---------------------------------------------------------------------------
+
+// ConsensusTimeShape returns the paper's Theorem 1.1 consensus-time
+// shape (poly-log factors included, constants set to 1):
+// min{k·ln n, √n·(ln n)²} for 3-Majority and min{k·ln n, n·(ln n)³}
+// for 2-Choices.
+func ConsensusTimeShape(d Dynamics, n, k float64) float64 {
+	ln := math.Log(n)
+	switch d {
+	case ThreeMajority:
+		return math.Min(k*ln, math.Sqrt(n)*ln*ln)
+	case TwoChoices:
+		return math.Min(k*ln, n*ln*ln*ln)
+	default:
+		return math.NaN()
+	}
+}
+
+// ConsensusTimeFromGamma returns ln(n)/γ₀, the Theorem 2.1 shape for
+// the consensus time from a configuration with norm γ₀.
+func ConsensusTimeFromGamma(n, gamma0 float64) float64 {
+	return math.Log(n) / gamma0
+}
+
+// GammaThreshold returns the γ level above which Theorem 2.1 applies:
+// C·ln(n)/√n for 3-Majority and C·(ln n)²/n for 2-Choices, with C = 1.
+func GammaThreshold(d Dynamics, n float64) float64 {
+	ln := math.Log(n)
+	switch d {
+	case ThreeMajority:
+		return ln / math.Sqrt(n)
+	case TwoChoices:
+		return ln * ln / n
+	default:
+		return math.NaN()
+	}
+}
+
+// NormGrowthTimeShape returns the Theorem 2.2 shape of the time for γ
+// to reach the GammaThreshold level from any configuration:
+// √n·(ln n)² for 3-Majority and n·(ln n)³ for 2-Choices.
+func NormGrowthTimeShape(d Dynamics, n float64) float64 {
+	ln := math.Log(n)
+	switch d {
+	case ThreeMajority:
+		return math.Sqrt(n) * ln * ln
+	case TwoChoices:
+		return n * ln * ln * ln
+	default:
+		return math.NaN()
+	}
+}
+
+// PluralityMargin returns the Theorem 2.6 initial-margin shape (with
+// C = 1) that guarantees plurality consensus: √(ln n/n) for 3-Majority
+// and √(α₁·ln n/n) for 2-Choices, where alpha1 is the fraction of the
+// most popular opinion.
+func PluralityMargin(d Dynamics, n, alpha1 float64) float64 {
+	switch d {
+	case ThreeMajority:
+		return math.Sqrt(math.Log(n) / n)
+	case TwoChoices:
+		return math.Sqrt(alpha1 * math.Log(n) / n)
+	default:
+		return math.NaN()
+	}
+}
+
+// LowerBoundRounds returns the Theorem 2.7 lower-bound shape Ω(k)
+// (constant 1) on the consensus time from the balanced configuration,
+// valid for k ≤ c√(n/ln n) (3-Majority) resp. k ≤ c·n/ln n (2-Choices).
+func LowerBoundRounds(k float64) float64 { return k }
+
+// RemainingOpinionsBound returns the BCEKMN17 bound cited as
+// Remark 2.5: after T rounds of 3-Majority at most O(n·ln n/T)
+// opinions remain (constant 1).
+func RemainingOpinionsBound(n, t float64) float64 {
+	if t <= 0 {
+		return n
+	}
+	return n * math.Log(n) / t
+}
+
+// RGamma returns the per-round additive drift parameter R_γ of
+// Lemma 5.13 used in the optional-stopping bound on the γ hitting
+// time: ε/n for 3-Majority and ε²/(3n²) for 2-Choices, valid for γ
+// targets x_γ ≤ 1 − ε.
+func RGamma(d Dynamics, eps, n float64) float64 {
+	switch d {
+	case ThreeMajority:
+		return eps / n
+	case TwoChoices:
+		return eps * eps / (3 * n * n)
+	default:
+		return math.NaN()
+	}
+}
+
+// GammaHitTimeBound returns the explicit Lemma 5.12 bound on the
+// expected time for γ to reach x_γ from any configuration:
+// (64e²/ε)·x_γ·n for 3-Majority and (192e²/ε²)·x_γ·n² for 2-Choices,
+// valid for C²·lg²n/n ≤ x_γ ≤ 1 − ε. These are the paper's actual
+// constants, so measured hitting times can be compared against them
+// directly (they should sit far below the bound).
+func GammaHitTimeBound(d Dynamics, eps, xGamma, n float64) float64 {
+	e2 := math.E * math.E
+	switch d {
+	case ThreeMajority:
+		return 64 * e2 / eps * xGamma * n
+	case TwoChoices:
+		return 192 * e2 / (eps * eps) * xGamma * n * n
+	default:
+		return math.NaN()
+	}
+}

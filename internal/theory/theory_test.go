@@ -1,0 +1,345 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"plurality/internal/population"
+)
+
+func TestDynamicsString(t *testing.T) {
+	if ThreeMajority.String() != "3-Majority" || TwoChoices.String() != "2-Choices" {
+		t.Fatal("dynamics names wrong")
+	}
+	if Dynamics(0).String() != "unknown" {
+		t.Fatal("zero dynamics should be unknown")
+	}
+}
+
+func TestExpAlphaNextFixedPoints(t *testing.T) {
+	// Consensus (α=1, γ=1) and extinction (α=0) are fixed points.
+	if got := ExpAlphaNext(1, 1); got != 1 {
+		t.Errorf("ExpAlphaNext(1,1) = %v", got)
+	}
+	if got := ExpAlphaNext(0, 0.5); got != 0 {
+		t.Errorf("ExpAlphaNext(0,·) = %v", got)
+	}
+	// Balanced two opinions: α = 1/2, γ = 1/2 is a fixed point too.
+	if got := ExpAlphaNext(0.5, 0.5); got != 0.5 {
+		t.Errorf("ExpAlphaNext(0.5,0.5) = %v", got)
+	}
+}
+
+func TestExpAlphaNextDriftDirectionProperty(t *testing.T) {
+	// α above γ grows in expectation, α below γ shrinks (paper §2.2).
+	f := func(rawA, rawG uint16) bool {
+		alpha := float64(rawA%1000) / 1000
+		gamma := float64(rawG%1000) / 1000
+		if gamma < alpha*alpha {
+			gamma = alpha * alpha // γ >= α² always holds
+		}
+		next := ExpAlphaNext(alpha, gamma)
+		switch {
+		case alpha > gamma:
+			return next >= alpha
+		case alpha < gamma:
+			return next <= alpha
+		default:
+			return math.Abs(next-alpha) < 1e-15
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpDeltaNextAmplification(t *testing.T) {
+	// With both opinions non-weak, 1 + α(i) + α(j) − γ > 1, so the bias
+	// is amplified (Lemma 2.4 heuristic).
+	got := ExpDeltaNext(0.1, 0.3, 0.2, 0.2)
+	if got <= 0.1 {
+		t.Errorf("bias not amplified: %v", got)
+	}
+	// Bias of zero stays zero.
+	if got := ExpDeltaNext(0, 0.3, 0.2, 0.2); got != 0 {
+		t.Errorf("zero bias drifted: %v", got)
+	}
+}
+
+func TestExpGammaNextLowerBoundSubmartingale(t *testing.T) {
+	for _, d := range []Dynamics{ThreeMajority, TwoChoices} {
+		for _, gamma := range []float64{0.01, 0.1, 0.5, 0.9, 1} {
+			lb := ExpGammaNextLowerBound(d, gamma, 1000)
+			if lb < gamma {
+				t.Errorf("%v: lower bound %v below γ=%v", d, lb, gamma)
+			}
+		}
+	}
+	// 3-Majority's additive term is Θ(1/n), 2-Choices' is Θ(γ/n) or
+	// smaller — the paper's reason 2-Choices needs Õ(n) to grow γ.
+	g3 := ExpGammaNextLowerBound(ThreeMajority, 0.01, 1000) - 0.01
+	g2 := ExpGammaNextLowerBound(TwoChoices, 0.01, 1000) - 0.01
+	if g3 <= g2 {
+		t.Errorf("3-majority drift %v should exceed 2-choices drift %v at small γ", g3, g2)
+	}
+}
+
+func TestVarBoundsNaNOnUnknown(t *testing.T) {
+	if !math.IsNaN(VarAlphaBound(Dynamics(0), 0.1, 0.1, 10)) {
+		t.Error("unknown dynamics should yield NaN")
+	}
+	if !math.IsNaN(VarDeltaBound(Dynamics(0), 0.1, 0.1, 0.1, 10)) {
+		t.Error("unknown dynamics should yield NaN")
+	}
+	if !math.IsNaN(ExpGammaNextLowerBound(Dynamics(0), 0.1, 10)) {
+		t.Error("unknown dynamics should yield NaN")
+	}
+	if !math.IsNaN(ConsensusTimeShape(Dynamics(0), 10, 2)) {
+		t.Error("unknown dynamics should yield NaN")
+	}
+}
+
+func TestDefaultConstantsMatchPaper(t *testing.T) {
+	c := Default()
+	if c.CWeak != 0.1 || c.CAlphaUp != 0.1 || c.CAlphaDown != 0.1 {
+		t.Errorf("α/weak constants wrong: %+v", c)
+	}
+	if c.CDeltaUp != 0.05 || c.CDeltaDown != 0.05 || c.CActive != 0.05 {
+		t.Errorf("δ/active constants wrong: %+v", c)
+	}
+	if math.Abs(c.CGammaUp-1.0/30) > 1e-15 || math.Abs(c.CGammaDown-1.0/30) > 1e-15 {
+		t.Errorf("γ constants wrong: %+v", c)
+	}
+	if c.CEta != 1.0/1000 {
+		t.Errorf("η constant wrong: %+v", c)
+	}
+	// Definition 4.4(v) requires c↓_γ < c_active < c_weak.
+	if !(c.CGammaDown < c.CActive && c.CActive < c.CWeak) {
+		t.Errorf("constant ordering violated: %+v", c)
+	}
+}
+
+func TestIsWeakAndWeakSet(t *testing.T) {
+	c := Default()
+	v := population.MustFromCounts([]int64{70, 20, 10})
+	gamma := v.Gamma() // 0.49 + 0.04 + 0.01 = 0.54
+	if c.IsWeak(v.Alpha(0), gamma) {
+		t.Error("plurality opinion classified weak")
+	}
+	if !c.IsWeak(v.Alpha(1), gamma) || !c.IsWeak(v.Alpha(2), gamma) {
+		t.Error("minority opinions not classified weak")
+	}
+	weak := c.WeakSet(v)
+	if len(weak) != 2 || weak[0] != 1 || weak[1] != 2 {
+		t.Errorf("WeakSet = %v", weak)
+	}
+	// Extinct opinions are not reported.
+	v2 := population.MustFromCounts([]int64{70, 30, 0})
+	for _, i := range c.WeakSet(v2) {
+		if i == 2 {
+			t.Error("extinct opinion in weak set")
+		}
+	}
+}
+
+func TestMaxOpinionNeverWeakProperty(t *testing.T) {
+	// max_i α(i) >= γ always, so the plurality is never weak (§2.2).
+	c := Default()
+	f := func(raw []uint8) bool {
+		counts := make([]int64, 0, len(raw))
+		var n int64
+		for _, x := range raw {
+			counts = append(counts, int64(x))
+			n += int64(x)
+		}
+		if len(counts) == 0 || n == 0 {
+			return true
+		}
+		v := population.MustFromCounts(counts)
+		top, _ := v.MaxOpinion()
+		return !c.IsWeak(v.Alpha(top), v.Gamma())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsActive(t *testing.T) {
+	c := Default()
+	if !c.IsActive(0.2, 0.2) {
+		t.Error("α = γ₀ should be active")
+	}
+	if c.IsActive(0.1, 0.2) {
+		t.Error("α = γ₀/2 should not be active")
+	}
+}
+
+func TestScaledBias(t *testing.T) {
+	v := population.MustFromCounts([]int64{40, 10, 50})
+	want := (0.4 - 0.1) / math.Sqrt(0.4)
+	if got := ScaledBias(v, 0, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ScaledBias = %v, want %v", got, want)
+	}
+	// Antisymmetric.
+	if got := ScaledBias(v, 1, 0); math.Abs(got+want) > 1e-12 {
+		t.Errorf("ScaledBias(j,i) = %v, want %v", got, -want)
+	}
+	v2 := population.MustFromCounts([]int64{0, 0, 50})
+	if got := ScaledBias(v2, 0, 1); got != 0 {
+		t.Errorf("ScaledBias of extinct pair = %v", got)
+	}
+}
+
+func TestBernsteinMGFBound(t *testing.T) {
+	// λ = 0 gives bound 1.
+	b, ok := BernsteinMGFBound(0, 1, 1)
+	if !ok || b != 1 {
+		t.Errorf("bound at λ=0: %v, %v", b, ok)
+	}
+	// Outside the domain.
+	if _, ok := BernsteinMGFBound(3, 1, 1); ok {
+		t.Error("|λ|D = 3 should be out of domain")
+	}
+	// Monotone in |λ| within the domain.
+	b1, _ := BernsteinMGFBound(0.5, 1, 1)
+	b2, _ := BernsteinMGFBound(1.0, 1, 1)
+	if b2 <= b1 {
+		t.Errorf("bound not increasing: %v then %v", b1, b2)
+	}
+	// Symmetric in λ.
+	bn, _ := BernsteinMGFBound(-1.0, 1, 1)
+	if math.Abs(bn-b2) > 1e-12 {
+		t.Errorf("bound not symmetric: %v vs %v", bn, b2)
+	}
+}
+
+func TestFreedmanTailProperties(t *testing.T) {
+	// Larger deviation h → smaller probability.
+	p1 := FreedmanTail(1, 100, 0.01, 0.1)
+	p2 := FreedmanTail(2, 100, 0.01, 0.1)
+	if p2 >= p1 {
+		t.Errorf("tail not decreasing in h: %v then %v", p1, p2)
+	}
+	// Longer horizon T → larger probability.
+	p3 := FreedmanTail(1, 200, 0.01, 0.1)
+	if p3 <= p1 {
+		t.Errorf("tail not increasing in T: %v then %v", p1, p3)
+	}
+	// h <= 0 is trivial.
+	if FreedmanTail(0, 100, 0.01, 0.1) != 1 {
+		t.Error("h=0 should give probability bound 1")
+	}
+	// Bounds are probabilities.
+	if p1 <= 0 || p1 > 1 {
+		t.Errorf("bound %v not in (0,1]", p1)
+	}
+}
+
+func TestBernsteinParams(t *testing.T) {
+	d, s := BernsteinParamsAlpha(ThreeMajority, 0.2, 0.3, 100)
+	if d != 0.01 || math.Abs(s-0.002) > 1e-15 {
+		t.Errorf("alpha params = (%v, %v)", d, s)
+	}
+	d, s = BernsteinParamsDelta(TwoChoices, 0.2, 0.1, 0.3, 100)
+	if d != 0.02 || math.Abs(s-0.3*(0.3+0.3)/100) > 1e-15 {
+		t.Errorf("delta params = (%v, %v)", d, s)
+	}
+	d, s = BernsteinParamsGamma(ThreeMajority, 0.25, 100)
+	if math.Abs(d-2*0.5/100) > 1e-15 || math.Abs(s-4*0.125/100) > 1e-15 {
+		t.Errorf("gamma params = (%v, %v)", d, s)
+	}
+	_, s = BernsteinParamsGamma(TwoChoices, 0.25, 100)
+	if math.Abs(s-8*0.0625/100) > 1e-15 {
+		t.Errorf("2-choices gamma s = %v", s)
+	}
+}
+
+func TestConsensusTimeShapeCrossover(t *testing.T) {
+	n := 1e6
+	// Small k: both shapes are k·ln n.
+	if got, want := ConsensusTimeShape(ThreeMajority, n, 10), 10*math.Log(n); got != want {
+		t.Errorf("3-majority small-k shape = %v, want %v", got, want)
+	}
+	// Huge k: 3-Majority saturates at √n·ln²n, 2-Choices keeps growing.
+	big3 := ConsensusTimeShape(ThreeMajority, n, n)
+	if want := math.Sqrt(n) * math.Log(n) * math.Log(n); big3 != want {
+		t.Errorf("3-majority large-k shape = %v, want %v", big3, want)
+	}
+	big2 := ConsensusTimeShape(TwoChoices, n, n/10)
+	if big2 <= big3 {
+		t.Errorf("2-choices shape %v should exceed 3-majority cap %v at large k", big2, big3)
+	}
+	// The 3-Majority saturation point is near k = √n·ln n.
+	kc := math.Sqrt(n) * math.Log(n)
+	atCross := ConsensusTimeShape(ThreeMajority, n, kc)
+	if math.Abs(atCross-math.Sqrt(n)*math.Log(n)*math.Log(n)) > 1e-6*atCross {
+		t.Errorf("crossover mismatch: %v", atCross)
+	}
+}
+
+func TestThresholdsAndMargins(t *testing.T) {
+	n := 1e6
+	if g3, g2 := GammaThreshold(ThreeMajority, n), GammaThreshold(TwoChoices, n); g3 <= g2 {
+		t.Errorf("3-majority γ threshold %v should exceed 2-choices %v", g3, g2)
+	}
+	m3 := PluralityMargin(ThreeMajority, n, 0.5)
+	m2 := PluralityMargin(TwoChoices, n, 0.25)
+	if math.Abs(m3-math.Sqrt(math.Log(n)/n)) > 1e-15 {
+		t.Errorf("3-majority margin = %v", m3)
+	}
+	if math.Abs(m2-math.Sqrt(0.25*math.Log(n)/n)) > 1e-15 {
+		t.Errorf("2-choices margin = %v", m2)
+	}
+	if LowerBoundRounds(128) != 128 {
+		t.Error("lower bound shape should be k")
+	}
+	if got := RemainingOpinionsBound(n, 0); got != n {
+		t.Errorf("T=0 remaining bound = %v, want n", got)
+	}
+	if got := RemainingOpinionsBound(n, math.Log(n)); math.Abs(got-n) > 1e-6 {
+		t.Errorf("T=ln n remaining bound = %v, want ~n", got)
+	}
+	if got := NormGrowthTimeShape(ThreeMajority, n); got >= NormGrowthTimeShape(TwoChoices, n) {
+		t.Errorf("3-majority norm-growth %v should be below 2-choices", got)
+	}
+}
+
+func TestRGamma(t *testing.T) {
+	n := 1000.0
+	if got := RGamma(ThreeMajority, 0.5, n); got != 0.5/n {
+		t.Errorf("3-majority R_γ = %v", got)
+	}
+	if got := RGamma(TwoChoices, 0.5, n); math.Abs(got-0.25/(3*n*n)) > 1e-18 {
+		t.Errorf("2-choices R_γ = %v", got)
+	}
+	if !math.IsNaN(RGamma(Dynamics(0), 0.5, n)) {
+		t.Error("unknown dynamics should be NaN")
+	}
+	// Three-Majority's drift dominates 2-Choices' for n > 1.
+	if RGamma(ThreeMajority, 0.5, n) <= RGamma(TwoChoices, 0.5, n) {
+		t.Error("drift ordering violated")
+	}
+}
+
+func TestGammaHitTimeBound(t *testing.T) {
+	n := 10000.0
+	eps := 0.5
+	x := 0.01
+	b3 := GammaHitTimeBound(ThreeMajority, eps, x, n)
+	want3 := 64 * math.E * math.E / eps * x * n
+	if math.Abs(b3-want3) > 1e-9*want3 {
+		t.Errorf("3-majority bound = %v, want %v", b3, want3)
+	}
+	b2 := GammaHitTimeBound(TwoChoices, eps, x, n)
+	if b2 <= b3 {
+		t.Errorf("2-choices bound %v should exceed 3-majority bound %v", b2, b3)
+	}
+	if !math.IsNaN(GammaHitTimeBound(Dynamics(0), eps, x, n)) {
+		t.Error("unknown dynamics should be NaN")
+	}
+	// The bound is linear in the target x_γ.
+	if got := GammaHitTimeBound(ThreeMajority, eps, 2*x, n); math.Abs(got-2*b3) > 1e-9*got {
+		t.Errorf("bound not linear in x: %v vs %v", got, 2*b3)
+	}
+}

@@ -1,0 +1,462 @@
+package plurality
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBasics(t *testing.T) {
+	for _, p := range []Protocol{ThreeMajority(), TwoChoices(), Median(), HMajority(5)} {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			res, err := Run(Config{
+				N:        2000,
+				Protocol: p,
+				Init:     Balanced(8),
+				Seed:     1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Consensus {
+				t.Fatalf("no consensus: %+v", res)
+			}
+			if res.Winner < 0 || res.Winner >= 8 {
+				t.Fatalf("winner %d out of range", res.Winner)
+			}
+			if res.Rounds <= 0 {
+				t.Fatalf("rounds = %d", res.Rounds)
+			}
+		})
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{N: 5000, Protocol: ThreeMajority(), Init: Balanced(16), Seed: 7}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same config, different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"no protocol", Config{N: 10, Init: Balanced(2)}, "Protocol"},
+		{"no init", Config{N: 10, Protocol: Voter()}, "Init"},
+		{"negative N", Config{N: -1, Protocol: Voter(), Init: Balanced(2)}, "N"},
+		{"k > n", Config{N: 5, Protocol: Voter(), Init: Balanced(10)}, "Balanced"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Run(c.cfg)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestProtocolNames(t *testing.T) {
+	if (Protocol{}).Name() != "unset" {
+		t.Error("zero Protocol should be unset")
+	}
+	if ThreeMajority().Name() != "3-majority" || TwoChoices().Name() != "2-choices" {
+		t.Error("protocol names wrong")
+	}
+}
+
+func TestInitGenerators(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		init Init
+	}{
+		{"balanced", Balanced(4)},
+		{"planted", PlantedBias(4, 0.1)},
+		{"zipf", Zipf(4, 1)},
+		{"geometric", Geometric(4, 0.5)},
+		{"two leaders", TwoLeaders(4, 0.5, 0.1)},
+		{"fractions", Fractions([]float64{0.5, 0.3, 0.2})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(Config{N: 1000, Protocol: ThreeMajority(), Init: tc.init, Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Consensus {
+				t.Fatal("no consensus")
+			}
+		})
+	}
+}
+
+func TestCountsInit(t *testing.T) {
+	res, err := Run(Config{Protocol: TwoChoices(), Init: Counts([]int64{600, 300, 100}), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus {
+		t.Fatal("no consensus")
+	}
+	if _, err := Run(Config{N: 99, Protocol: TwoChoices(), Init: Counts([]int64{50, 50})}); err == nil {
+		t.Fatal("mismatched N accepted")
+	}
+}
+
+func TestPlantedBiasValidation(t *testing.T) {
+	if _, err := Run(Config{N: 100, Protocol: Voter(), Init: PlantedBias(2, 0.9)}); err == nil {
+		t.Fatal("oversized extraFraction accepted")
+	}
+	if _, err := Run(Config{N: 100, Protocol: Voter(), Init: PlantedBias(2, -0.1)}); err == nil {
+		t.Fatal("negative extraFraction accepted")
+	}
+}
+
+func TestOnRoundObserverAndSnapshot(t *testing.T) {
+	var gammas []float64
+	var rounds int
+	res, err := Run(Config{
+		N:        3000,
+		Protocol: ThreeMajority(),
+		Init:     Balanced(4),
+		Seed:     4,
+		OnRound: func(round int, s Snapshot) bool {
+			rounds++
+			gammas = append(gammas, s.Gamma())
+			if s.N() != 3000 || s.K() != 4 {
+				t.Errorf("snapshot metadata wrong: n=%d k=%d", s.N(), s.K())
+			}
+			if s.Live() < 1 || s.Count(0) < 0 {
+				t.Error("snapshot counts wrong")
+			}
+			op, frac := s.Leader()
+			if op < 0 || op >= 4 || frac <= 0 || frac > 1 {
+				t.Errorf("leader (%d, %v) out of range", op, frac)
+			}
+			if a := s.Alpha(op); a != frac {
+				t.Errorf("Alpha(leader) %v != leader fraction %v", a, frac)
+			}
+			return false
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != res.Rounds+1 {
+		t.Fatalf("observer called %d times for %d rounds", rounds, res.Rounds)
+	}
+	if gammas[0] != 0.25 || gammas[len(gammas)-1] != 1 {
+		t.Fatalf("gamma trajectory endpoints %v, %v", gammas[0], gammas[len(gammas)-1])
+	}
+}
+
+func TestOnRoundEarlyStop(t *testing.T) {
+	res, err := Run(Config{
+		N:        10000,
+		Protocol: TwoChoices(),
+		Init:     Balanced(64),
+		Seed:     5,
+		OnRound:  func(round int, s Snapshot) bool { return round >= 3 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 || res.Consensus {
+		t.Fatalf("early stop result %+v", res)
+	}
+}
+
+func TestMaxRoundsCutoff(t *testing.T) {
+	res, err := Run(Config{
+		N:         100000,
+		Protocol:  TwoChoices(),
+		Init:      Balanced(128),
+		Seed:      6,
+		MaxRounds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consensus || res.Rounds != 2 {
+		t.Fatalf("cutoff result %+v", res)
+	}
+}
+
+func TestUndecidedRun(t *testing.T) {
+	// 3 real opinions + undecided slot, biased toward opinion 0.
+	res, err := Run(Config{
+		Protocol: Undecided(),
+		Init:     Counts([]int64{500, 300, 200, 0}),
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus {
+		t.Fatal("USD did not reach decided consensus")
+	}
+	if res.Winner == 3 {
+		t.Fatal("undecided state won")
+	}
+}
+
+func TestAdversaryConfig(t *testing.T) {
+	slow, err := Run(Config{
+		N:         2000,
+		Protocol:  ThreeMajority(),
+		Init:      Balanced(2),
+		Seed:      8,
+		MaxRounds: 500,
+		Adversary: HinderAdversary(400),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Consensus {
+		t.Fatal("consensus despite overwhelming adversary")
+	}
+	fast, err := Run(Config{
+		N:         2000,
+		Protocol:  ThreeMajority(),
+		Init:      Balanced(2),
+		Seed:      8,
+		MaxRounds: 500,
+		Adversary: HelpAdversary(100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast.Consensus {
+		t.Fatal("helped run did not converge")
+	}
+	// Scatter is weak noise; consensus should still happen.
+	noisy, err := Run(Config{
+		N:         2000,
+		Protocol:  ThreeMajority(),
+		Init:      Balanced(2),
+		Seed:      8,
+		MaxRounds: 5000,
+		Adversary: ScatterAdversary(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !noisy.Consensus {
+		t.Fatal("scatter-noised run did not converge")
+	}
+}
+
+func TestRunMany(t *testing.T) {
+	results, err := RunMany(Config{
+		N:        3000,
+		Protocol: ThreeMajority(),
+		Init:     PlantedBias(8, 0.1),
+		Seed:     9,
+	}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 10 {
+		t.Fatalf("%d results", len(results))
+	}
+	wins := 0
+	for _, res := range results {
+		if !res.Consensus {
+			t.Fatal("trial did not converge")
+		}
+		if res.Winner == 0 {
+			wins++
+		}
+	}
+	// With a 10% planted bias at n=3000, opinion 0 should win nearly
+	// always.
+	if wins < 8 {
+		t.Fatalf("planted opinion won only %d/10", wins)
+	}
+}
+
+func TestRunManyValidation(t *testing.T) {
+	cfg := Config{N: 100, Protocol: Voter(), Init: Balanced(2)}
+	if _, err := RunMany(cfg, 0); err == nil {
+		t.Fatal("trials=0 accepted")
+	}
+	cfg.OnRound = func(int, Snapshot) bool { return false }
+	if _, err := RunMany(cfg, 2); err == nil {
+		t.Fatal("OnRound accepted by RunMany")
+	}
+	bad := Config{N: 10, Protocol: Voter(), Init: Balanced(50)}
+	if _, err := RunMany(bad, 2); err == nil {
+		t.Fatal("invalid init accepted")
+	}
+}
+
+func TestLazyVariantFacade(t *testing.T) {
+	p := LazyVariant(ThreeMajority(), 0.5)
+	if p.Name() != "lazy0.50-3-majority" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	res, err := Run(Config{N: 2000, Protocol: p, Init: Balanced(4), Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus {
+		t.Fatal("lazy run did not converge")
+	}
+	plain, err := Run(Config{N: 2000, Protocol: ThreeMajority(), Init: Balanced(4), Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds <= plain.Rounds {
+		t.Errorf("lazy rounds %d not above plain %d", res.Rounds, plain.Rounds)
+	}
+}
+
+func TestDirichletInit(t *testing.T) {
+	results, err := RunMany(Config{
+		N:        3000,
+		Protocol: TwoChoices(),
+		Init:     Dirichlet(6, 1, 99),
+		Seed:     14,
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random starts give different trajectories across trials.
+	distinct := map[int]bool{}
+	for _, res := range results {
+		if !res.Consensus {
+			t.Fatal("trial did not converge")
+		}
+		distinct[res.Rounds] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("all Dirichlet trials identical; random init not random")
+	}
+	if _, err := Run(Config{N: 100, Protocol: Voter(), Init: Dirichlet(0, 1, 1)}); err == nil {
+		t.Error("k=0 Dirichlet accepted")
+	}
+	if _, err := Run(Config{N: 100, Protocol: Voter(), Init: Dirichlet(4, 0, 1)}); err == nil {
+		t.Error("zero concentration accepted")
+	}
+}
+
+func TestRunAsync(t *testing.T) {
+	res, err := RunAsync(Config{
+		N:        500,
+		Protocol: ThreeMajority(),
+		Init:     Balanced(4),
+		Seed:     10,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus {
+		t.Fatal("async run did not converge")
+	}
+	if res.Rounds != float64(res.Ticks)/500 {
+		t.Fatalf("rounds %v vs ticks %d inconsistent", res.Rounds, res.Ticks)
+	}
+	if _, err := RunAsync(Config{N: 100, Protocol: Median(), Init: Balanced(2)}, 0); err == nil {
+		t.Fatal("median async accepted")
+	}
+}
+
+func TestRunOnGraphTopologies(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		n    int
+		top  Topology
+	}{
+		{"complete", 400, CompleteTopology()},
+		{"random regular", 400, RandomRegularTopology(8)},
+		{"hypercube", 256, HypercubeTopology(8)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := RunOnGraph(GraphConfig{
+				N:        tc.n,
+				Topology: tc.top,
+				Protocol: ThreeMajority(),
+				Init:     Balanced(4),
+				Seed:     11,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Consensus {
+				t.Fatalf("no consensus on %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestRunOnGraphValidation(t *testing.T) {
+	base := GraphConfig{
+		N:        100,
+		Topology: CompleteTopology(),
+		Protocol: ThreeMajority(),
+		Init:     Balanced(4),
+	}
+	bad := base
+	bad.N = 0
+	if _, err := RunOnGraph(bad); err == nil {
+		t.Error("N=0 accepted")
+	}
+	bad = base
+	bad.Topology = Topology{}
+	if _, err := RunOnGraph(bad); err == nil {
+		t.Error("missing topology accepted")
+	}
+	bad = base
+	bad.Protocol = Median()
+	if _, err := RunOnGraph(bad); err == nil {
+		t.Error("median on graphs accepted")
+	}
+	bad = base
+	bad.Topology = TorusTopology(7) // 49 != 100
+	if _, err := RunOnGraph(bad); err == nil {
+		t.Error("mismatched torus accepted")
+	}
+	bad = base
+	bad.Topology = HypercubeTopology(5) // 32 != 100
+	if _, err := RunOnGraph(bad); err == nil {
+		t.Error("mismatched hypercube accepted")
+	}
+	bad = base
+	bad.Init = Init{}
+	if _, err := RunOnGraph(bad); err == nil {
+		t.Error("missing init accepted")
+	}
+}
+
+func TestRingSlowerThanComplete(t *testing.T) {
+	complete, err := RunOnGraph(GraphConfig{
+		N: 256, Topology: CompleteTopology(), Protocol: TwoChoices(),
+		Init: Balanced(2), Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := RunOnGraph(GraphConfig{
+		N: 256, Topology: RingTopology(2), Protocol: TwoChoices(),
+		Init: Balanced(2), Seed: 12, MaxRounds: complete.Rounds * 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Consensus && ring.Rounds <= complete.Rounds {
+		t.Fatalf("ring (%d rounds) not slower than complete (%d rounds)", ring.Rounds, complete.Rounds)
+	}
+}
