@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"plurality"
+)
+
+// benchCase is one entry of the reference performance suite: a full
+// consensus run at a fixed operating point, repeated benchn times.
+// The suite pins the two regimes the engine optimizes for — dense
+// small-k (live ≈ k ≪ n, conditional-binomial path) and sparse
+// many-opinions (k up to n, per-trial and grouped paths) — so a
+// regression on either hot path shows up as a ns/op jump in BENCH.json
+// (see DESIGN.md).
+type benchCase struct {
+	Name string
+	Run  func(seed uint64) error
+}
+
+func consensusRun(n int64, k int, protocol plurality.Protocol) func(seed uint64) error {
+	return func(seed uint64) error {
+		res, err := plurality.Run(plurality.Config{
+			N:        n,
+			Protocol: protocol,
+			Init:     plurality.Balanced(k),
+			Seed:     seed,
+		})
+		if err != nil {
+			return err
+		}
+		if !res.Consensus {
+			return fmt.Errorf("run did not reach consensus")
+		}
+		return nil
+	}
+}
+
+func benchSuite() []benchCase {
+	return []benchCase{
+		{"run_three_majority_n1e6_k100", consensusRun(1_000_000, 100, plurality.ThreeMajority())},
+		{"run_two_choices_n1e6_k100", consensusRun(1_000_000, 100, plurality.TwoChoices())},
+		{"run_three_majority_many_opinions_k_eq_n_1e5", consensusRun(100_000, 100_000, plurality.ThreeMajority())},
+		{"run_two_choices_many_opinions_k_eq_n_1e4", consensusRun(10_000, 10_000, plurality.TwoChoices())},
+		{"run_voter_n1e5_k64", consensusRun(100_000, 64, plurality.Voter())},
+	}
+}
+
+// benchRecord is one benchmark's measurement in BENCH.json.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+}
+
+// benchFile is the BENCH.json schema.
+type benchFile struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	Benchmarks  []benchRecord `json:"benchmarks"`
+}
+
+// measure runs fn iters times and reports wall time and allocations
+// per iteration, using the monotonic runtime allocation counters the
+// same way testing.B does.
+func measure(c benchCase, iters int) (benchRecord, error) {
+	// One untimed warm-up run grows the reusable buffers so the
+	// steady-state allocation profile is measured.
+	if err := c.Run(0xbe9c); err != nil {
+		return benchRecord{}, fmt.Errorf("%s: %w", c.Name, err)
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := c.Run(uint64(i + 1)); err != nil {
+			return benchRecord{}, fmt.Errorf("%s: %w", c.Name, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return benchRecord{
+		Name:        c.Name,
+		Iterations:  iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: (after.Mallocs - before.Mallocs) / uint64(iters),
+		BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(iters),
+	}, nil
+}
+
+// writeBenchJSON runs the suite and writes the JSON record.
+func writeBenchJSON(path string, iters int) error {
+	if iters < 1 {
+		return fmt.Errorf("benchn must be >= 1, got %d", iters)
+	}
+	// Fail on an unwritable path before spending minutes on the suite.
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Close()
+	out := benchFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+	}
+	for _, c := range benchSuite() {
+		rec, err := measure(c, iters)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-45s %12.0f ns/op %8d allocs/op %10d B/op\n",
+			rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp)
+		out.Benchmarks = append(out.Benchmarks, rec)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

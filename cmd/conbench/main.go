@@ -5,10 +5,18 @@
 //	conbench -list
 //	conbench -run fig1 [-scale quick|full] [-seed N] [-csv dir]
 //	conbench -run all  [-scale quick|full]
+//	conbench -json BENCH.json [-benchn N]
 //
 // Each experiment ID corresponds to one figure, table, or theorem of
 // "3-Majority and 2-Choices with Many Opinions" (PODC 2025); see
 // DESIGN.md for the index and EXPERIMENTS.md for recorded results.
+//
+// The -json mode runs the library's reference performance suite (full
+// consensus runs at the dense small-k and sparse many-opinions
+// operating points) and writes per-benchmark ns/op, allocs/op and
+// B/op to the given path, so perf regressions leave a comparable
+// machine-readable record (see DESIGN.md §Benchmark-regression
+// harness).
 package main
 
 import (
@@ -39,6 +47,8 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 1, "base random seed")
 		par      = fs.Int("par", 0, "worker parallelism (0 = all cores)")
 		csvDir   = fs.String("csv", "", "also write each table as CSV into this directory")
+		jsonPath = fs.String("json", "", "run the performance suite and write BENCH.json to this path")
+		benchN   = fs.Int("benchn", 5, "iterations per benchmark in -json mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,9 +60,12 @@ func run(args []string) error {
 		}
 		return nil
 	}
+	if *jsonPath != "" {
+		return writeBenchJSON(*jsonPath, *benchN)
+	}
 	if *runID == "" {
 		fs.Usage()
-		return fmt.Errorf("missing -run or -list")
+		return fmt.Errorf("missing -run, -json or -list")
 	}
 
 	scale, err := experiments.ParseScale(*scaleStr)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -46,5 +47,47 @@ func TestRunExperimentWithCSV(t *testing.T) {
 func TestRunCommaSeparatedIDs(t *testing.T) {
 	if err := run([]string{"-run", "lem52,lem55"}); err != nil {
 		t.Fatalf("comma-separated run: %v", err)
+	}
+}
+
+func TestJSONBenchmarkRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	// One iteration keeps the suite to a few full runs; the point here
+	// is the record format, not statistical stability.
+	if err := run([]string{"-json", path, "-benchn", "1"}); err != nil {
+		t.Fatalf("-json: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got benchFile
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("BENCH.json is not valid JSON: %v", err)
+	}
+	if got.GeneratedAt == "" || got.GoVersion == "" || got.GOOS == "" || got.GOARCH == "" {
+		t.Fatalf("missing metadata: %+v", got)
+	}
+	if len(got.Benchmarks) != len(benchSuite()) {
+		t.Fatalf("%d benchmark records, want %d", len(got.Benchmarks), len(benchSuite()))
+	}
+	seen := map[string]bool{}
+	for _, rec := range got.Benchmarks {
+		if rec.Name == "" || seen[rec.Name] {
+			t.Fatalf("bad or duplicate benchmark name in %+v", rec)
+		}
+		seen[rec.Name] = true
+		if rec.Iterations != 1 || rec.NsPerOp <= 0 {
+			t.Fatalf("implausible record: %+v", rec)
+		}
+	}
+	if !seen["run_three_majority_many_opinions_k_eq_n_1e5"] {
+		t.Fatal("many-opinions benchmark missing from the suite")
+	}
+}
+
+func TestJSONRejectsBadBenchn(t *testing.T) {
+	if err := run([]string{"-json", filepath.Join(t.TempDir(), "b.json"), "-benchn", "0"}); err == nil {
+		t.Fatal("benchn=0 accepted")
 	}
 }

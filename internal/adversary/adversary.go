@@ -56,18 +56,8 @@ func (a Hinder) Corrupt(_ int, _ *rng.Rand, v *population.Vector) {
 	if a.F <= 0 {
 		return
 	}
-	counts := v.Counts()
 	top, topCount := v.MaxOpinion()
-	// Smallest surviving opinion other than the plurality.
-	weakest, weakestCount := -1, int64(0)
-	for i, c := range counts {
-		if i == top || c == 0 {
-			continue
-		}
-		if weakest == -1 || c < weakestCount {
-			weakest, weakestCount = i, c
-		}
-	}
+	weakest, weakestCount := weakestRival(v, top)
 	if weakest == -1 {
 		return // consensus already; nothing to stall without reviving
 	}
@@ -80,9 +70,22 @@ func (a Hinder) Corrupt(_ int, _ *rng.Rand, v *population.Vector) {
 	if move <= 0 {
 		return
 	}
-	counts[top] -= move
-	counts[weakest] += move
-	v.SetAll(counts)
+	v.Move(top, weakest, move)
+}
+
+// weakestRival returns the smallest surviving opinion other than top,
+// or -1 when top is the only live opinion. O(live).
+func weakestRival(v *population.Vector, top int) (weakest int, count int64) {
+	weakest = -1
+	v.ForEachLive(func(i int, c int64) {
+		if i == top {
+			return
+		}
+		if weakest == -1 || c < count {
+			weakest, count = i, c
+		}
+	})
+	return weakest, count
 }
 
 // Help accelerates consensus: every round it moves up to F vertices
@@ -103,17 +106,8 @@ func (a Help) Corrupt(_ int, _ *rng.Rand, v *population.Vector) {
 	if a.F <= 0 {
 		return
 	}
-	counts := v.Counts()
 	top, _ := v.MaxOpinion()
-	weakest, weakestCount := -1, int64(0)
-	for i, c := range counts {
-		if i == top || c == 0 {
-			continue
-		}
-		if weakest == -1 || c < weakestCount {
-			weakest, weakestCount = i, c
-		}
-	}
+	weakest, weakestCount := weakestRival(v, top)
 	if weakest == -1 {
 		return
 	}
@@ -121,9 +115,7 @@ func (a Help) Corrupt(_ int, _ *rng.Rand, v *population.Vector) {
 	if move > weakestCount {
 		move = weakestCount
 	}
-	counts[weakest] -= move
-	counts[top] += move
-	v.SetAll(counts)
+	v.Move(weakest, top, move)
 }
 
 // Scatter corrupts F uniformly random vertices to uniformly random
@@ -140,39 +132,30 @@ func (a Scatter) Name() string { return fmt.Sprintf("scatter-F%d", a.F) }
 
 // Corrupt implements Adversary.
 func (a Scatter) Corrupt(_ int, r *rng.Rand, v *population.Vector) {
-	if a.F <= 0 {
-		return
-	}
-	counts := v.Counts()
-	live := make([]int, 0, len(counts))
-	for i, c := range counts {
-		if c > 0 {
-			live = append(live, i)
-		}
-	}
-	if len(live) < 2 {
+	if a.F <= 0 || v.Live() < 2 {
 		return
 	}
 	n := v.N()
 	for m := int64(0); m < a.F; m++ {
 		// A uniformly random vertex belongs to opinion i with
-		// probability counts[i]/n.
+		// probability count(i)/n; only live opinions hold vertices, and
+		// the random destination is drawn from the CURRENT live set, so
+		// extinct opinions are never revived.
+		live := v.LiveIndices()
 		target := r.Int63n(n)
 		from := -1
 		var acc int64
-		for i, c := range counts {
-			acc += c
+		for _, i := range live {
+			acc += v.Count(int(i))
 			if target < acc {
-				from = i
+				from = int(i)
 				break
 			}
 		}
-		to := live[r.Intn(len(live))]
-		if from == to || counts[from] == 0 {
+		to := int(live[r.Intn(len(live))])
+		if from == to || v.Count(from) == 0 {
 			continue
 		}
-		counts[from]--
-		counts[to]++
+		v.Move(from, to, 1)
 	}
-	v.SetAll(counts)
 }

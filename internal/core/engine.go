@@ -63,7 +63,13 @@ func Run(r *rng.Rand, p Protocol, v *population.Vector, cfg RunConfig) RunResult
 	s := &Scratch{}
 
 	finish := func(rounds int, consensus bool) RunResult {
-		winner, _ := v.MaxOpinion()
+		// At actual consensus the winner is the single live opinion,
+		// available in O(1); only runs stopped by a custom Done, an
+		// Observer, or the round bound pay the O(live) plurality scan.
+		winner, ok := v.Consensus()
+		if !ok {
+			winner, _ = v.MaxOpinion()
+		}
 		return RunResult{Rounds: rounds, Consensus: consensus, Winner: winner}
 	}
 

@@ -9,7 +9,7 @@ import (
 )
 
 // The exactness tests are the load-bearing validation of the engine:
-// the O(k) count-space samplers must agree in distribution with the
+// the O(live) count-space samplers must agree in distribution with the
 // literal Definition 3.1 per-vertex process. We verify (a) one-round
 // conditional means against the paper's closed forms (Lemma 4.1),
 // (b) one-round variances against exact per-vertex computations, and
@@ -141,7 +141,7 @@ func TestTwoChoicesVarianceExact(t *testing.T) {
 }
 
 // TestFastMatchesReference compares the empirical one-round mean of the
-// O(k) samplers against the literal per-vertex reference steppers.
+// O(live) samplers against the literal per-vertex reference steppers.
 func TestFastMatchesReference(t *testing.T) {
 	pairs := []struct {
 		fast, ref Protocol

@@ -19,12 +19,12 @@ import (
 //   - h = 3 coincides in law with 3-Majority: taking the majority of
 //     three samples with a uniform three-way tie-break yields adoption
 //     probability α(i)(1 + α(i) − γ), the same as Eq. (5). The h = 3
-//     step therefore reuses the O(k) multinomial path; the tests
+//     step therefore reuses the O(live) multinomial path; the tests
 //     verify the equivalence against the sampled path.
 //
 // For h ≥ 4 no closed form for the adoption law is used; the step
-// samples each vertex's h draws through an alias table, which costs
-// O(n·h + k) per round but remains exact.
+// samples each vertex's h draws through an alias table over the live
+// opinions, which costs O(n·h + live) per round but remains exact.
 type HMajority struct {
 	// H is the number of samples per vertex; must be >= 1.
 	H int
@@ -48,23 +48,25 @@ func (p HMajority) Step(r *rng.Rand, v *population.Vector, s *Scratch) {
 		return
 	}
 
-	k := v.K()
-	counts := v.Counts()
+	// The alias table is built over the live opinions only; a sample's
+	// dense slot j stands for opinion live[j] throughout.
+	live := v.LiveIndices()
+	L := len(live)
 	nf := float64(v.N())
-	weights := s.Probs(k)
-	for i, c := range counts {
-		weights[i] = float64(c) / nf
+	weights := s.Probs(L)
+	for j, c := range v.LiveCounts() {
+		weights[j] = float64(c) / nf
 	}
-	alias := rng.NewAlias(weights)
+	alias := s.Alias(weights)
 
-	next := s.Outs(k)
-	for i := range next {
-		next[i] = 0
+	next := s.Outs(L)
+	for j := range next {
+		next[j] = 0
 	}
-	samples := make([]int, p.H)
-	tally := s.Aux(k)
+	samples := s.Samples(p.H)
+	tally := s.Aux(L)
 	for vtx := int64(0); vtx < v.N(); vtx++ {
 		next[sampleMajority(r, alias, p.H, samples, tally)]++
 	}
-	v.SetAll(next)
+	v.CommitLive(live, next)
 }

@@ -59,18 +59,10 @@ func (p Lazy) Step(r *rng.Rand, v *population.Vector, s *Scratch) {
 // and movers, run the base rule on a synthetic population of movers,
 // and merge.
 func (p Lazy) stepIndependentLaw(r *rng.Rand, v *population.Vector, s *Scratch, base Protocol) {
-	k := v.K()
-	counts := v.Counts()
-	stay := make([]int64, k)
-	var movers int64
-	for i, c := range counts {
-		if c == 0 {
-			stay[i] = 0
-			continue
-		}
-		stay[i] = r.Binomial(c, p.Beta)
-		movers += c - stay[i]
-	}
+	live := v.LiveIndices()
+	L := len(live)
+	stay := s.Aux2(L)
+	movers := v.N() - sampleBinomialEach(r, s, v, p.Beta, stay)
 	if movers == 0 {
 		return
 	}
@@ -82,88 +74,78 @@ func (p Lazy) stepIndependentLaw(r *rng.Rand, v *population.Vector, s *Scratch, 
 	// Multinomial(movers, law(v)) by running the base on a scaled
 	// population. ThreeMajority and Voter expose their laws directly;
 	// HMajority's sampled path draws per-vertex, so loop movers there.
-	next := s.Outs(k)
+	next := s.Outs(L)
 	switch b := base.(type) {
 	case ThreeMajority:
-		probs := make([]float64, k)
-		for i := range probs {
-			probs[i] = b.AdoptionProb(v, i)
+		probs := s.Probs(L)
+		gamma := v.Gamma()
+		nf := float64(v.N())
+		for j, c := range v.LiveCounts() {
+			a := float64(c) / nf
+			probs[j] = a * (1 + a - gamma)
 		}
-		r.Multinomial(movers, probs, next)
+		sampleMultinomial(r, s, movers, probs, next)
 	case Voter:
-		probs := make([]float64, k)
+		probs := s.Probs(L)
 		nf := float64(v.N())
-		for i, c := range counts {
-			probs[i] = float64(c) / nf
+		for j, c := range v.LiveCounts() {
+			probs[j] = float64(c) / nf
 		}
-		r.Multinomial(movers, probs, next)
+		sampleMultinomial(r, s, movers, probs, next)
 	case HMajority:
-		// Reuse the per-vertex sampled path on a temporary vector of
-		// the full configuration, drawing one winner per mover.
-		for i := range next {
-			next[i] = 0
+		// Reuse the per-vertex sampled path on the full configuration,
+		// drawing one winner per mover; slot j stands for live[j].
+		for j := range next {
+			next[j] = 0
 		}
 		nf := float64(v.N())
-		weights := make([]float64, k)
-		for i, c := range counts {
-			weights[i] = float64(c) / nf
+		weights := s.Probs(L)
+		for j, c := range v.LiveCounts() {
+			weights[j] = float64(c) / nf
 		}
-		alias := rng.NewAlias(weights)
-		tally := s.Aux(k)
-		samples := make([]int, b.H)
+		alias := s.Alias(weights)
+		tally := s.Aux(L)
+		samples := s.Samples(b.H)
 		for m := int64(0); m < movers; m++ {
 			next[sampleMajority(r, alias, b.H, samples, tally)]++
 		}
 	}
-	for i := range next {
-		next[i] += stay[i]
+	for j := range next {
+		next[j] += stay[j]
 	}
-	v.SetAll(next)
+	v.CommitLive(live, next)
 }
 
 // stepTwoChoices composes laziness with the agreement decomposition:
 // a vertex moves only if it is active (prob 1−β) AND its two samples
 // agree (prob γ), and the agreed destination law is unchanged.
 func (p Lazy) stepTwoChoices(r *rng.Rand, v *population.Vector, s *Scratch) {
-	k := v.K()
-	counts := v.Counts()
 	gamma := v.Gamma()
 	if gamma >= 1 {
 		return
 	}
+	live := v.LiveIndices()
+	L := len(live)
 	nf := float64(v.N())
 	activeAgree := (1 - p.Beta) * gamma
 
-	agree := s.Aux(k)
-	var totalAgree int64
-	for i, c := range counts {
-		if c == 0 {
-			agree[i] = 0
-			continue
-		}
-		agree[i] = r.Binomial(c, activeAgree)
-		totalAgree += agree[i]
-	}
-	next := s.Outs(k)
+	agree := s.Aux(L)
+	totalAgree := sampleBinomialEach(r, s, v, activeAgree, agree)
 	if totalAgree == 0 {
-		copy(next, counts)
-		v.SetAll(next)
 		return
 	}
-	probs := s.Probs(k)
-	for i, c := range counts {
-		if c == 0 {
-			probs[i] = 0
-			continue
-		}
+	counts := v.LiveCounts()
+	probs := s.Probs(L)
+	for j, c := range counts {
 		a := float64(c) / nf
-		probs[i] = a * a
+		probs[j] = a * a
 	}
-	r.Multinomial(totalAgree, probs, next)
-	for i := range next {
-		next[i] += counts[i] - agree[i]
+	next := s.Outs(L)
+	sampleMultinomial(r, s, totalAgree, probs, next)
+	for j, c := range counts {
+		next[j] += c - agree[j]
 	}
-	v.SetAll(next)
+	v.CommitLive(live, next)
 }
 
 // sampleMajority draws h samples from the alias table and returns the

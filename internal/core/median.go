@@ -19,8 +19,14 @@ import (
 //	Pr[new ≤ x] = F(x)²            if j > x   (both samples must be ≤ x)
 //
 // where F is the configuration's opinion CDF, so each class's
-// destinations form a multinomial in O(k) and the whole round costs
-// O(k²).
+// destinations form a multinomial and the whole round costs O(live²).
+//
+// The step works entirely in the compacted live-opinion space: the
+// median of three live opinions is itself one of them, and both CDF
+// branches are constant between consecutive live opinions, so the new
+// opinion's distribution puts mass only on live opinions and the dense
+// per-class multinomial over the ascending live list samples the exact
+// law.
 type Median struct{}
 
 var _ Protocol = Median{}
@@ -30,30 +36,30 @@ func (Median) Name() string { return "median" }
 
 // Step implements Protocol.
 func (Median) Step(r *rng.Rand, v *population.Vector, s *Scratch) {
-	k := v.K()
-	counts := v.Counts()
+	live := v.LiveIndices()
+	L := len(live)
 	nf := float64(v.N())
 
-	// cdf[x] = F(x) = Pr[sample <= x].
-	cdf := s.Probs(k)
+	// cdf[y] = F(live[y]) = Pr[sample <= live[y]]; LiveIndices is
+	// ascending, which the CDF accumulation relies on.
+	counts := v.LiveCounts()
+	cdf := s.Probs(L)
 	acc := 0.0
-	for i, c := range counts {
+	for y, c := range counts {
 		acc += float64(c) / nf
-		cdf[i] = acc
+		cdf[y] = acc
 	}
 
-	next := s.Outs(k)
-	for i := range next {
-		next[i] = 0
+	next := s.Outs(L)
+	for y := range next {
+		next[y] = 0
 	}
-	pmf := make([]float64, k)
-	dest := s.Aux(k)
-	for j, c := range counts {
-		if c == 0 {
-			continue
-		}
+	pmf := s.probsAux(L)
+	dest := s.Aux(L)
+	for j := 0; j < L; j++ {
+		c := counts[j]
 		prev := 0.0
-		for x := 0; x < k; x++ {
+		for x := 0; x < L; x++ {
 			var cur float64
 			if j <= x {
 				d := 1 - cdf[x]
@@ -69,11 +75,11 @@ func (Median) Step(r *rng.Rand, v *population.Vector, s *Scratch) {
 			prev = cur
 		}
 		r.Multinomial(c, pmf, dest)
-		for x := 0; x < k; x++ {
+		for x := 0; x < L; x++ {
 			next[x] += dest[x]
 		}
 	}
-	v.SetAll(next)
+	v.CommitLive(live, next)
 }
 
 // MedianAdoptionProb returns the exact probability that a vertex with

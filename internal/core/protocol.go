@@ -46,12 +46,23 @@ type Protocol interface {
 
 // Scratch holds reusable working buffers for Step so that running a
 // dynamics allocates nothing per round. The zero value is ready to
-// use; buffers grow on demand.
+// use; buffers grow on demand. The sparse O(live) steps size every
+// buffer to the live-opinion count, not K, so a run's per-round
+// footprint shrinks along with the live set.
 type Scratch struct {
-	probs []float64
-	outs  []int64
-	aux   []int64
-	ops   []int32
+	probs   []float64
+	probs2  []float64
+	outs    []int64
+	aux     []int64
+	aux2    []int64
+	fen     []int64
+	idx     []int32
+	ops     []int32
+	samples []int
+	members []int32
+	gProbs  []float64
+	gOuts   []int64
+	alias   rng.Alias
 }
 
 // Probs returns a float64 buffer of length k.
@@ -79,6 +90,93 @@ func (s *Scratch) Aux(k int) []int64 {
 	}
 	s.aux = s.aux[:k]
 	return s.aux
+}
+
+// probsAux returns a second float64 buffer of length k.
+func (s *Scratch) probsAux(k int) []float64 {
+	if cap(s.probs2) < k {
+		s.probs2 = make([]float64, k)
+	}
+	s.probs2 = s.probs2[:k]
+	return s.probs2
+}
+
+// Aux2 returns a third int64 buffer of length k.
+func (s *Scratch) Aux2(k int) []int64 {
+	if cap(s.aux2) < k {
+		s.aux2 = make([]int64, k)
+	}
+	s.aux2 = s.aux2[:k]
+	return s.aux2
+}
+
+// Idx returns an int32 buffer of length m, used to assemble the
+// opinion-index lists handed to population.Vector.CommitLive when the
+// committed set extends the live view (e.g. the Undecided slot).
+func (s *Scratch) Idx(m int) []int32 {
+	if cap(s.idx) < m {
+		s.idx = make([]int32, m)
+	}
+	s.idx = s.idx[:m]
+	return s.idx
+}
+
+// Fen returns an int64 buffer of length m for the Fenwick tree of the
+// without-replacement agreement sampler.
+func (s *Scratch) Fen(m int) []int64 {
+	if cap(s.fen) < m {
+		s.fen = make([]int64, m)
+	}
+	s.fen = s.fen[:m]
+	return s.fen
+}
+
+// Alias refills the Scratch's reusable alias table with the given
+// weights and returns it, so per-round categorical sampling allocates
+// nothing once the table has grown to the working size.
+func (s *Scratch) Alias(weights []float64) *rng.Alias {
+	s.alias.Fill(weights)
+	return &s.alias
+}
+
+// Samples returns an int buffer of length h for h-Majority's
+// per-vertex sample sets.
+func (s *Scratch) Samples(h int) []int {
+	if cap(s.samples) < h {
+		s.samples = make([]int, h)
+	}
+	s.samples = s.samples[:h]
+	return s.samples
+}
+
+// Members returns an int32 buffer of length m for the grouped
+// multinomial sampler's counting-sorted category-member lists.
+func (s *Scratch) Members(m int) []int32 {
+	if cap(s.members) < m {
+		s.members = make([]int32, m)
+	}
+	s.members = s.members[:m]
+	return s.members
+}
+
+// GroupProbs returns a float64 buffer of length m for the grouped
+// multinomial sampler's merged-category weights.
+func (s *Scratch) GroupProbs(m int) []float64 {
+	if cap(s.gProbs) < m {
+		s.gProbs = make([]float64, m)
+	}
+	s.gProbs = s.gProbs[:m]
+	return s.gProbs
+}
+
+// GroupOuts returns an int64 buffer of length m for the grouped
+// multinomial sampler's merged-category totals.
+func (s *Scratch) GroupOuts(m int) []int64 {
+	if cap(s.gOuts) < m {
+		s.gOuts = make([]int64, m)
+	}
+	s.gOuts = s.gOuts[:m]
+	return s.gOuts
 }
 
 // Ops returns an int32 buffer of length n (per-vertex opinions, used

@@ -11,7 +11,7 @@ import (
 // follows Definition 3.1 literally: it materializes a vertex→opinion
 // assignment, samples uniformly random vertices for every vertex, and
 // applies the update rule. It costs O(n) (or O(n·h)) per round and
-// exists to validate the exact O(k) count-space samplers — the tests
+// exists to validate the exact O(live) count-space samplers — the tests
 // check that fast and reference steppers agree in distribution.
 type Reference struct {
 	// Rule selects which dynamics to emulate.
@@ -54,19 +54,18 @@ func (p Reference) Step(r *rng.Rand, v *population.Vector, s *Scratch) {
 		panic(fmt.Sprintf("core: Reference.Step is per-vertex; n=%d too large", n))
 	}
 	k := v.K()
-	counts := v.Counts()
 
 	// Materialize vertex opinions; vertex identity is exchangeable on
 	// the complete graph, so any assignment consistent with the counts
 	// yields the same count-process law.
 	ops := s.Ops(int(n))
 	idx := 0
-	for op, c := range counts {
+	v.ForEachLive(func(op int, c int64) {
 		for j := int64(0); j < c; j++ {
 			ops[idx] = int32(op)
 			idx++
 		}
-	}
+	})
 
 	next := s.Outs(k)
 	for i := range next {

@@ -12,8 +12,10 @@ import (
 //
 // One synchronous round is sampled exactly as Multinomial(n, p) with
 // p(i) = α(i)(1 + α(i) − γ), the per-vertex adoption law of Eq. (5);
-// the law does not depend on the vertex's own opinion, so the counts
-// update in O(k) regardless of n.
+// the law does not depend on the vertex's own opinion. Validity means
+// an extinct opinion has p(i) = 0 and can never return (Eq. (5) with
+// α(i) = 0), so the step iterates only the live opinions and the
+// counts update in O(live) regardless of n and k.
 type ThreeMajority struct{}
 
 var _ Protocol = ThreeMajority{}
@@ -23,24 +25,17 @@ func (ThreeMajority) Name() string { return "3-majority" }
 
 // Step implements Protocol.
 func (ThreeMajority) Step(r *rng.Rand, v *population.Vector, s *Scratch) {
-	k := v.K()
-	counts := v.Counts()
-	probs := s.Probs(k)
+	live := v.LiveIndices()
+	probs := s.Probs(len(live))
 	gamma := v.Gamma()
 	nf := float64(v.N())
-	for i, c := range counts {
-		if c == 0 {
-			// Validity: an extinct opinion has p(i) = 0 and can never
-			// return (Eq. (5) with α(i) = 0).
-			probs[i] = 0
-			continue
-		}
+	for j, c := range v.LiveCounts() {
 		a := float64(c) / nf
-		probs[i] = a * (1 + a - gamma)
+		probs[j] = a * (1 + a - gamma)
 	}
-	next := s.Outs(k)
-	r.Multinomial(v.N(), probs, next)
-	v.SetAll(next)
+	next := s.Outs(len(live))
+	sampleMultinomialGrouped(r, s, v.N(), v.LiveCounts(), probs, next)
+	v.CommitLive(live, next)
 }
 
 // AdoptionProb returns the exact probability that a vertex adopts

@@ -10,7 +10,7 @@ import (
 // self-loops included); if opn(w1) = opn(w2) it adopts that opinion,
 // otherwise it keeps its own.
 //
-// One synchronous round is sampled exactly in O(k) by the "agreement"
+// One synchronous round is sampled exactly in O(live) by the "agreement"
 // decomposition: a vertex's two samples agree with probability γ, and
 // conditioned on agreement the agreed opinion D is distributed as
 // Pr[D=i] = α(i)²/γ independently of the vertex's own opinion. A
@@ -32,49 +32,34 @@ func (TwoChoices) Name() string { return "2-choices" }
 
 // Step implements Protocol.
 func (TwoChoices) Step(r *rng.Rand, v *population.Vector, s *Scratch) {
-	k := v.K()
-	counts := v.Counts()
 	gamma := v.Gamma()
 	if gamma >= 1 {
 		return // consensus is absorbing; every pair of samples agrees on the winner
 	}
+	live := v.LiveIndices()
+	L := len(live)
 	nf := float64(v.N())
 
-	agree := s.Aux(k)
-	var totalAgree int64
-	for i, c := range counts {
-		if c == 0 {
-			agree[i] = 0
-			continue
-		}
-		agree[i] = r.Binomial(c, gamma)
-		totalAgree += agree[i]
-	}
-
-	next := s.Outs(k)
+	agree := s.Aux(L)
+	totalAgree := sampleBinomialEach(r, s, v, gamma, agree)
 	if totalAgree == 0 {
-		copy(next, counts)
-		v.SetAll(next)
-		return
+		return // no pair of samples agreed; the configuration is unchanged
 	}
 
 	// Destination law of the agreed opinion: q(i) ∝ α(i)². The
 	// multinomial sampler normalizes, so the γ divisor is omitted.
-	probs := s.Probs(k)
-	for i, c := range counts {
-		if c == 0 {
-			probs[i] = 0
-			continue
-		}
+	counts := v.LiveCounts()
+	probs := s.Probs(L)
+	for j, c := range counts {
 		a := float64(c) / nf
-		probs[i] = a * a
+		probs[j] = a * a
 	}
-	dest := next // reuse as the multinomial output buffer
-	r.Multinomial(totalAgree, probs, dest)
-	for i := range dest {
-		dest[i] += counts[i] - agree[i]
+	dest := s.Outs(L)
+	sampleMultinomialGrouped(r, s, totalAgree, counts, probs, dest)
+	for j, c := range counts {
+		dest[j] += c - agree[j]
 	}
-	v.SetAll(dest)
+	v.CommitLive(live, dest)
 }
 
 // AdoptionProb returns the exact probability that a vertex currently

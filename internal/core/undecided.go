@@ -23,6 +23,11 @@ import (
 // One synchronous round in counts: per decided class i the departures
 // D(i) ~ Bin(c(i), 1 − α(i) − u) move to undecided, and the undecided
 // class redistributes as T ~ Multinomial(c(u), α) over all states.
+//
+// Unlike the paper's dynamics, the undecided slot can be revived after
+// emptying (departures flow into it every round), so the O(live) step
+// commits over the live set extended with the undecided slot. Extinct
+// decided opinions still never return.
 type Undecided struct{}
 
 var _ Protocol = Undecided{}
@@ -40,46 +45,66 @@ func (Undecided) Step(r *rng.Rand, v *population.Vector, s *Scratch) {
 	if k < 2 {
 		return // one slot means everyone is undecided or consensus is trivial
 	}
-	u := k - 1
-	counts := v.Counts()
+	u := int32(k - 1)
+	cu := v.Count(int(u))
+	live := v.LiveIndices()
+
+	// The commit set is the live opinions plus the undecided slot,
+	// which departures may revive. u is the highest index, so appending
+	// it keeps the list ascending; when u is already live it is
+	// already the last entry.
+	idx := live
+	if cu == 0 {
+		buf := s.Idx(len(live) + 1)
+		copy(buf, live)
+		buf[len(live)] = u
+		idx = buf
+	}
+	L := len(idx)
+	uSlot := L - 1 // dense slot of u in idx, in both cases above
 	nf := float64(v.N())
-	uFrac := float64(counts[u]) / nf
+	uFrac := float64(cu) / nf
 
 	// Departures from each decided class into the undecided pool.
-	departed := s.Aux(k)
+	departed := s.Aux(L)
 	var totalDeparted int64
-	for i := 0; i < u; i++ {
-		departed[i] = 0
-		if counts[i] == 0 {
+	departed[uSlot] = 0
+	for j := 0; j < L; j++ {
+		if idx[j] == u {
 			continue
 		}
-		a := float64(counts[i]) / nf
+		c := v.Count(int(idx[j]))
+		a := float64(c) / nf
 		leave := 1 - a - uFrac
 		if leave < 0 {
 			leave = 0
 		}
-		departed[i] = r.Binomial(counts[i], leave)
-		totalDeparted += departed[i]
+		departed[j] = r.Binomial(c, leave)
+		totalDeparted += departed[j]
 	}
 
-	// Redistribution of the undecided pool over all states.
-	next := s.Outs(k)
-	if counts[u] > 0 {
-		probs := s.Probs(k)
-		for i, c := range counts {
-			probs[i] = float64(c) / nf
+	// Redistribution of the undecided pool over all live states.
+	next := s.Outs(L)
+	if cu > 0 {
+		// u is live here, so idx == live and every slot has positive mass.
+		probs := s.Probs(L)
+		for j, i := range idx {
+			probs[j] = float64(v.Count(int(i))) / nf
 		}
-		r.Multinomial(counts[u], probs, next)
+		sampleMultinomial(r, s, cu, probs, next)
 	} else {
-		for i := range next {
-			next[i] = 0
+		for j := range next {
+			next[j] = 0
 		}
 	}
-	for i := 0; i < u; i++ {
-		next[i] += counts[i] - departed[i]
+	for j := 0; j < L; j++ {
+		if idx[j] == u {
+			continue
+		}
+		next[j] += v.Count(int(idx[j])) - departed[j]
 	}
-	next[u] += totalDeparted
-	v.SetAll(next)
+	next[uSlot] += totalDeparted
+	v.CommitLive(idx, next)
 }
 
 // DecidedConsensus reports whether all vertices are decided on one

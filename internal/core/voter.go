@@ -12,7 +12,8 @@ import (
 // (E[α'(i)] = α(i)) and reaches consensus only by diffusion, in Θ(n)
 // expected rounds.
 //
-// One synchronous round is exactly Multinomial(n, α).
+// One synchronous round is exactly Multinomial(n, α), sampled over the
+// live opinions only (extinct opinions have α = 0 and stay extinct).
 type Voter struct{}
 
 var _ Protocol = Voter{}
@@ -22,14 +23,13 @@ func (Voter) Name() string { return "voter" }
 
 // Step implements Protocol.
 func (Voter) Step(r *rng.Rand, v *population.Vector, s *Scratch) {
-	k := v.K()
-	counts := v.Counts()
-	probs := s.Probs(k)
+	live := v.LiveIndices()
+	probs := s.Probs(len(live))
 	nf := float64(v.N())
-	for i, c := range counts {
-		probs[i] = float64(c) / nf
+	for j, c := range v.LiveCounts() {
+		probs[j] = float64(c) / nf
 	}
-	next := s.Outs(k)
-	r.Multinomial(v.N(), probs, next)
-	v.SetAll(next)
+	next := s.Outs(len(live))
+	sampleMultinomialGrouped(r, s, v.N(), v.LiveCounts(), probs, next)
+	v.CommitLive(live, next)
 }

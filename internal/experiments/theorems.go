@@ -154,7 +154,7 @@ func runThm21(opts Options) []tablefmt.Table {
 func runThm22(opts Options) []tablefmt.Table {
 	opts = opts.normalized()
 	n3 := int64(20_000) // 3-Majority instance size
-	n2 := int64(3_000)  // 2-Choices needs Θ̃(n) rounds at O(k)/round, keep smaller
+	n2 := int64(3_000)  // 2-Choices needs Θ̃(n) rounds at O(live)/round, keep smaller
 	trials := 5
 	if opts.Scale == Full {
 		n3, n2, trials = 100_000, 10_000, 7

@@ -103,5 +103,5 @@ func (f *Fenwick) Counts() []int64 {
 
 // Vector materializes the current counts as a population Vector.
 func (f *Fenwick) Vector() *Vector {
-	return &Vector{counts: f.Counts(), n: f.total}
+	return mustFromOwnedCounts(f.Counts())
 }

@@ -24,7 +24,7 @@ func Balanced(n int64, k int) *Vector {
 			counts[i]++
 		}
 	}
-	return &Vector{counts: counts, n: n}
+	return mustFromOwnedCounts(counts)
 }
 
 // PlantedBias returns a balanced configuration in which opinion 0 has
@@ -40,8 +40,7 @@ func PlantedBias(n int64, k int, extra int64) *Vector {
 	if extra < 0 {
 		panic("population: PlantedBias with negative extra")
 	}
-	v := Balanced(n, k)
-	counts := v.counts
+	counts := Balanced(n, k).counts
 	remaining := extra
 	for remaining > 0 {
 		moved := false
@@ -57,7 +56,7 @@ func PlantedBias(n int64, k int, extra int64) *Vector {
 			panic("population: PlantedBias extra exceeds donor supply")
 		}
 	}
-	return v
+	return mustFromOwnedCounts(counts)
 }
 
 // FromFractions rounds the fraction vector fracs (non-negative, summing

@@ -1,0 +1,344 @@
+package population
+
+import (
+	"math"
+	"testing"
+
+	"plurality/internal/rng"
+)
+
+// recount builds a fresh Vector from v's dense counts, giving
+// from-scratch values for every aggregate the sparse representation
+// maintains incrementally.
+func recount(v *Vector) *Vector {
+	w, err := FromCounts(v.Counts())
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// checkAggregates asserts that v's incrementally maintained aggregates
+// agree with a from-scratch recount.
+func checkAggregates(t *testing.T, v *Vector) {
+	t.Helper()
+	if err := v.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	w := recount(v)
+	if v.N() != w.N() {
+		t.Fatalf("N = %d, recount %d", v.N(), w.N())
+	}
+	if v.Live() != w.Live() {
+		t.Fatalf("Live = %d, recount %d", v.Live(), w.Live())
+	}
+	if v.SumSquares() != w.SumSquares() {
+		t.Fatalf("SumSquares = %d, recount %d", v.SumSquares(), w.SumSquares())
+	}
+	if math.Abs(v.Gamma()-w.Gamma()) > 1e-15 {
+		t.Fatalf("Gamma = %v, recount %v", v.Gamma(), w.Gamma())
+	}
+	vo, vc := v.MaxOpinion()
+	wo, wc := w.MaxOpinion()
+	if vo != wo || vc != wc {
+		t.Fatalf("MaxOpinion = (%d,%d), recount (%d,%d)", vo, vc, wo, wc)
+	}
+	vop, vok := v.Consensus()
+	wop, wok := w.Consensus()
+	if vop != wop || vok != wok {
+		t.Fatalf("Consensus = (%d,%v), recount (%d,%v)", vop, vok, wop, wok)
+	}
+	live := v.LiveIndices()
+	liveCnt := v.LiveCounts()
+	for j, i := range live {
+		if liveCnt[j] != v.Count(int(i)) {
+			t.Fatalf("LiveCounts[%d] = %d, Count(%d) = %d", j, liveCnt[j], i, v.Count(int(i)))
+		}
+		if v.LivePos(int(i)) != j {
+			t.Fatalf("LivePos(%d) = %d, want %d", i, v.LivePos(int(i)), j)
+		}
+	}
+}
+
+// randomCommit applies one random CommitLive to v: the live set plus
+// possibly one revivable extinct slot, with random new counts that keep
+// the total positive.
+func randomCommit(t *testing.T, r *rng.Rand, v *Vector) {
+	t.Helper()
+	live := v.LiveIndices()
+	idx := make([]int32, 0, len(live)+1)
+	// Optionally splice one extinct slot into the committed set, as the
+	// Undecided dynamics does with its revivable undecided state.
+	extinct := int32(-1)
+	if v.Live() < v.K() && r.Intn(2) == 0 {
+		for i := 0; i < v.K(); i++ {
+			if v.Count(i) == 0 && r.Intn(v.K()-i) == 0 {
+				extinct = int32(i)
+				break
+			}
+		}
+	}
+	for _, i := range live {
+		if extinct >= 0 && extinct < i {
+			idx = append(idx, extinct)
+			extinct = -1
+		}
+		idx = append(idx, i)
+	}
+	if extinct >= 0 {
+		idx = append(idx, extinct)
+	}
+	cnt := make([]int64, len(idx))
+	var total int64
+	for j := range cnt {
+		switch r.Intn(4) {
+		case 0:
+			cnt[j] = 0
+		default:
+			cnt[j] = r.Int63n(50)
+		}
+		total += cnt[j]
+	}
+	if total == 0 {
+		cnt[r.Intn(len(cnt))] = 1 + r.Int63n(10)
+	}
+	v.CommitLive(idx, cnt)
+}
+
+// TestCommitLiveAggregatesProperty drives random CommitLive sequences
+// (interleaved with Moves and SetAlls) and asserts after every
+// mutation that the live set, Σc², N, and the derived queries agree
+// with a from-scratch recount.
+func TestCommitLiveAggregatesProperty(t *testing.T) {
+	r := rng.New(20250725)
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + r.Intn(40)
+		counts := make([]int64, k)
+		var total int64
+		for i := range counts {
+			if r.Intn(3) == 0 {
+				continue
+			}
+			counts[i] = r.Int63n(100)
+			total += counts[i]
+		}
+		if total == 0 {
+			counts[r.Intn(k)] = 1
+		}
+		v := MustFromCounts(counts)
+		checkAggregates(t, v)
+		for step := 0; step < 30; step++ {
+			switch r.Intn(5) {
+			case 0: // Move between live opinions (possibly killing one)
+				if v.Live() >= 2 {
+					live := v.LiveIndices()
+					from := int(live[r.Intn(len(live))])
+					to := int(live[r.Intn(len(live))])
+					if from != to {
+						v.Move(from, to, r.Int63n(v.Count(from)+1))
+					}
+				}
+			case 1: // Move that may revive an extinct opinion
+				if v.Live() < v.K() {
+					live := v.LiveIndices()
+					from := int(live[r.Intn(len(live))])
+					to := -1
+					for i := 0; i < v.K(); i++ {
+						if v.Count(i) == 0 {
+							to = i
+							break
+						}
+					}
+					if m := v.Count(from); to >= 0 && m > 1 {
+						v.Move(from, to, 1+r.Int63n(m-1))
+					}
+				}
+			case 2: // full dense rewrite
+				next := append([]int64(nil), v.Counts()...)
+				for i := range next {
+					if r.Intn(2) == 0 && v.Count(i) > 0 {
+						next[i] = r.Int63n(80)
+					}
+				}
+				var tot int64
+				for _, c := range next {
+					tot += c
+				}
+				if tot == 0 {
+					next[r.Intn(len(next))] = 5
+				}
+				v.SetAll(next)
+			default:
+				randomCommit(t, r, v)
+			}
+			checkAggregates(t, v)
+		}
+	}
+}
+
+// TestCommitLiveAliasingLiveView exercises the documented hot path:
+// passing the LiveIndices view itself as the commit index list.
+func TestCommitLiveAliasingLiveView(t *testing.T) {
+	v := MustFromCounts([]int64{3, 0, 5, 2, 0, 7})
+	live := v.LiveIndices()
+	cnt := []int64{6, 0, 1, 4} // opinion 2 dies
+	v.CommitLive(live, cnt)
+	checkAggregates(t, v)
+	want := []int64{6, 0, 0, 1, 0, 4}
+	for i, c := range want {
+		if v.Count(i) != c {
+			t.Fatalf("counts = %v, want %v", v.Counts(), want)
+		}
+	}
+	if v.Live() != 3 {
+		t.Fatalf("Live = %d, want 3", v.Live())
+	}
+}
+
+// TestCommitLivePanics checks the contract violations are caught.
+func TestCommitLivePanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("length mismatch", func() {
+		v := MustFromCounts([]int64{1, 2})
+		v.CommitLive([]int32{0, 1}, []int64{3})
+	})
+	mustPanic("omitted live opinion", func() {
+		v := MustFromCounts([]int64{1, 2})
+		v.CommitLive([]int32{0}, []int64{3})
+	})
+	mustPanic("out of order", func() {
+		v := MustFromCounts([]int64{1, 2})
+		v.CommitLive([]int32{1, 0}, []int64{1, 2})
+	})
+	mustPanic("negative count", func() {
+		v := MustFromCounts([]int64{1, 2})
+		v.CommitLive([]int32{0, 1}, []int64{-1, 2})
+	})
+	mustPanic("zero total", func() {
+		v := MustFromCounts([]int64{1, 2})
+		v.CommitLive([]int32{0, 1}, []int64{0, 0})
+	})
+}
+
+// TestMoveAggregates spot-checks Move's incremental updates, including
+// kill and revive transitions that restructure the live slice.
+func TestMoveAggregates(t *testing.T) {
+	v := MustFromCounts([]int64{4, 0, 6})
+	v.Move(2, 0, 6) // kills opinion 2
+	checkAggregates(t, v)
+	if v.Live() != 1 || v.Count(0) != 10 {
+		t.Fatalf("after kill: %v", v.Counts())
+	}
+	v.Move(0, 1, 3) // revives opinion 1
+	checkAggregates(t, v)
+	if v.Live() != 2 || v.Count(1) != 3 {
+		t.Fatalf("after revive: %v", v.Counts())
+	}
+	if op, ok := v.Consensus(); ok {
+		t.Fatalf("consensus reported (%d) on two-opinion state", op)
+	}
+}
+
+// TestTopTwoMatchesDenseScan compares the sparse TopTwo against a
+// brute-force dense implementation over random configurations.
+func TestTopTwoMatchesDenseScan(t *testing.T) {
+	dense := func(counts []int64) (int, int) {
+		first, second := 0, 1
+		if counts[1] > counts[0] {
+			first, second = 1, 0
+		}
+		for i := 2; i < len(counts); i++ {
+			switch {
+			case counts[i] > counts[first]:
+				second = first
+				first = i
+			case counts[i] > counts[second]:
+				second = i
+			}
+		}
+		return first, second
+	}
+	r := rng.New(7)
+	for trial := 0; trial < 500; trial++ {
+		k := 2 + r.Intn(12)
+		counts := make([]int64, k)
+		var total int64
+		for i := range counts {
+			if r.Intn(2) == 0 {
+				counts[i] = r.Int63n(6)
+				total += counts[i]
+			}
+		}
+		if total == 0 {
+			counts[r.Intn(k)] = 1
+		}
+		v := MustFromCounts(counts)
+		gf, gs := v.TopTwo()
+		wf, ws := dense(counts)
+		if gf != wf || gs != ws {
+			t.Fatalf("TopTwo(%v) = (%d,%d), dense scan (%d,%d)", counts, gf, gs, wf, ws)
+		}
+	}
+}
+
+// FuzzCommitLive feeds arbitrary byte-derived commit sequences through
+// the sparse representation, checking aggregate consistency after each
+// step.
+func FuzzCommitLive(f *testing.F) {
+	f.Add([]byte{10, 20, 30}, uint64(1))
+	f.Add([]byte{0, 1, 0, 255}, uint64(2))
+	f.Add([]byte{1}, uint64(3))
+	f.Fuzz(func(t *testing.T, raw []byte, seed uint64) {
+		if len(raw) == 0 || len(raw) > 64 {
+			t.Skip()
+		}
+		counts := make([]int64, len(raw))
+		var total int64
+		for i, b := range raw {
+			counts[i] = int64(b)
+			total += counts[i]
+		}
+		if total == 0 {
+			t.Skip()
+		}
+		v := MustFromCounts(counts)
+		r := rng.New(seed)
+		for step := 0; step < 8; step++ {
+			randomCommitFuzz(r, v)
+			if err := v.Validate(); err != nil {
+				t.Fatalf("step %d: %v (state %v)", step, err, v.Counts())
+			}
+			w := recount(v)
+			if v.N() != w.N() || v.SumSquares() != w.SumSquares() || v.Live() != w.Live() {
+				t.Fatalf("step %d: aggregates diverged: N %d/%d Σc² %d/%d live %d/%d",
+					step, v.N(), w.N(), v.SumSquares(), w.SumSquares(), v.Live(), w.Live())
+			}
+		}
+	})
+}
+
+// randomCommitFuzz is randomCommit without the testing.T plumbing.
+func randomCommitFuzz(r *rng.Rand, v *Vector) {
+	live := v.LiveIndices()
+	idx := append([]int32(nil), live...)
+	cnt := make([]int64, len(idx))
+	var total int64
+	for j := range cnt {
+		if r.Intn(4) != 0 {
+			cnt[j] = r.Int63n(100)
+		}
+		total += cnt[j]
+	}
+	if total == 0 {
+		cnt[r.Intn(len(cnt))] = 1
+	}
+	v.CommitLive(idx, cnt)
+}

@@ -7,7 +7,14 @@
 //
 // On the complete graph with self-loops the count vector is a complete
 // description of the process state, which is what makes the exact
-// O(k)-per-round engine in internal/core possible.
+// count-space engine in internal/core possible. Because extinct
+// opinions can never return under the paper's dynamics (validity,
+// Eq. (5)/(6)), the live set shrinks monotonically from k to 1 over a
+// run; Vector therefore maintains a compacted slice of live opinion
+// indices plus incrementally updated aggregates (N, Σc², live count),
+// so that Gamma, Live and Consensus are O(1), MaxOpinion and SumCubes
+// are O(live), and the engines update a round in O(live) via CommitLive
+// instead of O(k) via SetAll.
 package population
 
 import (
@@ -15,18 +22,77 @@ import (
 	"fmt"
 )
 
+// MaxN is the largest supported population size: Σc² ≤ N² must fit in
+// the int64 Σc² aggregate, so N is capped at ⌊√(2⁶³−1)⌋.
+const MaxN int64 = 3_037_000_499
+
 // Vector is an opinion configuration: counts[i] vertices hold opinion i,
 // for i in [0, K). The representation maintains the invariant that all
-// counts are non-negative and sum to N.
+// counts are non-negative and sum to N, and mirrors the counts in a
+// sparse view: live lists the indices of positive counts in strictly
+// increasing order, pos[i] is opinion i's position in live (or -1 when
+// extinct), and sumSq caches Σ_i counts[i]².
 //
 // Opinions are indexed from 0 here; the paper indexes them from 1.
 type Vector struct {
-	counts []int64
-	n      int64
+	counts  []int64
+	live    []int32 // indices with counts[i] > 0, strictly increasing
+	liveCnt []int64 // liveCnt[j] = counts[live[j]], the compacted counts
+	pos     []int32 // pos[i] = index into live, or -1 when counts[i] == 0
+	n       int64
+	sumSq   int64 // Σ counts[i]²
 }
 
 // ErrInvalid reports a configuration that violates the count invariants.
 var ErrInvalid = errors.New("population: invalid configuration")
+
+// fromOwnedCounts builds a Vector that takes ownership of counts
+// (callers that must not share the slice copy it first).
+func fromOwnedCounts(counts []int64) (*Vector, error) {
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("%w: no opinions", ErrInvalid)
+	}
+	v := &Vector{
+		counts:  counts,
+		live:    make([]int32, 0, len(counts)),
+		liveCnt: make([]int64, 0, len(counts)),
+		pos:     make([]int32, len(counts)),
+	}
+	if err := v.rebuild(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// rebuild recomputes every aggregate from the dense counts in O(k).
+func (v *Vector) rebuild() error {
+	var n, sumSq int64
+	v.live = v.live[:0]
+	v.liveCnt = v.liveCnt[:0]
+	for i, c := range v.counts {
+		if c < 0 {
+			return fmt.Errorf("%w: negative count %d for opinion %d", ErrInvalid, c, i)
+		}
+		if c == 0 {
+			v.pos[i] = -1
+			continue
+		}
+		v.pos[i] = int32(len(v.live))
+		v.live = append(v.live, int32(i))
+		v.liveCnt = append(v.liveCnt, c)
+		n += c
+		sumSq += c * c
+	}
+	if n == 0 {
+		return fmt.Errorf("%w: zero total population", ErrInvalid)
+	}
+	if n > MaxN {
+		return fmt.Errorf("%w: population %d exceeds MaxN = %d", ErrInvalid, n, MaxN)
+	}
+	v.n = n
+	v.sumSq = sumSq
+	return nil
+}
 
 // FromCounts builds a Vector from an explicit count slice. The slice is
 // copied. It returns an error if counts is empty, any entry is
@@ -35,17 +101,7 @@ func FromCounts(counts []int64) (*Vector, error) {
 	if len(counts) == 0 {
 		return nil, fmt.Errorf("%w: no opinions", ErrInvalid)
 	}
-	var n int64
-	for i, c := range counts {
-		if c < 0 {
-			return nil, fmt.Errorf("%w: negative count %d for opinion %d", ErrInvalid, c, i)
-		}
-		n += c
-	}
-	if n == 0 {
-		return nil, fmt.Errorf("%w: zero total population", ErrInvalid)
-	}
-	return &Vector{counts: append([]int64(nil), counts...), n: n}, nil
+	return fromOwnedCounts(append([]int64(nil), counts...))
 }
 
 // MustFromCounts is FromCounts that panics on error; for tests and
@@ -58,9 +114,25 @@ func MustFromCounts(counts []int64) *Vector {
 	return v
 }
 
+// mustFromOwnedCounts is fromOwnedCounts that panics on error.
+func mustFromOwnedCounts(counts []int64) *Vector {
+	v, err := fromOwnedCounts(counts)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // Clone returns a deep copy.
 func (v *Vector) Clone() *Vector {
-	return &Vector{counts: append([]int64(nil), v.counts...), n: v.n}
+	return &Vector{
+		counts:  append([]int64(nil), v.counts...),
+		live:    append([]int32(nil), v.live...),
+		liveCnt: append([]int64(nil), v.liveCnt...),
+		pos:     append([]int32(nil), v.pos...),
+		n:       v.n,
+		sumSq:   v.sumSq,
+	}
 }
 
 // CopyFrom overwrites the receiver with src's configuration. The two
@@ -70,7 +142,11 @@ func (v *Vector) CopyFrom(src *Vector) {
 		panic("population: CopyFrom with mismatched K")
 	}
 	copy(v.counts, src.counts)
+	v.live = append(v.live[:0], src.live...)
+	v.liveCnt = append(v.liveCnt[:0], src.liveCnt...)
+	copy(v.pos, src.pos)
 	v.n = src.n
+	v.sumSq = src.sumSq
 }
 
 // K returns the number of opinion slots (including extinct opinions).
@@ -82,30 +158,191 @@ func (v *Vector) N() int64 { return v.n }
 // Count returns the number of vertices supporting opinion i.
 func (v *Vector) Count(i int) int64 { return v.counts[i] }
 
-// Counts returns the backing count slice as a mutable view. It exists
-// for the dynamics engines in internal/core and internal/async, which
-// update configurations in place on their hot path; callers that
-// mutate it must preserve the sum-to-N, non-negative invariant (or
-// call SetAll to re-establish it). All other callers should treat the
-// result as read-only.
+// Counts returns the backing count slice as a read-only view for bulk
+// readers (CSV writers, reference engines, Fenwick construction).
+// Callers that mutate it must call SetAll afterwards to re-establish
+// the aggregate invariants; the O(live) hot paths use LiveIndices and
+// CommitLive instead.
 func (v *Vector) Counts() []int64 { return v.counts }
 
-// SetAll replaces the counts (length must equal K) and recomputes N.
-// It panics if the invariants are violated; engines use it after bulk
-// in-place updates.
+// SetAll replaces the counts (length must equal K) and recomputes every
+// aggregate in O(k). It panics if the invariants are violated. The
+// argument may alias the slice returned by Counts. Engines use
+// CommitLive on the hot path; SetAll remains for bulk rewrites such as
+// the per-vertex reference steppers.
 func (v *Vector) SetAll(counts []int64) {
 	if len(counts) != len(v.counts) {
 		panic("population: SetAll with mismatched K")
 	}
-	var n int64
-	for i, c := range counts {
-		if c < 0 {
-			panic(fmt.Sprintf("population: SetAll negative count %d at %d", c, i))
-		}
-		n += c
-	}
 	copy(v.counts, counts)
+	if err := v.rebuild(); err != nil {
+		panic(err)
+	}
+}
+
+// LiveIndices returns the indices of the live opinions in strictly
+// increasing order. The slice is a read-only view into the Vector's
+// state: it is invalidated by any mutation (CommitLive, SetAll, Move,
+// CopyFrom) and must not be modified or retained across them. It is the
+// iteration domain of the O(live) engine hot paths and is accepted
+// directly as the index list of CommitLive.
+func (v *Vector) LiveIndices() []int32 { return v.live }
+
+// LiveCounts returns the counts of the live opinions, aligned with
+// LiveIndices (LiveCounts()[j] supports opinion LiveIndices()[j]).
+// Same view semantics as LiveIndices: read-only, invalidated by any
+// mutation. Engines read it instead of indexing Count(i) per live
+// opinion so the per-round loops scan memory sequentially.
+func (v *Vector) LiveCounts() []int64 { return v.liveCnt }
+
+// ForEachLive calls fn for every live opinion in increasing index
+// order. fn must not mutate the Vector.
+func (v *Vector) ForEachLive(fn func(opinion int, count int64)) {
+	for j, i := range v.live {
+		fn(int(i), v.liveCnt[j])
+	}
+}
+
+// LivePos returns opinion i's position within LiveIndices, or -1 if the
+// opinion is extinct — an O(1) scatter map from opinion index to dense
+// live slot.
+func (v *Vector) LivePos(i int) int { return int(v.pos[i]) }
+
+// CommitLive replaces the counts of the opinions listed in idx with cnt
+// (cnt[j] becomes the count of opinion idx[j]) and updates every
+// aggregate in O(len(idx)). It is the engines' bulk per-round commit:
+// one round of a dynamics redistributes mass among the currently live
+// opinions only, so idx is typically the LiveIndices view itself
+// (aliasing it is explicitly supported), or a copy extended with a
+// revivable slot such as the Undecided state.
+//
+// Requirements (panic on violation): idx is strictly increasing and in
+// range, len(idx) == len(cnt), every currently-live opinion appears in
+// idx (mass cannot teleport into unlisted slots), all cnt[j] ≥ 0, and
+// the new total is positive. Entries with cnt[j] == 0 leave the live
+// set; listed extinct opinions with cnt[j] > 0 join it.
+func (v *Vector) CommitLive(idx []int32, cnt []int64) {
+	if len(idx) != len(cnt) {
+		panic("population: CommitLive len(idx) != len(cnt)")
+	}
+	if len(idx) == 0 {
+		panic("population: CommitLive with empty index list")
+	}
+	// Every live opinion must be listed: walk the two increasing
+	// sequences in lockstep. When idx IS the LiveIndices view — the
+	// common engine hot path — the walk would trivially pass, so it is
+	// skipped.
+	if &idx[0] != &v.live[0] || len(idx) != len(v.live) {
+		j := 0
+		for _, i := range v.live {
+			for j < len(idx) && idx[j] < i {
+				j++
+			}
+			if j >= len(idx) || idx[j] != i {
+				panic(fmt.Sprintf("population: CommitLive omits live opinion %d", i))
+			}
+		}
+	}
+	var n, sumSq int64
+	newLive := v.live[:0]
+	newCnt := v.liveCnt[:0]
+	prev := int32(-1)
+	for j, i := range idx {
+		if i <= prev || int(i) >= len(v.counts) {
+			panic(fmt.Sprintf("population: CommitLive index %d out of order or range", i))
+		}
+		prev = i
+		c := cnt[j]
+		if c < 0 {
+			panic(fmt.Sprintf("population: CommitLive negative count %d for opinion %d", c, i))
+		}
+		v.counts[i] = c
+		if c == 0 {
+			// Listed entries going (or staying) extinct leave the live
+			// set; unlisted entries were already extinct with pos -1.
+			v.pos[i] = -1
+			continue
+		}
+		v.pos[i] = int32(len(newLive))
+		// Appending stays behind the read cursor even when idx aliases
+		// v.live (or cnt aliases v.liveCnt): at step j at most j
+		// elements have been kept.
+		newLive = append(newLive, i)
+		newCnt = append(newCnt, c)
+		n += c
+		sumSq += c * c
+	}
+	if n == 0 {
+		panic("population: CommitLive with zero total population")
+	}
+	if n > MaxN {
+		panic(fmt.Sprintf("population: CommitLive population %d exceeds MaxN", n))
+	}
+	v.live = newLive
+	v.liveCnt = newCnt
 	v.n = n
+	v.sumSq = sumSq
+}
+
+// Move transfers m vertices from opinion from to opinion to, updating
+// the aggregates incrementally: O(1) unless the live set changes (an
+// opinion dying or being revived costs O(live) to keep the live slice
+// sorted). It panics if m is negative or exceeds from's count. N is
+// unchanged. The adversary strategies use it to corrupt configurations
+// without an O(k) SetAll.
+func (v *Vector) Move(from, to int, m int64) {
+	if m < 0 {
+		panic(fmt.Sprintf("population: Move negative m = %d", m))
+	}
+	if m == 0 || from == to {
+		return
+	}
+	cf, ct := v.counts[from], v.counts[to]
+	if cf < m {
+		panic(fmt.Sprintf("population: Move %d from opinion %d holding %d", m, from, cf))
+	}
+	nf, nt := cf-m, ct+m
+	v.counts[from] = nf
+	v.counts[to] = nt
+	v.sumSq += nf*nf - cf*cf + nt*nt - ct*ct
+	if nf > 0 {
+		v.liveCnt[v.pos[from]] = nf
+	} else {
+		v.removeLive(int32(from))
+	}
+	if ct == 0 {
+		v.insertLive(int32(to))
+	}
+	v.liveCnt[v.pos[to]] = nt
+}
+
+// removeLive deletes opinion i from the sorted live slice.
+func (v *Vector) removeLive(i int32) {
+	p := v.pos[i]
+	copy(v.live[p:], v.live[p+1:])
+	copy(v.liveCnt[p:], v.liveCnt[p+1:])
+	v.live = v.live[:len(v.live)-1]
+	v.liveCnt = v.liveCnt[:len(v.liveCnt)-1]
+	for q := p; q < int32(len(v.live)); q++ {
+		v.pos[v.live[q]] = q
+	}
+	v.pos[i] = -1
+}
+
+// insertLive adds opinion i to the sorted live slice (its liveCnt slot
+// is left for the caller to set).
+func (v *Vector) insertLive(i int32) {
+	p := len(v.live)
+	v.live = append(v.live, 0)
+	v.liveCnt = append(v.liveCnt, 0)
+	for p > 0 && v.live[p-1] > i {
+		v.live[p] = v.live[p-1]
+		v.liveCnt[p] = v.liveCnt[p-1]
+		v.pos[v.live[p]] = int32(p)
+		p--
+	}
+	v.live[p] = i
+	v.pos[i] = int32(p)
 }
 
 // Alpha returns α(i) = Count(i)/N, the fraction supporting opinion i.
@@ -113,31 +350,25 @@ func (v *Vector) Alpha(i int) float64 {
 	return float64(v.counts[i]) / float64(v.n)
 }
 
+// SumSquares returns Σ_i Count(i)², maintained incrementally (O(1)).
+func (v *Vector) SumSquares() int64 { return v.sumSq }
+
 // Gamma returns γ = Σ_i α(i)², the squared ℓ²-norm of the fraction
 // vector (paper Definition 3.2(iii)). γ ∈ [1/k, 1] always, with γ = 1
-// exactly at consensus.
+// exactly at consensus. It is O(1): the integer Σc² aggregate is
+// maintained across mutations, so a round's done-check and the
+// trajectory observers cost nothing extra.
 func (v *Vector) Gamma() float64 {
 	nf := float64(v.n)
-	sum := 0.0
-	for _, c := range v.counts {
-		if c == 0 {
-			continue
-		}
-		a := float64(c) / nf
-		sum += a * a
-	}
-	return sum
+	return float64(v.sumSq) / (nf * nf)
 }
 
 // SumCubes returns ‖α‖₃³ = Σ_i α(i)³, used by the Lemma 4.1 variance
-// bounds.
+// bounds. O(live).
 func (v *Vector) SumCubes() float64 {
 	nf := float64(v.n)
 	sum := 0.0
-	for _, c := range v.counts {
-		if c == 0 {
-			continue
-		}
+	for _, c := range v.liveCnt {
 		a := float64(c) / nf
 		sum += a * a * a
 	}
@@ -149,23 +380,15 @@ func (v *Vector) Bias(i, j int) float64 {
 	return float64(v.counts[i]-v.counts[j]) / float64(v.n)
 }
 
-// Live returns the number of opinions with at least one supporter.
-func (v *Vector) Live() int {
-	live := 0
-	for _, c := range v.counts {
-		if c > 0 {
-			live++
-		}
-	}
-	return live
-}
+// Live returns the number of opinions with at least one supporter. O(1).
+func (v *Vector) Live() int { return len(v.live) }
 
 // MaxOpinion returns the index and count of the most-supported opinion
-// (lowest index on ties).
+// (lowest index on ties). O(live).
 func (v *Vector) MaxOpinion() (opinion int, count int64) {
-	for i, c := range v.counts {
+	for j, c := range v.liveCnt {
 		if c > count {
-			opinion, count = i, c
+			opinion, count = int(v.live[j]), c
 		}
 	}
 	return opinion, count
@@ -173,53 +396,82 @@ func (v *Vector) MaxOpinion() (opinion int, count int64) {
 
 // TopTwo returns the indices of the two most-supported opinions
 // (first >= second in count; ties broken by lower index). K must be
-// at least 2.
+// at least 2. O(live); when fewer than two opinions are live the
+// remaining slots are filled with the lowest-index extinct opinions,
+// matching a dense scan.
 func (v *Vector) TopTwo() (first, second int) {
 	if len(v.counts) < 2 {
 		panic("population: TopTwo needs K >= 2")
 	}
-	first, second = 0, 1
-	if v.counts[1] > v.counts[0] {
-		first, second = 1, 0
-	}
-	for i := 2; i < len(v.counts); i++ {
+	first, second = -1, -1
+	var fc, sc int64
+	for j, c := range v.liveCnt {
+		i := int(v.live[j])
 		switch {
-		case v.counts[i] > v.counts[first]:
-			second = first
-			first = i
-		case v.counts[i] > v.counts[second]:
-			second = i
+		case first == -1 || c > fc:
+			second, sc = first, fc
+			first, fc = i, c
+		case second == -1 || c > sc:
+			second, sc = i, c
+		}
+	}
+	// Live is never empty, but a consensus state leaves second unset; a
+	// dense scan would have returned the lowest-index extinct opinion.
+	if second == -1 {
+		for i := range v.counts {
+			if i != first {
+				second = i
+				break
+			}
 		}
 	}
 	return first, second
 }
 
 // Consensus reports whether every vertex supports the same opinion and,
-// if so, which one.
+// if so, which one. O(1): consensus is exactly one live opinion.
 func (v *Vector) Consensus() (opinion int, ok bool) {
-	for i, c := range v.counts {
-		if c == v.n {
-			return i, true
-		}
-		if c != 0 {
-			return 0, false
-		}
+	if len(v.live) == 1 {
+		return int(v.live[0]), true
 	}
 	return 0, false
 }
 
-// Validate checks the representation invariants. Engines call this in
-// tests and after complex in-place updates.
+// Validate checks the representation invariants, including the sparse
+// aggregates. Engines call this in tests and after complex in-place
+// updates.
 func (v *Vector) Validate() error {
-	var n int64
+	var n, sumSq int64
+	live := 0
 	for i, c := range v.counts {
 		if c < 0 {
 			return fmt.Errorf("%w: negative count %d for opinion %d", ErrInvalid, c, i)
 		}
-		n += c
+		if c > 0 {
+			if live >= len(v.live) || v.live[live] != int32(i) {
+				return fmt.Errorf("%w: live slice out of sync at opinion %d", ErrInvalid, i)
+			}
+			if v.liveCnt[live] != c {
+				return fmt.Errorf("%w: liveCnt[%d] = %d, want %d", ErrInvalid, live, v.liveCnt[live], c)
+			}
+			if v.pos[i] != int32(live) {
+				return fmt.Errorf("%w: pos[%d] = %d, want %d", ErrInvalid, i, v.pos[i], live)
+			}
+			live++
+			n += c
+			sumSq += c * c
+		} else if v.pos[i] != -1 {
+			return fmt.Errorf("%w: extinct opinion %d has pos %d", ErrInvalid, i, v.pos[i])
+		}
+	}
+	if live != len(v.live) {
+		return fmt.Errorf("%w: live slice has %d entries, want %d", ErrInvalid, len(v.live), live)
 	}
 	if n != v.n {
 		return fmt.Errorf("%w: counts sum to %d, recorded N is %d", ErrInvalid, n, v.n)
+	}
+	if sumSq != v.sumSq {
+		return fmt.Errorf("%w: counts square-sum to %d, recorded Σc² is %d", ErrInvalid, sumSq, v.sumSq)
 	}
 	if n == 0 {
 		return fmt.Errorf("%w: zero total population", ErrInvalid)

@@ -3,20 +3,42 @@ package rng
 // Alias is a Walker–Vose alias table for O(1) sampling from a fixed
 // discrete distribution over {0, ..., k-1}. Build cost is O(k).
 //
-// The table is immutable after construction and safe for concurrent
-// sampling as long as each goroutine uses its own *Rand.
+// The table is immutable between Fill calls and safe for concurrent
+// sampling as long as each goroutine uses its own *Rand. The zero
+// value is valid and empty; populate it with Fill. Engines keep one
+// Alias per worker and Fill it every round, so rebuilding allocates
+// nothing once the buffers have grown to the working size.
 type Alias struct {
-	prob  []float64
-	alias []int32
+	// cells fuses each slot's acceptance probability and alias target
+	// so a Sample touches one cache line, which matters when the table
+	// spans tens of thousands of live opinions.
+	cells []aliasCell
+	// Build scratch, retained across Fill calls.
+	scaled []float64
+	stack  []int32
+}
+
+type aliasCell struct {
+	prob  float64
+	alias int32
 }
 
 // NewAlias builds an alias table for the given non-negative weights.
 // Weights need not be normalized. It panics if weights is empty or if
 // every weight is zero or negative.
 func NewAlias(weights []float64) *Alias {
+	a := &Alias{}
+	a.Fill(weights)
+	return a
+}
+
+// Fill rebuilds the table in place for a new weight vector, reusing
+// the previous allocation when it is large enough. Constraints are as
+// for NewAlias.
+func (a *Alias) Fill(weights []float64) {
 	k := len(weights)
 	if k == 0 {
-		panic("rng: NewAlias with no weights")
+		panic("rng: Alias.Fill with no weights")
 	}
 	total := 0.0
 	for _, w := range weights {
@@ -25,63 +47,72 @@ func NewAlias(weights []float64) *Alias {
 		}
 	}
 	if total <= 0 {
-		panic("rng: NewAlias with zero total weight")
+		panic("rng: Alias.Fill with zero total weight")
 	}
 
-	a := &Alias{
-		prob:  make([]float64, k),
-		alias: make([]int32, k),
+	if cap(a.cells) < k {
+		a.cells = make([]aliasCell, k)
+		a.scaled = make([]float64, k)
+		a.stack = make([]int32, k)
 	}
-	// Scaled probabilities: mean 1.
-	scaled := make([]float64, k)
+	a.cells = a.cells[:k]
+	a.scaled = a.scaled[:k]
+	a.stack = a.stack[:k]
+
+	// Scaled probabilities: mean 1. The stack buffer holds both Vose
+	// worklists: entries below s are "small" (scaled < 1), entries at l
+	// and above are "large".
 	scale := float64(k) / total
-	small := make([]int32, 0, k)
-	large := make([]int32, 0, k)
+	s, l := 0, k
 	for i, w := range weights {
 		if w < 0 {
 			w = 0
 		}
-		scaled[i] = w * scale
-		if scaled[i] < 1 {
-			small = append(small, int32(i))
+		sc := w * scale
+		a.scaled[i] = sc
+		if sc < 1 {
+			a.stack[s] = int32(i)
+			s++
 		} else {
-			large = append(large, int32(i))
+			l--
+			a.stack[l] = int32(i)
 		}
 	}
-	for len(small) > 0 && len(large) > 0 {
-		s := small[len(small)-1]
-		small = small[:len(small)-1]
-		l := large[len(large)-1]
-		large = large[:len(large)-1]
-		a.prob[s] = scaled[s]
-		a.alias[s] = l
-		scaled[l] = scaled[l] + scaled[s] - 1
-		if scaled[l] < 1 {
-			small = append(small, l)
-		} else {
-			large = append(large, l)
+	for s > 0 && l < k {
+		s--
+		sm := a.stack[s]
+		lg := a.stack[l]
+		a.cells[sm] = aliasCell{prob: a.scaled[sm], alias: lg}
+		a.scaled[lg] += a.scaled[sm] - 1
+		if a.scaled[lg] < 1 {
+			// The donor dropped below mean weight: it moves from the
+			// large worklist to the small one.
+			l++
+			a.stack[s] = lg
+			s++
 		}
 	}
-	for _, i := range large {
-		a.prob[i] = 1
-		a.alias[i] = i
+	for ; l < k; l++ {
+		i := a.stack[l]
+		a.cells[i] = aliasCell{prob: 1, alias: i}
 	}
-	for _, i := range small {
+	for s > 0 {
 		// Only reachable through floating-point rounding; treat as full.
-		a.prob[i] = 1
-		a.alias[i] = i
+		s--
+		i := a.stack[s]
+		a.cells[i] = aliasCell{prob: 1, alias: i}
 	}
-	return a
 }
 
 // K returns the number of categories.
-func (a *Alias) K() int { return len(a.prob) }
+func (a *Alias) K() int { return len(a.cells) }
 
 // Sample draws one category index according to the table's weights.
 func (a *Alias) Sample(r *Rand) int {
-	i := r.Intn(len(a.prob))
-	if r.Float64() < a.prob[i] {
+	i := r.Intn(len(a.cells))
+	cell := a.cells[i]
+	if r.Float64() < cell.prob {
 		return i
 	}
-	return int(a.alias[i])
+	return int(cell.alias)
 }

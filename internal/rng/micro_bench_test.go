@@ -1,0 +1,24 @@
+package rng
+
+import "testing"
+
+// Binomial microbenchmarks across the n·p regimes the conditional
+// multinomial chain actually hits: the sparse engine's per-category
+// draws have n·p equal to the round's trials-per-live-opinion ratio,
+// so these pin the BINV/BTPE crossover and catch per-draw regressions.
+
+func benchBinomial(b *testing.B, n int64, p float64) {
+	r := New(7)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += r.Binomial(n, p)
+	}
+	_ = sink
+}
+
+func BenchmarkBinomialNp1(b *testing.B)   { benchBinomial(b, 100_000, 1e-5) }
+func BenchmarkBinomialNp6(b *testing.B)   { benchBinomial(b, 60_000, 1e-4) }
+func BenchmarkBinomialNp12(b *testing.B)  { benchBinomial(b, 40_000, 3e-4) }
+func BenchmarkBinomialNp25(b *testing.B)  { benchBinomial(b, 25_000, 1e-3) }
+func BenchmarkBinomialNp100(b *testing.B) { benchBinomial(b, 10_000, 1e-2) }
+func BenchmarkBinomialHalf(b *testing.B)  { benchBinomial(b, 1000, 0.4) }

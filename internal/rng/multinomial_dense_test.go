@@ -1,0 +1,171 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMultinomialDenseSumsToN(t *testing.T) {
+	r := New(3)
+	probs := []float64{0.4, 0.1, 0.25, 0.25}
+	out := make([]int64, len(probs))
+	for _, n := range []int64{0, 1, 7, 12345, 1 << 30} {
+		r.MultinomialDense(n, probs, out)
+		var sum int64
+		for _, c := range out {
+			if c < 0 {
+				t.Fatalf("n=%d: negative count %v", n, out)
+			}
+			sum += c
+		}
+		if sum != n {
+			t.Fatalf("n=%d: counts %v sum to %d", n, out, sum)
+		}
+	}
+}
+
+func TestMultinomialDenseSingleCategory(t *testing.T) {
+	r := New(4)
+	out := make([]int64, 1)
+	r.MultinomialDense(42, []float64{0.3}, out)
+	if out[0] != 42 {
+		t.Fatalf("single category got %d, want 42", out[0])
+	}
+	r.MultinomialDense(0, []float64{1}, out)
+	if out[0] != 0 {
+		t.Fatalf("zero trials got %d, want 0", out[0])
+	}
+}
+
+// TestMultinomialDenseZeroRemainingMass drives the sampler into the
+// state where all trials are consumed before the last category, so the
+// trailing slots must come back exactly zero.
+func TestMultinomialDenseZeroRemainingMass(t *testing.T) {
+	r := New(5)
+	// A first category that dwarfs the rest: with n = 1 the single
+	// trial usually lands on slot 0 and every later slot must be 0.
+	probs := []float64{1e9, 1, 1, 1}
+	out := make([]int64, len(probs))
+	sawEarlyExhaustion := false
+	for trial := 0; trial < 200; trial++ {
+		r.MultinomialDense(1, probs, out)
+		var sum int64
+		for _, c := range out {
+			sum += c
+		}
+		if sum != 1 {
+			t.Fatalf("counts %v sum to %d, want 1", out, sum)
+		}
+		if out[0] == 1 {
+			sawEarlyExhaustion = true
+			if out[1] != 0 || out[2] != 0 || out[3] != 0 {
+				t.Fatalf("trailing categories nonzero after exhaustion: %v", out)
+			}
+		}
+	}
+	if !sawEarlyExhaustion {
+		t.Fatal("never exhausted trials early; test vector is wrong")
+	}
+}
+
+// TestMultinomialDenseRoundingRemainder exercises the p >= remP
+// assign-the-rest branch: when floating-point subtraction leaves the
+// residual mass at or below the current weight, the remainder must be
+// deposited without losing trials.
+func TestMultinomialDenseRoundingRemainder(t *testing.T) {
+	r := New(6)
+	// Tiny trailing weights force remP toward the rounding regime.
+	probs := []float64{1, 1e-14, 1e-14, 5e-15}
+	out := make([]int64, len(probs))
+	for trial := 0; trial < 100; trial++ {
+		r.MultinomialDense(1000, probs, out)
+		var sum int64
+		for _, c := range out {
+			if c < 0 {
+				t.Fatalf("negative count in %v", out)
+			}
+			sum += c
+		}
+		if sum != 1000 {
+			t.Fatalf("counts %v sum to %d, want 1000", out, sum)
+		}
+	}
+}
+
+// TestMultinomialDenseMatchesPaddedMultinomial checks the documented
+// law-preservation property: on the same generator state, the dense
+// sampler over compacted positive weights returns the same counts as
+// the general sampler over the zero-padded vector.
+func TestMultinomialDenseMatchesPaddedMultinomial(t *testing.T) {
+	rDense := New(99)
+	rPadded := New(99)
+	denseProbs := []float64{0.5, 1.25, 0.25, 3, 0.125}
+	padded := []float64{0, 0.5, 0, 0, 1.25, 0.25, 0, 3, 0.125, 0}
+	liveSlots := []int{1, 4, 5, 7, 8}
+	denseOut := make([]int64, len(denseProbs))
+	paddedOut := make([]int64, len(padded))
+	for _, n := range []int64{0, 1, 17, 9999, 123456} {
+		rDense.MultinomialDense(n, denseProbs, denseOut)
+		rPadded.Multinomial(n, padded, paddedOut)
+		for j, slot := range liveSlots {
+			if denseOut[j] != paddedOut[slot] {
+				t.Fatalf("n=%d: dense %v vs padded %v diverge at live slot %d", n, denseOut, paddedOut, j)
+			}
+		}
+		for slot, c := range paddedOut {
+			if c != 0 && (slot == 0 || slot == 2 || slot == 3 || slot == 6 || slot == 9) {
+				t.Fatalf("n=%d: padded sampler put %d trials on a zero-probability slot %d", n, c, slot)
+			}
+		}
+	}
+}
+
+// TestMultinomialDenseMean checks first moments against n·p over many
+// draws.
+func TestMultinomialDenseMean(t *testing.T) {
+	r := New(11)
+	probs := []float64{1, 2, 3, 4}
+	out := make([]int64, len(probs))
+	sums := make([]float64, len(probs))
+	const trials = 2000
+	const n = 1000
+	for i := 0; i < trials; i++ {
+		r.MultinomialDense(n, probs, out)
+		for j, c := range out {
+			sums[j] += float64(c)
+		}
+	}
+	for j, s := range sums {
+		mean := s / trials
+		want := float64(n) * probs[j] / 10
+		sd := math.Sqrt(float64(n) * (probs[j] / 10) * (1 - probs[j]/10) / trials)
+		if math.Abs(mean-want) > 6*sd {
+			t.Fatalf("category %d mean %v, want %v ± %v", j, mean, want, sd)
+		}
+	}
+}
+
+func TestMultinomialDensePanics(t *testing.T) {
+	r := New(12)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("length mismatch", func() {
+		r.MultinomialDense(10, []float64{1, 2}, make([]int64, 3))
+	})
+	mustPanic("zero weight", func() {
+		r.MultinomialDense(10, []float64{1, 0}, make([]int64, 2))
+	})
+	mustPanic("negative weight", func() {
+		r.MultinomialDense(10, []float64{1, -1}, make([]int64, 2))
+	})
+	mustPanic("empty", func() {
+		r.MultinomialDense(10, nil, nil)
+	})
+}

@@ -3,7 +3,6 @@ package rng
 import (
 	"math"
 	"testing"
-	"testing/quick"
 )
 
 func TestNewDeterministic(t *testing.T) {
@@ -116,35 +115,6 @@ func TestFloat64Mean(t *testing.T) {
 	mean := sum / n
 	if math.Abs(mean-0.5) > 0.005 {
 		t.Fatalf("Float64 mean = %v, want about 0.5", mean)
-	}
-}
-
-func TestMul64(t *testing.T) {
-	cases := []struct {
-		x, y, hi, lo uint64
-	}{
-		{0, 0, 0, 0},
-		{1, 1, 0, 1},
-		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
-		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
-		{1 << 32, 1 << 32, 1, 0},
-	}
-	for _, c := range cases {
-		hi, lo := mul64(c.x, c.y)
-		if hi != c.hi || lo != c.lo {
-			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.x, c.y, hi, lo, c.hi, c.lo)
-		}
-	}
-}
-
-func TestMul64MatchesBigProperty(t *testing.T) {
-	// Property: low word always equals wrapping product.
-	f := func(x, y uint64) bool {
-		_, lo := mul64(x, y)
-		return lo == x*y
-	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Fatal(err)
 	}
 }
 

@@ -144,7 +144,9 @@ func CountConverged(results []TrialResult) int {
 // Trajectory records per-round scalar summaries of one run. Attach
 // via Spec.Observe (or core.RunConfig.Observer) and read the slices
 // afterwards; entry t corresponds to round t (entry 0 is the initial
-// configuration).
+// configuration). Recording is cheap relative to the protocol step:
+// Gamma and Live read the Vector's O(1) incremental aggregates and
+// only MaxOpinion scans, at O(live).
 type Trajectory struct {
 	// Every controls subsampling: a round is recorded when
 	// round % Every == 0 (Every <= 1 records all rounds). The final

@@ -6,9 +6,10 @@
 // until consensus.
 //
 // The engine samples each synchronous round exactly from the
-// count-space transition law in O(k) time regardless of n (see
-// DESIGN.md), so million-vertex, thousand-opinion processes run in
-// microseconds per round. Besides the two headline dynamics the
+// count-space transition law in O(live) time — live being the number
+// of surviving opinions, which only shrinks over a run — regardless of
+// n and of the opinion-space size k (see DESIGN.md), so million-vertex,
+// thousand-opinion processes run in microseconds per round. Besides the two headline dynamics the
 // package provides Voter, h-Majority, the Median rule and the
 // Undecided-State Dynamics, adversarial corruption, asynchronous
 // scheduling, and agent-based execution on non-complete topologies.
