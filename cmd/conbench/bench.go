@@ -7,7 +7,7 @@ import (
 	"runtime"
 	"time"
 
-	"plurality"
+	"plurality/internal/service"
 )
 
 // benchCase is one entry of the reference performance suite: a full
@@ -22,18 +22,22 @@ type benchCase struct {
 	Run  func(seed uint64) error
 }
 
-func consensusRun(n int64, k int, protocol plurality.Protocol) func(seed uint64) error {
+// consensusRun executes one full run through the shared service layer
+// (the same service.Execute path the conserve server and consim -json
+// use), so BENCH.json tracks what a served request actually costs —
+// engine plus canonicalisation/summary overhead.
+func consensusRun(n int64, k int, protocol string) func(seed uint64) error {
 	return func(seed uint64) error {
-		res, err := plurality.Run(plurality.Config{
-			N:        n,
+		resp, err := service.Execute(service.Request{
 			Protocol: protocol,
-			Init:     plurality.Balanced(k),
+			N:        n,
+			K:        k,
 			Seed:     seed,
 		})
 		if err != nil {
 			return err
 		}
-		if !res.Consensus {
+		if resp.Summary.Converged != resp.Summary.Trials {
 			return fmt.Errorf("run did not reach consensus")
 		}
 		return nil
@@ -42,11 +46,11 @@ func consensusRun(n int64, k int, protocol plurality.Protocol) func(seed uint64)
 
 func benchSuite() []benchCase {
 	return []benchCase{
-		{"run_three_majority_n1e6_k100", consensusRun(1_000_000, 100, plurality.ThreeMajority())},
-		{"run_two_choices_n1e6_k100", consensusRun(1_000_000, 100, plurality.TwoChoices())},
-		{"run_three_majority_many_opinions_k_eq_n_1e5", consensusRun(100_000, 100_000, plurality.ThreeMajority())},
-		{"run_two_choices_many_opinions_k_eq_n_1e4", consensusRun(10_000, 10_000, plurality.TwoChoices())},
-		{"run_voter_n1e5_k64", consensusRun(100_000, 64, plurality.Voter())},
+		{"run_three_majority_n1e6_k100", consensusRun(1_000_000, 100, "3-majority")},
+		{"run_two_choices_n1e6_k100", consensusRun(1_000_000, 100, "2-choices")},
+		{"run_three_majority_many_opinions_k_eq_n_1e5", consensusRun(100_000, 100_000, "3-majority")},
+		{"run_two_choices_many_opinions_k_eq_n_1e4", consensusRun(10_000, 10_000, "2-choices")},
+		{"run_voter_n1e5_k64", consensusRun(100_000, 64, "voter")},
 	}
 }
 

@@ -1,0 +1,96 @@
+// Command conserve serves consensus-time experiments over HTTP —
+// simulation as a service. It exposes the shared job runner behind
+// consim/consweep as a concurrent, cached JSON API:
+//
+//	POST /run          one Request (see internal/service), canonical body
+//	POST /sweep        batch sweep, NDJSON stream of per-point medians
+//	GET  /jobs/{id}    poll a detached (?detach=1) run
+//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus-style counters
+//
+// Usage:
+//
+//	conserve [-addr :8080] [-workers 0] [-queue 64] [-cache 256]
+//
+// Examples:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/run -d '{"protocol":"3-majority","n":100000,"k":100,"seed":1}'
+//	curl -s -X POST localhost:8080/sweep -d '{"base":{"protocol":"3-majority","n":100000,"seed":1,"trials":5},"sweep":"k","values":[2,4,8,16]}'
+//
+// Results are deterministic in the request (trial i runs with the
+// derived seed DeriveSeed(seed, i)), so identical requests are served
+// from an LRU cache without re-simulation; a full queue answers 429
+// with Retry-After.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"plurality/internal/service"
+)
+
+// onListen, when set (tests), observes the bound address before the
+// server starts accepting.
+var onListen func(net.Addr)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "conserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("conserve", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		workers = fs.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queue   = fs.Int("queue", 64, "admission queue depth (full queue => 429)")
+		cache   = fs.Int("cache", 256, "LRU result-cache entries (-1 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runner := service.NewRunner(service.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cache,
+	})
+	defer runner.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
+	log.Printf("conserve: listening on %s (workers=%d queue=%d cache=%d)",
+		ln.Addr(), runner.Metrics().Workers, *queue, *cache)
+
+	srv := &http.Server{Handler: service.NewServer(runner)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Printf("conserve: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeEndToEnd boots the real server on an ephemeral port, hits
+// /healthz and /run, and shuts it down via context cancellation.
+func TestServeEndToEnd(t *testing.T) {
+	addrs := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrs <- a }
+	defer func() { onListen = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2"})
+	}()
+
+	var base string
+	select {
+	case a := <-addrs:
+		base = fmt.Sprintf("http://%s", a)
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not start")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post(base+"/run", "application/json",
+		strings.NewReader(`{"protocol":"3-majority","n":1000,"k":4,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"consensus":true`) {
+		t.Fatalf("run: %d %s", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-addr"}); err == nil {
+		t.Fatal("dangling flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:99999"}); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}

@@ -1,23 +1,29 @@
 // Command consim runs a single consensus-dynamics trajectory and
-// prints a per-round trace: γ_t, live opinions, and the leader.
+// prints a per-round trace: γ_t, live opinions, and the leader. It is
+// a thin shell over the shared internal/service request layer, so a
+// consim invocation and the equivalent conserve POST /run (or consim
+// -json) describe — and produce — exactly the same simulation.
 //
 // Usage:
 //
 //	consim -n 1000000 -k 100 -protocol 3-majority [-init balanced]
 //	       [-seed 1] [-every 10] [-max-rounds 0] [-adversary 0]
+//	       [-trials 1] [-json]
 //
-// Protocols: 3-majority, 2-choices, voter, median, undecided, h<k>
-// (e.g. h5). Inits: balanced, zipf, geometric, planted.
+// Protocols: 3-majority, 2-choices, voter, median, undecided, h<m>
+// (e.g. h5), lazy:<beta>:<base>. Inits: balanced, zipf, geometric,
+// planted. With -json the per-round trace is suppressed and the
+// canonical service response (byte-identical to the server's /run
+// body) is printed instead.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"plurality"
+	"plurality/internal/service"
 )
 
 func main() {
@@ -27,41 +33,53 @@ func main() {
 	}
 }
 
+func requestFromFlags(fs *flag.FlagSet, args []string) (service.Request, error) {
+	var req service.Request
+	fs.Int64Var(&req.N, "n", 100_000, "number of vertices")
+	fs.IntVar(&req.K, "k", 10, "number of opinions")
+	fs.StringVar(&req.Protocol, "protocol", "3-majority", "dynamics: 3-majority, 2-choices, voter, median, undecided, h<m>, lazy:<beta>:<base>")
+	fs.StringVar(&req.Init, "init", "balanced", "initial configuration: balanced, zipf, geometric, planted")
+	fs.Float64Var(&req.InitParam, "init-param", 1, "zipf exponent / geometric ratio / planted extra fraction")
+	fs.Uint64Var(&req.Seed, "seed", 1, "random seed")
+	fs.IntVar(&req.MaxRounds, "max-rounds", 0, "round budget (0 = default)")
+	fs.Int64Var(&req.AdversaryF, "adversary", 0, "hinder-adversary per-round budget F (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return service.Request{}, err
+	}
+	if req.AdversaryF > 0 {
+		req.Adversary = "hinder"
+	}
+	req = req.Normalize()
+	return req, req.Validate()
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("consim", flag.ContinueOnError)
 	var (
-		n         = fs.Int64("n", 100_000, "number of vertices")
-		k         = fs.Int("k", 10, "number of opinions")
-		protoName = fs.String("protocol", "3-majority", "dynamics: 3-majority, 2-choices, voter, median, undecided, h<m>")
-		initName  = fs.String("init", "balanced", "initial configuration: balanced, zipf, geometric, planted")
-		initParam = fs.Float64("init-param", 1, "zipf exponent / geometric ratio / planted extra fraction")
-		seed      = fs.Uint64("seed", 1, "random seed")
-		every     = fs.Int("every", 1, "print every this many rounds")
-		maxRounds = fs.Int("max-rounds", 0, "round budget (0 = default)")
-		advF      = fs.Int64("adversary", 0, "hinder-adversary per-round budget F (0 = none)")
+		every  = fs.Int("every", 1, "print every this many rounds")
+		trials = fs.Int("trials", 0, "trials for -json mode (0 = 1)")
+		asJSON = fs.Bool("json", false, "print the canonical service response instead of a trace")
 	)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-
-	proto, err := parseProtocol(*protoName)
+	req, err := requestFromFlags(fs, args)
 	if err != nil {
 		return err
 	}
-	init, err := parseInit(*initName, *k, *initParam)
-	if err != nil {
-		return err
+	if *trials != 0 && !*asJSON {
+		return fmt.Errorf("-trials only applies with -json (the trace follows a single run)")
 	}
 
-	cfg := plurality.Config{
-		N:         *n,
-		Protocol:  proto,
-		Init:      init,
-		Seed:      *seed,
-		MaxRounds: *maxRounds,
+	if *asJSON {
+		req.Trials = *trials
+		resp, err := service.Execute(req)
+		if err != nil {
+			return err
+		}
+		return service.EncodeJSONLine(os.Stdout, resp)
 	}
-	if *advF > 0 {
-		cfg.Adversary = plurality.HinderAdversary(*advF)
+
+	cfg, err := req.Config()
+	if err != nil {
+		return err
 	}
 	if *every < 1 {
 		*every = 1
@@ -85,42 +103,4 @@ func run(args []string) error {
 		fmt.Printf("\nno consensus within %d rounds (leader: opinion %d)\n", res.Rounds, res.Winner)
 	}
 	return nil
-}
-
-func parseProtocol(name string) (plurality.Protocol, error) {
-	switch name {
-	case "3-majority":
-		return plurality.ThreeMajority(), nil
-	case "2-choices":
-		return plurality.TwoChoices(), nil
-	case "voter":
-		return plurality.Voter(), nil
-	case "median":
-		return plurality.Median(), nil
-	case "undecided":
-		return plurality.Undecided(), nil
-	}
-	if strings.HasPrefix(name, "h") {
-		h, err := strconv.Atoi(name[1:])
-		if err != nil || h < 1 {
-			return plurality.Protocol{}, fmt.Errorf("bad h-majority spec %q", name)
-		}
-		return plurality.HMajority(h), nil
-	}
-	return plurality.Protocol{}, fmt.Errorf("unknown protocol %q", name)
-}
-
-func parseInit(name string, k int, param float64) (plurality.Init, error) {
-	switch name {
-	case "balanced":
-		return plurality.Balanced(k), nil
-	case "zipf":
-		return plurality.Zipf(k, param), nil
-	case "geometric":
-		return plurality.Geometric(k, param), nil
-	case "planted":
-		return plurality.PlantedBias(k, param), nil
-	default:
-		return plurality.Init{}, fmt.Errorf("unknown init %q", name)
-	}
 }

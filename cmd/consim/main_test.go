@@ -1,56 +1,53 @@
 package main
 
 import (
+	"flag"
 	"testing"
 )
 
-func TestParseProtocol(t *testing.T) {
-	cases := []struct {
-		in     string
-		want   string
-		wantOK bool
-	}{
-		{"3-majority", "3-majority", true},
-		{"2-choices", "2-choices", true},
-		{"voter", "voter", true},
-		{"median", "median", true},
-		{"undecided", "undecided", true},
-		{"h5", "majority-h5", true},
-		{"h1", "majority-h1", true},
-		{"h0", "", false},
-		{"hx", "", false},
-		{"quantum", "", false},
+func parse(t *testing.T, args ...string) error {
+	t.Helper()
+	fs := flag.NewFlagSet("consim", flag.ContinueOnError)
+	_, err := requestFromFlags(fs, args)
+	return err
+}
+
+func TestRequestFromFlags(t *testing.T) {
+	fs := flag.NewFlagSet("consim", flag.ContinueOnError)
+	req, err := requestFromFlags(fs, []string{"-n", "500", "-k", "4", "-protocol", "h5", "-adversary", "3"})
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, c := range cases {
-		p, err := parseProtocol(c.in)
-		if c.wantOK {
-			if err != nil {
-				t.Errorf("parseProtocol(%q): %v", c.in, err)
-				continue
-			}
-			if p.Name() != c.want {
-				t.Errorf("parseProtocol(%q) = %q, want %q", c.in, p.Name(), c.want)
-			}
-		} else if err == nil {
-			t.Errorf("parseProtocol(%q) should fail", c.in)
-		}
+	if req.N != 500 || req.K != 4 || req.Protocol != "h5" {
+		t.Fatalf("unexpected request %+v", req)
+	}
+	if req.Adversary != "hinder" || req.AdversaryF != 3 {
+		t.Fatalf("adversary flag not mapped: %+v", req)
+	}
+	if req.Init != "balanced" || req.Trials != 1 || req.Mode != "sync" {
+		t.Fatalf("request not normalized: %+v", req)
 	}
 }
 
-func TestParseInit(t *testing.T) {
-	for _, name := range []string{"balanced", "zipf", "geometric", "planted"} {
-		if _, err := parseInit(name, 4, 0.5); err != nil {
-			t.Errorf("parseInit(%q): %v", name, err)
+func TestRequestFromFlagsRejectsBadConfig(t *testing.T) {
+	for _, args := range [][]string{
+		{"-protocol", "nope"},
+		{"-protocol", "h0"},
+		{"-init", "nope"},
+		{"-n", "-1"},
+	} {
+		if err := parse(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
 		}
-	}
-	if _, err := parseInit("weird", 4, 0.5); err == nil {
-		t.Error("parseInit(weird) should fail")
 	}
 }
 
 func TestRunEndToEnd(t *testing.T) {
 	if err := run([]string{"-n", "500", "-k", "4", "-protocol", "2-choices", "-every", "100"}); err != nil {
 		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-n", "500", "-k", "4", "-protocol", "2-choices", "-json", "-trials", "2"}); err != nil {
+		t.Fatalf("run -json: %v", err)
 	}
 }
 
@@ -60,5 +57,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-init", "nope"}); err == nil {
 		t.Fatal("bad init accepted")
+	}
+	if err := run([]string{"-trials", "5"}); err == nil {
+		t.Fatal("-trials without -json silently ignored")
 	}
 }

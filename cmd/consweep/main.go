@@ -1,21 +1,26 @@
 // Command consweep sweeps a parameter (k or n) for one or more
 // protocols and prints median consensus times — the generic tool
-// behind figures like the paper's Figure 1.
+// behind figures like the paper's Figure 1. It is a thin shell over
+// the shared internal/service sweep runner, so the same sweep issued
+// to conserve's POST /sweep produces byte-identical per-point results
+// (compare with -ndjson).
 //
 // Usage:
 //
 //	consweep -sweep k -values 2,4,8,16,32 -n 100000 -protocols 3-majority,2-choices
 //	consweep -sweep n -values 1000,10000,100000 -k 32 -protocols 3-majority
+//	consweep -sweep k -values 2,4,8 -n 100000 -ndjson   # server-identical NDJSON
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
-	"plurality"
+	"plurality/internal/service"
 )
 
 func main() {
@@ -25,78 +30,81 @@ func main() {
 	}
 }
 
-func run(args []string) error {
-	fs := flag.NewFlagSet("consweep", flag.ContinueOnError)
+func sweepFromFlags(fs *flag.FlagSet, args []string) (service.SweepRequest, error) {
 	var (
-		sweep  = fs.String("sweep", "k", "parameter to sweep: k or n")
-		values = fs.String("values", "2,4,8,16,32,64", "comma-separated sweep values")
-		n      = fs.Int64("n", 100_000, "number of vertices (fixed when sweeping k)")
-		k      = fs.Int("k", 32, "number of opinions (fixed when sweeping n)")
-		protos = fs.String("protocols", "3-majority,2-choices", "comma-separated protocols")
-		trials = fs.Int("trials", 5, "trials per point")
-		seed   = fs.Uint64("seed", 1, "base seed")
+		sweep     = fs.String("sweep", "k", "parameter to sweep: k or n")
+		values    = fs.String("values", "2,4,8,16,32,64", "comma-separated sweep values")
+		n         = fs.Int64("n", 100_000, "number of vertices (fixed when sweeping k)")
+		k         = fs.Int("k", 32, "number of opinions (fixed when sweeping n)")
+		protos    = fs.String("protocols", "3-majority,2-choices", "comma-separated protocols")
+		initName  = fs.String("init", "balanced", "initial configuration: balanced, zipf, geometric, planted")
+		initParam = fs.Float64("init-param", 1, "zipf exponent / geometric ratio / planted extra fraction")
+		trials    = fs.Int("trials", 5, "trials per point")
+		seed      = fs.Uint64("seed", 1, "base seed")
+		maxRounds = fs.Int("max-rounds", 0, "round budget per run (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return service.SweepRequest{}, err
 	}
-
 	vals, err := parseInts(*values)
+	if err != nil {
+		return service.SweepRequest{}, err
+	}
+	sr := service.SweepRequest{
+		Base: service.Request{
+			N:         *n,
+			K:         *k,
+			Init:      *initName,
+			InitParam: *initParam,
+			Seed:      *seed,
+			Trials:    *trials,
+			MaxRounds: *maxRounds,
+		},
+		Sweep:     *sweep,
+		Values:    vals,
+		Protocols: strings.Split(*protos, ","),
+	}
+	// Surface config errors (unknown protocol/init, bad values) before
+	// any output, exactly as the server's upfront point validation does.
+	_, err = sr.Points()
+	return sr, err
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("consweep", flag.ContinueOnError)
+	ndjson := fs.Bool("ndjson", false, "emit per-point NDJSON lines (byte-identical to conserve /sweep)")
+	sr, err := sweepFromFlags(fs, args)
 	if err != nil {
 		return err
 	}
-	protoNames := strings.Split(*protos, ",")
 
-	fmt.Printf("%-10s", *sweep)
-	for _, p := range protoNames {
-		fmt.Printf(" %-16s", strings.TrimSpace(p))
+	runner := service.NewRunner(service.Options{QueueDepth: service.MaxSweepPoints})
+	defer runner.Close()
+
+	if *ndjson {
+		return runner.Sweep(context.Background(), sr, func(p service.SweepPoint) error {
+			return service.EncodeJSONLine(os.Stdout, p)
+		})
+	}
+
+	sr = sr.Normalize()
+	fmt.Printf("%-10s", sr.Sweep)
+	for _, p := range sr.Protocols {
+		fmt.Printf(" %-16s", p)
 	}
 	fmt.Println()
-
-	for _, val := range vals {
-		fmt.Printf("%-10d", val)
-		for pi, pname := range protoNames {
-			proto, err := protocolByName(strings.TrimSpace(pname))
-			if err != nil {
-				return err
-			}
-			curN, curK := *n, *k
-			switch *sweep {
-			case "k":
-				curK = int(val)
-			case "n":
-				curN = val
-			default:
-				return fmt.Errorf("unknown sweep parameter %q", *sweep)
-			}
-			results, err := plurality.RunMany(plurality.Config{
-				N:        curN,
-				Protocol: proto,
-				Init:     plurality.Balanced(curK),
-				Seed:     *seed + uint64(pi)*101 + uint64(val),
-			}, *trials)
-			if err != nil {
-				return err
-			}
-			fmt.Printf(" %-16.4g", medianRounds(results))
+	col := 0
+	return runner.Sweep(context.Background(), sr, func(p service.SweepPoint) error {
+		if col == 0 {
+			fmt.Printf("%-10d", p.Value)
 		}
-		fmt.Println()
-	}
-	return nil
-}
-
-func protocolByName(name string) (plurality.Protocol, error) {
-	switch name {
-	case "3-majority":
-		return plurality.ThreeMajority(), nil
-	case "2-choices":
-		return plurality.TwoChoices(), nil
-	case "voter":
-		return plurality.Voter(), nil
-	case "median":
-		return plurality.Median(), nil
-	default:
-		return plurality.Protocol{}, fmt.Errorf("unknown protocol %q", name)
-	}
+		fmt.Printf(" %-16.4g", p.Summary.MedianRounds)
+		if col++; col == len(sr.Protocols) {
+			fmt.Println()
+			col = 0
+		}
+		return nil
+	})
 }
 
 func parseInts(csv string) ([]int64, error) {
@@ -113,21 +121,4 @@ func parseInts(csv string) ([]int64, error) {
 		return nil, fmt.Errorf("no sweep values")
 	}
 	return out, nil
-}
-
-func medianRounds(results []plurality.Result) float64 {
-	rounds := make([]int, len(results))
-	for i, r := range results {
-		rounds[i] = r.Rounds
-	}
-	for i := 1; i < len(rounds); i++ {
-		for j := i; j > 0 && rounds[j] < rounds[j-1]; j-- {
-			rounds[j], rounds[j-1] = rounds[j-1], rounds[j]
-		}
-	}
-	m := len(rounds) / 2
-	if len(rounds)%2 == 1 {
-		return float64(rounds[m])
-	}
-	return float64(rounds[m-1]+rounds[m]) / 2
 }

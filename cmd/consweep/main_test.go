@@ -1,9 +1,8 @@
 package main
 
 import (
+	"flag"
 	"testing"
-
-	"plurality"
 )
 
 func TestParseInts(t *testing.T) {
@@ -25,26 +24,49 @@ func TestParseInts(t *testing.T) {
 	}
 }
 
-func TestProtocolByName(t *testing.T) {
-	for _, name := range []string{"3-majority", "2-choices", "voter", "median"} {
-		p, err := protocolByName(name)
-		if err != nil || p.Name() != name {
-			t.Errorf("protocolByName(%q) = %q, %v", name, p.Name(), err)
-		}
+func parseSweep(t *testing.T, args ...string) error {
+	t.Helper()
+	fs := flag.NewFlagSet("consweep", flag.ContinueOnError)
+	_, err := sweepFromFlags(fs, args)
+	return err
+}
+
+func TestSweepFromFlags(t *testing.T) {
+	fs := flag.NewFlagSet("consweep", flag.ContinueOnError)
+	sr, err := sweepFromFlags(fs, []string{"-sweep", "k", "-values", "2,4", "-n", "400", "-protocols", "3-majority,voter", "-trials", "3", "-seed", "7"})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := protocolByName("nope"); err == nil {
-		t.Error("unknown protocol accepted")
+	if sr.Sweep != "k" || len(sr.Values) != 2 || len(sr.Protocols) != 2 {
+		t.Fatalf("unexpected sweep request %+v", sr)
+	}
+	if sr.Base.N != 400 || sr.Base.Trials != 3 || sr.Base.Seed != 7 {
+		t.Fatalf("base request not populated: %+v", sr.Base)
+	}
+	pts, err := sr.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("want 4 points, got %d", len(pts))
 	}
 }
 
-func TestMedianRounds(t *testing.T) {
-	results := []plurality.Result{{Rounds: 5}, {Rounds: 1}, {Rounds: 3}}
-	if got := medianRounds(results); got != 3 {
-		t.Fatalf("median = %v", got)
-	}
-	even := []plurality.Result{{Rounds: 2}, {Rounds: 4}}
-	if got := medianRounds(even); got != 3 {
-		t.Fatalf("even median = %v", got)
+func TestSweepFromFlagsRejectsBadInput(t *testing.T) {
+	for _, args := range [][]string{
+		{"-sweep", "q", "-values", "2"},        // unknown axis
+		{"-protocols", "nope", "-values", "2"}, // unknown protocol
+		{"-values", "2,x"},                     // unparsable value
+		{"-values", ""},                        // empty value list
+		{"-init", "nope", "-values", "2"},      // unknown init
+		{"-sweep", "k", "-values", "0"},        // k = 0 point
+		{"-sweep", "n", "-values", "-5"},       // negative n point
+		{"-trials", "-1", "-values", "2"},      // bad trial count
+		{"-flag-that-does-not-exist"},          // flag-level error
+	} {
+		if err := parseSweep(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }
 
@@ -54,6 +76,9 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if err := run([]string{"-sweep", "n", "-values", "300,600", "-k", "3", "-protocols", "voter", "-trials", "1"}); err != nil {
 		t.Fatalf("n sweep: %v", err)
+	}
+	if err := run([]string{"-sweep", "k", "-values", "2,4", "-n", "400", "-protocols", "voter", "-trials", "1", "-ndjson"}); err != nil {
+		t.Fatalf("ndjson sweep: %v", err)
 	}
 }
 

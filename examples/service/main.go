@@ -1,0 +1,64 @@
+// Simulation as a service: spawn the conserve HTTP API in-process,
+// issue a /run, then repeat the identical request and watch the LRU
+// cache answer it without re-simulating — the contract is that both
+// bodies are byte-identical, only the latency (and the
+// X-Conserve-Cache header) differs.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"plurality/internal/service"
+)
+
+func main() {
+	// An in-process conserve: runner (worker pool + cache) + handler.
+	runner := service.NewRunner(service.Options{})
+	defer runner.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: service.NewServer(runner)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := fmt.Sprintf("http://%s", ln.Addr())
+	fmt.Printf("conserve listening in-process on %s\n\n", base)
+
+	const reqBody = `{"protocol":"3-majority","n":1000000,"k":100,"seed":42,"trials":8}`
+	fmt.Printf("POST /run %s\n\n", reqBody)
+
+	post := func() (time.Duration, string, []byte) {
+		start := time.Now()
+		resp, err := http.Post(base+"/run", "application/json", strings.NewReader(reqBody))
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			log.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		return time.Since(start), resp.Header.Get(service.CacheHeader), body
+	}
+
+	coldLatency, coldCache, coldBody := post()
+	fmt.Printf("cold:   %8.2f ms  (%s: %s)\n", coldLatency.Seconds()*1e3, service.CacheHeader, coldCache)
+
+	warmLatency, warmCache, warmBody := post()
+	fmt.Printf("cached: %8.2f ms  (%s: %s)\n", warmLatency.Seconds()*1e3, service.CacheHeader, warmCache)
+
+	fmt.Printf("\nspeedup %.0f×, bodies byte-identical: %v\n",
+		coldLatency.Seconds()/warmLatency.Seconds(), bytes.Equal(coldBody, warmBody))
+
+	m := runner.Metrics()
+	fmt.Printf("runner: %d requests, %d executions, %d cache hit(s)\n",
+		m.Requests, m.Executions, m.CacheHits)
+}

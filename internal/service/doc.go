@@ -1,0 +1,27 @@
+// Package service is the canonical request/config layer and shared
+// job runner behind every entry point of the repository: the conserve
+// HTTP server and the consim, consweep and conbench CLIs are all thin
+// shells over this package, so a simulation described once — as a
+// JSON body, a flag set, or a literal — produces byte-identical
+// results everywhere.
+//
+// The package has three layers:
+//
+//   - Request / SweepRequest: a flat, JSON-serialisable description of
+//     a simulation (protocol, population, initial condition,
+//     adversary, and execution mode — count-space, asynchronous,
+//     agent-on-graph, or gossip). Normalize fills defaults so that
+//     semantically identical requests are structurally identical, and
+//     Key hashes the normalized form into the canonical config key
+//     used for caching and deduplication.
+//   - Execute: a pure function from a Request to a Response. Trial i
+//     of any request runs with the derived seed rng.DeriveSeed(Seed, i)
+//     (which non-sync façades expand further), so results are
+//     reproducible and independent of parallelism; see DESIGN.md
+//     §Simulation service for the full determinism contract.
+//   - Runner: a bounded worker pool with an LRU result cache keyed by
+//     Request.Key, in-flight deduplication, a job store for detached
+//     submissions, and backpressure (ErrBusy when the queue is full,
+//     surfaced as HTTP 429 by the server). NewServer wraps a Runner
+//     into the conserve HTTP handler.
+package service

@@ -1,0 +1,225 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"plurality"
+	"plurality/internal/rng"
+	"plurality/internal/stats"
+)
+
+// Trial is one run's outcome inside a Response.
+type Trial struct {
+	// Trial is the trial index; the run uses the derived seed
+	// rng.DeriveSeed(Request.Seed, Trial) (see the Request contract).
+	Trial int `json:"trial"`
+	// Rounds is the consensus time in synchronous(-equivalent) rounds.
+	// It is fractional only in mode async (Ticks/N).
+	Rounds float64 `json:"rounds"`
+	// Consensus reports whether the run converged within its budget.
+	Consensus bool `json:"consensus"`
+	// Winner is the consensus opinion, or the plurality at cutoff.
+	Winner int `json:"winner"`
+	// Ticks is the number of single-vertex updates (mode async only).
+	Ticks int64 `json:"ticks,omitempty"`
+}
+
+// Summary aggregates the trials of a Response.
+type Summary struct {
+	// Trials is the number of runs executed.
+	Trials int `json:"trials"`
+	// Converged is how many reached consensus within their budget.
+	Converged int `json:"converged"`
+	// MedianRounds/MeanRounds/MinRounds/MaxRounds summarise the round
+	// counts over all trials (converged or not).
+	MedianRounds float64 `json:"median_rounds"`
+	MeanRounds   float64 `json:"mean_rounds"`
+	MinRounds    float64 `json:"min_rounds"`
+	MaxRounds    float64 `json:"max_rounds"`
+	// TopWinner is the opinion winning the most converged trials, and
+	// TopWinnerWins its count; TopWinner is -1 when nothing converged.
+	TopWinner     int `json:"top_winner"`
+	TopWinnerWins int `json:"top_winner_wins"`
+}
+
+// Response is the result of executing a Request. Its JSON encoding is
+// canonical: the same Request (by Key) always produces the same bytes,
+// whether computed by a CLI, a server worker, or replayed from cache.
+type Response struct {
+	// Key is the canonical config key of the (normalized) Request.
+	Key string `json:"key"`
+	// Request echoes the normalized request that was executed.
+	Request Request `json:"request"`
+	// Summary aggregates the trials.
+	Summary Summary `json:"summary"`
+	// Trials holds the per-trial outcomes, indexed by trial.
+	Trials []Trial `json:"trials"`
+}
+
+// Execute runs the request synchronously in the calling goroutine and
+// returns its canonical response. It is a pure function of the
+// request: same Request ⇒ same Response, regardless of caller. Errors
+// are user errors (invalid configuration).
+func Execute(q Request) (*Response, error) {
+	q = q.Normalize()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	var (
+		trials []Trial
+		err    error
+	)
+	switch q.Mode {
+	case ModeSync:
+		trials, err = executeSync(q)
+	case ModeAsync:
+		trials, err = executeAsync(q)
+	case ModeGraph:
+		trials, err = executeGraph(q)
+	case ModeGossip:
+		trials, err = executeGossip(q)
+	default:
+		err = fmt.Errorf("service: unknown mode %q", q.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		Key:     q.Key(),
+		Request: q,
+		Summary: summarize(trials),
+		Trials:  trials,
+	}, nil
+}
+
+func executeSync(q Request) ([]Trial, error) {
+	cfg, err := q.Config()
+	if err != nil {
+		return nil, err
+	}
+	results, err := plurality.RunMany(cfg, q.Trials)
+	if err != nil {
+		return nil, err
+	}
+	trials := make([]Trial, len(results))
+	for i, res := range results {
+		trials[i] = Trial{
+			Trial:     i,
+			Rounds:    float64(res.Rounds),
+			Consensus: res.Consensus,
+			Winner:    res.Winner,
+		}
+	}
+	return trials, nil
+}
+
+func executeAsync(q Request) ([]Trial, error) {
+	cfg, err := q.Config()
+	if err != nil {
+		return nil, err
+	}
+	trials := make([]Trial, q.Trials)
+	for i := range trials {
+		cfg.Seed = rng.DeriveSeed(q.Seed, uint64(i))
+		res, err := plurality.RunAsync(cfg, q.MaxTicks)
+		if err != nil {
+			return nil, err
+		}
+		trials[i] = Trial{
+			Trial:     i,
+			Rounds:    res.Rounds,
+			Consensus: res.Consensus,
+			Winner:    res.Winner,
+			Ticks:     res.Ticks,
+		}
+	}
+	return trials, nil
+}
+
+func executeGraph(q Request) ([]Trial, error) {
+	cfg, err := q.GraphConfig()
+	if err != nil {
+		return nil, err
+	}
+	trials := make([]Trial, q.Trials)
+	for i := range trials {
+		cfg.Seed = rng.DeriveSeed(q.Seed, uint64(i))
+		res, err := plurality.RunOnGraph(cfg)
+		if err != nil {
+			return nil, err
+		}
+		trials[i] = Trial{
+			Trial:     i,
+			Rounds:    float64(res.Rounds),
+			Consensus: res.Consensus,
+			Winner:    res.Winner,
+		}
+	}
+	return trials, nil
+}
+
+func executeGossip(q Request) ([]Trial, error) {
+	cfg, err := q.GossipConfig()
+	if err != nil {
+		return nil, err
+	}
+	trials := make([]Trial, q.Trials)
+	for i := range trials {
+		cfg.Seed = rng.DeriveSeed(q.Seed, uint64(i))
+		res, err := plurality.RunGossip(cfg)
+		if err != nil {
+			return nil, err
+		}
+		trials[i] = Trial{
+			Trial:     i,
+			Rounds:    float64(res.Rounds),
+			Consensus: res.Consensus,
+			Winner:    res.Winner,
+		}
+	}
+	return trials, nil
+}
+
+func summarize(trials []Trial) Summary {
+	s := Summary{Trials: len(trials), TopWinner: -1}
+	rounds := make([]float64, len(trials))
+	wins := make(map[int]int)
+	for i, t := range trials {
+		rounds[i] = t.Rounds
+		if t.Consensus {
+			s.Converged++
+			wins[t.Winner]++
+		}
+	}
+	if len(rounds) > 0 {
+		s.MedianRounds = stats.Median(rounds)
+		s.MeanRounds = stats.Mean(rounds)
+		s.MinRounds, s.MaxRounds = rounds[0], rounds[0]
+		for _, r := range rounds[1:] {
+			s.MinRounds = min(s.MinRounds, r)
+			s.MaxRounds = max(s.MaxRounds, r)
+		}
+	}
+	for op, w := range wins {
+		if w > s.TopWinnerWins || (w == s.TopWinnerWins && (s.TopWinner == -1 || op < s.TopWinner)) {
+			s.TopWinner, s.TopWinnerWins = op, w
+		}
+	}
+	return s
+}
+
+// EncodeJSONLine writes v's JSON encoding followed by a newline — the
+// one serialisation used for /run bodies, /sweep NDJSON lines, and the
+// CLIs' -json/-ndjson output, so all of them are byte-identical for
+// the same work.
+func EncodeJSONLine(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,49 @@
+package service
+
+import "container/list"
+
+// lru is a small least-recently-used map from canonical config keys to
+// cached responses. It is not goroutine-safe; the Runner guards it
+// with its own mutex.
+type lru struct {
+	cap   int
+	order *list.List // front = most recent; values are *lruEntry
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	resp *Response
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lru) get(key string) (*Response, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).resp, true
+}
+
+func (c *lru) add(key string, resp *Response) {
+	if c.cap < 1 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).resp = resp
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, resp: resp})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lru) len() int { return c.order.Len() }

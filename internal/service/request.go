@@ -1,0 +1,466 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"plurality"
+	"plurality/internal/population"
+)
+
+// Execution modes accepted by Request.Mode. The zero value normalizes
+// to ModeSync.
+const (
+	// ModeSync is the exact count-space engine on the complete graph
+	// with self-loops — the paper's setting and the default.
+	ModeSync = "sync"
+	// ModeAsync updates one uniformly random vertex per tick
+	// (paper §1.1); Rounds are reported as Ticks/N.
+	ModeAsync = "async"
+	// ModeGraph runs the per-vertex agent engine on an explicit
+	// topology (paper §2.5 open problem).
+	ModeGraph = "graph"
+	// ModeGossip executes the dynamics as a real message-passing
+	// system with optional crash/loss faults.
+	ModeGossip = "gossip"
+)
+
+// Limits bounding a single request, so one call cannot take down the
+// server (the count-space engine is O(k) memory, but the graph engine
+// is O(n·degree) and the gossip engine spawns a goroutine per node).
+// They cap the request shape, not the simulation length (use
+// MaxRounds/MaxTicks for that).
+const (
+	// MaxTrials bounds Request.Trials.
+	MaxTrials = 100_000
+	// MaxSweepPoints bounds len(SweepRequest.Values) × protocols.
+	MaxSweepPoints = 10_000
+	// MaxK bounds the opinion count: dense per-opinion state is O(k).
+	MaxK = 1 << 24
+	// MaxSyncN bounds N for the count-space modes (sync, async) — the
+	// engine's exact-Σc² representation caps it there anyway.
+	MaxSyncN = population.MaxN
+	// MaxGraphN bounds N for the per-vertex agent engine (mode graph).
+	MaxGraphN = 2_000_000
+	// MaxGossipN bounds N for the goroutine-per-node engine (gossip).
+	MaxGossipN = 100_000
+)
+
+// Request is the canonical description of one simulation batch. It is
+// the wire format of the conserve server's POST /run and the config
+// layer the CLIs build on; every field is JSON-serialisable so the
+// normalized form can be hashed into a cache key.
+//
+// Equivalence contract: a Request fully determines its Response,
+// independent of worker count and of whether the CLI or the server
+// runs it. Trial i runs with the derived seed rng.DeriveSeed(Seed, i):
+// in mode sync that is exactly sim.RunMany's per-trial stream (so a
+// 1-trial request reproduces plurality.Run with the same Seed); the
+// other modes pass the derived seed to their façade entry point per
+// trial, which expands it further.
+type Request struct {
+	// Protocol names the dynamics: "3-majority", "2-choices", "voter",
+	// "median", "undecided", "h<m>" (e.g. "h5"), or "lazy:<beta>:<base>"
+	// (e.g. "lazy:0.5:3-majority"). Required.
+	Protocol string `json:"protocol"`
+	// N is the number of vertices. Required unless Init is "counts",
+	// where 0 means "use the counts' sum".
+	N int64 `json:"n,omitempty"`
+	// K is the number of opinions. Required unless Init is "counts".
+	K int `json:"k,omitempty"`
+	// Init names the initial-condition generator: "balanced"
+	// (default), "zipf", "geometric", "planted", "two-leaders" or
+	// "counts".
+	Init string `json:"init,omitempty"`
+	// InitParam is the generator's first parameter: zipf exponent,
+	// geometric ratio, planted extra fraction, or two-leaders topFrac.
+	InitParam float64 `json:"init_param,omitempty"`
+	// InitParam2 is the generator's second parameter (two-leaders
+	// bias).
+	InitParam2 float64 `json:"init_param2,omitempty"`
+	// Counts is the explicit initial histogram for Init "counts" — the
+	// direct interface for density-style workloads where the maximum
+	// initial opinion density is the controlled variable.
+	Counts []int64 `json:"counts,omitempty"`
+	// Seed is the base seed; trial i uses rng.DeriveSeed(Seed, i).
+	Seed uint64 `json:"seed"`
+	// Trials is the number of independent runs (default 1, max
+	// MaxTrials).
+	Trials int `json:"trials,omitempty"`
+	// MaxRounds bounds each run; 0 uses the engine default. A run that
+	// exhausts the bound reports consensus=false, not an error.
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// Adversary names the per-round corruption strategy: "" (none),
+	// "hinder", "help" or "scatter". Sync mode only.
+	Adversary string `json:"adversary,omitempty"`
+	// AdversaryF is the adversary's per-round vertex budget.
+	AdversaryF int64 `json:"adversary_f,omitempty"`
+	// Mode selects the execution engine; see the Mode* constants.
+	Mode string `json:"mode,omitempty"`
+	// Topology names the graph family for ModeGraph: "complete"
+	// (default), "ring", "torus", "random-regular" or "hypercube".
+	Topology string `json:"topology,omitempty"`
+	// TopologyParam is the family parameter: ring radius, torus side,
+	// regular degree, hypercube dimension. 0 derives a default (radius
+	// 1, side √N, degree 8, dim log₂N).
+	TopologyParam int `json:"topology_param,omitempty"`
+	// MaxTicks bounds a ModeAsync run (0 = engine default).
+	MaxTicks int64 `json:"max_ticks,omitempty"`
+	// LossProb is the per-pull loss probability in [0,1) for
+	// ModeGossip.
+	LossProb float64 `json:"loss_prob,omitempty"`
+	// Crashed lists node IDs crashed from the start (ModeGossip).
+	Crashed []int `json:"crashed,omitempty"`
+}
+
+// Normalize returns the request with defaults filled in and names
+// canonicalised (trimmed, lower-cased), so that semantically identical
+// requests are structurally — and therefore by Key — identical.
+func (q Request) Normalize() Request {
+	q.Protocol = strings.ToLower(strings.TrimSpace(q.Protocol))
+	q.Init = strings.ToLower(strings.TrimSpace(q.Init))
+	q.Adversary = strings.ToLower(strings.TrimSpace(q.Adversary))
+	q.Mode = strings.ToLower(strings.TrimSpace(q.Mode))
+	q.Topology = strings.ToLower(strings.TrimSpace(q.Topology))
+	if q.Mode == "" {
+		q.Mode = ModeSync
+	}
+	if q.Init == "" {
+		if len(q.Counts) > 0 {
+			q.Init = "counts"
+		} else {
+			q.Init = "balanced"
+		}
+	}
+	if q.Init == "counts" {
+		var sum int64
+		for _, c := range q.Counts {
+			sum += c
+		}
+		if q.N == 0 {
+			q.N = sum
+		}
+		q.K = len(q.Counts)
+	}
+	if q.Trials == 0 {
+		q.Trials = 1
+	}
+	if q.Mode == ModeGraph && q.Topology == "" {
+		q.Topology = "complete"
+	}
+	// An adversary is active only when both a strategy and a positive
+	// budget are given; an inert half (known name without budget, or
+	// budget without name) is cleared so it cannot split the cache key
+	// or be echoed as if it had run. Unknown names and negative
+	// budgets are kept for Validate to reject.
+	if q.Adversary == "" {
+		q.AdversaryF = 0
+	} else if q.AdversaryF == 0 {
+		switch q.Adversary {
+		case "hinder", "help", "scatter":
+			q.Adversary = ""
+		}
+	}
+	// Clear fields the chosen init/mode does not consume, so an inert
+	// parameter (e.g. a CLI's default init-param with a balanced init)
+	// cannot split the cache key of otherwise identical requests.
+	switch q.Init {
+	case "balanced", "counts":
+		q.InitParam, q.InitParam2 = 0, 0
+	case "zipf", "geometric", "planted":
+		q.InitParam2 = 0
+	}
+	if q.Init != "counts" {
+		q.Counts = nil
+	}
+	if q.Mode != ModeGraph {
+		q.Topology, q.TopologyParam = "", 0
+	}
+	if q.Mode != ModeAsync {
+		q.MaxTicks = 0
+	}
+	if q.Mode != ModeGossip {
+		q.LossProb, q.Crashed = 0, nil
+	}
+	return q
+}
+
+// Validate reports whether the normalized request describes a runnable
+// simulation. Errors are user errors (the server maps them to 400).
+func (q Request) Validate() error {
+	if _, err := ParseProtocol(q.Protocol); err != nil {
+		return err
+	}
+	if _, err := buildInit(q); err != nil {
+		return err
+	}
+	maxN := int64(MaxSyncN)
+	switch q.Mode {
+	case ModeGraph:
+		maxN = MaxGraphN
+	case ModeGossip:
+		maxN = MaxGossipN
+	}
+	if q.N < 1 || q.N > maxN {
+		return fmt.Errorf("service: n must be in [1, %d] for mode %q, got %d", maxN, q.Mode, q.N)
+	}
+	if q.Init != "counts" && q.K < 1 {
+		return fmt.Errorf("service: k must be >= 1, got %d", q.K)
+	}
+	if q.K > MaxK {
+		return fmt.Errorf("service: k must be <= %d, got %d", MaxK, q.K)
+	}
+	if q.Trials < 1 || q.Trials > MaxTrials {
+		return fmt.Errorf("service: trials must be in [1, %d], got %d", MaxTrials, q.Trials)
+	}
+	if q.MaxRounds < 0 {
+		return fmt.Errorf("service: max_rounds must be >= 0, got %d", q.MaxRounds)
+	}
+	switch q.Adversary {
+	case "", "hinder", "help", "scatter":
+	default:
+		return fmt.Errorf("service: unknown adversary %q (want hinder, help or scatter)", q.Adversary)
+	}
+	if q.AdversaryF < 0 {
+		return fmt.Errorf("service: adversary_f must be >= 0, got %d", q.AdversaryF)
+	}
+	switch q.Mode {
+	case ModeSync:
+	case ModeAsync, ModeGraph, ModeGossip:
+		switch q.Protocol {
+		case "3-majority", "2-choices", "voter":
+		default:
+			return fmt.Errorf("service: mode %q supports protocols 3-majority, 2-choices and voter, got %q", q.Mode, q.Protocol)
+		}
+		if q.Adversary != "" {
+			return fmt.Errorf("service: adversaries are supported in mode %q only", ModeSync)
+		}
+	default:
+		return fmt.Errorf("service: unknown mode %q (want sync, async, graph or gossip)", q.Mode)
+	}
+	if q.Mode == ModeGraph {
+		switch q.Topology {
+		case "complete", "ring", "torus", "random-regular", "hypercube":
+		default:
+			return fmt.Errorf("service: unknown topology %q", q.Topology)
+		}
+	}
+	if q.LossProb < 0 || q.LossProb >= 1 {
+		return fmt.Errorf("service: loss_prob must be in [0,1), got %v", q.LossProb)
+	}
+	return nil
+}
+
+// Key returns the canonical config key: the hex SHA-256 of the
+// normalized request's JSON encoding. Two requests share a key iff
+// they describe the same simulation, so the key indexes the result
+// cache and deduplicates in-flight work.
+func (q Request) Key() string {
+	data, err := json.Marshal(q.Normalize())
+	if err != nil {
+		// Request has no unmarshalable field types; keep the method
+		// usable in expressions.
+		panic(fmt.Sprintf("service: marshal request: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Config translates the request into the façade's count-space Config
+// (modes sync and async).
+func (q Request) Config() (plurality.Config, error) {
+	proto, err := ParseProtocol(q.Protocol)
+	if err != nil {
+		return plurality.Config{}, err
+	}
+	init, err := buildInit(q)
+	if err != nil {
+		return plurality.Config{}, err
+	}
+	cfg := plurality.Config{
+		N:         q.N,
+		Protocol:  proto,
+		Init:      init,
+		Seed:      q.Seed,
+		MaxRounds: q.MaxRounds,
+	}
+	if q.AdversaryF > 0 {
+		switch q.Adversary {
+		case "hinder":
+			cfg.Adversary = plurality.HinderAdversary(q.AdversaryF)
+		case "help":
+			cfg.Adversary = plurality.HelpAdversary(q.AdversaryF)
+		case "scatter":
+			cfg.Adversary = plurality.ScatterAdversary(q.AdversaryF)
+		}
+	}
+	return cfg, nil
+}
+
+// GraphConfig translates the request into the agent-engine config
+// (mode graph). The per-trial seed is applied by Execute.
+func (q Request) GraphConfig() (plurality.GraphConfig, error) {
+	proto, err := ParseProtocol(q.Protocol)
+	if err != nil {
+		return plurality.GraphConfig{}, err
+	}
+	init, err := buildInit(q)
+	if err != nil {
+		return plurality.GraphConfig{}, err
+	}
+	topo, err := parseTopology(q.Topology, q.TopologyParam, q.N)
+	if err != nil {
+		return plurality.GraphConfig{}, err
+	}
+	return plurality.GraphConfig{
+		N:         int(q.N),
+		Topology:  topo,
+		Protocol:  proto,
+		Init:      init,
+		Seed:      q.Seed,
+		MaxRounds: q.MaxRounds,
+	}, nil
+}
+
+// GossipConfig translates the request into the message-passing config
+// (mode gossip). The per-trial seed is applied by Execute.
+func (q Request) GossipConfig() (plurality.GossipConfig, error) {
+	proto, err := ParseProtocol(q.Protocol)
+	if err != nil {
+		return plurality.GossipConfig{}, err
+	}
+	init, err := buildInit(q)
+	if err != nil {
+		return plurality.GossipConfig{}, err
+	}
+	return plurality.GossipConfig{
+		N:         int(q.N),
+		Protocol:  proto,
+		Init:      init,
+		Seed:      q.Seed,
+		Crashed:   q.Crashed,
+		LossProb:  q.LossProb,
+		MaxRounds: q.MaxRounds,
+	}, nil
+}
+
+// ParseProtocol resolves a protocol name ("3-majority", "2-choices",
+// "voter", "median", "undecided", "h<m>", "lazy:<beta>:<base>") to its
+// façade constructor. It is the single name→Protocol map shared by the
+// server and the CLIs.
+func ParseProtocol(name string) (plurality.Protocol, error) {
+	switch name {
+	case "3-majority":
+		return plurality.ThreeMajority(), nil
+	case "2-choices":
+		return plurality.TwoChoices(), nil
+	case "voter":
+		return plurality.Voter(), nil
+	case "median":
+		return plurality.Median(), nil
+	case "undecided":
+		return plurality.Undecided(), nil
+	}
+	if rest, ok := strings.CutPrefix(name, "lazy:"); ok {
+		betaStr, base, ok := strings.Cut(rest, ":")
+		if !ok || strings.HasPrefix(base, "lazy:") {
+			return plurality.Protocol{}, fmt.Errorf("service: bad lazy spec %q (want lazy:<beta>:<base>)", name)
+		}
+		beta, err := strconv.ParseFloat(betaStr, 64)
+		if err != nil || beta < 0 || beta >= 1 {
+			return plurality.Protocol{}, fmt.Errorf("service: bad lazy beta in %q (want [0,1))", name)
+		}
+		baseProto, err := ParseProtocol(base)
+		if err != nil {
+			return plurality.Protocol{}, err
+		}
+		switch base {
+		case "median", "undecided":
+			return plurality.Protocol{}, fmt.Errorf("service: lazy variant does not support base %q", base)
+		}
+		return plurality.LazyVariant(baseProto, beta), nil
+	}
+	if strings.HasPrefix(name, "h") {
+		h, err := strconv.Atoi(name[1:])
+		if err != nil || h < 1 {
+			return plurality.Protocol{}, fmt.Errorf("service: bad h-majority spec %q", name)
+		}
+		return plurality.HMajority(h), nil
+	}
+	return plurality.Protocol{}, fmt.Errorf("service: unknown protocol %q", name)
+}
+
+func buildInit(q Request) (plurality.Init, error) {
+	switch q.Init {
+	case "balanced":
+		return plurality.Balanced(q.K), nil
+	case "zipf":
+		return plurality.Zipf(q.K, q.InitParam), nil
+	case "geometric":
+		return plurality.Geometric(q.K, q.InitParam), nil
+	case "planted":
+		return plurality.PlantedBias(q.K, q.InitParam), nil
+	case "two-leaders":
+		return plurality.TwoLeaders(q.K, q.InitParam, q.InitParam2), nil
+	case "counts":
+		if len(q.Counts) == 0 {
+			return plurality.Init{}, fmt.Errorf("service: init %q requires a non-empty counts array", q.Init)
+		}
+		return plurality.Counts(q.Counts), nil
+	default:
+		return plurality.Init{}, fmt.Errorf("service: unknown init %q", q.Init)
+	}
+}
+
+func parseTopology(name string, param int, n int64) (plurality.Topology, error) {
+	switch name {
+	case "complete":
+		return plurality.CompleteTopology(), nil
+	case "ring":
+		if param <= 0 {
+			param = 1
+		}
+		return plurality.RingTopology(param), nil
+	case "torus":
+		if param <= 0 {
+			// Division-based perfect-square test: s*s would overflow
+			// int64 for n near its max.
+			s := int64(math.Sqrt(float64(n)))
+			for _, c := range []int64{s - 1, s, s + 1} {
+				if c > 0 && n%c == 0 && n/c == c {
+					param = int(c)
+				}
+			}
+			if param <= 0 {
+				return plurality.Topology{}, fmt.Errorf("service: torus needs a square n or an explicit side, got n=%d", n)
+			}
+		}
+		return plurality.TorusTopology(param), nil
+	case "random-regular":
+		if param <= 0 {
+			param = 8
+		}
+		return plurality.RandomRegularTopology(param), nil
+	case "hypercube":
+		if param <= 0 {
+			// d < 62 keeps 1<<d positive; beyond it the shift would
+			// wrap and the termination condition would never fail.
+			for d := 0; d < 62 && int64(1)<<d <= n; d++ {
+				if int64(1)<<d == n {
+					param = d
+				}
+			}
+			if param <= 0 {
+				return plurality.Topology{}, fmt.Errorf("service: hypercube needs a power-of-two n or an explicit dim, got n=%d", n)
+			}
+		}
+		return plurality.HypercubeTopology(param), nil
+	default:
+		return plurality.Topology{}, fmt.Errorf("service: unknown topology %q", name)
+	}
+}

@@ -1,0 +1,198 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeDefaults(t *testing.T) {
+	q := Request{Protocol: " 3-Majority ", N: 100, K: 4}.Normalize()
+	if q.Protocol != "3-majority" || q.Init != "balanced" || q.Mode != ModeSync || q.Trials != 1 {
+		t.Fatalf("normalize: %+v", q)
+	}
+}
+
+func TestNormalizeCounts(t *testing.T) {
+	q := Request{Protocol: "voter", Counts: []int64{3, 2, 1}}.Normalize()
+	if q.Init != "counts" || q.N != 6 || q.K != 3 {
+		t.Fatalf("counts normalize: %+v", q)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	a := Request{Protocol: "3-Majority", N: 100, K: 4, Trials: 0}
+	b := Request{Protocol: "3-majority", N: 100, K: 4, Trials: 1, Init: "balanced", Mode: "sync"}
+	if a.Key() != b.Key() {
+		t.Fatal("semantically identical requests hash differently")
+	}
+	c := b
+	c.Seed = 99
+	if c.Key() == b.Key() {
+		t.Fatal("different seeds share a key")
+	}
+	d := b
+	d.Protocol = "2-choices"
+	if d.Key() == b.Key() {
+		t.Fatal("different protocols share a key")
+	}
+	// Inert fields must not split the key: balanced ignores init_param
+	// (the CLIs always populate it from a flag default), sync mode
+	// ignores topology/ticks/loss parameters.
+	e := b
+	e.InitParam = 1
+	e.InitParam2 = 2
+	e.TopologyParam = 3
+	e.MaxTicks = 4
+	if e.Key() != b.Key() {
+		t.Fatal("inert parameters split the cache key")
+	}
+	f := b
+	f.Init = "zipf"
+	f.InitParam = 1.5
+	if f.Key() == b.Key() {
+		t.Fatal("consumed init_param ignored by the key")
+	}
+	// An adversary half-specified (name without budget, or budget
+	// without name) never runs, so it must not split the key either.
+	g := b
+	g.Adversary = "hinder" // adversary_f 0 => inert
+	h := b
+	h.AdversaryF = 7 // no strategy => inert
+	if g.Key() != b.Key() || h.Key() != b.Key() {
+		t.Fatal("inert adversary halves split the cache key")
+	}
+	if g.Normalize().Adversary != "" || h.Normalize().AdversaryF != 0 {
+		t.Fatal("inert adversary halves survive normalization")
+	}
+	i := b
+	i.Adversary = "hinder"
+	i.AdversaryF = 7
+	if i.Key() == b.Key() {
+		t.Fatal("active adversary ignored by the key")
+	}
+}
+
+func TestValidateResourceCaps(t *testing.T) {
+	cases := map[string]Request{
+		"sync n":   {Protocol: "voter", N: MaxSyncN + 1, K: 2},
+		"graph n":  {Protocol: "voter", N: MaxGraphN + 1, K: 2, Mode: ModeGraph},
+		"gossip n": {Protocol: "voter", N: MaxGossipN + 1, K: 2, Mode: ModeGossip},
+		"k":        {Protocol: "voter", N: MaxSyncN, K: MaxK + 1},
+		// The original hang repro: a graph-mode hypercube with n near
+		// 2^62 must be rejected upfront, never reaching a worker.
+		"hypercube": {Protocol: "voter", N: 4611686018427387905, K: 2, Mode: ModeGraph, Topology: "hypercube"},
+	}
+	for name, q := range cases {
+		if err := q.Normalize().Validate(); err == nil {
+			t.Errorf("%s: oversized request accepted", name)
+		}
+	}
+}
+
+func TestParseTopologyHugeNTerminates(t *testing.T) {
+	// Defense in depth below the Validate caps: the side/dimension
+	// derivation loops must terminate (rejecting) even for n values
+	// whose squares or shifted powers overflow int64.
+	if _, err := parseTopology("hypercube", 0, 1<<62+1); err == nil {
+		t.Error("huge non-power-of-two hypercube accepted")
+	}
+	if _, err := parseTopology("torus", 0, 1<<62+1); err == nil {
+		t.Error("huge non-square torus accepted")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := Request{Protocol: "3-majority", N: 100, K: 4}
+	cases := []struct {
+		name   string
+		mutate func(*Request)
+		want   string
+	}{
+		{"protocol", func(q *Request) { q.Protocol = "nope" }, "unknown protocol"},
+		{"init", func(q *Request) { q.Init = "nope" }, "unknown init"},
+		{"n", func(q *Request) { q.N = 0 }, "n must be"},
+		{"k", func(q *Request) { q.K = 0 }, "k must be"},
+		{"trials", func(q *Request) { q.Trials = MaxTrials + 1 }, "trials must be"},
+		{"max_rounds", func(q *Request) { q.MaxRounds = -1 }, "max_rounds"},
+		{"adversary", func(q *Request) { q.Adversary = "evil" }, "unknown adversary"},
+		{"adversary_f", func(q *Request) { q.Adversary = "hinder"; q.AdversaryF = -1 }, "adversary_f"},
+		{"mode", func(q *Request) { q.Mode = "warp" }, "unknown mode"},
+		{"mode-protocol", func(q *Request) { q.Mode = ModeAsync; q.Protocol = "median" }, "supports protocols"},
+		{"mode-adversary", func(q *Request) { q.Mode = ModeGossip; q.Adversary = "hinder"; q.AdversaryF = 1 }, "adversaries are supported"},
+		{"topology", func(q *Request) { q.Mode = ModeGraph; q.Topology = "klein-bottle" }, "unknown topology"},
+		{"loss_prob", func(q *Request) { q.Mode = ModeGossip; q.LossProb = 1 }, "loss_prob"},
+	}
+	for _, c := range cases {
+		q := base
+		c.mutate(&q)
+		q = q.Normalize()
+		err := q.Validate()
+		if err == nil {
+			t.Errorf("%s: invalid request accepted: %+v", c.name, q)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+	if err := base.Normalize().Validate(); err != nil {
+		t.Fatalf("valid base rejected: %v", err)
+	}
+}
+
+func TestParseProtocol(t *testing.T) {
+	for name, want := range map[string]string{
+		"3-majority":        "3-majority",
+		"2-choices":         "2-choices",
+		"voter":             "voter",
+		"median":            "median",
+		"undecided":         "undecided",
+		"h5":                "majority-h5",
+		"lazy:0.5:voter":    "lazy0.50-voter",
+		"lazy:0:3-majority": "lazy0.00-3-majority",
+	} {
+		p, err := ParseProtocol(name)
+		if err != nil {
+			t.Errorf("ParseProtocol(%q): %v", name, err)
+			continue
+		}
+		if p.Name() != want {
+			t.Errorf("ParseProtocol(%q).Name() = %q, want %q", name, p.Name(), want)
+		}
+	}
+	for _, name := range []string{"", "h0", "hx", "quantum", "lazy:2:voter", "lazy:0.5", "lazy:0.5:median", "lazy:0.5:lazy:0.5:voter"} {
+		if _, err := ParseProtocol(name); err == nil {
+			t.Errorf("ParseProtocol(%q) should fail", name)
+		}
+	}
+}
+
+func TestBuildInit(t *testing.T) {
+	for _, name := range []string{"balanced", "zipf", "geometric", "planted", "two-leaders"} {
+		if _, err := buildInit(Request{Init: name, K: 4, InitParam: 0.5, InitParam2: 0.1}); err != nil {
+			t.Errorf("buildInit(%q): %v", name, err)
+		}
+	}
+	if _, err := buildInit(Request{Init: "weird", K: 4}); err == nil {
+		t.Error("buildInit(weird) should fail")
+	}
+	if _, err := buildInit(Request{Init: "counts"}); err == nil {
+		t.Error("counts init without counts should fail")
+	}
+}
+
+func TestParseTopologyDerivedParams(t *testing.T) {
+	if _, err := parseTopology("torus", 0, 49); err != nil {
+		t.Errorf("square torus rejected: %v", err)
+	}
+	if _, err := parseTopology("torus", 0, 50); err == nil {
+		t.Error("non-square torus accepted without side")
+	}
+	if _, err := parseTopology("hypercube", 0, 64); err != nil {
+		t.Errorf("power-of-two hypercube rejected: %v", err)
+	}
+	if _, err := parseTopology("hypercube", 0, 65); err == nil {
+		t.Error("non-power-of-two hypercube accepted without dim")
+	}
+}

@@ -1,0 +1,392 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrBusy is returned when the runner's admission queue is full; the
+// server surfaces it as HTTP 429 with a Retry-After hint.
+var ErrBusy = errors.New("service: queue full, retry later")
+
+// errClosed is returned for submissions after Close.
+var errClosed = errors.New("service: runner is closed")
+
+// errAbandoned marks a job whose submitter gave up (ctx cancel or
+// ErrBusy) before the job reached the queue. Callers that dedup-joined
+// such a job resubmit instead of inheriting the stranger's failure.
+var errAbandoned = errors.New("service: job abandoned before execution")
+
+// Options configures a Runner. The zero value picks sensible defaults.
+type Options struct {
+	// Workers is the number of simulation workers (default
+	// GOMAXPROCS). Each worker runs one request at a time; sync-mode
+	// requests additionally parallelise their trials internally.
+	Workers int
+	// QueueDepth bounds the admission queue (default 64). A full queue
+	// rejects non-blocking submissions with ErrBusy — the server's
+	// backpressure signal.
+	QueueDepth int
+	// CacheSize bounds the LRU result cache in entries (default 256;
+	// negative disables caching).
+	CacheSize int
+	// MaxJobs bounds how many finished jobs stay queryable via Job
+	// (default 1024); the oldest finished jobs are evicted first.
+	MaxJobs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 256
+	}
+	if o.CacheSize < 0 {
+		o.CacheSize = 0
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 1024
+	}
+	return o
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states, in order.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Job is one admitted request travelling through the worker pool.
+// Submissions that dedupe onto an identical in-flight request share a
+// single Job.
+type Job struct {
+	// ID is the runner-unique job identifier ("j" + counter).
+	ID string
+	// Key is the request's canonical config key.
+	Key string
+
+	req    Request
+	runner *Runner
+	done   chan struct{} // closed once status is Done or Failed
+
+	// guarded by runner.mu
+	status Status
+	resp   *Response
+	err    error
+}
+
+// Done returns a channel closed when the job finishes.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Info is a point-in-time snapshot of a job, shaped for the
+// GET /jobs/{id} response.
+type Info struct {
+	ID     string `json:"id"`
+	Key    string `json:"key"`
+	Status Status `json:"status"`
+	// Error is set when Status is StatusFailed.
+	Error string `json:"error,omitempty"`
+	// Result is set when Status is StatusDone.
+	Result *Response `json:"result,omitempty"`
+}
+
+// Snapshot returns the job's current state.
+func (j *Job) Snapshot() Info {
+	j.runner.mu.Lock()
+	defer j.runner.mu.Unlock()
+	info := Info{ID: j.ID, Key: j.Key, Status: j.status, Result: j.resp}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	return info
+}
+
+// Metrics is a point-in-time snapshot of a Runner's counters, exposed
+// by the server's GET /metrics.
+type Metrics struct {
+	// Requests counts admissions attempts (Do + Submit, after
+	// validation).
+	Requests uint64
+	// CacheHits / CacheMisses count result-cache lookups.
+	CacheHits   uint64
+	CacheMisses uint64
+	// Joined counts submissions deduped onto an in-flight job.
+	Joined uint64
+	// Rejected counts ErrBusy rejections (backpressure events).
+	Rejected uint64
+	// Executions counts simulations actually run by workers; a cache
+	// hit serves a request without incrementing it.
+	Executions uint64
+	// QueueLen / QueueCap describe the admission queue right now.
+	QueueLen int
+	QueueCap int
+	// Workers is the pool size.
+	Workers int
+	// CacheLen is the number of cached responses.
+	CacheLen int
+	// JobsInFlight is the number of queued or running jobs.
+	JobsInFlight int
+}
+
+// Runner owns a bounded worker pool, the LRU result cache, and the job
+// store. It is safe for concurrent use. Close it when done.
+type Runner struct {
+	opts  Options
+	queue chan *Job
+	wg    sync.WaitGroup
+	// senders tracks in-flight queue sends so Close can safely close
+	// the channel: admissions after closed=true are rejected, so once
+	// senders drains no new send can race the close.
+	senders sync.WaitGroup
+	// exec runs one request; it is Execute except in tests.
+	exec func(Request) (*Response, error)
+
+	requests    atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	joined      atomic.Uint64
+	rejected    atomic.Uint64
+	executions  atomic.Uint64
+	nextID      atomic.Uint64
+
+	mu       sync.Mutex
+	closed   bool
+	jobs     map[string]*Job // by ID, queued/running/finished (bounded)
+	byKey    map[string]*Job // queued/running only, for dedup
+	finished []string        // finished job IDs, oldest first
+	inFlight int
+	cache    *lru
+}
+
+// NewRunner starts the worker pool.
+func NewRunner(opts Options) *Runner {
+	opts = opts.withDefaults()
+	r := &Runner{
+		opts:  opts,
+		queue: make(chan *Job, opts.QueueDepth),
+		exec:  Execute,
+		jobs:  make(map[string]*Job),
+		byKey: make(map[string]*Job),
+		cache: newLRU(opts.CacheSize),
+	}
+	for w := 0; w < opts.Workers; w++ {
+		r.wg.Add(1)
+		go r.worker()
+	}
+	return r
+}
+
+// Close stops admissions, waits for queued and running jobs to finish,
+// and releases the workers.
+func (r *Runner) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.senders.Wait()
+	close(r.queue)
+	r.wg.Wait()
+}
+
+// Do admits the request and blocks until its response is ready,
+// served from cache when possible (the second return reports that).
+// A full queue fails fast with ErrBusy; ctx cancellation abandons the
+// wait (the job keeps running and lands in the cache).
+func (r *Runner) Do(ctx context.Context, req Request) (*Response, bool, error) {
+	return r.do(ctx, req, false)
+}
+
+// DoWait is Do with blocking admission: instead of ErrBusy it waits
+// for queue space (or ctx cancellation). Sweeps use it so shards
+// backpressure-block rather than fail mid-stream.
+func (r *Runner) DoWait(ctx context.Context, req Request) (*Response, bool, error) {
+	return r.do(ctx, req, true)
+}
+
+func (r *Runner) do(ctx context.Context, req Request, block bool) (*Response, bool, error) {
+	for {
+		job, cached, err := r.submit(ctx, req, block)
+		if err != nil {
+			return nil, false, err
+		}
+		if cached != nil {
+			return cached, true, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		case <-job.done:
+		}
+		r.mu.Lock()
+		resp, jobErr := job.resp, job.err
+		r.mu.Unlock()
+		// We dedup-joined a job whose own submitter bailed out before
+		// enqueueing it (their ctx died, or their non-blocking send hit
+		// a full queue). That failure is theirs, not ours — resubmit.
+		if errors.Is(jobErr, errAbandoned) {
+			continue
+		}
+		return resp, false, jobErr
+	}
+}
+
+// Submit admits the request without waiting. It returns either the
+// cached response (nil job) or the in-flight Job to poll — which may
+// be a pre-existing job for an identical request. A full queue returns
+// ErrBusy.
+func (r *Runner) Submit(req Request) (*Job, *Response, error) {
+	return r.submit(context.Background(), req, false)
+}
+
+func (r *Runner) submit(ctx context.Context, req Request, block bool) (*Job, *Response, error) {
+	req = req.Normalize()
+	if err := req.Validate(); err != nil {
+		return nil, nil, err
+	}
+	r.requests.Add(1)
+	key := req.Key()
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, nil, errClosed
+	}
+	if resp, ok := r.cache.get(key); ok {
+		r.cacheHits.Add(1)
+		r.mu.Unlock()
+		return nil, resp, nil
+	}
+	if j, ok := r.byKey[key]; ok {
+		r.joined.Add(1)
+		r.mu.Unlock()
+		return j, nil, nil
+	}
+	r.cacheMisses.Add(1)
+	j := &Job{
+		ID:     fmt.Sprintf("j%06d", r.nextID.Add(1)),
+		Key:    key,
+		req:    req,
+		runner: r,
+		done:   make(chan struct{}),
+		status: StatusQueued,
+	}
+	r.jobs[j.ID] = j
+	r.byKey[key] = j
+	r.inFlight++
+	r.senders.Add(1)
+	r.mu.Unlock()
+	defer r.senders.Done()
+
+	if block {
+		select {
+		case r.queue <- j:
+			return j, nil, nil
+		case <-ctx.Done():
+			r.abandon(j, ctx.Err())
+			return nil, nil, ctx.Err()
+		}
+	}
+	select {
+	case r.queue <- j:
+		return j, nil, nil
+	default:
+		r.rejected.Add(1)
+		r.abandon(j, ErrBusy)
+		return nil, nil, ErrBusy
+	}
+}
+
+// abandon fails a job that was never enqueued. Its error wraps
+// errAbandoned so dedup-joined waiters know to resubmit rather than
+// surface the submitter's cause as their own; the job itself stays in
+// the finished ring so a detach client that joined it can still poll
+// /jobs/{id} and see the failure instead of a 404.
+func (r *Runner) abandon(j *Job, cause error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.byKey, j.Key)
+	r.inFlight--
+	j.status = StatusFailed
+	j.err = fmt.Errorf("%w: %v", errAbandoned, cause)
+	r.finish(j)
+	close(j.done)
+}
+
+// finish moves a job into the bounded finished ring (caller holds mu).
+func (r *Runner) finish(j *Job) {
+	r.finished = append(r.finished, j.ID)
+	for len(r.finished) > r.opts.MaxJobs {
+		delete(r.jobs, r.finished[0])
+		r.finished = r.finished[1:]
+	}
+}
+
+// Job returns the job with the given ID, if it is still retained.
+func (r *Runner) Job(id string) (*Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+func (r *Runner) worker() {
+	defer r.wg.Done()
+	for j := range r.queue {
+		r.mu.Lock()
+		j.status = StatusRunning
+		r.mu.Unlock()
+
+		resp, err := r.exec(j.req)
+		r.executions.Add(1)
+
+		r.mu.Lock()
+		j.resp, j.err = resp, err
+		if err != nil {
+			j.status = StatusFailed
+		} else {
+			j.status = StatusDone
+			r.cache.add(j.Key, resp)
+		}
+		delete(r.byKey, j.Key)
+		r.inFlight--
+		r.finish(j)
+		r.mu.Unlock()
+		close(j.done)
+	}
+}
+
+// Metrics returns a snapshot of the runner's counters.
+func (r *Runner) Metrics() Metrics {
+	r.mu.Lock()
+	cacheLen, inFlight := r.cache.len(), r.inFlight
+	r.mu.Unlock()
+	return Metrics{
+		Requests:     r.requests.Load(),
+		CacheHits:    r.cacheHits.Load(),
+		CacheMisses:  r.cacheMisses.Load(),
+		Joined:       r.joined.Load(),
+		Rejected:     r.rejected.Load(),
+		Executions:   r.executions.Load(),
+		QueueLen:     len(r.queue),
+		QueueCap:     cap(r.queue),
+		Workers:      r.opts.Workers,
+		CacheLen:     cacheLen,
+		JobsInFlight: inFlight,
+	}
+}

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// HTTP conventions of the conserve API, shared by server and clients.
+const (
+	// CacheHeader reports whether a /run response was served from the
+	// result cache ("hit") or computed ("miss"). It is a header — not
+	// a body field — so cold and cached bodies stay byte-identical.
+	CacheHeader = "X-Conserve-Cache"
+	// RetryAfterSeconds is the Retry-After hint sent with 429.
+	RetryAfterSeconds = 1
+)
+
+// NewServer wraps a Runner into the conserve HTTP handler:
+//
+//	POST /run          execute a Request; ?detach=1 returns 202 + job
+//	POST /sweep        execute a SweepRequest, streaming NDJSON points
+//	GET  /jobs/{id}    poll a detached job
+//	GET  /healthz      liveness probe
+//	GET  /metrics      Prometheus-style counters
+//
+// Invalid requests get 400, a full queue 429 with Retry-After, and
+// /run bodies are canonical: byte-identical cold, cached, or via the
+// CLIs' -json/-ndjson modes.
+func NewServer(rn *Runner) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
+		handleRun(rn, w, r)
+	})
+	mux.HandleFunc("POST /sweep", func(w http.ResponseWriter, r *http.Request) {
+		handleSweep(rn, w, r)
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleJob(rn, w, r)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeMetrics(w, rn.Metrics())
+	})
+	return mux
+}
+
+func handleRun(rn *Runner, w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.URL.Query().Get("detach") != "" {
+		job, resp, err := rn.Submit(req)
+		switch {
+		case errors.Is(err, ErrBusy):
+			writeBusy(w)
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+		case resp != nil: // already cached; no job needed
+			w.Header().Set(CacheHeader, "hit")
+			writeResponse(w, resp)
+		default:
+			w.Header().Set("Location", "/jobs/"+job.ID)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusAccepted)
+			EncodeJSONLine(w, job.Snapshot())
+		}
+		return
+	}
+	resp, cached, err := rn.Do(r.Context(), req)
+	switch {
+	case errors.Is(err, ErrBusy):
+		writeBusy(w)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		if cached {
+			w.Header().Set(CacheHeader, "hit")
+		} else {
+			w.Header().Set(CacheHeader, "miss")
+		}
+		writeResponse(w, resp)
+	}
+}
+
+func handleSweep(rn *Runner, w http.ResponseWriter, r *http.Request) {
+	var sr SweepRequest
+	if err := decodeJSON(r, &sr); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Headers are committed lazily on the first emitted line, so Sweep's
+	// upfront point validation can still produce a 400; once streaming
+	// has begun, an error (client gone, runner closing) just ends the
+	// NDJSON short — detectable by the client as line count < points.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	emitted := false
+	err := rn.Sweep(r.Context(), sr, func(p SweepPoint) error {
+		emitted = true
+		if err := EncodeJSONLine(w, p); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil && !emitted {
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func handleJob(rn *Runner, w http.ResponseWriter, r *http.Request) {
+	job, ok := rn.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown job %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	EncodeJSONLine(w, job.Snapshot())
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("service: bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeResponse(w http.ResponseWriter, resp *Response) {
+	w.Header().Set("Content-Type", "application/json")
+	EncodeJSONLine(w, resp)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	EncodeJSONLine(w, map[string]string{"error": err.Error()})
+}
+
+func writeBusy(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", fmt.Sprint(RetryAfterSeconds))
+	writeError(w, http.StatusTooManyRequests, ErrBusy)
+}
+
+func writeMetrics(w http.ResponseWriter, m Metrics) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP conserve_requests_total Admission attempts (run + sweep points).\n")
+	fmt.Fprintf(w, "conserve_requests_total %d\n", m.Requests)
+	fmt.Fprintf(w, "# HELP conserve_cache_hits_total Requests served from the result cache.\n")
+	fmt.Fprintf(w, "conserve_cache_hits_total %d\n", m.CacheHits)
+	fmt.Fprintf(w, "conserve_cache_misses_total %d\n", m.CacheMisses)
+	fmt.Fprintf(w, "# HELP conserve_joined_total Requests deduped onto an in-flight identical job.\n")
+	fmt.Fprintf(w, "conserve_joined_total %d\n", m.Joined)
+	fmt.Fprintf(w, "# HELP conserve_rejected_total Backpressure rejections (HTTP 429).\n")
+	fmt.Fprintf(w, "conserve_rejected_total %d\n", m.Rejected)
+	fmt.Fprintf(w, "# HELP conserve_executions_total Simulations actually run by workers.\n")
+	fmt.Fprintf(w, "conserve_executions_total %d\n", m.Executions)
+	fmt.Fprintf(w, "conserve_queue_len %d\n", m.QueueLen)
+	fmt.Fprintf(w, "conserve_queue_cap %d\n", m.QueueCap)
+	fmt.Fprintf(w, "conserve_workers %d\n", m.Workers)
+	fmt.Fprintf(w, "conserve_cache_len %d\n", m.CacheLen)
+	fmt.Fprintf(w, "conserve_jobs_in_flight %d\n", m.JobsInFlight)
+}

@@ -1,0 +1,316 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, opts Options) (*httptest.Server, *Runner) {
+	t.Helper()
+	rn := NewRunner(opts)
+	srv := httptest.NewServer(NewServer(rn))
+	t.Cleanup(func() {
+		srv.Close()
+		rn.Close()
+	})
+	return srv, rn
+}
+
+func postJSON(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+const runBody = `{"protocol":"3-majority","n":1000,"k":4,"seed":9,"trials":2}`
+
+// TestRunColdCacheAndCLIByteIdentical is the acceptance test: the same
+// request+seed yields byte-identical bodies served cold, from cache,
+// and via the CLI path (service.Execute + EncodeJSONLine, what
+// consim -json prints).
+func TestRunColdCacheAndCLIByteIdentical(t *testing.T) {
+	srv, rn := newTestServer(t, Options{Workers: 2})
+
+	cold := postJSON(t, srv.URL+"/run", runBody)
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("cold status %d", cold.StatusCode)
+	}
+	if got := cold.Header.Get(CacheHeader); got != "miss" {
+		t.Fatalf("cold cache header %q", got)
+	}
+	coldData := readAll(t, cold)
+
+	warm := postJSON(t, srv.URL+"/run", runBody)
+	if warm.StatusCode != http.StatusOK {
+		t.Fatalf("warm status %d", warm.StatusCode)
+	}
+	if got := warm.Header.Get(CacheHeader); got != "hit" {
+		t.Fatalf("warm cache header %q", got)
+	}
+	warmData := readAll(t, warm)
+
+	if !bytes.Equal(coldData, warmData) {
+		t.Fatalf("cold and cached bodies differ:\n%s\n%s", coldData, warmData)
+	}
+	if m := rn.Metrics(); m.Executions != 1 {
+		t.Fatalf("cache hit re-simulated: %+v", m)
+	}
+
+	// The CLI path: decode the posted JSON exactly as the server does,
+	// execute directly, encode with the shared serialisation.
+	var req Request
+	if err := json.Unmarshal([]byte(runBody), &req); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Execute(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeJSONLine(&buf, cli); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldData, buf.Bytes()) {
+		t.Fatalf("server and CLI bodies differ:\nserver: %s\ncli:    %s", coldData, buf.Bytes())
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Workers: 1})
+	for name, body := range map[string]string{
+		"unknown protocol": `{"protocol":"nope","n":1000,"k":4}`,
+		"missing n":        `{"protocol":"voter","k":4}`,
+		"unknown field":    `{"protocol":"voter","n":100,"k":4,"sneed":1}`,
+		"malformed json":   `{"protocol":`,
+	} {
+		resp := postJSON(t, srv.URL+"/run", body)
+		data := readAll(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, body %s", name, resp.StatusCode, data)
+			continue
+		}
+		var e map[string]string
+		if err := json.Unmarshal(data, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error body %s", name, data)
+		}
+	}
+}
+
+func TestRunQueueFull(t *testing.T) {
+	srv, rn := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	rn.exec = func(q Request) (*Response, error) {
+		started <- struct{}{}
+		<-release
+		return &Response{Key: q.Key()}, nil
+	}
+	defer close(release)
+
+	// Occupy the worker, then fill the one queue slot.
+	go func() {
+		resp, err := http.Post(srv.URL+"/run", "application/json",
+			strings.NewReader(`{"protocol":"voter","n":100,"k":2,"seed":1}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	if _, _, err := rn.Submit(Request{Protocol: "voter", N: 100, K: 2, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := postJSON(t, srv.URL+"/run", `{"protocol":"voter","n":100,"k":2,"seed":3}`)
+	data := readAll(t, resp)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, body %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+func TestRunDetachAndJobs(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Workers: 1})
+	resp := postJSON(t, srv.URL+"/run?detach=1", runBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("detach status %d", resp.StatusCode)
+	}
+	loc := resp.Header.Get("Location")
+	var info Info
+	if err := json.Unmarshal(readAll(t, resp), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ID == "" || loc != "/jobs/"+info.ID {
+		t.Fatalf("info %+v location %q", info, loc)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(srv.URL + loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(readAll(t, r), &info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Status == StatusDone {
+			break
+		}
+		if info.Status == StatusFailed || time.Now().After(deadline) {
+			t.Fatalf("job did not finish: %+v", info)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if info.Result == nil || info.Result.Summary.Trials != 2 {
+		t.Fatalf("job result %+v", info.Result)
+	}
+
+	// Detaching the same request again is now a cache hit: 200 + body.
+	again := postJSON(t, srv.URL+"/run?detach=1", runBody)
+	if again.StatusCode != http.StatusOK || again.Header.Get(CacheHeader) != "hit" {
+		t.Fatalf("cached detach: status %d header %q", again.StatusCode, again.Header.Get(CacheHeader))
+	}
+	readAll(t, again)
+
+	missing, err := http.Get(srv.URL + "/jobs/j999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, missing); missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status %d", missing.StatusCode)
+	}
+}
+
+const sweepBody = `{"base":{"protocol":"3-majority","n":800,"seed":4,"trials":2},"sweep":"k","values":[2,4],"protocols":["3-majority","voter"]}`
+
+// TestSweepStreamsNDJSONIdenticalToRunner: the HTTP stream equals the
+// shared runner's emission (what consweep -ndjson prints), point for
+// point, byte for byte.
+func TestSweepStreamsNDJSONIdenticalToRunner(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Workers: 2})
+	resp := postJSON(t, srv.URL+"/sweep", sweepBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	streamed := readAll(t, resp)
+
+	var sr SweepRequest
+	if err := json.Unmarshal([]byte(sweepBody), &sr); err != nil {
+		t.Fatal(err)
+	}
+	rn2 := NewRunner(Options{Workers: 2})
+	defer rn2.Close()
+	var cli bytes.Buffer
+	if err := rn2.Sweep(context.Background(), sr, func(p SweepPoint) error {
+		return EncodeJSONLine(&cli, p)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed, cli.Bytes()) {
+		t.Fatalf("server and CLI sweeps differ:\nserver:\n%s\ncli:\n%s", streamed, cli.Bytes())
+	}
+	if lines := bytes.Count(streamed, []byte("\n")); lines != 4 {
+		t.Fatalf("want 4 NDJSON lines, got %d", lines)
+	}
+}
+
+func TestSweepBadRequest(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Workers: 1})
+	for name, body := range map[string]string{
+		"bad axis":     `{"base":{"protocol":"voter","n":100},"sweep":"q","values":[2]}`,
+		"no values":    `{"base":{"protocol":"voter","n":100},"sweep":"k","values":[]}`,
+		"bad protocol": `{"base":{"protocol":"voter","n":100},"sweep":"k","values":[2],"protocols":["nope"]}`,
+		"bad point":    `{"base":{"protocol":"voter","n":100},"sweep":"k","values":[0]}`,
+	} {
+		resp := postJSON(t, srv.URL+"/sweep", body)
+		data := readAll(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d body %s", name, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestSweepPointsShareRunCache: a /run of one sweep point is a cache
+// hit after the sweep, because points are plain Requests.
+func TestSweepPointsShareRunCache(t *testing.T) {
+	srv, rn := newTestServer(t, Options{Workers: 2})
+	readAll(t, postJSON(t, srv.URL+"/sweep", sweepBody))
+	execs := rn.Metrics().Executions
+	resp := postJSON(t, srv.URL+"/run", `{"protocol":"voter","n":800,"k":2,"seed":4,"trials":2}`)
+	readAll(t, resp)
+	if resp.Header.Get(CacheHeader) != "hit" {
+		t.Fatal("sweep point not served from cache via /run")
+	}
+	if rn.Metrics().Executions != execs {
+		t.Fatal("sweep point re-simulated")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Workers: 1})
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(data, []byte(`"ok"`)) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, data)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Workers: 1})
+	readAll(t, postJSON(t, srv.URL+"/run", runBody))
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := readAll(t, resp)
+	for _, metric := range []string{
+		"conserve_requests_total 1",
+		"conserve_executions_total 1",
+		"conserve_cache_misses_total 1",
+		"conserve_queue_cap",
+		"conserve_workers 1",
+	} {
+		if !bytes.Contains(data, []byte(metric)) {
+			t.Errorf("metrics missing %q in:\n%s", metric, data)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Workers: 1})
+	resp, err := http.Get(srv.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /run status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strings"
+)
+
+// SweepRequest is the wire format of POST /sweep and the config layer
+// behind consweep: one base request swept along one axis for one or
+// more protocols.
+type SweepRequest struct {
+	// Base is the request template; its K or N (and Protocol) are
+	// overridden per point. Base.Trials runs per point.
+	Base Request `json:"base"`
+	// Sweep names the swept axis: "k" or "n".
+	Sweep string `json:"sweep"`
+	// Values are the axis values, one point per value per protocol.
+	Values []int64 `json:"values"`
+	// Protocols are the dynamics to sweep; empty means just
+	// Base.Protocol.
+	Protocols []string `json:"protocols,omitempty"`
+}
+
+// SweepPoint is one NDJSON line of a sweep response: the point's
+// coordinates plus the summary of its trials. Point.Key links back to
+// the /run request that would produce the full per-trial detail.
+type SweepPoint struct {
+	// Sweep and Value locate the point on the swept axis.
+	Sweep string `json:"sweep"`
+	Value int64  `json:"value"`
+	// Protocol, N and K are the point's resolved coordinates.
+	Protocol string `json:"protocol"`
+	N        int64  `json:"n"`
+	K        int    `json:"k"`
+	// Key is the canonical config key of the point's Request.
+	Key string `json:"key"`
+	// Summary aggregates the point's trials (median first, per the
+	// sweep's purpose).
+	Summary Summary `json:"summary"`
+}
+
+// Normalize canonicalises the sweep axis, protocols list and base
+// request.
+func (sr SweepRequest) Normalize() SweepRequest {
+	sr.Sweep = strings.ToLower(strings.TrimSpace(sr.Sweep))
+	protos := make([]string, 0, len(sr.Protocols))
+	for _, p := range sr.Protocols {
+		if p = strings.ToLower(strings.TrimSpace(p)); p != "" {
+			protos = append(protos, p)
+		}
+	}
+	sr.Protocols = protos
+	sr.Base = sr.Base.Normalize()
+	return sr
+}
+
+// Points expands the normalized sweep into its per-point Requests in
+// canonical order (values outer, protocols inner). Every point is a
+// plain Request, so sweeps share the runner's cache and dedup with
+// /run: re-sweeping, or /run-ing one point of a finished sweep, is a
+// cache hit.
+func (sr SweepRequest) Points() ([]Request, error) {
+	sr = sr.Normalize()
+	if sr.Sweep != "k" && sr.Sweep != "n" {
+		return nil, fmt.Errorf("service: sweep must be \"k\" or \"n\", got %q", sr.Sweep)
+	}
+	if len(sr.Values) == 0 {
+		return nil, fmt.Errorf("service: sweep needs at least one value")
+	}
+	protos := sr.Protocols
+	if len(protos) == 0 {
+		protos = []string{sr.Base.Protocol}
+	}
+	if n := len(sr.Values) * len(protos); n > MaxSweepPoints {
+		return nil, fmt.Errorf("service: sweep has %d points, max %d", n, MaxSweepPoints)
+	}
+	if sr.Base.Init == "counts" {
+		return nil, fmt.Errorf("service: sweeps do not support init \"counts\" (the histogram fixes n and k)")
+	}
+	points := make([]Request, 0, len(sr.Values)*len(protos))
+	for _, val := range sr.Values {
+		for _, proto := range protos {
+			q := sr.Base
+			q.Protocol = proto
+			switch sr.Sweep {
+			case "k":
+				q.K = int(val)
+			case "n":
+				q.N = val
+			}
+			q = q.Normalize()
+			if err := q.Validate(); err != nil {
+				return nil, fmt.Errorf("service: sweep point %s=%d protocol %s: %w", sr.Sweep, val, proto, err)
+			}
+			points = append(points, q)
+		}
+	}
+	return points, nil
+}
+
+// point shapes a finished per-point response into its NDJSON line.
+func (sr SweepRequest) point(q Request, resp *Response) SweepPoint {
+	val := q.N
+	if sr.Sweep == "k" {
+		val = int64(q.K)
+	}
+	return SweepPoint{
+		Sweep:    sr.Sweep,
+		Value:    val,
+		Protocol: q.Protocol,
+		N:        q.N,
+		K:        q.K,
+		Key:      resp.Key,
+		Summary:  resp.Summary,
+	}
+}
+
+// Sweep executes the sweep's points on the runner's worker pool and
+// calls emit once per point, in canonical point order, as soon as the
+// point (and all points before it) finished. Shards block for queue
+// space rather than failing with ErrBusy; ctx cancellation aborts the
+// sweep. The emitted lines are byte-identical across server and CLI
+// for the same sweep (see EncodeJSONLine).
+func (r *Runner) Sweep(ctx context.Context, sr SweepRequest, emit func(SweepPoint) error) error {
+	sr = sr.Normalize()
+	points, err := sr.Points()
+	if err != nil {
+		return err
+	}
+	type outcome struct {
+		resp *Response
+		err  error
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]chan outcome, len(points))
+	for i := range points {
+		results[i] = make(chan outcome, 1)
+		go func(i int) {
+			resp, _, err := r.DoWait(ctx, points[i])
+			results[i] <- outcome{resp: resp, err: err}
+		}(i)
+	}
+	for i, q := range points {
+		out := <-results[i]
+		if out.err != nil {
+			return out.err
+		}
+		if err := emit(sr.point(q, out.resp)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -27,7 +27,10 @@
 //
 // The reproduction of every figure, table and theorem of the paper
 // lives in cmd/conbench; see DESIGN.md for the experiment index and
-// EXPERIMENTS.md for measured results.
+// EXPERIMENTS.md for measured results. The same engine is served over
+// HTTP by cmd/conserve — a cached, concurrent JSON API whose requests
+// are byte-identical to the consim/consweep CLIs' output — via the
+// shared internal/service request layer and job runner.
 package plurality
 
 import (
