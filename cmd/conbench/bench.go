@@ -44,13 +44,50 @@ func consensusRun(n int64, k int, protocol string) func(seed uint64) error {
 	}
 }
 
+// modeConsensusRun executes a full multi-trial request through
+// service.ExecuteParallel at a fixed parallelism budget (0 =
+// GOMAXPROCS). Paired _par1/_parmax cases measure the same workload —
+// responses are byte-identical by the determinism contract — so their
+// ns/op ratio in BENCH.json is the recorded multi-core speedup of the
+// trial scheduler and the sharded graph rounds.
+func modeConsensusRun(q service.Request, parallelism int) func(seed uint64) error {
+	return func(seed uint64) error {
+		q := q
+		q.Seed = seed
+		resp, err := service.ExecuteParallel(q, parallelism)
+		if err != nil {
+			return err
+		}
+		if resp.Summary.Converged != resp.Summary.Trials {
+			return fmt.Errorf("only %d/%d trials reached consensus", resp.Summary.Converged, resp.Summary.Trials)
+		}
+		return nil
+	}
+}
+
 func benchSuite() []benchCase {
+	// The non-sync suites: a multi-trial workload per mode, measured
+	// serial and at full parallelism. The graph pair additionally has a
+	// lone-big-job case, where all the speedup must come from sharded
+	// rounds (trials=1 leaves trial fan-out nothing to do).
+	graphTrials := service.Request{Protocol: "3-majority", Mode: "graph", N: 100_000, K: 8, Trials: 8}
+	graphLone := service.Request{Protocol: "3-majority", Mode: "graph", N: 1_000_000, K: 2, Trials: 1}
+	asyncTrials := service.Request{Protocol: "3-majority", Mode: "async", N: 20_000, K: 8, Trials: 8}
+	gossipTrials := service.Request{Protocol: "3-majority", Mode: "gossip", N: 2_000, K: 4, Trials: 8}
 	return []benchCase{
 		{"run_three_majority_n1e6_k100", consensusRun(1_000_000, 100, "3-majority")},
 		{"run_two_choices_n1e6_k100", consensusRun(1_000_000, 100, "2-choices")},
 		{"run_three_majority_many_opinions_k_eq_n_1e5", consensusRun(100_000, 100_000, "3-majority")},
 		{"run_two_choices_many_opinions_k_eq_n_1e4", consensusRun(10_000, 10_000, "2-choices")},
 		{"run_voter_n1e5_k64", consensusRun(100_000, 64, "voter")},
+		{"run_graph_complete_n1e5_k8_t8_par1", modeConsensusRun(graphTrials, 1)},
+		{"run_graph_complete_n1e5_k8_t8_parmax", modeConsensusRun(graphTrials, 0)},
+		{"run_graph_complete_n1e6_k2_t1_par1", modeConsensusRun(graphLone, 1)},
+		{"run_graph_complete_n1e6_k2_t1_parmax", modeConsensusRun(graphLone, 0)},
+		{"run_async_3majority_n2e4_k8_t8_par1", modeConsensusRun(asyncTrials, 1)},
+		{"run_async_3majority_n2e4_k8_t8_parmax", modeConsensusRun(asyncTrials, 0)},
+		{"run_gossip_3majority_n2e3_k4_t8_par1", modeConsensusRun(gossipTrials, 1)},
+		{"run_gossip_3majority_n2e3_k4_t8_parmax", modeConsensusRun(gossipTrials, 0)},
 	}
 }
 

@@ -10,7 +10,13 @@
 //
 // Usage:
 //
-//	conserve [-addr :8080] [-workers 0] [-queue 64] [-cache 256]
+//	conserve [-addr :8080] [-workers 0] [-parallelism 0] [-queue 64] [-cache 256]
+//
+// -workers sizes the request pool (how many requests run at once);
+// -parallelism is each request's internal budget (trial fan-out in
+// every mode, plus sharded graph rounds), so a lone big job expands
+// into idle cores. Both default to GOMAXPROCS; neither affects
+// results.
 //
 // Examples:
 //
@@ -18,10 +24,12 @@
 //	curl -s -X POST localhost:8080/run -d '{"protocol":"3-majority","n":100000,"k":100,"seed":1}'
 //	curl -s -X POST localhost:8080/sweep -d '{"base":{"protocol":"3-majority","n":100000,"seed":1,"trials":5},"sweep":"k","values":[2,4,8,16]}'
 //
-// Results are deterministic in the request (trial i runs with the
-// derived seed DeriveSeed(seed, i)), so identical requests are served
-// from an LRU cache without re-simulation; a full queue answers 429
-// with Retry-After.
+// Results are deterministic in the request alone — trial i's façade
+// seed is DeriveSeed(seed, i), which mode sync consumes directly and
+// the async/graph/gossip engines expand once more at their entry
+// points; no worker or parallelism setting changes a byte — so
+// identical requests are served from an LRU cache without
+// re-simulation; a full queue answers 429 with Retry-After.
 package main
 
 import (
@@ -55,19 +63,21 @@ func main() {
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("conserve", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address")
-		workers = fs.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
-		queue   = fs.Int("queue", 64, "admission queue depth (full queue => 429)")
-		cache   = fs.Int("cache", 256, "LRU result-cache entries (-1 disables)")
+		addr        = fs.String("addr", ":8080", "listen address")
+		workers     = fs.Int("workers", 0, "simulation workers, i.e. requests running at once (0 = GOMAXPROCS)")
+		parallelism = fs.Int("parallelism", 0, "per-request parallelism budget: trial fan-out and sharded graph rounds (0 = GOMAXPROCS; never affects results)")
+		queue       = fs.Int("queue", 64, "admission queue depth (full queue => 429)")
+		cache       = fs.Int("cache", 256, "LRU result-cache entries (-1 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	runner := service.NewRunner(service.Options{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheSize:  *cache,
+		Workers:     *workers,
+		Parallelism: *parallelism,
+		QueueDepth:  *queue,
+		CacheSize:   *cache,
 	})
 	defer runner.Close()
 
@@ -78,8 +88,8 @@ func run(ctx context.Context, args []string) error {
 	if onListen != nil {
 		onListen(ln.Addr())
 	}
-	log.Printf("conserve: listening on %s (workers=%d queue=%d cache=%d)",
-		ln.Addr(), runner.Metrics().Workers, *queue, *cache)
+	log.Printf("conserve: listening on %s (workers=%d parallelism=%d queue=%d cache=%d)",
+		ln.Addr(), runner.Metrics().Workers, runner.Metrics().Parallelism, *queue, *cache)
 
 	srv := &http.Server{Handler: service.NewServer(runner)}
 	errc := make(chan error, 1)

@@ -80,9 +80,18 @@ type GraphConfig struct {
 	Seed uint64
 	// MaxRounds bounds the run; 0 means 100000.
 	MaxRounds int
+	// Parallelism bounds the worker goroutines advancing each round
+	// (0 = GOMAXPROCS, 1 = serial). Rounds are sharded by vertex index
+	// into fixed n-derived shards with per-(seed, round, shard) RNG
+	// streams, so the result is identical for every Parallelism value.
+	Parallelism int
 }
 
 // RunOnGraph executes an agent-based run on the configured topology.
+// Topology construction and the initial assignment shuffle draw from
+// the stream rng.DeriveSeed(Seed, 0); rounds draw from the sharded
+// per-(rng.DeriveSeed(Seed, 1), round, shard) streams (see
+// internal/graph.StepSharded).
 func RunOnGraph(cfg GraphConfig) (Result, error) {
 	if cfg.N < 1 {
 		return Result{}, fmt.Errorf("%w: N = %d", errConfig, cfg.N)
@@ -114,7 +123,7 @@ func RunOnGraph(cfg GraphConfig) (Result, error) {
 	if maxRounds <= 0 {
 		maxRounds = 100_000
 	}
-	res := graph.Run(r, st, rule, maxRounds)
+	res := graph.RunSharded(rng.DeriveSeed(cfg.Seed, 1), st, rule, maxRounds, cfg.Parallelism)
 	return Result{Rounds: res.Rounds, Consensus: res.Consensus, Winner: int(res.Winner)}, nil
 }
 

@@ -2,6 +2,9 @@ package graph
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"plurality/internal/population"
 	"plurality/internal/rng"
@@ -153,12 +156,142 @@ func (st *State) Consensus() (opinion int32, ok bool) {
 	return first, true
 }
 
-// Step advances the state by one synchronous round of rule.
+// Step advances the state by one synchronous round of rule, drawing
+// every vertex's randomness sequentially from r. It is the simple
+// single-stream engine; the sharded engine below is the multi-core
+// variant with hardware-independent streams.
 func (st *State) Step(r *rng.Rand, rule Rule) {
 	for v := range st.opinions {
 		st.next[v] = rule.Update(r, st.g, st.opinions, v)
 	}
 	st.opinions, st.next = st.next, st.opinions
+}
+
+// Sharding of the synchronous vertex loop. The vertex range is cut
+// into a fixed number of contiguous shards derived from n alone —
+// never from the worker count — and every (seed, round, shard) triple
+// gets its own RNG stream, so a round's outcome is a pure function of
+// the trial seed no matter how many workers execute the shards or in
+// what order.
+const (
+	// shardTargetSize is the vertex count one shard aims for. Small
+	// enough that mid-size states (n ≥ ~3·10⁴) split across cores,
+	// large enough that per-shard stream setup is noise.
+	shardTargetSize = 1 << 14
+	// maxShards caps the shard count; with shardTargetSize it is
+	// reached at n ≈ 4·10⁶ and bounds per-round scheduling overhead.
+	maxShards = 256
+)
+
+// Shards returns the fixed shard count for an n-vertex state: a pure
+// function of n, so sharded results never depend on hardware or
+// worker count.
+func Shards(n int) int {
+	s := (n + shardTargetSize - 1) / shardTargetSize
+	if s < 1 {
+		s = 1
+	}
+	if s > maxShards {
+		s = maxShards
+	}
+	return s
+}
+
+// shardSeed is the RNG stream of one (seed, round, shard) cell.
+func shardSeed(seed uint64, round, shard int) uint64 {
+	return rng.DeriveSeed(rng.DeriveSeed(seed, uint64(round)), uint64(shard))
+}
+
+// StepSharded advances the state by one synchronous round of rule,
+// drawing vertex v's randomness from the stream of v's shard (see
+// Shards). workers bounds the goroutines used (<= 0 means GOMAXPROCS,
+// clamped to the shard count); the result is identical for every
+// workers value, including 1. It returns the post-round consensus
+// check for free: uniform is the agreed opinion when ok is true.
+//
+// The round index is part of the stream derivation, so repeated calls
+// must pass strictly increasing rounds (Run passes 1, 2, ...).
+func (st *State) StepSharded(rule Rule, seed uint64, round, workers int, scratch *ShardScratch) (uniform int32, ok bool) {
+	n := len(st.opinions)
+	shards := Shards(n)
+	size := (n + shards - 1) / shards
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+	scratch.grow(shards)
+	runShard := func(shard int, r *rng.Rand) {
+		r.Reseed(shardSeed(seed, round, shard))
+		lo := shard * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		first := rule.Update(r, st.g, st.opinions, lo)
+		st.next[lo] = first
+		same := true
+		for v := lo + 1; v < hi; v++ {
+			o := rule.Update(r, st.g, st.opinions, v)
+			st.next[v] = o
+			same = same && o == first
+		}
+		scratch.first[shard] = first
+		scratch.same[shard] = same
+	}
+	if workers == 1 {
+		r := &scratch.serial
+		for shard := 0; shard < shards; shard++ {
+			runShard(shard, r)
+		}
+	} else {
+		var (
+			next int64 = -1
+			wg   sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var r rng.Rand
+				for {
+					shard := int(atomic.AddInt64(&next, 1))
+					if shard >= shards {
+						return
+					}
+					runShard(shard, &r)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	st.opinions, st.next = st.next, st.opinions
+	uniform = scratch.first[0]
+	for shard := 0; shard < shards; shard++ {
+		if !scratch.same[shard] || scratch.first[shard] != uniform {
+			return 0, false
+		}
+	}
+	return uniform, true
+}
+
+// ShardScratch holds StepSharded's reusable per-shard buffers so a
+// multi-round run allocates once. The zero value is ready to use; a
+// scratch must not be shared between concurrent runs.
+type ShardScratch struct {
+	first  []int32
+	same   []bool
+	serial rng.Rand
+}
+
+func (s *ShardScratch) grow(shards int) {
+	if cap(s.first) < shards {
+		s.first = make([]int32, shards)
+		s.same = make([]bool, shards)
+	}
+	s.first = s.first[:shards]
+	s.same = s.same[:shards]
 }
 
 // RunResult reports how an agent-based run ended.
@@ -168,7 +301,8 @@ type RunResult struct {
 	Winner    int32
 }
 
-// Run executes rule on st until consensus or maxRounds.
+// Run executes rule on st until consensus or maxRounds, drawing all
+// randomness sequentially from r (single-stream engine).
 func Run(r *rng.Rand, st *State, rule Rule, maxRounds int) RunResult {
 	if op, ok := st.Consensus(); ok {
 		return RunResult{Rounds: 0, Consensus: true, Winner: op}
@@ -176,6 +310,25 @@ func Run(r *rng.Rand, st *State, rule Rule, maxRounds int) RunResult {
 	for t := 1; t <= maxRounds; t++ {
 		st.Step(r, rule)
 		if op, ok := st.Consensus(); ok {
+			return RunResult{Rounds: t, Consensus: true, Winner: op}
+		}
+	}
+	op, _ := st.Counts().MaxOpinion()
+	return RunResult{Rounds: maxRounds, Consensus: false, Winner: int32(op)}
+}
+
+// RunSharded executes rule on st until consensus or maxRounds using
+// the sharded round engine: round t draws vertex randomness from the
+// (seed, t, shard) streams of StepSharded, split across up to workers
+// goroutines. The result is a pure function of (st, rule, seed,
+// maxRounds) — identical for every workers value.
+func RunSharded(seed uint64, st *State, rule Rule, maxRounds, workers int) RunResult {
+	if op, ok := st.Consensus(); ok {
+		return RunResult{Rounds: 0, Consensus: true, Winner: op}
+	}
+	var scratch ShardScratch
+	for t := 1; t <= maxRounds; t++ {
+		if op, ok := st.StepSharded(rule, seed, t, workers, &scratch); ok {
 			return RunResult{Rounds: t, Consensus: true, Winner: op}
 		}
 	}

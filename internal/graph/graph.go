@@ -93,7 +93,8 @@ func (g *Adj) Neighbors(v int) []int32 { return g.adj[v] }
 // graph; radius = 1 is the plain cycle). Rings have constant
 // conductance ~radius/n, the slow extreme for consensus.
 func NewRing(n, radius int) (*Adj, error) {
-	if n < 3 || radius < 1 || 2*radius >= n {
+	// radius >= (n+1)/2 is the overflow-safe form of 2*radius >= n.
+	if n < 3 || radius < 1 || radius >= (n+1)/2 {
 		return nil, fmt.Errorf("%w: Ring needs n >= 3, 1 <= radius < n/2, got n=%d radius=%d", ErrGraph, n, radius)
 	}
 	adj := make([][]int32, n)

@@ -14,10 +14,13 @@
 //     semantically identical requests are structurally identical, and
 //     Key hashes the normalized form into the canonical config key
 //     used for caching and deduplication.
-//   - Execute: a pure function from a Request to a Response. Trial i
-//     of any request runs with the derived seed rng.DeriveSeed(Seed, i)
-//     (which non-sync façades expand further), so results are
-//     reproducible and independent of parallelism; see DESIGN.md
+//   - Execute / ExecuteParallel: a pure function from a Request to a
+//     Response. Trial i of any request gets the façade seed
+//     rng.DeriveSeed(Seed, i) (which the non-sync façades expand once
+//     more at their entry points), and all four modes fan trials
+//     across workers via sim.ForEachTrial — with mode graph also
+//     sharding each run's vertex loop — so results are reproducible
+//     and independent of the parallelism budget; see DESIGN.md
 //     §Simulation service for the full determinism contract.
 //   - Runner: a bounded worker pool with an LRU result cache keyed by
 //     Request.Key, in-flight deduplication, a job store for detached

@@ -4,16 +4,24 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 
 	"plurality"
 	"plurality/internal/rng"
+	"plurality/internal/sim"
 	"plurality/internal/stats"
 )
 
 // Trial is one run's outcome inside a Response.
 type Trial struct {
-	// Trial is the trial index; the run uses the derived seed
-	// rng.DeriveSeed(Request.Seed, Trial) (see the Request contract).
+	// Trial is the trial index. Trial i's façade seed is
+	// rng.DeriveSeed(Request.Seed, i): mode sync consumes it directly
+	// as the trial's RNG stream (sim.RunMany's derivation), while the
+	// async/graph/gossip façade entry points expand it once more —
+	// their root streams are rng.DeriveSeed(rng.DeriveSeed(Seed, i), j)
+	// for entry-point-specific j. Both derivations are frozen: changing
+	// either would silently invalidate every cached and recorded
+	// Response (see TestTrialSeedContractPinned).
 	Trial int `json:"trial"`
 	// Rounds is the consensus time in synchronous(-equivalent) rounds.
 	// It is fractional only in mode async (Ticks/N).
@@ -22,8 +30,10 @@ type Trial struct {
 	Consensus bool `json:"consensus"`
 	// Winner is the consensus opinion, or the plurality at cutoff.
 	Winner int `json:"winner"`
-	// Ticks is the number of single-vertex updates (mode async only).
-	Ticks int64 `json:"ticks,omitempty"`
+	// Ticks is the number of single-vertex updates. It is present on
+	// every async-mode trial — including a tick-0 convergence, so all
+	// trials of a response share one shape — and absent otherwise.
+	Ticks *int64 `json:"ticks,omitempty"`
 }
 
 // Summary aggregates the trials of a Response.
@@ -58,14 +68,29 @@ type Response struct {
 	Trials []Trial `json:"trials"`
 }
 
-// Execute runs the request synchronously in the calling goroutine and
-// returns its canonical response. It is a pure function of the
-// request: same Request ⇒ same Response, regardless of caller. Errors
-// are user errors (invalid configuration).
+// Execute runs the request in the calling goroutine (expanding into
+// GOMAXPROCS trial workers) and returns its canonical response. It is
+// a pure function of the request: same Request ⇒ same Response,
+// regardless of caller. Errors are user errors (invalid
+// configuration).
 func Execute(q Request) (*Response, error) {
+	return ExecuteParallel(q, 0)
+}
+
+// ExecuteParallel is Execute with an explicit parallelism budget
+// (<= 0 means GOMAXPROCS): every mode fans its trials across up to
+// that many workers through sim.ForEachTrial, and mode graph
+// additionally spends budget left over by a short trial list on
+// sharding each run's vertex loop. Parallelism is an execution hint
+// only — the Response (and hence its canonical JSON encoding) is
+// byte-identical for every value.
+func ExecuteParallel(q Request, parallelism int) (*Response, error) {
 	q = q.Normalize()
 	if err := q.Validate(); err != nil {
 		return nil, err
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
 	}
 	var (
 		trials []Trial
@@ -73,13 +98,13 @@ func Execute(q Request) (*Response, error) {
 	)
 	switch q.Mode {
 	case ModeSync:
-		trials, err = executeSync(q)
+		trials, err = executeSync(q, parallelism)
 	case ModeAsync:
-		trials, err = executeAsync(q)
+		trials, err = executeAsync(q, parallelism)
 	case ModeGraph:
-		trials, err = executeGraph(q)
+		trials, err = executeGraph(q, parallelism)
 	case ModeGossip:
-		trials, err = executeGossip(q)
+		trials, err = executeGossip(q, parallelism)
 	default:
 		err = fmt.Errorf("service: unknown mode %q", q.Mode)
 	}
@@ -94,12 +119,12 @@ func Execute(q Request) (*Response, error) {
 	}, nil
 }
 
-func executeSync(q Request) ([]Trial, error) {
+func executeSync(q Request, parallelism int) ([]Trial, error) {
 	cfg, err := q.Config()
 	if err != nil {
 		return nil, err
 	}
-	results, err := plurality.RunMany(cfg, q.Trials)
+	results, err := plurality.RunManyParallel(cfg, q.Trials, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -115,40 +140,92 @@ func executeSync(q Request) ([]Trial, error) {
 	return trials, nil
 }
 
-func executeAsync(q Request) ([]Trial, error) {
+func executeAsync(q Request, parallelism int) ([]Trial, error) {
 	cfg, err := q.Config()
 	if err != nil {
 		return nil, err
 	}
 	trials := make([]Trial, q.Trials)
-	for i := range trials {
-		cfg.Seed = rng.DeriveSeed(q.Seed, uint64(i))
-		res, err := plurality.RunAsync(cfg, q.MaxTicks)
+	err = sim.ForEachTrial(q.Trials, parallelism, func(i int) error {
+		c := cfg
+		c.Seed = rng.DeriveSeed(q.Seed, uint64(i))
+		res, err := plurality.RunAsync(c, q.MaxTicks)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		ticks := res.Ticks
 		trials[i] = Trial{
 			Trial:     i,
 			Rounds:    res.Rounds,
 			Consensus: res.Consensus,
 			Winner:    res.Winner,
-			Ticks:     res.Ticks,
+			Ticks:     &ticks,
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return trials, nil
 }
 
-func executeGraph(q Request) ([]Trial, error) {
+// graphVertexBudget and graphEdgeBudget cap what a single graph
+// request may have materialized at once across its concurrent trials
+// (each live trial holds its own topology and two opinion arrays):
+// total vertices, and total adjacency edge slots — the dominant cost
+// for dense topologies, which the vertex count alone would miss.
+// MaxGraphN/MaxGraphEdges were sized for one run at a time; the clamp
+// keeps a maximal request from multiplying that peak by the core
+// count (a full-size adjacency caps at two concurrent builds).
+const (
+	graphVertexBudget = 1 << 25
+	graphEdgeBudget   = 2 * MaxGraphEdges
+)
+
+// graphTrialWorkers bounds a graph request's trial fan-out to the
+// vertex and edge budgets (always allowing one trial). degree is the
+// request's per-vertex adjacency degree (Request.graphDegree).
+func graphTrialWorkers(parallelism, trials int, n, degree int64) int {
+	workers := parallelism
+	if workers > trials {
+		workers = trials
+	}
+	if byMem := int(graphVertexBudget / n); byMem < workers {
+		workers = byMem
+	}
+	if degree > 0 {
+		if byEdges := int(graphEdgeBudget / (n * degree)); byEdges < workers {
+			workers = byEdges
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+func executeGraph(q Request, parallelism int) ([]Trial, error) {
 	cfg, err := q.GraphConfig()
 	if err != nil {
 		return nil, err
 	}
+	// Split the budget: one worker per trial first (memory-clamped),
+	// and when the trial fan-out is narrower than the budget (the
+	// lone-big-job case), the remainder shards each run's vertex loop.
+	// The per-run share rounds up — transient mild oversubscription
+	// beats budgeted cores idling whenever parallelism doesn't divide
+	// evenly. Both levels are deterministic, so the split affects
+	// wall-clock only.
+	trialWorkers := graphTrialWorkers(parallelism, q.Trials, q.N, q.graphDegree())
+	perRun := (parallelism + trialWorkers - 1) / trialWorkers
 	trials := make([]Trial, q.Trials)
-	for i := range trials {
-		cfg.Seed = rng.DeriveSeed(q.Seed, uint64(i))
-		res, err := plurality.RunOnGraph(cfg)
+	err = sim.ForEachTrial(q.Trials, trialWorkers, func(i int) error {
+		c := cfg
+		c.Seed = rng.DeriveSeed(q.Seed, uint64(i))
+		c.Parallelism = perRun
+		res, err := plurality.RunOnGraph(c)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		trials[i] = Trial{
 			Trial:     i,
@@ -156,21 +233,48 @@ func executeGraph(q Request) ([]Trial, error) {
 			Consensus: res.Consensus,
 			Winner:    res.Winner,
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return trials, nil
 }
 
-func executeGossip(q Request) ([]Trial, error) {
+// gossipNodeBudget caps the node goroutines a single gossip request
+// may have alive at once across its concurrent trials. MaxGossipN was
+// sized for one network at a time; without this clamp a
+// {n: MaxGossipN, trials: many} request on a many-core server would
+// multiply that peak by the parallelism budget and could OOM the
+// process on goroutine stacks alone.
+const gossipNodeBudget = 1 << 18
+
+// gossipTrialWorkers bounds a gossip request's trial fan-out so that
+// concurrent networks stay within gossipNodeBudget total nodes (always
+// allowing one trial).
+func gossipTrialWorkers(parallelism int, n int64) int {
+	workers := int(gossipNodeBudget / n)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > parallelism {
+		workers = parallelism
+	}
+	return workers
+}
+
+func executeGossip(q Request, parallelism int) ([]Trial, error) {
 	cfg, err := q.GossipConfig()
 	if err != nil {
 		return nil, err
 	}
 	trials := make([]Trial, q.Trials)
-	for i := range trials {
-		cfg.Seed = rng.DeriveSeed(q.Seed, uint64(i))
-		res, err := plurality.RunGossip(cfg)
+	err = sim.ForEachTrial(q.Trials, gossipTrialWorkers(parallelism, q.N), func(i int) error {
+		c := cfg
+		c.Seed = rng.DeriveSeed(q.Seed, uint64(i))
+		res, err := plurality.RunGossip(c)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		trials[i] = Trial{
 			Trial:     i,
@@ -178,6 +282,10 @@ func executeGossip(q Request) ([]Trial, error) {
 			Consensus: res.Consensus,
 			Winner:    res.Winner,
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return trials, nil
 }

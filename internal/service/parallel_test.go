@@ -1,0 +1,240 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"plurality"
+	"plurality/internal/rng"
+)
+
+// parallelTestRequests is one representative request per execution
+// mode, shaped so every mode crosses its interesting internal
+// boundaries (graph n is large enough for several vertex shards).
+func parallelTestRequests() map[string]Request {
+	return map[string]Request{
+		"sync":   {Protocol: "3-majority", N: 2000, K: 8, Seed: 7, Trials: 6},
+		"async":  {Protocol: "2-choices", N: 400, K: 3, Seed: 7, Trials: 6, Mode: ModeAsync},
+		"graph":  {Protocol: "3-majority", N: 40_000, K: 4, Seed: 7, Trials: 3, Mode: ModeGraph, Topology: "complete"},
+		"gossip": {Protocol: "voter", N: 80, K: 3, Seed: 7, Trials: 6, Mode: ModeGossip},
+	}
+}
+
+// TestResponseBytesInvariantAcrossParallelism pins the tentpole
+// determinism contract: for every mode, the canonical Response JSON is
+// byte-identical whether a request runs serially, at an awkward
+// worker count, or at full GOMAXPROCS — parallelism is an execution
+// hint, never an input.
+func TestResponseBytesInvariantAcrossParallelism(t *testing.T) {
+	for name, req := range parallelTestRequests() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var want []byte
+			for _, parallelism := range []int{1, 3, 0} {
+				resp, err := ExecuteParallel(req, parallelism)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", parallelism, err)
+				}
+				var buf bytes.Buffer
+				if err := EncodeJSONLine(&buf, resp); err != nil {
+					t.Fatal(err)
+				}
+				if want == nil {
+					want = buf.Bytes()
+					continue
+				}
+				if !bytes.Equal(want, buf.Bytes()) {
+					t.Fatalf("parallelism %d changed the response bytes:\n%s\n%s", parallelism, want, buf.Bytes())
+				}
+			}
+		})
+	}
+}
+
+// TestModeTrialSeedEquivalence pins the structural half of the seed
+// contract: trial i of an async/graph/gossip request reproduces the
+// façade entry point called directly with the façade seed
+// rng.DeriveSeed(Request.Seed, i) — the derivation every recorded
+// Response depends on.
+func TestModeTrialSeedEquivalence(t *testing.T) {
+	reqs := parallelTestRequests()
+
+	async := reqs["async"]
+	asyncResp, err := Execute(async)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range asyncResp.Trials {
+		cfg, err := async.Normalize().Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Seed = rng.DeriveSeed(async.Seed, uint64(i))
+		res, err := plurality.RunAsync(cfg, async.MaxTicks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Rounds != res.Rounds || tr.Winner != res.Winner || tr.Consensus != res.Consensus || *tr.Ticks != res.Ticks {
+			t.Fatalf("async trial %d %+v does not match façade %+v", i, tr, res)
+		}
+	}
+
+	graph := reqs["graph"]
+	graphResp, err := Execute(graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range graphResp.Trials {
+		cfg, err := graph.Normalize().GraphConfig()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Seed = rng.DeriveSeed(graph.Seed, uint64(i))
+		res, err := plurality.RunOnGraph(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Rounds != float64(res.Rounds) || tr.Winner != res.Winner || tr.Consensus != res.Consensus {
+			t.Fatalf("graph trial %d %+v does not match façade %+v", i, tr, res)
+		}
+	}
+
+	gossip := reqs["gossip"]
+	gossipResp, err := Execute(gossip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range gossipResp.Trials {
+		cfg, err := gossip.Normalize().GossipConfig()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Seed = rng.DeriveSeed(gossip.Seed, uint64(i))
+		res, err := plurality.RunGossip(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Rounds != float64(res.Rounds) || tr.Winner != res.Winner || tr.Consensus != res.Consensus {
+			t.Fatalf("gossip trial %d %+v does not match façade %+v", i, tr, res)
+		}
+	}
+}
+
+// TestGossipTrialWorkersClampedToNodeBudget: gossip trial fan-out is
+// bounded so concurrent networks cannot exceed gossipNodeBudget total
+// node goroutines, whatever the parallelism budget.
+func TestGossipTrialWorkersClampedToNodeBudget(t *testing.T) {
+	if got := gossipTrialWorkers(32, MaxGossipN); int64(got)*MaxGossipN > gossipNodeBudget {
+		t.Fatalf("gossipTrialWorkers(32, MaxGossipN) = %d exceeds the node budget", got)
+	}
+	if got := gossipTrialWorkers(32, MaxGossipN); got < 1 {
+		t.Fatalf("gossipTrialWorkers must allow at least one trial, got %d", got)
+	}
+	if got := gossipTrialWorkers(8, 100); got != 8 {
+		t.Fatalf("small networks should use the full budget: got %d, want 8", got)
+	}
+	if got := gossipTrialWorkers(1, 50); got != 1 {
+		t.Fatalf("serial stays serial: got %d", got)
+	}
+}
+
+// TestGraphTrialWorkersClampedToBudgets: graph trial fan-out is
+// bounded so concurrent runs cannot materialize more than
+// graphVertexBudget vertices or graphEdgeBudget adjacency slots,
+// whatever the parallelism budget.
+func TestGraphTrialWorkersClampedToBudgets(t *testing.T) {
+	if got := graphTrialWorkers(32, 32, MaxGraphN, 0); int64(got)*MaxGraphN > graphVertexBudget {
+		t.Fatalf("graphTrialWorkers(32, 32, MaxGraphN, 0) = %d exceeds the vertex budget", got)
+	}
+	if got := graphTrialWorkers(32, 32, MaxGraphN, 0); got < 1 {
+		t.Fatalf("graphTrialWorkers must allow at least one trial, got %d", got)
+	}
+	// A dense mid-size topology (n·degree = MaxGraphEdges, ~2 GiB per
+	// adjacency) is edge-bound: at most two concurrent builds, even on
+	// a 64-core budget.
+	if got := graphTrialWorkers(64, 64, 1<<18, 1<<11); got != 2 {
+		t.Fatalf("dense adjacency fan-out = %d, want 2 (edge budget)", got)
+	}
+	if got := graphTrialWorkers(8, 4, 1000, 8); got != 4 {
+		t.Fatalf("small graphs use one worker per trial: got %d, want 4", got)
+	}
+	if got := graphTrialWorkers(3, 100, 1000, 8); got != 3 {
+		t.Fatalf("parallelism still bounds fan-out: got %d, want 3", got)
+	}
+}
+
+// TestGraphTopologyParamBounded: a user-controlled degree cannot push
+// the O(n·degree) adjacency past MaxGraphEdges — the request is
+// rejected at validation, before any allocation.
+func TestGraphTopologyParamBounded(t *testing.T) {
+	huge := Request{Protocol: "3-majority", N: MaxGraphN, K: 2, Mode: ModeGraph,
+		Topology: "ring", TopologyParam: 7_999_999}
+	if err := huge.Normalize().Validate(); err == nil {
+		t.Fatal("ring radius implying ~10^14 edge slots validated")
+	}
+	huge.Topology, huge.TopologyParam = "random-regular", 1_000_000
+	if err := huge.Normalize().Validate(); err == nil {
+		t.Fatal("random-regular degree 10^6 at MaxGraphN validated")
+	}
+	// A param near MaxInt64 must be range-rejected before the
+	// degree·n product (which would overflow and wrap past the cap).
+	overflow := Request{Protocol: "3-majority", N: 1000, K: 2, Mode: ModeGraph,
+		Topology: "ring", TopologyParam: 1 << 62}
+	if err := overflow.Normalize().Validate(); err == nil {
+		t.Fatal("overflowing topology_param validated")
+	}
+	// Defaults and modest parameters stay valid.
+	ok := Request{Protocol: "3-majority", N: MaxGraphN, K: 2, Mode: ModeGraph,
+		Topology: "random-regular", TopologyParam: 8}
+	if err := ok.Normalize().Validate(); err != nil {
+		t.Fatalf("degree-8 regular at MaxGraphN rejected: %v", err)
+	}
+	ringOK := Request{Protocol: "3-majority", N: 100_000, K: 2, Mode: ModeGraph,
+		Topology: "ring", TopologyParam: 100}
+	if err := ringOK.Normalize().Validate(); err != nil {
+		t.Fatalf("radius-100 ring at n=1e5 rejected: %v", err)
+	}
+	cube := Request{Protocol: "3-majority", N: 1 << 23, K: 2, Mode: ModeGraph,
+		Topology: "hypercube"}
+	if err := cube.Normalize().Validate(); err != nil {
+		t.Fatalf("dim-23 hypercube (the densest default within the n cap) rejected: %v", err)
+	}
+}
+
+// TestAsyncTicksUniformShape pins the Ticks JSON fix: every async
+// trial carries an explicit "ticks" field — including a run that
+// converges at tick 0, which omitempty used to drop, breaking the
+// uniform trial shape of the canonical encoding — and no other mode
+// emits one.
+func TestAsyncTicksUniformShape(t *testing.T) {
+	// A single-opinion init is in consensus before the first tick.
+	resp, err := Execute(Request{Protocol: "3-majority", N: 50, K: 1, Seed: 1, Mode: ModeAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := resp.Trials[0]
+	if !tr.Consensus || tr.Ticks == nil || *tr.Ticks != 0 {
+		t.Fatalf("single-opinion async trial = %+v, want consensus at tick 0", tr)
+	}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"ticks":0`) {
+		t.Fatalf("tick-0 async trial JSON %s lacks explicit \"ticks\":0", data)
+	}
+
+	sync, err := Execute(Request{Protocol: "3-majority", N: 50, K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err = json.Marshal(sync.Trials[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "ticks") {
+		t.Fatalf("sync trial JSON %s has a ticks field", data)
+	}
+}

@@ -46,7 +46,20 @@ const (
 	// engine's exact-Σc² representation caps it there anyway.
 	MaxSyncN = population.MaxN
 	// MaxGraphN bounds N for the per-vertex agent engine (mode graph).
-	MaxGraphN = 2_000_000
+	// The engine's rounds are sharded across cores (see
+	// internal/graph.StepSharded) so time no longer caps the shape;
+	// what remains is the O(n·degree) adjacency memory, bounded by
+	// MaxGraphEdges below (~2 GiB of edge storage), with Execute
+	// additionally clamping how many trials materialize topologies
+	// concurrently.
+	MaxGraphN = 16_000_000
+	// MaxGraphEdges bounds n·degree for the adjacency-storing graph
+	// topologies: the adjacency holds one int32 per directed edge
+	// slot, so this cap keeps a single topology build within ~2 GiB no
+	// matter what TopologyParam the request asks for (it admits every
+	// default topology within the n cap — the densest, a dim-23
+	// hypercube, is ~1.9·10⁸ slots).
+	MaxGraphEdges = 1 << 29
 	// MaxGossipN bounds N for the goroutine-per-node engine (gossip).
 	MaxGossipN = 100_000
 )
@@ -57,12 +70,17 @@ const (
 // normalized form can be hashed into a cache key.
 //
 // Equivalence contract: a Request fully determines its Response,
-// independent of worker count and of whether the CLI or the server
-// runs it. Trial i runs with the derived seed rng.DeriveSeed(Seed, i):
-// in mode sync that is exactly sim.RunMany's per-trial stream (so a
-// 1-trial request reproduces plurality.Run with the same Seed); the
-// other modes pass the derived seed to their façade entry point per
-// trial, which expands it further.
+// independent of worker count, of per-request parallelism, and of
+// whether the CLI or the server runs it. Trial i's façade seed is
+// rng.DeriveSeed(Seed, i): mode sync consumes it directly as the
+// trial's RNG stream — exactly sim.RunMany's per-trial derivation, so
+// a 1-trial request reproduces plurality.Run with the same Seed —
+// while the async/graph/gossip façade entry points expand it once
+// more, rooting their streams at
+// rng.DeriveSeed(rng.DeriveSeed(Seed, i), j) for entry-point-specific
+// j (0 for the async engine and graph topology/assignment, 1 for the
+// sharded graph rounds, the node id for gossip). Both derivations are
+// frozen: cache keys and recorded results depend on them.
 type Request struct {
 	// Protocol names the dynamics: "3-majority", "2-choices", "voter",
 	// "median", "undecided", "h<m>" (e.g. "h5"), or "lazy:<beta>:<base>"
@@ -249,6 +267,18 @@ func (q Request) Validate() error {
 		default:
 			return fmt.Errorf("service: unknown topology %q", q.Topology)
 		}
+		// TopologyParam is user-controlled degree for ring and
+		// random-regular, so bound the O(n·degree) adjacency it
+		// implies — the shape caps must hold for every valid request,
+		// not just default parameters. The range check comes first so
+		// the degree·n product below cannot overflow int64.
+		if int64(q.TopologyParam) > MaxGraphEdges {
+			return fmt.Errorf("service: topology_param must be <= %d, got %d", int64(MaxGraphEdges), q.TopologyParam)
+		}
+		if slots := q.graphDegree() * q.N; slots > MaxGraphEdges {
+			return fmt.Errorf("service: topology %q with param %d on n=%d implies %d edge slots, max %d",
+				q.Topology, q.TopologyParam, q.N, slots, int64(MaxGraphEdges))
+		}
 	}
 	if q.LossProb < 0 || q.LossProb >= 1 {
 		return fmt.Errorf("service: loss_prob must be in [0,1), got %v", q.LossProb)
@@ -414,6 +444,41 @@ func buildInit(q Request) (plurality.Init, error) {
 		return plurality.Counts(q.Counts), nil
 	default:
 		return plurality.Init{}, fmt.Errorf("service: unknown init %q", q.Init)
+	}
+}
+
+// graphDegree returns the per-vertex adjacency degree the normalized
+// graph-mode request will materialize, with parseTopology's defaults
+// applied (0 for complete, which stores no adjacency). It is the
+// per-trial memory model shared by Validate's edge-slot cap and the
+// executor's concurrency clamp.
+func (q Request) graphDegree() int64 {
+	switch q.Topology {
+	case "ring":
+		r := int64(q.TopologyParam)
+		if r <= 0 {
+			r = 1
+		}
+		return 2 * r
+	case "torus":
+		return 4
+	case "random-regular":
+		d := int64(q.TopologyParam)
+		if d <= 0 {
+			d = 8
+		}
+		return d
+	case "hypercube":
+		if q.TopologyParam > 0 {
+			return int64(q.TopologyParam)
+		}
+		var dim int64
+		for n := q.N; n > 1; n >>= 1 {
+			dim++
+		}
+		return dim
+	default:
+		return 0
 	}
 }
 

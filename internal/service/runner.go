@@ -24,9 +24,17 @@ var errAbandoned = errors.New("service: job abandoned before execution")
 // Options configures a Runner. The zero value picks sensible defaults.
 type Options struct {
 	// Workers is the number of simulation workers (default
-	// GOMAXPROCS). Each worker runs one request at a time; sync-mode
-	// requests additionally parallelise their trials internally.
+	// GOMAXPROCS). Each worker runs one request at a time; requests
+	// additionally parallelise internally, see Parallelism.
 	Workers int
+	// Parallelism is the per-request parallelism budget handed to
+	// ExecuteParallel (default GOMAXPROCS): every mode fans its trials
+	// across up to that many goroutines, and a lone big graph job
+	// shards its vertex loop across them instead of pinning one core.
+	// Responses are byte-identical for every value — it trades
+	// per-request latency against oversubscription when all Workers
+	// are busy.
+	Parallelism int
 	// QueueDepth bounds the admission queue (default 64). A full queue
 	// rejects non-blocking submissions with ErrBusy — the server's
 	// backpressure signal.
@@ -42,6 +50,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 64
@@ -135,6 +146,8 @@ type Metrics struct {
 	QueueCap int
 	// Workers is the pool size.
 	Workers int
+	// Parallelism is the per-request parallelism budget.
+	Parallelism int
 	// CacheLen is the number of cached responses.
 	CacheLen int
 	// JobsInFlight is the number of queued or running jobs.
@@ -151,8 +164,9 @@ type Runner struct {
 	// the channel: admissions after closed=true are rejected, so once
 	// senders drains no new send can race the close.
 	senders sync.WaitGroup
-	// exec runs one request; it is Execute except in tests.
-	exec func(Request) (*Response, error)
+	// exec runs one request at a parallelism budget; it is
+	// ExecuteParallel except in tests.
+	exec func(Request, int) (*Response, error)
 
 	requests    atomic.Uint64
 	cacheHits   atomic.Uint64
@@ -177,7 +191,7 @@ func NewRunner(opts Options) *Runner {
 	r := &Runner{
 		opts:  opts,
 		queue: make(chan *Job, opts.QueueDepth),
-		exec:  Execute,
+		exec:  ExecuteParallel,
 		jobs:  make(map[string]*Job),
 		byKey: make(map[string]*Job),
 		cache: newLRU(opts.CacheSize),
@@ -352,7 +366,7 @@ func (r *Runner) worker() {
 		j.status = StatusRunning
 		r.mu.Unlock()
 
-		resp, err := r.exec(j.req)
+		resp, err := r.exec(j.req, r.opts.Parallelism)
 		r.executions.Add(1)
 
 		r.mu.Lock()
@@ -386,6 +400,7 @@ func (r *Runner) Metrics() Metrics {
 		QueueLen:     len(r.queue),
 		QueueCap:     cap(r.queue),
 		Workers:      r.opts.Workers,
+		Parallelism:  r.opts.Parallelism,
 		CacheLen:     cacheLen,
 		JobsInFlight: inFlight,
 	}

@@ -168,6 +168,7 @@ func writeMetrics(w http.ResponseWriter, m Metrics) {
 	fmt.Fprintf(w, "conserve_queue_len %d\n", m.QueueLen)
 	fmt.Fprintf(w, "conserve_queue_cap %d\n", m.QueueCap)
 	fmt.Fprintf(w, "conserve_workers %d\n", m.Workers)
+	fmt.Fprintf(w, "conserve_parallelism %d\n", m.Parallelism)
 	fmt.Fprintf(w, "conserve_cache_len %d\n", m.CacheLen)
 	fmt.Fprintf(w, "conserve_jobs_in_flight %d\n", m.JobsInFlight)
 }

@@ -120,7 +120,7 @@ func TestRunQueueFull(t *testing.T) {
 	srv, rn := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
 	release := make(chan struct{})
 	started := make(chan struct{}, 8)
-	rn.exec = func(q Request) (*Response, error) {
+	rn.exec = func(q Request, _ int) (*Response, error) {
 		started <- struct{}{}
 		<-release
 		return &Response{Key: q.Key()}, nil

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // SweepRequest is the wire format of POST /sweep and the config layer
@@ -122,6 +123,15 @@ func (sr SweepRequest) point(q Request, resp *Response) SweepPoint {
 // space rather than failing with ErrBusy; ctx cancellation aborts the
 // sweep. The emitted lines are byte-identical across server and CLI
 // for the same sweep (see EncodeJSONLine).
+//
+// Fan-out is bounded: at most queue-depth points are submitted, in
+// flight, or finished-but-unemitted at once, so a MaxSweepPoints-sized
+// sweep neither registers thousands of jobs up front nor parks a
+// goroutine per point, and a slow consumer (an NDJSON client reading
+// at its own pace) backpressures the pool instead of the sweep racing
+// ahead of it. An error — a failing point, emit failure, or ctx
+// cancellation — stops the window, so at most a window's worth of
+// trailing points ever executes past it.
 func (r *Runner) Sweep(ctx context.Context, sr SweepRequest, emit func(SweepPoint) error) error {
 	sr = sr.Normalize()
 	points, err := sr.Points()
@@ -134,13 +144,51 @@ func (r *Runner) Sweep(ctx context.Context, sr SweepRequest, emit func(SweepPoin
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	window := r.opts.QueueDepth
+	if window > len(points) {
+		window = len(points)
+	}
+	if window < 1 {
+		window = 1
+	}
 	results := make([]chan outcome, len(points))
 	for i := range points {
 		results[i] = make(chan outcome, 1)
-		go func(i int) {
-			resp, _, err := r.DoWait(ctx, points[i])
-			results[i] <- outcome{resp: resp, err: err}
-		}(i)
+	}
+	// window submitters claim point indices in order, each gated on a
+	// token the emit loop returns per consumed point — submission can
+	// run at most window points ahead of emission. After a cancel the
+	// submitters drain the remaining indices into their buffered slots
+	// (DoWait would submit even on a dead ctx when the queue has
+	// space), so nothing leaks and nothing more executes.
+	var next int64 = -1
+	tokens := make(chan struct{}, window)
+	for w := 0; w < window; w++ {
+		tokens <- struct{}{}
+	}
+	for w := 0; w < window; w++ {
+		go func() {
+			gated := true
+			for {
+				if gated {
+					select {
+					case <-tokens:
+					case <-ctx.Done():
+						gated = false
+					}
+				}
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(points) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					results[i] <- outcome{err: err}
+					continue
+				}
+				resp, _, err := r.DoWait(ctx, points[i])
+				results[i] <- outcome{resp: resp, err: err}
+			}
+		}()
 	}
 	for i, q := range points {
 		out := <-results[i]
@@ -150,6 +198,7 @@ func (r *Runner) Sweep(ctx context.Context, sr SweepRequest, emit func(SweepPoin
 		if err := emit(sr.point(q, out.resp)); err != nil {
 			return err
 		}
+		tokens <- struct{}{}
 	}
 	return nil
 }

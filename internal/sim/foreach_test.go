@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachTrialRunsEveryTrialOnce covers the scheduler the service
+// layer shares: each trial index is handed to exactly one body call,
+// for serial and parallel worker counts alike.
+func TestForEachTrialRunsEveryTrialOnce(t *testing.T) {
+	for _, parallelism := range []int{1, 3, 0, 100} {
+		const trials = 57
+		var calls [trials]atomic.Int32
+		err := ForEachTrial(trials, parallelism, func(trial int) error {
+			calls[trial].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		for i := range calls {
+			if n := calls[i].Load(); n != 1 {
+				t.Fatalf("parallelism %d: trial %d ran %d times", parallelism, i, n)
+			}
+		}
+	}
+}
+
+// TestForEachTrialReturnsLowestIndexError pins deterministic error
+// reporting: whichever worker finishes first, the caller sees the
+// error of the lowest failing trial.
+func TestForEachTrialReturnsLowestIndexError(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	for _, parallelism := range []int{1, 4} {
+		err := ForEachTrial(40, parallelism, func(trial int) error {
+			switch trial {
+			case 7:
+				return sentinel
+			case 23:
+				return fmt.Errorf("late error")
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("parallelism %d: got %v, want the trial-7 sentinel", parallelism, err)
+		}
+	}
+}
+
+func TestForEachTrialNoTrials(t *testing.T) {
+	if err := ForEachTrial(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEachTrial(-3, 1, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}

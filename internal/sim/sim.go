@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"plurality/internal/core"
 	"plurality/internal/population"
@@ -44,6 +45,69 @@ type TrialResult struct {
 	core.RunResult
 }
 
+// ForEachTrial is the deterministic trial scheduler shared by every
+// execution mode (the count-space engine here, and the service layer's
+// async/graph/gossip executors): it runs body(trial) for trial =
+// 0..trials-1 across a pool of parallelism workers (<= 0 means
+// GOMAXPROCS). Work is handed out by trial index and bodies must
+// derive all randomness from that index (e.g. via rng.DeriveSeed), so
+// the outcome of every trial — and anything the bodies write into
+// per-trial slots — is identical for any worker count.
+//
+// All trials run even when some fail; the returned error is that of
+// the lowest failing trial index, so error reporting is deterministic
+// too. (Per-trial errors are config errors, surfaced long before any
+// simulation work, so running the batch to completion costs nothing in
+// practice.)
+func ForEachTrial(trials, parallelism int, body func(trial int) error) error {
+	if trials <= 0 {
+		return nil
+	}
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	var firstErr error
+	if workers == 1 {
+		// Serial fast path: no goroutines, but the same
+		// run-to-completion, lowest-index-error semantics.
+		for trial := 0; trial < trials; trial++ {
+			if err := body(trial); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	errs := make([]error, trials)
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				trial := int(atomic.AddInt64(&next, 1))
+				if trial >= trials {
+					return
+				}
+				errs[trial] = body(trial)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RunMany executes the trials and returns the results indexed by
 // trial. Trials are independent: trial i's stream depends only on
 // (Seed, i), so results are reproducible regardless of parallelism.
@@ -55,42 +119,22 @@ func RunMany(spec Spec) []TrialResult {
 	if trials <= 0 {
 		trials = 1
 	}
-	workers := spec.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > trials {
-		workers = trials
-	}
-
 	results := make([]TrialResult, trials)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for trial := range next {
-				r := rng.New(rng.DeriveSeed(spec.Seed, uint64(trial)))
-				v := spec.Init(trial)
-				cfg := core.RunConfig{
-					MaxRounds: spec.MaxRounds,
-					PostRound: spec.PostRound,
-					Done:      spec.Done,
-				}
-				if spec.Observe != nil {
-					cfg.Observer = spec.Observe(trial)
-				}
-				res := core.Run(r, spec.Protocol, v, cfg)
-				results[trial] = TrialResult{Trial: trial, RunResult: res}
-			}
-		}()
-	}
-	for trial := 0; trial < trials; trial++ {
-		next <- trial
-	}
-	close(next)
-	wg.Wait()
+	ForEachTrial(trials, spec.Parallelism, func(trial int) error {
+		r := rng.New(rng.DeriveSeed(spec.Seed, uint64(trial)))
+		v := spec.Init(trial)
+		cfg := core.RunConfig{
+			MaxRounds: spec.MaxRounds,
+			PostRound: spec.PostRound,
+			Done:      spec.Done,
+		}
+		if spec.Observe != nil {
+			cfg.Observer = spec.Observe(trial)
+		}
+		res := core.Run(r, spec.Protocol, v, cfg)
+		results[trial] = TrialResult{Trial: trial, RunResult: res}
+		return nil
+	})
 	return results
 }
 

@@ -343,6 +343,14 @@ func Run(cfg Config) (Result, error) {
 // in cfg.Seed and the trial index) and returns per-trial results.
 // Config.OnRound is not supported here; use Run for observed runs.
 func RunMany(cfg Config, trials int) ([]Result, error) {
+	return RunManyParallel(cfg, trials, 0)
+}
+
+// RunManyParallel is RunMany with an explicit trial-worker count
+// (parallelism <= 0 means GOMAXPROCS). Trial i's stream depends only
+// on (cfg.Seed, i), so the results are identical for every
+// parallelism value.
+func RunManyParallel(cfg Config, trials, parallelism int) ([]Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -366,10 +374,11 @@ func RunMany(cfg Config, trials int) ([]Result, error) {
 			}
 			return v
 		},
-		Trials:    trials,
-		Seed:      cfg.Seed,
-		MaxRounds: cfg.MaxRounds,
-		PostRound: adversary.PostRound(cfg.Adversary.impl),
+		Trials:      trials,
+		Seed:        cfg.Seed,
+		MaxRounds:   cfg.MaxRounds,
+		PostRound:   adversary.PostRound(cfg.Adversary.impl),
+		Parallelism: parallelism,
 	}
 	if _, isUSD := cfg.Protocol.impl.(core.Undecided); isUSD {
 		spec.Done = func(v *population.Vector) bool {
