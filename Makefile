@@ -1,0 +1,32 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml), so a green `make check bench-diff` locally
+# predicts a green pipeline.
+
+.PHONY: check lint test bench-baseline bench-diff
+
+check: lint test
+
+# gofmt must be clean (the CI lint step fails on any unformatted file)
+# and vet must pass.
+lint:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	go vet ./...
+
+test:
+	go build ./...
+	go test ./...
+
+# bench-baseline refreshes the committed bench-regression baseline.
+# Run it on an otherwise idle machine after a deliberate perf change
+# (or a hardware move) and commit the result; the CI bench-diff job
+# compares every build against it with a ±25% fail / ±10% warn band.
+bench-baseline:
+	go run ./cmd/conbench -json BENCH_BASELINE.json -benchn 3
+
+# bench-diff reproduces the CI gate locally.
+bench-diff:
+	go run ./cmd/conbench -json /tmp/conbench_current.json -benchn 3
+	go run ./cmd/benchdiff -baseline BENCH_BASELINE.json -current /tmp/conbench_current.json

@@ -22,7 +22,9 @@ type AsyncResult struct {
 // RunAsync executes the asynchronous variant of the configured
 // dynamics (paper §1.1): one uniformly random vertex updates per tick.
 // Supported protocols: ThreeMajority(), TwoChoices(), Voter().
-// maxTicks bounds the run (0 means 10^10).
+// maxTicks bounds the run (0 means 10^10). Config.Trace, if set,
+// samples the configuration at full synchronous-equivalent round
+// boundaries (every N ticks).
 func RunAsync(cfg Config, maxTicks int64) (AsyncResult, error) {
 	if err := cfg.validate(); err != nil {
 		return AsyncResult{}, err
@@ -46,7 +48,7 @@ func RunAsync(cfg Config, maxTicks int64) (AsyncResult, error) {
 		maxTicks = 10_000_000_000
 	}
 	r := rng.New(rng.DeriveSeed(cfg.Seed, 0))
-	res := async.Run(r, d, v, maxTicks)
+	res := async.RunTraced(r, d, v, maxTicks, cfg.Trace)
 	return AsyncResult{
 		Ticks:     res.Ticks,
 		Rounds:    res.Rounds,

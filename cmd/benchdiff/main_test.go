@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, name string, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseline = `{"benchmarks":[
+	{"name":"suite_a","ns_per_op":100000000},
+	{"name":"suite_b","ns_per_op":200000000},
+	{"name":"suite_tiny","ns_per_op":1000}
+]}`
+
+func diff(t *testing.T, current string, extra ...string) (string, error) {
+	t.Helper()
+	args := append([]string{
+		"-baseline", writeBench(t, "base.json", baseline),
+		"-current", writeBench(t, "cur.json", current),
+	}, extra...)
+	var out strings.Builder
+	err := run(args, &out)
+	return out.String(), err
+}
+
+func TestOkWithinTolerance(t *testing.T) {
+	out, err := diff(t, `{"benchmarks":[
+		{"name":"suite_a","ns_per_op":105000000},
+		{"name":"suite_b","ns_per_op":195000000},
+		{"name":"suite_tiny","ns_per_op":99000}
+	]}`)
+	if err != nil {
+		t.Fatalf("within-tolerance diff failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "✅ ok") || strings.Contains(out, "❌") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	// The 99x-slower tiny suite sits below the noise floor and must not
+	// trip the gate.
+	if !strings.Contains(out, "➖ below noise floor") {
+		t.Fatalf("noise floor not applied:\n%s", out)
+	}
+}
+
+func TestFailOnRegression(t *testing.T) {
+	out, err := diff(t, `{"benchmarks":[
+		{"name":"suite_a","ns_per_op":130000000},
+		{"name":"suite_b","ns_per_op":200000000},
+		{"name":"suite_tiny","ns_per_op":1000}
+	]}`)
+	if err == nil {
+		t.Fatalf("30%% regression passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "❌ regression") {
+		t.Fatalf("missing regression marker:\n%s", out)
+	}
+}
+
+func TestWarnBetweenBands(t *testing.T) {
+	out, err := diff(t, `{"benchmarks":[
+		{"name":"suite_a","ns_per_op":115000000},
+		{"name":"suite_b","ns_per_op":200000000},
+		{"name":"suite_tiny","ns_per_op":1000}
+	]}`)
+	if err != nil {
+		t.Fatalf("warn-band diff failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "⚠️ slower") || !strings.Contains(out, "1 warnings, 0 failures") {
+		t.Fatalf("missing warning:\n%s", out)
+	}
+}
+
+func TestMissingSuiteFails(t *testing.T) {
+	out, err := diff(t, `{"benchmarks":[
+		{"name":"suite_a","ns_per_op":100000000},
+		{"name":"suite_tiny","ns_per_op":1000}
+	]}`)
+	if err == nil {
+		t.Fatalf("missing suite passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "missing from current run") {
+		t.Fatalf("missing-suite marker absent:\n%s", out)
+	}
+}
+
+func TestNewSuiteAndImprovement(t *testing.T) {
+	out, err := diff(t, `{"benchmarks":[
+		{"name":"suite_a","ns_per_op":50000000},
+		{"name":"suite_b","ns_per_op":200000000},
+		{"name":"suite_tiny","ns_per_op":1000},
+		{"name":"suite_new","ns_per_op":300000000}
+	]}`)
+	if err != nil {
+		t.Fatalf("improvement diff failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "🚀 improved") || !strings.Contains(out, "🆕 new suite") {
+		t.Fatalf("markers absent:\n%s", out)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := diff(t, `{"benchmarks":[]}`); err == nil {
+		t.Fatal("empty current accepted")
+	}
+	if _, err := diff(t, `not json`); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	var out strings.Builder
+	if err := run([]string{"-baseline", "/nonexistent.json"}, &out); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+	if err := run([]string{"-fail-pct", "5", "-warn-pct", "10"}, &out); err == nil {
+		t.Fatal("fail-pct < warn-pct accepted")
+	}
+}

@@ -2,7 +2,8 @@
 // simulation as a service. It exposes the shared job runner behind
 // consim/consweep as a concurrent, cached JSON API:
 //
-//	POST /run          one Request (see internal/service), canonical body
+//	POST /run          one Request (see internal/service), canonical body;
+//	                   ?trace=1 streams a round trace as NDJSON
 //	POST /sweep        batch sweep, NDJSON stream of per-point medians
 //	GET  /jobs/{id}    poll a detached (?detach=1) run
 //	GET  /healthz      liveness
@@ -23,6 +24,12 @@
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/run -d '{"protocol":"3-majority","n":100000,"k":100,"seed":1}'
 //	curl -s -X POST localhost:8080/sweep -d '{"base":{"protocol":"3-majority","n":100000,"seed":1,"trials":5},"sweep":"k","values":[2,4,8,16]}'
+//	curl -s -X POST 'localhost:8080/run?trace=1' -d '{"protocol":"3-majority","n":100000,"k":100,"seed":1}'
+//
+// The last form records a per-round trace (γ, live opinions,
+// max-opinion density, Σα³ under the adaptive decimation policy; put a
+// "trace" spec in the body to choose another) and streams it as NDJSON:
+// one line per sampled point, then the canonical summary line.
 //
 // Results are deterministic in the request alone — trial i's façade
 // seed is DeriveSeed(seed, i), which mode sync consumes directly and

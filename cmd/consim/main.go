@@ -8,13 +8,20 @@
 //
 //	consim -n 1000000 -k 100 -protocol 3-majority [-init balanced]
 //	       [-seed 1] [-every 10] [-max-rounds 0] [-adversary 0]
-//	       [-trials 1] [-json]
+//	       [-trials 1] [-json] [-trace spec]
 //
 // Protocols: 3-majority, 2-choices, voter, median, undecided, h<m>
 // (e.g. h5), lazy:<beta>:<base>. Inits: balanced, zipf, geometric,
 // planted. With -json the per-round trace is suppressed and the
 // canonical service response (byte-identical to the server's /run
 // body) is printed instead.
+//
+// -trace records a sampled round trace through the service layer
+// (spec: adaptive, log2, every[:stride], optionally :points=N — see
+// internal/trace). Alone it emits the NDJSON trace stream, one point
+// per line followed by the summary response line, byte-identical to
+// the server's POST /run?trace=1; combined with -json the trace rides
+// inline in the canonical response body.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 
 	"plurality"
 	"plurality/internal/service"
+	"plurality/internal/trace"
 )
 
 func main() {
@@ -56,25 +64,36 @@ func requestFromFlags(fs *flag.FlagSet, args []string) (service.Request, error) 
 func run(args []string) error {
 	fs := flag.NewFlagSet("consim", flag.ContinueOnError)
 	var (
-		every  = fs.Int("every", 1, "print every this many rounds")
-		trials = fs.Int("trials", 0, "trials for -json mode (0 = 1)")
-		asJSON = fs.Bool("json", false, "print the canonical service response instead of a trace")
+		every     = fs.Int("every", 1, "print every this many rounds")
+		trials    = fs.Int("trials", 0, "trials for -json/-trace mode (0 = 1)")
+		asJSON    = fs.Bool("json", false, "print the canonical service response instead of a trace")
+		traceSpec = fs.String("trace", "", "record a round trace: adaptive, log2, every[:stride][:points=N] (NDJSON; inline with -json)")
 	)
 	req, err := requestFromFlags(fs, args)
 	if err != nil {
 		return err
 	}
-	if *trials != 0 && !*asJSON {
-		return fmt.Errorf("-trials only applies with -json (the trace follows a single run)")
+	if *trials != 0 && !*asJSON && *traceSpec == "" {
+		return fmt.Errorf("-trials only applies with -json or -trace (the round printout follows a single run)")
+	}
+	if *traceSpec != "" {
+		spec, err := trace.ParseSpec(*traceSpec)
+		if err != nil {
+			return err
+		}
+		req.Trace = &spec
 	}
 
-	if *asJSON {
+	if *asJSON || *traceSpec != "" {
 		req.Trials = *trials
 		resp, err := service.Execute(req)
 		if err != nil {
 			return err
 		}
-		return service.EncodeJSONLine(os.Stdout, resp)
+		if *asJSON {
+			return service.EncodeJSONLine(os.Stdout, resp)
+		}
+		return service.WriteTraceNDJSON(os.Stdout, resp, nil)
 	}
 
 	cfg, err := req.Config()

@@ -49,6 +49,18 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := run([]string{"-n", "500", "-k", "4", "-protocol", "2-choices", "-json", "-trials", "2"}); err != nil {
 		t.Fatalf("run -json: %v", err)
 	}
+	if err := run([]string{"-n", "500", "-k", "4", "-trace", "log2", "-trials", "2"}); err != nil {
+		t.Fatalf("run -trace: %v", err)
+	}
+	if err := run([]string{"-n", "500", "-k", "4", "-trace", "every:10", "-json"}); err != nil {
+		t.Fatalf("run -trace -json: %v", err)
+	}
+}
+
+func TestRunRejectsBadTraceSpec(t *testing.T) {
+	if err := run([]string{"-n", "500", "-k", "4", "-trace", "bogus"}); err == nil {
+		t.Fatal("bad trace spec accepted")
+	}
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"plurality/internal/gossip"
+	"plurality/internal/trace"
 )
 
 // GossipConfig describes a run of the dynamics as an actual
@@ -28,6 +29,11 @@ type GossipConfig struct {
 	LossProb float64
 	// MaxRounds bounds the run; 0 means 100000.
 	MaxRounds int
+	// Trace, if non-nil, samples the coordinator's opinion counts
+	// between rounds (after the commit barrier, so the trace is
+	// deterministic in Seed regardless of scheduling). Nil costs
+	// nothing.
+	Trace *trace.Sampler
 }
 
 // GossipResult reports how a gossip run ended.
@@ -84,7 +90,7 @@ func RunGossip(cfg GossipConfig) (GossipResult, error) {
 	if maxRounds <= 0 {
 		maxRounds = 100_000
 	}
-	res := nw.Run(maxRounds)
+	res := nw.RunTraced(maxRounds, cfg.Trace)
 	final := nw.Counts()
 	counts := make([]int64, final.K())
 	for i := range counts {

@@ -5,6 +5,7 @@ import (
 
 	"plurality/internal/graph"
 	"plurality/internal/rng"
+	"plurality/internal/trace"
 )
 
 // Topology selects a graph family for RunOnGraph — the paper's §2.5
@@ -85,6 +86,10 @@ type GraphConfig struct {
 	// into fixed n-derived shards with per-(seed, round, shard) RNG
 	// streams, so the result is identical for every Parallelism value.
 	Parallelism int
+	// Trace, if non-nil, samples the opinion counts between rounds
+	// (after the sharded-round barrier, so the trace too is identical
+	// for every Parallelism value). Nil costs nothing.
+	Trace *trace.Sampler
 }
 
 // RunOnGraph executes an agent-based run on the configured topology.
@@ -123,7 +128,7 @@ func RunOnGraph(cfg GraphConfig) (Result, error) {
 	if maxRounds <= 0 {
 		maxRounds = 100_000
 	}
-	res := graph.RunSharded(rng.DeriveSeed(cfg.Seed, 1), st, rule, maxRounds, cfg.Parallelism)
+	res := graph.RunShardedTraced(rng.DeriveSeed(cfg.Seed, 1), st, rule, maxRounds, cfg.Parallelism, cfg.Trace)
 	return Result{Rounds: res.Rounds, Consensus: res.Consensus, Winner: int(res.Winner)}, nil
 }
 

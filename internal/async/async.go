@@ -17,6 +17,7 @@ import (
 
 	"plurality/internal/population"
 	"plurality/internal/rng"
+	"plurality/internal/trace"
 )
 
 // Dynamics is a single-vertex-update rule applied at every tick.
@@ -95,6 +96,16 @@ type RunResult struct {
 // Run executes d from configuration v until consensus or maxTicks
 // updates. v is not modified.
 func Run(r *rng.Rand, d Dynamics, v *population.Vector, maxTicks int64) RunResult {
+	return RunTraced(r, d, v, maxTicks, nil)
+}
+
+// RunTraced is Run with an optional round tracer: tr samples the
+// configuration at full synchronous-equivalent round boundaries (every
+// n ticks; round 0 is the initial configuration). A nil tr is inert —
+// the per-tick cost is one modulus — and the O(k) count
+// materialisation is paid only for rounds the tracer's decimation
+// policy actually keeps.
+func RunTraced(r *rng.Rand, d Dynamics, v *population.Vector, maxTicks int64, tr *trace.Sampler) RunResult {
 	f := population.NewFenwick(v.Counts())
 	n := f.Total()
 	finish := func(ticks int64, consensus bool, winner int) RunResult {
@@ -105,11 +116,19 @@ func Run(r *rng.Rand, d Dynamics, v *population.Vector, maxTicks int64) RunResul
 			Winner:    winner,
 		}
 	}
+	if tr.Wants(0) {
+		tr.Observe(0, f.Vector())
+	}
 	if op, ok := consensusOf(f); ok {
 		return finish(0, true, op)
 	}
 	for t := int64(1); t <= maxTicks; t++ {
 		next := d.Tick(r, f)
+		if tr != nil && t%n == 0 {
+			if round := t / n; tr.Wants(round) {
+				tr.Observe(round, f.Vector())
+			}
+		}
 		// Only the opinion that just gained a vertex can have reached
 		// consensus, so the check is O(1) per tick.
 		if f.Count(next) == n {

@@ -37,6 +37,7 @@ import (
 
 	"plurality/internal/population"
 	"plurality/internal/rng"
+	"plurality/internal/trace"
 )
 
 // Rule selects the update rule (Definition 3.1 forms).
@@ -420,11 +421,30 @@ type Result struct {
 
 // Run executes rounds until all alive nodes agree or maxRounds.
 func (nw *Network) Run(maxRounds int) Result {
+	return nw.RunTraced(maxRounds, nil)
+}
+
+// RunTraced is Run with an optional round tracer: tr samples the
+// coordinator's authoritative opinion counts between rounds — after
+// the commit barrier, when no node goroutine is mutating state — so
+// the trace is deterministic in the network's seed regardless of
+// goroutine scheduling. A nil tr costs one pointer test per round;
+// kept rounds reuse the counts Round materializes anyway, so tracing
+// adds only the O(live) observable reads.
+func (nw *Network) RunTraced(maxRounds int, tr *trace.Sampler) Result {
+	if tr.Wants(0) {
+		tr.Observe(0, nw.Counts())
+	}
 	if op, ok := nw.AliveConsensus(); ok {
 		return Result{Rounds: 0, Consensus: true, Winner: op}
 	}
 	for t := 1; t <= maxRounds; t++ {
-		nw.Round()
+		// Round already materializes the post-commit counts; reuse them
+		// rather than paying the O(n + k) scan twice on kept rounds.
+		v := nw.Round()
+		if tr.Wants(int64(t)) {
+			tr.Observe(int64(t), v)
+		}
 		if op, ok := nw.AliveConsensus(); ok {
 			return Result{Rounds: t, Consensus: true, Winner: op}
 		}

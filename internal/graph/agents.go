@@ -8,6 +8,7 @@ import (
 
 	"plurality/internal/population"
 	"plurality/internal/rng"
+	"plurality/internal/trace"
 )
 
 // Rule is a per-vertex synchronous update rule: given the current
@@ -323,12 +324,30 @@ func Run(r *rng.Rand, st *State, rule Rule, maxRounds int) RunResult {
 // goroutines. The result is a pure function of (st, rule, seed,
 // maxRounds) — identical for every workers value.
 func RunSharded(seed uint64, st *State, rule Rule, maxRounds, workers int) RunResult {
+	return RunShardedTraced(seed, st, rule, maxRounds, workers, nil)
+}
+
+// RunShardedTraced is RunSharded with an optional round tracer: tr
+// samples the opinion counts between rounds — from the coordinating
+// goroutine, after StepSharded's barrier, never from inside a shard
+// worker — so the trace, like the result, is identical for every
+// workers value. A nil tr costs one pointer test per round; the O(n)
+// count materialisation is paid only for rounds the tracer's
+// decimation policy keeps.
+func RunShardedTraced(seed uint64, st *State, rule Rule, maxRounds, workers int, tr *trace.Sampler) RunResult {
+	if tr.Wants(0) {
+		tr.Observe(0, st.Counts())
+	}
 	if op, ok := st.Consensus(); ok {
 		return RunResult{Rounds: 0, Consensus: true, Winner: op}
 	}
 	var scratch ShardScratch
 	for t := 1; t <= maxRounds; t++ {
-		if op, ok := st.StepSharded(rule, seed, t, workers, &scratch); ok {
+		op, ok := st.StepSharded(rule, seed, t, workers, &scratch)
+		if tr.Wants(int64(t)) {
+			tr.Observe(int64(t), st.Counts())
+		}
+		if ok {
 			return RunResult{Rounds: t, Consensus: true, Winner: op}
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"plurality/internal/rng"
 	"plurality/internal/sim"
 	"plurality/internal/stats"
+	"plurality/internal/trace"
 )
 
 // Trial is one run's outcome inside a Response.
@@ -66,6 +67,13 @@ type Response struct {
 	Summary Summary `json:"summary"`
 	// Trials holds the per-trial outcomes, indexed by trial.
 	Trials []Trial `json:"trials"`
+	// Trace holds the sampled round trace when Request.Trace was set:
+	// every trial's kept points, concatenated in trial order (each
+	// trial's points in round order). Absent on untraced requests, so
+	// their Response bytes are unchanged from the pre-trace era.
+	// Tracing never perturbs the engines' RNG streams: Summary and
+	// Trials are byte-identical with and without it.
+	Trace []trace.Point `json:"trace,omitempty"`
 }
 
 // Execute runs the request in the calling goroutine (expanding into
@@ -94,17 +102,18 @@ func ExecuteParallel(q Request, parallelism int) (*Response, error) {
 	}
 	var (
 		trials []Trial
+		points []trace.Point
 		err    error
 	)
 	switch q.Mode {
 	case ModeSync:
-		trials, err = executeSync(q, parallelism)
+		trials, points, err = executeSync(q, parallelism)
 	case ModeAsync:
-		trials, err = executeAsync(q, parallelism)
+		trials, points, err = executeAsync(q, parallelism)
 	case ModeGraph:
-		trials, err = executeGraph(q, parallelism)
+		trials, points, err = executeGraph(q, parallelism)
 	case ModeGossip:
-		trials, err = executeGossip(q, parallelism)
+		trials, points, err = executeGossip(q, parallelism)
 	default:
 		err = fmt.Errorf("service: unknown mode %q", q.Mode)
 	}
@@ -116,17 +125,72 @@ func ExecuteParallel(q Request, parallelism int) (*Response, error) {
 		Request: q,
 		Summary: summarize(trials),
 		Trials:  trials,
+		Trace:   points,
 	}, nil
 }
 
-func executeSync(q Request, parallelism int) ([]Trial, error) {
+// trialSamplers is the per-trial sampler set of one traced request —
+// nil for an untraced request, where forTrial hands the engines nil
+// (inert) samplers and flatten returns no points. Each trial's sampler
+// is touched only by the worker running that trial, and flatten
+// concatenates in trial order, so the merged trace — like the trials —
+// is identical for every parallelism value.
+type trialSamplers []*trace.Sampler
+
+func newTrialSamplers(q Request) trialSamplers {
+	if q.Trace == nil {
+		return nil
+	}
+	ts := make(trialSamplers, q.Trials)
+	for i := range ts {
+		ts[i] = trace.NewSampler(*q.Trace, i)
+	}
+	return ts
+}
+
+func (ts trialSamplers) forTrial(i int) *trace.Sampler {
+	if ts == nil {
+		return nil
+	}
+	return ts[i]
+}
+
+func (ts trialSamplers) flatten() []trace.Point {
+	if ts == nil {
+		return nil
+	}
+	var buf trace.Buffer
+	for _, s := range ts {
+		// Buffer.Record never fails, so neither does the flush.
+		_ = s.Flush(&buf)
+	}
+	return buf.Points
+}
+
+func executeSync(q Request, parallelism int) ([]Trial, []trace.Point, error) {
 	cfg, err := q.Config()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	results, err := plurality.RunManyParallel(cfg, q.Trials, parallelism)
+	var (
+		results []plurality.Result
+		points  []trace.Point
+	)
+	if q.Trace != nil {
+		var traces [][]trace.Point
+		results, traces, err = plurality.RunManyTraced(cfg, q.Trials, parallelism, *q.Trace)
+		if err == nil {
+			var buf trace.Buffer
+			for _, tr := range traces {
+				_ = trace.Emit(tr, &buf)
+			}
+			points = buf.Points
+		}
+	} else {
+		results, err = plurality.RunManyParallel(cfg, q.Trials, parallelism)
+	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	trials := make([]Trial, len(results))
 	for i, res := range results {
@@ -137,18 +201,20 @@ func executeSync(q Request, parallelism int) ([]Trial, error) {
 			Winner:    res.Winner,
 		}
 	}
-	return trials, nil
+	return trials, points, nil
 }
 
-func executeAsync(q Request, parallelism int) ([]Trial, error) {
+func executeAsync(q Request, parallelism int) ([]Trial, []trace.Point, error) {
 	cfg, err := q.Config()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	samplers := newTrialSamplers(q)
 	trials := make([]Trial, q.Trials)
 	err = sim.ForEachTrial(q.Trials, parallelism, func(i int) error {
 		c := cfg
 		c.Seed = rng.DeriveSeed(q.Seed, uint64(i))
+		c.Trace = samplers.forTrial(i)
 		res, err := plurality.RunAsync(c, q.MaxTicks)
 		if err != nil {
 			return err
@@ -164,9 +230,9 @@ func executeAsync(q Request, parallelism int) ([]Trial, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return trials, nil
+	return trials, samplers.flatten(), nil
 }
 
 // graphVertexBudget and graphEdgeBudget cap what a single graph
@@ -204,10 +270,10 @@ func graphTrialWorkers(parallelism, trials int, n, degree int64) int {
 	return workers
 }
 
-func executeGraph(q Request, parallelism int) ([]Trial, error) {
+func executeGraph(q Request, parallelism int) ([]Trial, []trace.Point, error) {
 	cfg, err := q.GraphConfig()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Split the budget: one worker per trial first (memory-clamped),
 	// and when the trial fan-out is narrower than the budget (the
@@ -218,11 +284,13 @@ func executeGraph(q Request, parallelism int) ([]Trial, error) {
 	// wall-clock only.
 	trialWorkers := graphTrialWorkers(parallelism, q.Trials, q.N, q.graphDegree())
 	perRun := (parallelism + trialWorkers - 1) / trialWorkers
+	samplers := newTrialSamplers(q)
 	trials := make([]Trial, q.Trials)
 	err = sim.ForEachTrial(q.Trials, trialWorkers, func(i int) error {
 		c := cfg
 		c.Seed = rng.DeriveSeed(q.Seed, uint64(i))
 		c.Parallelism = perRun
+		c.Trace = samplers.forTrial(i)
 		res, err := plurality.RunOnGraph(c)
 		if err != nil {
 			return err
@@ -236,9 +304,9 @@ func executeGraph(q Request, parallelism int) ([]Trial, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return trials, nil
+	return trials, samplers.flatten(), nil
 }
 
 // gossipNodeBudget caps the node goroutines a single gossip request
@@ -263,15 +331,17 @@ func gossipTrialWorkers(parallelism int, n int64) int {
 	return workers
 }
 
-func executeGossip(q Request, parallelism int) ([]Trial, error) {
+func executeGossip(q Request, parallelism int) ([]Trial, []trace.Point, error) {
 	cfg, err := q.GossipConfig()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	samplers := newTrialSamplers(q)
 	trials := make([]Trial, q.Trials)
 	err = sim.ForEachTrial(q.Trials, gossipTrialWorkers(parallelism, q.N), func(i int) error {
 		c := cfg
 		c.Seed = rng.DeriveSeed(q.Seed, uint64(i))
+		c.Trace = samplers.forTrial(i)
 		res, err := plurality.RunGossip(c)
 		if err != nil {
 			return err
@@ -285,9 +355,9 @@ func executeGossip(q Request, parallelism int) ([]Trial, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return trials, nil
+	return trials, samplers.flatten(), nil
 }
 
 func summarize(trials []Trial) Summary {

@@ -11,6 +11,7 @@ import (
 
 	"plurality"
 	"plurality/internal/population"
+	"plurality/internal/trace"
 )
 
 // Execution modes accepted by Request.Mode. The zero value normalizes
@@ -62,6 +63,10 @@ const (
 	MaxGraphEdges = 1 << 29
 	// MaxGossipN bounds N for the goroutine-per-node engine (gossip).
 	MaxGossipN = 100_000
+	// MaxTracePoints bounds trials × trace.MaxPoints for a traced
+	// request: the whole trace a request may buffer (and a cached
+	// Response may retain). ~56 MiB of points at the cap.
+	MaxTracePoints = 1 << 20
 )
 
 // Request is the canonical description of one simulation batch. It is
@@ -134,6 +139,14 @@ type Request struct {
 	LossProb float64 `json:"loss_prob,omitempty"`
 	// Crashed lists node IDs crashed from the start (ModeGossip).
 	Crashed []int `json:"crashed,omitempty"`
+	// Trace, if non-nil, asks every trial to record a round trace
+	// under the spec's decimation policy (see internal/trace); the
+	// points come back in Response.Trace. Tracing is part of the
+	// request's identity — the normalized spec is folded into the
+	// config key — while an absent spec leaves the key, and the
+	// Response bytes, exactly as they were before tracing existed.
+	// Works in every mode.
+	Trace *trace.Spec `json:"trace,omitempty"`
 }
 
 // Normalize returns the request with defaults filled in and names
@@ -204,6 +217,13 @@ func (q Request) Normalize() Request {
 	}
 	if q.Mode != ModeGossip {
 		q.LossProb, q.Crashed = 0, nil
+	}
+	// The trace spec is normalized through its own canonicaliser (and
+	// copied, so the caller's spec is never mutated); a nil spec stays
+	// nil, keeping untraced keys identical to the pre-trace era.
+	if q.Trace != nil {
+		t := q.Trace.Normalize()
+		q.Trace = &t
 	}
 	return q
 }
@@ -282,6 +302,17 @@ func (q Request) Validate() error {
 	}
 	if q.LossProb < 0 || q.LossProb >= 1 {
 		return fmt.Errorf("service: loss_prob must be in [0,1), got %v", q.LossProb)
+	}
+	if q.Trace != nil {
+		if err := q.Trace.Validate(); err != nil {
+			return err
+		}
+		// Shape cap, like MaxK/MaxGraphN: the whole trace a request
+		// may buffer is bounded, whatever its trials × max_points.
+		if total := int64(q.Trials) * int64(q.Trace.MaxPoints); total > MaxTracePoints {
+			return fmt.Errorf("service: trials (%d) x trace max_points (%d) = %d points exceeds %d; lower one of them",
+				q.Trials, q.Trace.MaxPoints, total, int64(MaxTracePoints))
+		}
 	}
 	return nil
 }

@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+
+	"plurality/internal/trace"
 )
 
 // HTTP conventions of the conserve API, shared by server and clients.
@@ -19,7 +22,9 @@ const (
 
 // NewServer wraps a Runner into the conserve HTTP handler:
 //
-//	POST /run          execute a Request; ?detach=1 returns 202 + job
+//	POST /run          execute a Request; ?detach=1 returns 202 + job;
+//	                   ?trace=1 requests a round trace (default spec if
+//	                   the body has none) and streams it as NDJSON
 //	POST /sweep        execute a SweepRequest, streaming NDJSON points
 //	GET  /jobs/{id}    poll a detached job
 //	GET  /healthz      liveness probe
@@ -55,6 +60,14 @@ func handleRun(rn *Runner, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// ?trace=1 asks for a round trace and NDJSON output. A body that
+	// already names a trace spec keeps it; otherwise the default
+	// (adaptive) spec is injected — so the query form and the explicit
+	// body form describe, and cache as, the same request.
+	traceNDJSON := r.URL.Query().Get("trace") != ""
+	if traceNDJSON && req.Trace == nil {
+		req.Trace = &trace.Spec{}
+	}
 	if r.URL.Query().Get("detach") != "" {
 		job, resp, err := rn.Submit(req)
 		switch {
@@ -85,8 +98,44 @@ func handleRun(rn *Runner, w http.ResponseWriter, r *http.Request) {
 		} else {
 			w.Header().Set(CacheHeader, "miss")
 		}
-		writeResponse(w, resp)
+		if traceNDJSON {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			flusher, _ := w.(http.Flusher)
+			WriteTraceNDJSON(w, resp, func() {
+				if flusher != nil {
+					flusher.Flush()
+				}
+			})
+		} else {
+			writeResponse(w, resp)
+		}
 	}
+}
+
+// WriteTraceNDJSON writes a traced response in the NDJSON trace
+// format: one line per trace point, then the canonical Response line
+// with the trace stripped (its points were already streamed). The
+// bytes are a pure function of the response — consim -trace emits the
+// same stream the server does. onLine, if non-nil, runs after every
+// line (the server flushes there).
+func WriteTraceNDJSON(w io.Writer, resp *Response, onLine func()) error {
+	for _, p := range resp.Trace {
+		if err := EncodeJSONLine(w, p); err != nil {
+			return err
+		}
+		if onLine != nil {
+			onLine()
+		}
+	}
+	stripped := *resp
+	stripped.Trace = nil
+	if err := EncodeJSONLine(w, &stripped); err != nil {
+		return err
+	}
+	if onLine != nil {
+		onLine()
+	}
+	return nil
 }
 
 func handleSweep(rn *Runner, w http.ResponseWriter, r *http.Request) {

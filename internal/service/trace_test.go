@@ -1,0 +1,392 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"plurality/internal/trace"
+)
+
+// updateGolden regenerates testdata fixtures:
+//
+//	go test ./internal/service -run Golden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden fixtures")
+
+// TestUntracedKeysPinned pins the canonical cache keys of untraced
+// requests across every mode. These keys were recorded before the
+// trace subsystem existed (PR 2/3 era): if this test fails, the
+// normalized-request JSON changed shape and every cached and recorded
+// Response key silently rotated. Adding a field is only key-compatible
+// when it is omitted from untraced requests (pointer + omitempty, as
+// Request.Trace is).
+func TestUntracedKeysPinned(t *testing.T) {
+	pinned := []struct {
+		req Request
+		key string
+	}{
+		{Request{Protocol: "3-majority", N: 100_000, K: 100, Seed: 1},
+			"be721c080276ca0dacf7088cac1edd6a21d5186e75e830d27f737ef4c1f2f87c"},
+		{Request{Protocol: "2-choices", N: 10_000, K: 64, Seed: 7, Trials: 5},
+			"97fb50877abfb8133061861dd0e6240aa4ccaa3e22b17ef068c944ebcbbbe409"},
+		{Request{Protocol: "3-majority", Mode: "async", N: 20_000, K: 8, Seed: 3, Trials: 2},
+			"c3c91bc4b35586502de4ecb9c1eb9a506bf37a2d8c3335fc5559ce3f12c56e05"},
+		{Request{Protocol: "voter", Mode: "graph", N: 4096, K: 4, Seed: 9, Topology: "hypercube"},
+			"6d74420f23bf93251c46aea9c294311ec8bd681f66026de9e2d6b5641f642355"},
+		{Request{Protocol: "3-majority", Mode: "gossip", N: 500, K: 4, Seed: 2, LossProb: 0.1},
+			"d0d3f427af46827d1f3a9e8538cf40d409d18fe85364136dd31a60a4b7ae66e7"},
+	}
+	for _, p := range pinned {
+		if got := p.req.Key(); got != p.key {
+			t.Errorf("key of %+v rotated:\n got %s\nwant %s", p.req, got, p.key)
+		}
+	}
+}
+
+func TestTraceSpecKeyFolding(t *testing.T) {
+	base := Request{Protocol: "3-majority", N: 1000, K: 8, Seed: 1}
+	traced := base
+	traced.Trace = &trace.Spec{}
+	if base.Key() == traced.Key() {
+		t.Fatal("trace spec not folded into the config key")
+	}
+	// A JSON null trace is the absent spec.
+	var fromJSON Request
+	if err := json.Unmarshal([]byte(`{"protocol":"3-majority","n":1000,"k":8,"seed":1,"trace":null}`), &fromJSON); err != nil {
+		t.Fatal(err)
+	}
+	if fromJSON.Key() != base.Key() {
+		t.Fatal("explicit null trace should key like an absent one")
+	}
+	// Semantically identical specs key identically: the zero spec is
+	// the default adaptive spec, and an inert stride is cleared.
+	explicit := base
+	explicit.Trace = &trace.Spec{Policy: "Adaptive", Every: 9, MaxPoints: trace.DefaultMaxPoints}
+	if explicit.Key() != traced.Key() {
+		t.Fatal("equivalent trace specs produced different keys")
+	}
+	// Normalize must not mutate the caller's spec in place.
+	spec := trace.Spec{Policy: "ADAPTIVE"}
+	req := base
+	req.Trace = &spec
+	_ = req.Normalize()
+	if spec.Policy != "ADAPTIVE" {
+		t.Fatalf("Normalize mutated the caller's spec: %+v", spec)
+	}
+}
+
+func TestTraceShapeCaps(t *testing.T) {
+	q := Request{Protocol: "3-majority", N: 1000, K: 8, Seed: 1,
+		Trials: MaxTrials, Trace: &trace.Spec{MaxPoints: trace.CapMaxPoints}}
+	if err := q.Normalize().Validate(); err == nil {
+		t.Fatal("trials x max_points above MaxTracePoints accepted")
+	}
+	q.Trials = 4
+	if err := q.Normalize().Validate(); err != nil {
+		t.Fatalf("modest traced request rejected: %v", err)
+	}
+	q.Trace = &trace.Spec{Policy: "bogus"}
+	if err := q.Normalize().Validate(); err == nil {
+		t.Fatal("bad trace policy accepted")
+	}
+}
+
+// traceModeRequests is one small, fast request per execution mode,
+// used by the cross-mode trace tests.
+func traceModeRequests() []Request {
+	return []Request{
+		{Protocol: "3-majority", N: 400, K: 4, Seed: 11, Trials: 3},
+		{Protocol: "3-majority", Mode: "async", N: 200, K: 4, Seed: 12, Trials: 2},
+		{Protocol: "2-choices", Mode: "graph", N: 256, K: 4, Seed: 13, Trials: 2, Topology: "hypercube"},
+		{Protocol: "3-majority", Mode: "gossip", N: 64, K: 4, Seed: 14, Trials: 2},
+	}
+}
+
+// TestTracedSummariesByteIdenticalToUntraced is the acceptance
+// contract: tracing must not touch the engines' RNG streams, so the
+// Summary and Trials of a traced run are byte-for-byte those of the
+// untraced run of the same (config, seed).
+func TestTracedSummariesByteIdenticalToUntraced(t *testing.T) {
+	for _, q := range traceModeRequests() {
+		plain, err := Execute(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Mode, err)
+		}
+		traced := q
+		traced.Trace = &trace.Spec{Every: 1, MaxPoints: trace.CapMaxPoints}
+		resp, err := Execute(traced)
+		if err != nil {
+			t.Fatalf("%s traced: %v", q.Mode, err)
+		}
+		sumPlain, _ := json.Marshal(plain.Summary)
+		sumTraced, _ := json.Marshal(resp.Summary)
+		if !bytes.Equal(sumPlain, sumTraced) {
+			t.Errorf("mode %s: traced summary differs:\n%s\n%s", plain.Request.Mode, sumPlain, sumTraced)
+		}
+		trPlain, _ := json.Marshal(plain.Trials)
+		trTraced, _ := json.Marshal(resp.Trials)
+		if !bytes.Equal(trPlain, trTraced) {
+			t.Errorf("mode %s: traced trials differ", plain.Request.Mode)
+		}
+		if len(plain.Trace) != 0 {
+			t.Errorf("mode %s: untraced response carries trace points", plain.Request.Mode)
+		}
+		// Every trial contributes at least round 0, in trial order.
+		seen := map[int]bool{}
+		lastTrial, lastRound := -1, int64(-1)
+		for _, p := range resp.Trace {
+			if p.Trial != lastTrial {
+				if p.Trial < lastTrial || p.Round != 0 {
+					t.Fatalf("mode %s: trace not in (trial, round) order at %+v", plain.Request.Mode, p)
+				}
+				lastTrial, lastRound = p.Trial, 0
+				seen[p.Trial] = true
+				continue
+			}
+			if p.Round <= lastRound {
+				t.Fatalf("mode %s: rounds not increasing at %+v", plain.Request.Mode, p)
+			}
+			lastRound = p.Round
+		}
+		for i := 0; i < q.Trials; i++ {
+			if !seen[i] {
+				t.Errorf("mode %s: trial %d has no trace points", plain.Request.Mode, i)
+			}
+		}
+	}
+}
+
+// TestTracedResponseBytesInvariantAcrossParallelism extends the PR 3
+// determinism contract to traces: the full traced Response encoding —
+// points included — is byte-identical for every parallelism budget.
+func TestTracedResponseBytesInvariantAcrossParallelism(t *testing.T) {
+	for _, q := range traceModeRequests() {
+		q.Trace = &trace.Spec{Policy: trace.PolicyAdaptive, MaxPoints: 64}
+		var want []byte
+		for _, par := range []int{1, 2, 7} {
+			resp, err := ExecuteParallel(q, par)
+			if err != nil {
+				t.Fatalf("%s par %d: %v", q.Mode, par, err)
+			}
+			got, err := json.Marshal(resp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			if !bytes.Equal(want, got) {
+				t.Errorf("mode %s: traced response differs at parallelism %d", resp.Request.Mode, par)
+			}
+		}
+	}
+}
+
+// TestDecimatedTraceSubsequenceAcrossModes is the end-to-end property:
+// for every mode, a decimated trace is a strict subsequence of the
+// every=1 trace of the same (seed, trial).
+func TestDecimatedTraceSubsequenceAcrossModes(t *testing.T) {
+	specs := []trace.Spec{
+		{Every: 5},
+		{Policy: trace.PolicyLog2},
+		{Policy: trace.PolicyAdaptive, MaxPoints: 8},
+	}
+	for _, q := range traceModeRequests() {
+		full := q
+		full.Trace = &trace.Spec{Every: 1, MaxPoints: trace.CapMaxPoints}
+		fullResp, err := Execute(full)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Mode, err)
+		}
+		type key struct {
+			trial int
+			round int64
+		}
+		byKey := map[key]trace.Point{}
+		for _, p := range fullResp.Trace {
+			byKey[key{p.Trial, p.Round}] = p
+		}
+		for _, spec := range specs {
+			dec := q
+			s := spec
+			dec.Trace = &s
+			decResp, err := Execute(dec)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", q.Mode, spec, err)
+			}
+			if len(decResp.Trace) >= len(fullResp.Trace) {
+				t.Errorf("mode %s spec %+v: decimated trace not strictly shorter (%d vs %d)",
+					fullResp.Request.Mode, spec, len(decResp.Trace), len(fullResp.Trace))
+			}
+			for _, p := range decResp.Trace {
+				if byKey[key{p.Trial, p.Round}] != p {
+					t.Fatalf("mode %s spec %+v: point %+v not in the every=1 trace",
+						fullResp.Request.Mode, spec, p)
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenTraceResponse pins the full canonical traced Response of
+// one small sync run. Regenerate with -update-golden after a
+// deliberate, documented stream break.
+func TestGoldenTraceResponse(t *testing.T) {
+	q := Request{Protocol: "3-majority", N: 200, K: 4, Seed: 42,
+		Trace: &trace.Spec{Every: 1, MaxPoints: trace.CapMaxPoints}}
+	resp, err := Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := EncodeJSONLine(&got, resp); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden_trace_response.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(want, got.Bytes()) {
+		t.Fatalf("traced response deviates from golden fixture\n got: %.200s...\nwant: %.200s...", got.Bytes(), want)
+	}
+}
+
+func TestRunTraceQueryStreamsNDJSON(t *testing.T) {
+	rn := NewRunner(Options{Workers: 1})
+	defer rn.Close()
+	srv := httptest.NewServer(NewServer(rn))
+	defer srv.Close()
+
+	body := `{"protocol":"3-majority","n":400,"k":4,"seed":11,"trials":3}`
+	res, err := srv.Client().Post(srv.URL+"/run?trace=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(res.Body); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("want points + summary, got %d lines", len(lines))
+	}
+	var p trace.Point
+	if err := json.Unmarshal([]byte(lines[0]), &p); err != nil {
+		t.Fatalf("first NDJSON line does not parse as a trace point: %v", err)
+	}
+	if p.Round != 0 || p.Trial != 0 || p.Live != 4 {
+		t.Fatalf("unexpected first point %+v", p)
+	}
+	var resp Response
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &resp); err != nil {
+		t.Fatalf("summary line does not parse: %v", err)
+	}
+	if resp.Request.Trace == nil {
+		t.Fatal("?trace=1 did not inject the default trace spec")
+	}
+	if len(resp.Trace) != 0 {
+		t.Fatal("summary line should carry no inline points (they were streamed)")
+	}
+	if resp.Summary.Trials != 3 {
+		t.Fatalf("summary %+v", resp.Summary)
+	}
+
+	// The stream is a pure function of the response: a cache hit
+	// replays byte-identical lines.
+	res2, err := srv.Client().Post(srv.URL+"/run?trace=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Body.Close()
+	if got := res2.Header.Get(CacheHeader); got != "hit" {
+		t.Fatalf("second request not served from cache: %q", got)
+	}
+	var buf2 bytes.Buffer
+	if _, err := buf2.ReadFrom(res2.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("cached trace stream differs from cold stream")
+	}
+
+	// The explicit body form describes the same request: same key,
+	// trace inline in the plain JSON response.
+	res3, err := srv.Client().Post(srv.URL+"/run", "application/json",
+		strings.NewReader(`{"protocol":"3-majority","n":400,"k":4,"seed":11,"trials":3,"trace":{}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res3.Body.Close()
+	if got := res3.Header.Get(CacheHeader); got != "hit" {
+		t.Fatalf("body-spec form missed the cache: %q", got)
+	}
+	var inline Response
+	if err := json.NewDecoder(res3.Body).Decode(&inline); err != nil {
+		t.Fatal(err)
+	}
+	if inline.Key != resp.Key {
+		t.Fatal("query form and body form produced different keys")
+	}
+	if len(inline.Trace) == 0 {
+		t.Fatal("plain /run with a body trace spec should inline the points")
+	}
+}
+
+// TestSweepPointsShareTraceKeysWithRun verifies a traced sweep's
+// points key — and therefore cache — exactly like the equivalent
+// traced /run requests, while an untraced sweep's keys are unchanged
+// from the pre-trace era.
+func TestSweepPointsShareTraceKeysWithRun(t *testing.T) {
+	sr := SweepRequest{
+		Base:   Request{Protocol: "3-majority", N: 1000, Seed: 5, Trials: 2},
+		Sweep:  "k",
+		Values: []int64{2, 4},
+	}
+	plain, err := sr.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plain {
+		if p.Trace != nil {
+			t.Fatalf("untraced sweep point carries a trace spec: %+v", p)
+		}
+	}
+	sr.Base.Trace = &trace.Spec{Policy: trace.PolicyLog2}
+	traced, err := sr.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range traced {
+		if p.Trace == nil {
+			t.Fatalf("traced sweep point %d lost the trace spec", i)
+		}
+		manual := plain[i]
+		manual.Trace = &trace.Spec{Policy: trace.PolicyLog2}
+		if p.Key() != manual.Key() {
+			t.Fatalf("sweep point %d keys differently from the equivalent /run request", i)
+		}
+		if p.Key() == plain[i].Key() {
+			t.Fatalf("traced sweep point %d collides with the untraced key", i)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"plurality/internal/theory"
+)
+
+// Phases summarises the phase structure of one trial's trace: the
+// boundaries the paper's analysis pivots on. All round fields are the
+// first *recorded* round past the boundary (decimated traces can only
+// bracket a crossing at their sampling resolution); -1 means the trace
+// never crossed it.
+type Phases struct {
+	// Trial is the trial the trace belongs to.
+	Trial int
+	// FirstRound/LastRound delimit the recorded rounds.
+	FirstRound, LastRound int64
+	// Gamma0/GammaEnd are Γ at the first and last recorded points.
+	Gamma0, GammaEnd float64
+	// Live0/LiveEnd are the live-opinion counts at the first and last
+	// recorded points.
+	Live0, LiveEnd int
+	// MaxAlpha0 is the maximum initial opinion density — the control
+	// variable of the D'Archivio et al. scaling law.
+	MaxAlpha0 float64
+	// GammaHalfRound is the first recorded round with Γ ≥ 1/2: past
+	// it the process is in the two-opinion endgame (Γ ≥ 1/2 forces a
+	// near-majority opinion).
+	GammaHalfRound int64
+	// MajorityRound is the first recorded round where some opinion
+	// holds at least half the population.
+	MajorityRound int64
+	// LiveHalvings[i] is the first recorded round with
+	// live ≤ Live0 / 2^(i+1): the live-opinion decay curve, the
+	// paper's Remark 2.5 observable.
+	LiveHalvings []int64
+}
+
+// SplitTrials groups a merged (trial, round)-ordered point stream —
+// e.g. a Response.Trace — into per-trial traces. Points of one trial
+// must be contiguous, which the orchestrators' trial-order flush
+// guarantees.
+func SplitTrials(points []Point) [][]Point {
+	var out [][]Point
+	start := 0
+	for i := 1; i <= len(points); i++ {
+		if i == len(points) || points[i].Trial != points[start].Trial {
+			out = append(out, points[start:i])
+			start = i
+		}
+	}
+	return out
+}
+
+// AnalyzeTrial extracts the phase boundaries from one trial's trace
+// (points in increasing round order, as a Sampler produces them).
+func AnalyzeTrial(points []Point) (Phases, error) {
+	if len(points) == 0 {
+		return Phases{}, fmt.Errorf("trace: cannot analyze an empty trace")
+	}
+	first, last := points[0], points[len(points)-1]
+	ph := Phases{
+		Trial:          first.Trial,
+		FirstRound:     first.Round,
+		LastRound:      last.Round,
+		Gamma0:         first.Gamma,
+		GammaEnd:       last.Gamma,
+		Live0:          first.Live,
+		LiveEnd:        last.Live,
+		MaxAlpha0:      first.MaxAlpha,
+		GammaHalfRound: -1,
+		MajorityRound:  -1,
+	}
+	nextHalf := ph.Live0 / 2
+	for _, p := range points {
+		if ph.GammaHalfRound == -1 && p.Gamma >= 0.5 {
+			ph.GammaHalfRound = p.Round
+		}
+		if ph.MajorityRound == -1 && p.MaxAlpha >= 0.5 {
+			ph.MajorityRound = p.Round
+		}
+		for nextHalf >= 1 && p.Live <= nextHalf {
+			ph.LiveHalvings = append(ph.LiveHalvings, p.Round)
+			nextHalf /= 2
+		}
+	}
+	return ph, nil
+}
+
+// TheoryCheck compares a trial's observed phase boundaries with the
+// internal/theory predictors.
+type TheoryCheck struct {
+	// GammaHalfRound echoes the observed Γ ≥ 1/2 crossing (-1 when the
+	// trace never got there).
+	GammaHalfRound int64
+	// GammaHalfShape is the Theorem 2.1 consensus-time shape
+	// ln(n)/γ₀ from the trace's initial norm; the observed crossing
+	// should be O(shape).
+	GammaHalfShape float64
+	// GammaHalfRatio is observed / shape (NaN when unobserved) — the
+	// quantity the scaling-law experiments plot; it should be O(1)
+	// across n, k and the initial density.
+	GammaHalfRatio float64
+	// RemainingBound is the Remark 2.5 bound n·ln(n)/T on the live
+	// opinions after T = LastRound rounds (3-Majority).
+	RemainingBound float64
+	// LiveWithinBound reports LiveEnd ≤ RemainingBound.
+	LiveWithinBound bool
+}
+
+// Compare evaluates the trace-observed phases of one trial against the
+// theory predictors for an n-vertex process.
+func Compare(ph Phases, n float64) TheoryCheck {
+	tc := TheoryCheck{
+		GammaHalfRound: ph.GammaHalfRound,
+		GammaHalfShape: theory.ConsensusTimeFromGamma(n, ph.Gamma0),
+		RemainingBound: theory.RemainingOpinionsBound(n, float64(ph.LastRound)),
+	}
+	if ph.GammaHalfRound >= 0 && tc.GammaHalfShape > 0 {
+		tc.GammaHalfRatio = float64(ph.GammaHalfRound) / tc.GammaHalfShape
+	} else {
+		tc.GammaHalfRatio = math.NaN()
+	}
+	tc.LiveWithinBound = float64(ph.LiveEnd) <= tc.RemainingBound
+	return tc
+}

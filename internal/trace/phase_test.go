@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"plurality/internal/theory"
+)
+
+func TestSplitTrials(t *testing.T) {
+	pts := []Point{
+		{Trial: 0, Round: 0}, {Trial: 0, Round: 1},
+		{Trial: 1, Round: 0},
+		{Trial: 3, Round: 0}, {Trial: 3, Round: 2}, {Trial: 3, Round: 4},
+	}
+	got := SplitTrials(pts)
+	if len(got) != 3 || len(got[0]) != 2 || len(got[1]) != 1 || len(got[2]) != 3 {
+		t.Fatalf("SplitTrials shape = %v", got)
+	}
+	if got[2][1].Round != 2 || got[2][1].Trial != 3 {
+		t.Fatalf("SplitTrials content = %v", got)
+	}
+	if s := SplitTrials(nil); s != nil {
+		t.Fatalf("SplitTrials(nil) = %v, want nil", s)
+	}
+}
+
+func TestAnalyzeTrial(t *testing.T) {
+	if _, err := AnalyzeTrial(nil); err == nil {
+		t.Fatal("AnalyzeTrial(nil) should error")
+	}
+	pts := []Point{
+		{Trial: 2, Round: 0, Gamma: 0.1, Live: 16, MaxAlpha: 0.2},
+		{Trial: 2, Round: 5, Gamma: 0.3, Live: 9, MaxAlpha: 0.4},
+		{Trial: 2, Round: 10, Gamma: 0.55, Live: 8, MaxAlpha: 0.45},
+		{Trial: 2, Round: 15, Gamma: 0.8, Live: 3, MaxAlpha: 0.8},
+		{Trial: 2, Round: 20, Gamma: 1, Live: 1, MaxAlpha: 1},
+	}
+	ph, err := AnalyzeTrial(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Trial != 2 || ph.FirstRound != 0 || ph.LastRound != 20 {
+		t.Fatalf("bounds: %+v", ph)
+	}
+	if ph.Gamma0 != 0.1 || ph.GammaEnd != 1 || ph.Live0 != 16 || ph.LiveEnd != 1 || ph.MaxAlpha0 != 0.2 {
+		t.Fatalf("endpoints: %+v", ph)
+	}
+	if ph.GammaHalfRound != 10 {
+		t.Fatalf("GammaHalfRound = %d, want 10", ph.GammaHalfRound)
+	}
+	if ph.MajorityRound != 15 {
+		t.Fatalf("MajorityRound = %d, want 15", ph.MajorityRound)
+	}
+	// Halvings of live0 = 16: ≤8 at round 10, ≤4 at 15 (live 3 also
+	// covers ≤4? no: 3 ≤ 4 at round 15), ≤2 at 20 (live 1 covers ≤2
+	// and ≤1).
+	if want := []int64{10, 15, 20, 20}; !reflect.DeepEqual(ph.LiveHalvings, want) {
+		t.Fatalf("LiveHalvings = %v, want %v", ph.LiveHalvings, want)
+	}
+}
+
+func TestAnalyzeTrialNeverCrossing(t *testing.T) {
+	pts := []Point{
+		{Round: 0, Gamma: 0.01, Live: 100, MaxAlpha: 0.02},
+		{Round: 4, Gamma: 0.02, Live: 90, MaxAlpha: 0.03},
+	}
+	ph, err := AnalyzeTrial(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.GammaHalfRound != -1 || ph.MajorityRound != -1 || len(ph.LiveHalvings) != 0 {
+		t.Fatalf("expected no crossings: %+v", ph)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	ph := Phases{
+		Gamma0:         0.1,
+		GammaHalfRound: 50,
+		LastRound:      100,
+		LiveEnd:        3,
+	}
+	n := 10_000.0
+	tc := Compare(ph, n)
+	if want := theory.ConsensusTimeFromGamma(n, 0.1); tc.GammaHalfShape != want {
+		t.Fatalf("GammaHalfShape = %v, want %v", tc.GammaHalfShape, want)
+	}
+	if want := 50 / theory.ConsensusTimeFromGamma(n, 0.1); !approxEq(tc.GammaHalfRatio, want) {
+		t.Fatalf("GammaHalfRatio = %v, want %v", tc.GammaHalfRatio, want)
+	}
+	if want := theory.RemainingOpinionsBound(n, 100); tc.RemainingBound != want {
+		t.Fatalf("RemainingBound = %v, want %v", tc.RemainingBound, want)
+	}
+	if !tc.LiveWithinBound {
+		t.Fatal("3 live opinions should sit within the Remark 2.5 bound")
+	}
+
+	ph.GammaHalfRound = -1
+	if tc := Compare(ph, n); !math.IsNaN(tc.GammaHalfRatio) {
+		t.Fatalf("unreached crossing should give NaN ratio, got %v", tc.GammaHalfRatio)
+	}
+}

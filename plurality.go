@@ -43,6 +43,7 @@ import (
 	"plurality/internal/population"
 	"plurality/internal/rng"
 	"plurality/internal/sim"
+	"plurality/internal/trace"
 )
 
 // Protocol selects a consensus dynamics. Construct values with
@@ -281,6 +282,15 @@ type Config struct {
 	// OnRound, if non-nil, observes every round (round 0 = initial
 	// state). Returning true stops the run early.
 	OnRound func(round int, s Snapshot) (stop bool)
+	// Trace, if non-nil, samples per-round observables (round, γ, live
+	// count, max-opinion density, Σα³) into the sampler under its
+	// decimation policy — see internal/trace. Tracing never draws from
+	// the run's RNG stream, so a traced and an untraced run of the same
+	// Config produce identical Results; a nil Trace costs nothing.
+	// Used by Run, RunAsync and RunOnGraph/RunGossip (via their own
+	// configs); RunMany needs one sampler per trial — use
+	// RunManyTraced.
+	Trace *trace.Sampler
 }
 
 // Result reports how a run ended.
@@ -323,10 +333,14 @@ func Run(cfg Config) (Result, error) {
 		MaxRounds: cfg.MaxRounds,
 		PostRound: adversary.PostRound(cfg.Adversary.impl),
 	}
-	if cfg.OnRound != nil {
-		onRound := cfg.OnRound
+	if cfg.OnRound != nil || cfg.Trace != nil {
+		onRound, tr := cfg.OnRound, cfg.Trace
 		rc.Observer = func(round int, v *population.Vector) bool {
-			return onRound(round, Snapshot{v: v})
+			tr.Observe(int64(round), v) // nil-safe no-op when untraced
+			if onRound != nil {
+				return onRound(round, Snapshot{v: v})
+			}
+			return false
 		}
 	}
 	if _, isUSD := cfg.Protocol.impl.(core.Undecided); isUSD {
@@ -351,6 +365,42 @@ func RunMany(cfg Config, trials int) ([]Result, error) {
 // on (cfg.Seed, i), so the results are identical for every
 // parallelism value.
 func RunManyParallel(cfg Config, trials, parallelism int) ([]Result, error) {
+	return runManyParallel(cfg, trials, parallelism, nil)
+}
+
+// RunManyTraced is RunManyParallel with per-round tracing: each trial
+// records its own trace under spec's decimation policy, and the
+// returned traces are indexed by trial — so the output, like the
+// Results, is identical for every parallelism value. Tracing never
+// touches the trial RNG streams: the Results are byte-for-byte the
+// ones RunManyParallel returns for the same Config.
+func RunManyTraced(cfg Config, trials, parallelism int, spec trace.Spec) ([]Result, [][]trace.Point, error) {
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", errConfig, err)
+	}
+	samplers := make([]*trace.Sampler, max(trials, 0))
+	for i := range samplers {
+		samplers[i] = trace.NewSampler(spec, i)
+	}
+	results, err := runManyParallel(cfg, trials, parallelism, func(trial int) func(round int, v *population.Vector) bool {
+		s := samplers[trial]
+		return func(round int, v *population.Vector) bool {
+			s.Observe(int64(round), v)
+			return false
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	traces := make([][]trace.Point, len(samplers))
+	for i, s := range samplers {
+		traces[i] = s.Points()
+	}
+	return results, traces, nil
+}
+
+func runManyParallel(cfg Config, trials, parallelism int, observe func(trial int) func(round int, v *population.Vector) bool) ([]Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -359,6 +409,9 @@ func RunManyParallel(cfg Config, trials, parallelism int) ([]Result, error) {
 	}
 	if cfg.OnRound != nil {
 		return nil, fmt.Errorf("%w: OnRound is not supported by RunMany", errConfig)
+	}
+	if cfg.Trace != nil {
+		return nil, fmt.Errorf("%w: Config.Trace is per-run; use RunManyTraced for multi-trial traces", errConfig)
 	}
 	// Validate the generator once up front so per-trial errors cannot
 	// differ (Init.build is deterministic given n).
@@ -379,6 +432,7 @@ func RunManyParallel(cfg Config, trials, parallelism int) ([]Result, error) {
 		MaxRounds:   cfg.MaxRounds,
 		PostRound:   adversary.PostRound(cfg.Adversary.impl),
 		Parallelism: parallelism,
+		Observe:     observe,
 	}
 	if _, isUSD := cfg.Protocol.impl.(core.Undecided); isUSD {
 		spec.Done = func(v *population.Vector) bool {

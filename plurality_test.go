@@ -3,6 +3,8 @@ package plurality
 import (
 	"strings"
 	"testing"
+
+	"plurality/internal/trace"
 )
 
 func TestRunBasics(t *testing.T) {
@@ -464,5 +466,57 @@ func TestRingSlowerThanComplete(t *testing.T) {
 	}
 	if ring.Consensus && ring.Rounds <= complete.Rounds {
 		t.Fatalf("ring (%d rounds) not slower than complete (%d rounds)", ring.Rounds, complete.Rounds)
+	}
+}
+
+func TestRunWithTraceSampler(t *testing.T) {
+	cfg := Config{N: 2000, Protocol: ThreeMajority(), Init: Balanced(8), Seed: 3}
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := cfg
+	traced.Trace = trace.NewSampler(trace.Spec{Every: 1, MaxPoints: trace.CapMaxPoints}, 0)
+	res, err := Run(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != plain {
+		t.Fatalf("tracing changed the result: %+v vs %+v", res, plain)
+	}
+	pts := traced.Trace.Points()
+	// Round 0 through the consensus round inclusive: the observer fires
+	// once per round including the final state.
+	if len(pts) != res.Rounds+1 {
+		t.Fatalf("every=1 trace has %d points for a %d-round run", len(pts), res.Rounds)
+	}
+	if pts[0].Round != 0 || pts[0].Live != 8 || pts[0].Gamma != 0.125 {
+		t.Fatalf("initial point %+v", pts[0])
+	}
+	last := pts[len(pts)-1]
+	if last.Gamma != 1 || last.Live != 1 || last.MaxAlpha != 1 {
+		t.Fatalf("final point not consensus: %+v", last)
+	}
+
+	// The trace of trial 0 via RunManyTraced is the same stream.
+	_, traces, err := RunManyTraced(cfg, 1, 1, trace.Spec{Every: 1, MaxPoints: trace.CapMaxPoints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || len(traces[0]) != len(pts) {
+		t.Fatalf("RunManyTraced trial 0 trace differs: %d vs %d points", len(traces[0]), len(pts))
+	}
+	for i := range pts {
+		if traces[0][i] != pts[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, traces[0][i], pts[i])
+		}
+	}
+}
+
+func TestRunManyRejectsConfigTrace(t *testing.T) {
+	cfg := Config{N: 1000, Protocol: ThreeMajority(), Init: Balanced(4), Seed: 1,
+		Trace: trace.NewSampler(trace.Spec{}, 0)}
+	if _, err := RunMany(cfg, 2); err == nil || !strings.Contains(err.Error(), "RunManyTraced") {
+		t.Fatalf("RunMany accepted Config.Trace: %v", err)
 	}
 }
