@@ -1,12 +1,5 @@
 package plurality
 
-import (
-	"fmt"
-
-	"plurality/internal/async"
-	"plurality/internal/rng"
-)
-
 // AsyncResult reports how an asynchronous run ended.
 type AsyncResult struct {
 	// Ticks is the number of single-vertex updates executed.
@@ -22,37 +15,36 @@ type AsyncResult struct {
 // RunAsync executes the asynchronous variant of the configured
 // dynamics (paper §1.1): one uniformly random vertex updates per tick.
 // Supported protocols: ThreeMajority(), TwoChoices(), Voter().
-// maxTicks bounds the run (0 means 10^10). Config.Trace, if set,
-// samples the configuration at full synchronous-equivalent round
-// boundaries (every N ticks).
+// maxTicks bounds the run (<= 0 means DefaultMaxTicks). Config.Trace,
+// if set, samples the configuration at full synchronous-equivalent
+// round boundaries (every N ticks).
+//
+// Deprecated: use Experiment with Mode: ModeAsync — the positional
+// tick budget is Experiment.MaxTicks there, validated with the same
+// default. This wrapper keeps its signature and its exact streams:
+// cfg.Seed is consumed as the engine seed directly, which is what an
+// Experiment derives per trial (rng.DeriveSeed(Seed, i)).
 func RunAsync(cfg Config, maxTicks int64) (AsyncResult, error) {
-	if err := cfg.validate(); err != nil {
-		return AsyncResult{}, err
+	e := cfg.experiment()
+	e.Mode = ModeAsync
+	// Legacy RunAsync silently ignored the sync-only knobs; keep that.
+	e.MaxRounds = 0 // the tick budget is the async bound
+	e.Adversary = Adversary{}
+	if maxTicks > 0 {
+		e.MaxTicks = maxTicks
 	}
-	var d async.Dynamics
-	switch cfg.Protocol.Name() {
-	case "3-majority":
-		d = async.ThreeMajority
-	case "2-choices":
-		d = async.TwoChoices
-	case "voter":
-		d = async.Voter
-	default:
-		return AsyncResult{}, fmt.Errorf("%w: protocol %q has no asynchronous variant", errConfig, cfg.Protocol.Name())
-	}
-	v, err := cfg.Init.build(cfg.N)
+	c, err := e.compile()
 	if err != nil {
 		return AsyncResult{}, err
 	}
-	if maxTicks <= 0 {
-		maxTicks = 10_000_000_000
+	tr, err := c.runFacade(cfg.Seed, cfg.Trace, nil, 0)
+	if err != nil {
+		return AsyncResult{}, err
 	}
-	r := rng.New(rng.DeriveSeed(cfg.Seed, 0))
-	res := async.RunTraced(r, d, v, maxTicks, cfg.Trace)
 	return AsyncResult{
-		Ticks:     res.Ticks,
-		Rounds:    res.Rounds,
-		Consensus: res.Consensus,
-		Winner:    res.Winner,
+		Ticks:     tr.Ticks,
+		Rounds:    tr.Rounds,
+		Consensus: tr.Consensus,
+		Winner:    tr.Winner,
 	}, nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"plurality/internal/service"
+	"plurality/internal/stop"
 )
 
 // benchCase is one entry of the reference performance suite: a full
@@ -65,6 +66,33 @@ func modeConsensusRun(q service.Request, parallelism int) func(seed uint64) erro
 	}
 }
 
+// stoppedRun executes one request expected to end at its stop
+// condition rather than consensus — the hitting-time workload the
+// unified API serves directly. Paired with the full-consensus case of
+// the same shape, the ns/op ratio in BENCH.json records how much an
+// early-stopped run saves.
+func stoppedRun(n int64, k int, protocol string, spec stop.Spec) func(seed uint64) error {
+	return func(seed uint64) error {
+		resp, err := service.Execute(service.Request{
+			Protocol: protocol,
+			N:        n,
+			K:        k,
+			Seed:     seed,
+			Stop:     &spec,
+		})
+		if err != nil {
+			return err
+		}
+		if resp.Summary.Converged != 0 {
+			return fmt.Errorf("stopped run reached consensus before the boundary")
+		}
+		if resp.Summary.MaxRounds <= 0 {
+			return fmt.Errorf("stopped run recorded no rounds")
+		}
+		return nil
+	}
+}
+
 func benchSuite() []benchCase {
 	// The non-sync suites: a multi-trial workload per mode, measured
 	// serial and at full parallelism. The graph pair additionally has a
@@ -74,9 +102,20 @@ func benchSuite() []benchCase {
 	graphLone := service.Request{Protocol: "3-majority", Mode: "graph", N: 1_000_000, K: 2, Trials: 1}
 	asyncTrials := service.Request{Protocol: "3-majority", Mode: "async", N: 20_000, K: 8, Trials: 8}
 	gossipTrials := service.Request{Protocol: "3-majority", Mode: "gossip", N: 2_000, K: 4, Trials: 8}
+	// The stopgamma pair: the voter suite below, stopped at the
+	// Γ >= 1/2 phase boundary. The driftless voter spends ~70% of its
+	// rounds in the two-opinion endgame random walk past that boundary
+	// (cheap O(live≈2) rounds, so ~20% of wall time), and the stopped
+	// twin must cost strictly less than the full run it prefixes —
+	// the recorded ratio is what a hitting-time workload saves by not
+	// simulating the endgame. (Drift protocols like 3-Majority cross
+	// Γ = 1/2 only rounds before consensus on balanced starts, so a
+	// stopped twin there would measure nothing but noise.)
+	gammaHalf := stop.Spec{GammaAtLeast: 0.5}
 	return []benchCase{
 		{"run_three_majority_n1e6_k100", consensusRun(1_000_000, 100, "3-majority")},
 		{"run_two_choices_n1e6_k100", consensusRun(1_000_000, 100, "2-choices")},
+		{"run_voter_n1e5_k64_stopgamma", stoppedRun(100_000, 64, "voter", gammaHalf)},
 		{"run_three_majority_many_opinions_k_eq_n_1e5", consensusRun(100_000, 100_000, "3-majority")},
 		{"run_two_choices_many_opinions_k_eq_n_1e4", consensusRun(10_000, 10_000, "2-choices")},
 		{"run_voter_n1e5_k64", consensusRun(100_000, 64, "voter")},

@@ -25,11 +25,16 @@
 //	curl -s -X POST localhost:8080/run -d '{"protocol":"3-majority","n":100000,"k":100,"seed":1}'
 //	curl -s -X POST localhost:8080/sweep -d '{"base":{"protocol":"3-majority","n":100000,"seed":1,"trials":5},"sweep":"k","values":[2,4,8,16]}'
 //	curl -s -X POST 'localhost:8080/run?trace=1' -d '{"protocol":"3-majority","n":100000,"k":100,"seed":1}'
+//	curl -s -X POST localhost:8080/run -d '{"protocol":"3-majority","n":100000,"k":100,"seed":1,"stop":{"gamma_at_least":0.5}}'
 //
-// The last form records a per-round trace (γ, live opinions,
+// The trace form records a per-round trace (γ, live opinions,
 // max-opinion density, Σα³ under the adaptive decimation policy; put a
 // "trace" spec in the body to choose another) and streams it as NDJSON:
-// one line per sampled point, then the canonical summary line.
+// one line per sampled point, then the canonical summary line. The
+// stop form ends every trial at a phase boundary (here the Γ ≥ 1/2
+// crossing; see internal/stop) instead of consensus — the per-trial
+// "rounds" become hitting times, and the stop spec is part of the
+// cache key.
 //
 // Results are deterministic in the request alone — trial i's façade
 // seed is DeriveSeed(seed, i), which mode sync consumes directly and

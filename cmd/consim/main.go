@@ -8,7 +8,7 @@
 //
 //	consim -n 1000000 -k 100 -protocol 3-majority [-init balanced]
 //	       [-seed 1] [-every 10] [-max-rounds 0] [-adversary 0]
-//	       [-trials 1] [-json] [-trace spec]
+//	       [-trials 1] [-json] [-trace spec] [-stop spec]
 //
 // Protocols: 3-majority, 2-choices, voter, median, undecided, h<m>
 // (e.g. h5), lazy:<beta>:<base>. Inits: balanced, zipf, geometric,
@@ -22,6 +22,12 @@
 // per line followed by the summary response line, byte-identical to
 // the server's POST /run?trace=1; combined with -json the trace rides
 // inline in the canonical response body.
+//
+// -stop ends the run at a phase boundary instead of consensus (spec:
+// comma-separated conjunction of gamma>=G, live<=M, round>=R — see
+// internal/stop), e.g. -stop gamma>=0.5 records the Γ ≥ 1/2 hitting
+// time directly. The stop spec is part of the request identity, so it
+// rides in -json/-trace bodies and in the server's cache key alike.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 
 	"plurality"
 	"plurality/internal/service"
+	"plurality/internal/stop"
 	"plurality/internal/trace"
 )
 
@@ -43,6 +50,7 @@ func main() {
 
 func requestFromFlags(fs *flag.FlagSet, args []string) (service.Request, error) {
 	var req service.Request
+	var stopSpec string
 	fs.Int64Var(&req.N, "n", 100_000, "number of vertices")
 	fs.IntVar(&req.K, "k", 10, "number of opinions")
 	fs.StringVar(&req.Protocol, "protocol", "3-majority", "dynamics: 3-majority, 2-choices, voter, median, undecided, h<m>, lazy:<beta>:<base>")
@@ -51,11 +59,19 @@ func requestFromFlags(fs *flag.FlagSet, args []string) (service.Request, error) 
 	fs.Uint64Var(&req.Seed, "seed", 1, "random seed")
 	fs.IntVar(&req.MaxRounds, "max-rounds", 0, "round budget (0 = default)")
 	fs.Int64Var(&req.AdversaryF, "adversary", 0, "hinder-adversary per-round budget F (0 = none)")
+	fs.StringVar(&stopSpec, "stop", "", "stop condition: comma-separated gamma>=G, live<=M, round>=R (default: consensus)")
 	if err := fs.Parse(args); err != nil {
 		return service.Request{}, err
 	}
 	if req.AdversaryF > 0 {
 		req.Adversary = "hinder"
+	}
+	if stopSpec != "" {
+		spec, err := stop.ParseSpec(stopSpec)
+		if err != nil {
+			return service.Request{}, err
+		}
+		req.Stop = &spec
 	}
 	req = req.Normalize()
 	return req, req.Validate()
@@ -96,7 +112,9 @@ func run(args []string) error {
 		return service.WriteTraceNDJSON(os.Stdout, resp, nil)
 	}
 
-	cfg, err := req.Config()
+	// The round printout runs through the same unified Experiment the
+	// service executes, with a per-round observer attached.
+	exp, err := req.Experiment()
 	if err != nil {
 		return err
 	}
@@ -104,7 +122,7 @@ func run(args []string) error {
 		*every = 1
 	}
 	fmt.Printf("%-8s %-12s %-8s %-8s %-10s\n", "round", "gamma", "live", "leader", "leaderfrac")
-	cfg.OnRound = func(round int, s plurality.Snapshot) bool {
+	exp.OnRound = func(_, round int, s plurality.Snapshot) bool {
 		if round%*every != 0 {
 			return false
 		}
@@ -112,14 +130,19 @@ func run(args []string) error {
 		fmt.Printf("%-8d %-12.6g %-8d %-8d %-10.6g\n", round, s.Gamma(), s.Live(), op, frac)
 		return false
 	}
-	res, err := plurality.Run(cfg)
+	out, err := exp.Run()
 	if err != nil {
 		return err
 	}
-	if res.Consensus {
-		fmt.Printf("\nconsensus on opinion %d after %d rounds\n", res.Winner, res.Rounds)
-	} else {
-		fmt.Printf("\nno consensus within %d rounds (leader: opinion %d)\n", res.Rounds, res.Winner)
+	res := out.Trials[0]
+	switch {
+	case res.Stopped:
+		fmt.Printf("\nstopped (%s) after %.0f rounds: gamma %.6g, %d live opinions (leader: opinion %d)\n",
+			req.Stop, res.Rounds, res.Gamma, res.Live, res.Winner)
+	case res.Consensus:
+		fmt.Printf("\nconsensus on opinion %d after %.0f rounds\n", res.Winner, res.Rounds)
+	default:
+		fmt.Printf("\nno consensus within %.0f rounds (leader: opinion %d)\n", res.Rounds, res.Winner)
 	}
 	return nil
 }

@@ -10,6 +10,11 @@
 //	consweep -sweep k -values 2,4,8,16,32 -n 100000 -protocols 3-majority,2-choices
 //	consweep -sweep n -values 1000,10000,100000 -k 32 -protocols 3-majority
 //	consweep -sweep k -values 2,4,8 -n 100000 -ndjson   # server-identical NDJSON
+//	consweep -sweep k -values 8,32,128 -stop 'gamma>=0.5'  # median hitting times
+//
+// -stop applies a stop condition (see internal/stop) to every point:
+// the reported medians become hitting times of the boundary instead of
+// consensus times.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"strings"
 
 	"plurality/internal/service"
+	"plurality/internal/stop"
 )
 
 func main() {
@@ -42,6 +48,7 @@ func sweepFromFlags(fs *flag.FlagSet, args []string) (service.SweepRequest, erro
 		trials    = fs.Int("trials", 5, "trials per point")
 		seed      = fs.Uint64("seed", 1, "base seed")
 		maxRounds = fs.Int("max-rounds", 0, "round budget per run (0 = default)")
+		stopSpec  = fs.String("stop", "", "stop condition per run: comma-separated gamma>=G, live<=M, round>=R (default: consensus)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return service.SweepRequest{}, err
@@ -63,6 +70,13 @@ func sweepFromFlags(fs *flag.FlagSet, args []string) (service.SweepRequest, erro
 		Sweep:     *sweep,
 		Values:    vals,
 		Protocols: strings.Split(*protos, ","),
+	}
+	if *stopSpec != "" {
+		spec, err := stop.ParseSpec(*stopSpec)
+		if err != nil {
+			return service.SweepRequest{}, err
+		}
+		sr.Base.Stop = &spec
 	}
 	// Surface config errors (unknown protocol/init, bad values) before
 	// any output, exactly as the server's upfront point validation does.

@@ -2,7 +2,8 @@
 // Ghaffari & Lengler, PODC 2018). An adversary corrupts up to F
 // vertices per round, always pushing the configuration back toward
 // balance. 3-Majority absorbs small budgets with a modest delay but
-// stalls once F is large — this demo sweeps F across that transition.
+// stalls once F is large — this demo sweeps F across that transition
+// with one Experiment per budget.
 package main
 
 import (
@@ -26,35 +27,34 @@ func main() {
 	fmt.Printf("%-8s %-12s %-16s\n", "F", "converged", "median rounds")
 
 	for _, f := range []int64{0, 2, 8, 32, 128, 512, 2048} {
-		results, err := plurality.RunMany(plurality.Config{
+		out, err := plurality.Experiment{
 			N:         n,
 			Protocol:  plurality.ThreeMajority(),
 			Init:      plurality.Balanced(k),
 			Seed:      11,
+			NumTrials: trials,
 			MaxRounds: maxRounds,
 			Adversary: plurality.HinderAdversary(f),
-		}, trials)
+		}.Run()
 		if err != nil {
 			log.Fatal(err)
 		}
-		converged := 0
-		rounds := []int{}
-		for _, res := range results {
+		rounds := []float64{}
+		for _, res := range out.Trials {
 			if res.Consensus {
-				converged++
 				rounds = append(rounds, res.Rounds)
 			}
 		}
 		med := "stalled"
-		if converged > 0 {
-			med = fmt.Sprintf("%d", medianInt(rounds))
+		if len(rounds) > 0 {
+			med = fmt.Sprintf("%.0f", median(rounds))
 		}
-		fmt.Printf("%-8d %d/%-10d %-16s\n", f, converged, trials, med)
+		fmt.Printf("%-8d %d/%-10d %-16s\n", f, out.Converged(), trials, med)
 	}
 	fmt.Println("\nsmall budgets only delay consensus; overwhelming budgets freeze the race.")
 }
 
-func medianInt(xs []int) int {
+func median(xs []float64) float64 {
 	for i := 1; i < len(xs); i++ {
 		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
 			xs[j], xs[j-1] = xs[j-1], xs[j]

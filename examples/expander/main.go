@@ -4,7 +4,8 @@
 // vertices: the complete graph, a random 8-regular graph (an expander
 // w.h.p.), the 32×32 torus, and a ring. Expanders track the
 // complete-graph behavior; low-conductance graphs are dramatically
-// slower or fail to decide within the budget.
+// slower or fail to decide within the budget. Each race is one
+// graph-mode Experiment — only the Topology field changes.
 package main
 
 import (
@@ -35,22 +36,24 @@ func main() {
 	fmt.Printf("%-30s %-12s\n", "topology", "rounds")
 
 	for _, tc := range topologies {
-		res, err := plurality.RunOnGraph(plurality.GraphConfig{
+		out, err := plurality.Experiment{
+			Mode:      plurality.ModeGraph,
 			N:         n,
 			Topology:  tc.top,
 			Protocol:  plurality.ThreeMajority(),
 			Init:      plurality.Balanced(k),
 			Seed:      5,
 			MaxRounds: maxRounds,
-		})
+		}.Run()
 		if err != nil {
 			log.Fatal(err)
 		}
-		out := fmt.Sprintf("%d", res.Rounds)
+		res := out.Trials[0]
+		line := fmt.Sprintf("%.0f", res.Rounds)
 		if !res.Consensus {
-			out = "no consensus within budget"
+			line = "no consensus within budget"
 		}
-		fmt.Printf("%-30s %-12s\n", tc.name, out)
+		fmt.Printf("%-30s %-12s\n", tc.name, line)
 	}
 	fmt.Println("\nconductance rules the race: expanders ≈ complete graph, grids/rings stall.")
 }

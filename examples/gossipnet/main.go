@@ -3,7 +3,9 @@
 // by a two-phase barrier. The demo runs 2-Choices on 400 nodes three
 // ways — clean, with 5% of the nodes crashed, and with 40% pull loss —
 // showing that the protocol's self-stabilizing drift survives both
-// fault models (at the price of extra rounds).
+// fault models (at the price of extra rounds). Each scenario is one
+// gossip-mode Experiment; the TrialResult carries the final histogram
+// with the crashed nodes' frozen opinions.
 package main
 
 import (
@@ -18,7 +20,8 @@ func main() {
 		n = 400
 		k = 4
 	)
-	base := plurality.GossipConfig{
+	base := plurality.Experiment{
+		Mode:     plurality.ModeGossip,
 		N:        n,
 		Protocol: plurality.TwoChoices(),
 		Init:     plurality.Balanced(k),
@@ -28,24 +31,25 @@ func main() {
 	fmt.Printf("gossip 2-Choices: %d node goroutines, %d opinions, balanced start\n\n", n, k)
 	fmt.Printf("%-26s %-8s %-10s %-22s\n", "scenario", "rounds", "decided", "final counts")
 
-	run := func(name string, mutate func(*plurality.GossipConfig)) {
-		cfg := base
-		mutate(&cfg)
-		res, err := plurality.RunGossip(cfg)
+	run := func(name string, mutate func(*plurality.Experiment)) {
+		exp := base
+		mutate(&exp)
+		out, err := exp.Run()
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-26s %-8d %-10v %v\n", name, res.Rounds, res.Consensus, res.FinalCounts)
+		res := out.Trials[0]
+		fmt.Printf("%-26s %-8.0f %-10v %v\n", name, res.Rounds, res.Consensus, res.FinalCounts)
 	}
 
-	run("clean", func(*plurality.GossipConfig) {})
-	run("5% nodes crashed", func(cfg *plurality.GossipConfig) {
+	run("clean", func(*plurality.Experiment) {})
+	run("5% nodes crashed", func(exp *plurality.Experiment) {
 		for id := 0; id < n/20; id++ {
-			cfg.Crashed = append(cfg.Crashed, id*20)
+			exp.Crashed = append(exp.Crashed, id*20)
 		}
 	})
-	run("40% pull loss", func(cfg *plurality.GossipConfig) {
-		cfg.LossProb = 0.4
+	run("40% pull loss", func(exp *plurality.Experiment) {
+		exp.LossProb = 0.4
 	})
 
 	fmt.Println("\ncrashed nodes stay frozen (their counts persist); loss only slows the race.")

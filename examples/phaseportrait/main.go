@@ -1,20 +1,26 @@
-// Phase portrait: the max-initial-density scaling law, read off round
-// traces. D'Archivio, Becchetti, Clementi and Pasquale (arXiv
+// Phase portrait: the max-initial-density scaling law, measured as a
+// hitting time. D'Archivio, Becchetti, Clementi and Pasquale (arXiv
 // 2606.11778) show 3-Majority's consensus time is governed by the
 // maximum initial opinion density δ = max_i α_i(0): roughly Θ̃(1/δ)
 // rounds whatever the opinion count. This example builds explicit
 // initial histograms with a controlled δ (one leader at density δ, the
-// rest spread thinly), runs traced simulations through the shared
-// service layer — the same traced requests conserve serves on
-// POST /run?trace=1 — and extracts the phase boundaries from each
-// trace with internal/trace's analytics:
+// rest spread thinly) and measures the Γ ≥ 1/2 phase boundary two
+// ways through the shared service layer:
 //
-//   - T·δ stays roughly flat while T itself varies by an order of
-//     magnitude — the scaling law;
+//   - directly, with a stopped request ({"stop":{"gamma_at_least":0.5}}
+//     — the unified API's hitting-time primitive): each trial ends at
+//     the crossing round, never simulating the endgame;
+//   - post hoc, from a full traced run of the same seeds, via
+//     internal/trace's phase analytics.
+//
+// Both measurements agree round-for-round (stop conditions observe the
+// same between-rounds states the tracer samples and never touch the
+// RNG streams), and the law shows up as:
+//
+//   - T·δ and T½·δ stay roughly flat while T itself varies by an
+//     order of magnitude — the scaling law;
 //   - the Γ ≥ 1/2 crossing tracks the Theorem 2.1 shape ln(n)/γ₀
-//     (internal/theory.ConsensusTimeFromGamma) with an O(1) ratio;
-//   - the surviving-opinion count at the end respects the Remark 2.5
-//     bound n·ln(n)/T.
+//     (internal/theory.ConsensusTimeFromGamma) with an O(1) ratio.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"log"
 
 	"plurality/internal/service"
+	"plurality/internal/stop"
 	"plurality/internal/trace"
 )
 
@@ -36,47 +43,60 @@ const (
 
 func main() {
 	fmt.Printf("3-Majority on n = %d, one leader at density δ, tail opinions at %.4g each\n", n, tailDensity)
-	fmt.Printf("medians over %d trials; T = consensus rounds, TΓ½ = first recorded round with Γ ≥ 1/2\n\n", trials)
-	fmt.Printf("%-8s %-6s %-8s %-8s %-8s %-10s %-10s %-8s\n",
-		"δ", "k", "T", "T·δ", "TΓ½", "ln(n)/γ₀", "TΓ½/shape", "liveOK")
+	fmt.Printf("medians over %d trials; T = consensus rounds, T½ = Γ ≥ 1/2 hitting time (stopped runs)\n\n", trials)
+	fmt.Printf("%-8s %-6s %-8s %-8s %-8s %-8s %-10s %-10s %-8s\n",
+		"δ", "k", "T½", "T½·δ", "T", "T·δ", "ln(n)/γ₀", "T½/shape", "match")
 
 	for _, invDelta := range []int64{2, 4, 8, 16, 32, 64} {
 		delta := 1.0 / float64(invDelta)
-		resp, err := service.Execute(service.Request{
+		base := service.Request{
 			Protocol: "3-majority",
 			Counts:   countsWithLeader(delta),
 			Seed:     7,
 			Trials:   trials,
-			Trace:    &trace.Spec{Policy: trace.PolicyAdaptive, MaxPoints: 4096},
-		})
+		}
+
+		// Direct hitting times: every trial stops at the Γ ≥ 1/2
+		// boundary — the request conserve would serve with a "stop"
+		// field in the body.
+		stopped := base
+		stopped.Stop = &stop.Spec{GammaAtLeast: 0.5}
+		stopResp, err := service.Execute(stopped)
 		if err != nil {
 			log.Fatal(err)
 		}
-		k := resp.Request.K
-		medianT := resp.Summary.MedianRounds
 
-		// Phase boundaries of the median-ish trial: analyze every
-		// trial's trace and take the middle Γ-crossing.
-		var crossings []int64
-		liveOK := true
+		// Full runs of the same seeds, traced at every round, for the
+		// consensus time and the post-hoc crossing.
+		traced := base
+		traced.Trace = &trace.Spec{Every: 1, MaxPoints: 16_384}
+		traceResp, err := service.Execute(traced)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Cross-validate: the stopped rounds equal the trace crossings
+		// trial for trial.
+		match := true
 		var check trace.TheoryCheck
-		for _, pts := range trace.SplitTrials(resp.Trace) {
+		for i, pts := range trace.SplitTrials(traceResp.Trace) {
 			ph, err := trace.AnalyzeTrial(pts)
 			if err != nil {
 				log.Fatal(err)
 			}
 			check = trace.Compare(ph, float64(n))
-			crossings = append(crossings, ph.GammaHalfRound)
-			liveOK = liveOK && check.LiveWithinBound
+			match = match && stopResp.Trials[i].Rounds == float64(ph.GammaHalfRound)
 		}
-		cross := medianInt(crossings)
-		fmt.Printf("%-8.4g %-6d %-8.0f %-8.3g %-8d %-10.1f %-10.3f %-8v\n",
-			delta, k, medianT, medianT*delta, cross,
-			check.GammaHalfShape, float64(cross)/check.GammaHalfShape, liveOK)
+
+		tHalf := stopResp.Summary.MedianRounds
+		tFull := traceResp.Summary.MedianRounds
+		fmt.Printf("%-8.4g %-6d %-8.0f %-8.3g %-8.0f %-8.3g %-10.1f %-10.3f %-8v\n",
+			delta, traceResp.Request.K, tHalf, tHalf*delta, tFull, tFull*delta,
+			check.GammaHalfShape, tHalf/check.GammaHalfShape, match)
 	}
 
 	fmt.Println("\nT·δ flat ⇒ consensus time scales as 1/δ (the max-initial-density law);")
-	fmt.Println("TΓ½/shape O(1) ⇒ the Γ-crossing follows the Theorem 2.1 prediction.")
+	fmt.Println("T½ == trace crossing ⇒ stopped runs are exact prefixes of full runs.")
 }
 
 // countsWithLeader builds an n-vertex histogram whose largest opinion
@@ -96,16 +116,4 @@ func countsWithLeader(delta float64) []int64 {
 		remaining -= c
 	}
 	return counts
-}
-
-func medianInt(xs []int64) int64 {
-	sorted := append([]int64(nil), xs...)
-	for i := range sorted {
-		for j := i + 1; j < len(sorted); j++ {
-			if sorted[j] < sorted[i] {
-				sorted[i], sorted[j] = sorted[j], sorted[i]
-			}
-		}
-	}
-	return sorted[len(sorted)/2]
 }

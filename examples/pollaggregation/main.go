@@ -7,7 +7,9 @@
 // though no sensor ever counts votes.
 //
 // The demo sweeps the initial margin around the paper's threshold
-// √(α₁·log n/n) and reports how often the true reading wins.
+// √(α₁·log n/n) and reports how often the true reading wins, consuming
+// each margin's trials through the Experiment.Trials streaming
+// iterator as the parallel scheduler completes them.
 package main
 
 import (
@@ -34,17 +36,18 @@ func main() {
 
 	for _, mult := range []float64{0, 0.5, 1, 2, 4} {
 		extraFrac := mult * threshold
-		results, err := plurality.RunMany(plurality.Config{
-			N:        n,
-			Protocol: plurality.TwoChoices(),
-			Init:     plurality.PlantedBias(k, extraFrac),
-			Seed:     7,
-		}, trials)
+		seq, err := plurality.Experiment{
+			N:         n,
+			Protocol:  plurality.TwoChoices(),
+			Init:      plurality.PlantedBias(k, extraFrac),
+			Seed:      7,
+			NumTrials: trials,
+		}.Trials()
 		if err != nil {
 			log.Fatal(err)
 		}
 		wins := 0
-		for _, res := range results {
+		for _, res := range seq {
 			if res.Consensus && res.Winner == 0 {
 				wins++
 			}

@@ -1,6 +1,6 @@
 // Quickstart: run 3-Majority with a million vertices and a hundred
-// opinions to consensus, watching the paper's potential function
-// γ = Σ α(i)² grow from 1/k to 1.
+// opinions to consensus through the unified Experiment API, watching
+// the paper's potential function γ = Σ α(i)² grow from 1/k to 1.
 package main
 
 import (
@@ -19,23 +19,25 @@ func main() {
 	fmt.Printf("3-Majority: n=%d vertices, k=%d opinions, balanced start\n\n", n, k)
 	fmt.Printf("%-8s %-10s %-6s %-12s\n", "round", "gamma", "live", "leader frac")
 
-	res, err := plurality.Run(plurality.Config{
+	out, err := plurality.Experiment{
 		N:        n,
 		Protocol: plurality.ThreeMajority(),
 		Init:     plurality.Balanced(k),
 		Seed:     42,
-		OnRound: func(round int, s plurality.Snapshot) bool {
+		OnRound: func(_, round int, s plurality.Snapshot) bool {
 			if round%25 == 0 || s.Live() == 1 {
 				_, frac := s.Leader()
 				fmt.Printf("%-8d %-10.5f %-6d %-12.5f\n", round, s.Gamma(), s.Live(), frac)
 			}
 			return false
 		},
-	})
+	}.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\nconsensus on opinion %d after %d rounds\n", res.Winner, res.Rounds)
+	res := out.Trials[0]
+	fmt.Printf("\nconsensus on opinion %d after %.0f rounds (final γ = %.0f, %d live)\n",
+		res.Winner, res.Rounds, res.Gamma, res.Live)
 	fmt.Printf("paper Theorem 1.1: Θ̃(min{k, √n}) = Θ̃(min{%d, %d}) rounds\n", k, 1000)
 }

@@ -2,7 +2,9 @@
 // number of opinions k at fixed n shows the headline separation —
 // 3-Majority's consensus time saturates at Θ̃(√n) while 2-Choices keeps
 // growing linearly in k. It also compares the asynchronous 3-Majority
-// (ticks/n) against the synchronous round count (§1.1).
+// (ticks/n) against the synchronous round count (§1.1) — the unified
+// Experiment API runs both through the same entry point, only the Mode
+// differs.
 package main
 
 import (
@@ -23,48 +25,38 @@ func main() {
 	fmt.Printf("%-8s %-8s %-14s %-14s %-10s\n", "k", "k/√n", "T 3-majority", "T 2-choices", "ratio")
 
 	for _, k := range []int{8, 32, 128, 512, 2048} {
-		t3 := median(runs(plurality.ThreeMajority(), n, k, trials))
-		t2 := median(runs(plurality.TwoChoices(), n, k, trials))
+		t3 := medianRounds(plurality.ThreeMajority(), n, k, trials)
+		t2 := medianRounds(plurality.TwoChoices(), n, k, trials)
 		fmt.Printf("%-8d %-8.2f %-14.0f %-14.0f %-10.2f\n",
 			k, float64(k)/float64(sqrtN), t3, t2, t2/t3)
 	}
 
 	fmt.Println("\nasync 3-Majority, k=32 (one random vertex updates per tick):")
-	res, err := plurality.RunAsync(plurality.Config{
+	out, err := plurality.Experiment{
+		Mode:     plurality.ModeAsync,
 		N:        n,
 		Protocol: plurality.ThreeMajority(),
 		Init:     plurality.Balanced(32),
 		Seed:     3,
-	}, 0)
+	}.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := out.Trials[0]
 	fmt.Printf("  %d ticks = %.1f synchronous-equivalent rounds (consensus: %v)\n",
 		res.Ticks, res.Rounds, res.Consensus)
 }
 
-func runs(p plurality.Protocol, n int64, k, trials int) []float64 {
-	results, err := plurality.RunMany(plurality.Config{
-		N:        n,
-		Protocol: p,
-		Init:     plurality.Balanced(k),
-		Seed:     9,
-	}, trials)
+func medianRounds(p plurality.Protocol, n int64, k, trials int) float64 {
+	out, err := plurality.Experiment{
+		N:         n,
+		Protocol:  p,
+		Init:      plurality.Balanced(k),
+		Seed:      9,
+		NumTrials: trials,
+	}.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
-	out := make([]float64, len(results))
-	for i, r := range results {
-		out[i] = float64(r.Rounds)
-	}
-	return out
-}
-
-func median(xs []float64) float64 {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-	return xs[len(xs)/2]
+	return out.MedianRounds()
 }

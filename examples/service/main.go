@@ -2,7 +2,9 @@
 // issue a /run, then repeat the identical request and watch the LRU
 // cache answer it without re-simulating — the contract is that both
 // bodies are byte-identical, only the latency (and the
-// X-Conserve-Cache header) differs.
+// X-Conserve-Cache header) differs. A final request adds a "stop"
+// field, ending every trial at the Γ ≥ 1/2 phase boundary: a distinct
+// cache entry that costs a fraction of the full-consensus run.
 package main
 
 import (
@@ -35,28 +37,37 @@ func main() {
 	const reqBody = `{"protocol":"3-majority","n":1000000,"k":100,"seed":42,"trials":8}`
 	fmt.Printf("POST /run %s\n\n", reqBody)
 
-	post := func() (time.Duration, string, []byte) {
+	post := func(body string) (time.Duration, string, []byte) {
 		start := time.Now()
-		resp, err := http.Post(base+"/run", "application/json", strings.NewReader(reqBody))
+		resp, err := http.Post(base+"/run", "application/json", strings.NewReader(body))
 		if err != nil {
 			log.Fatal(err)
 		}
-		body, err := io.ReadAll(resp.Body)
+		out, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil || resp.StatusCode != http.StatusOK {
-			log.Fatalf("status %d: %s", resp.StatusCode, body)
+			log.Fatalf("status %d: %s", resp.StatusCode, out)
 		}
-		return time.Since(start), resp.Header.Get(service.CacheHeader), body
+		return time.Since(start), resp.Header.Get(service.CacheHeader), out
 	}
 
-	coldLatency, coldCache, coldBody := post()
+	coldLatency, coldCache, coldBody := post(reqBody)
 	fmt.Printf("cold:   %8.2f ms  (%s: %s)\n", coldLatency.Seconds()*1e3, service.CacheHeader, coldCache)
 
-	warmLatency, warmCache, warmBody := post()
+	warmLatency, warmCache, warmBody := post(reqBody)
 	fmt.Printf("cached: %8.2f ms  (%s: %s)\n", warmLatency.Seconds()*1e3, service.CacheHeader, warmCache)
 
 	fmt.Printf("\nspeedup %.0f×, bodies byte-identical: %v\n",
 		coldLatency.Seconds()/warmLatency.Seconds(), bytes.Equal(coldBody, warmBody))
+
+	// The same shape stopped at the Γ ≥ 1/2 phase boundary: a new
+	// cache key (the stop spec is part of the request identity) served
+	// in a fraction of the full run's time.
+	const stopBody = `{"protocol":"3-majority","n":1000000,"k":100,"seed":42,"trials":8,"stop":{"gamma_at_least":0.5}}`
+	stopLatency, stopCache, _ := post(stopBody)
+	fmt.Printf("\nPOST /run %s\nstopped: %7.2f ms  (%s: %s) — %.1f× cheaper than the cold full run\n",
+		stopBody, stopLatency.Seconds()*1e3, service.CacheHeader, stopCache,
+		coldLatency.Seconds()/stopLatency.Seconds())
 
 	m := runner.Metrics()
 	fmt.Printf("runner: %d requests, %d executions, %d cache hit(s)\n",

@@ -1,0 +1,720 @@
+package plurality
+
+import (
+	"fmt"
+	"iter"
+	"runtime"
+	"sync/atomic"
+
+	"plurality/internal/adversary"
+	"plurality/internal/async"
+	"plurality/internal/core"
+	"plurality/internal/gossip"
+	"plurality/internal/graph"
+	"plurality/internal/population"
+	"plurality/internal/rng"
+	"plurality/internal/sim"
+	"plurality/internal/stats"
+	"plurality/internal/stop"
+	"plurality/internal/trace"
+)
+
+// Mode selects an execution engine for an Experiment. The zero value
+// is ModeSync.
+type Mode string
+
+// Execution modes.
+const (
+	// ModeSync is the exact count-space engine on the complete graph
+	// with self-loops — the paper's setting and the default. O(live)
+	// per round; supports every Protocol, adversaries and OnRound.
+	ModeSync Mode = "sync"
+	// ModeAsync updates one uniformly random vertex per tick
+	// (paper §1.1); Rounds are reported as Ticks/N. Supports
+	// ThreeMajority, TwoChoices and Voter.
+	ModeAsync Mode = "async"
+	// ModeGraph runs the per-vertex agent engine on an explicit
+	// Topology (paper §2.5 open problem). O(n) per round, sharded
+	// across cores. Supports ThreeMajority, TwoChoices and Voter.
+	ModeGraph Mode = "graph"
+	// ModeGossip executes the dynamics as a real message-passing
+	// system (one goroutine per node) with optional crash/loss faults.
+	// Supports ThreeMajority, TwoChoices and Voter.
+	ModeGossip Mode = "gossip"
+)
+
+// DefaultMaxTicks is the tick budget of an async-mode Experiment that
+// leaves MaxTicks zero.
+const DefaultMaxTicks int64 = 10_000_000_000
+
+// Experiment is the single description of a simulation batch: one mode
+// selector plus the union of every mode's knobs, validated once in one
+// place. It replaces the four divergent entry-point families
+// (Run/RunMany*, RunAsync, RunOnGraph, RunGossip), which remain as
+// deprecated wrappers.
+//
+// Execute with Run (all trials collected into an Outcome) or Trials
+// (a streaming iterator). Both are deterministic in the Experiment
+// alone: trial i's façade seed is rng.DeriveSeed(Seed, i) — consumed
+// directly as the trial's RNG stream in mode sync, expanded once more
+// by the async/graph/gossip engines — so results are byte-identical
+// for every Parallelism value, and a 1-trial sync Experiment
+// reproduces Run with the same Seed. This is exactly the service
+// layer's frozen per-trial seed contract (see internal/service).
+//
+// One caveat, inherited from the legacy RunMany: the draw-stateful
+// Dirichlet init keeps its own stream outside the per-trial seeds, so
+// its draw-to-trial assignment depends on scheduling when
+// Parallelism != 1, and the multi-trial entry points consume one
+// validation draw a bare Run does not. Every other Init generator is
+// a pure function of (n, parameters) and is covered by the contract
+// above.
+type Experiment struct {
+	// Mode selects the execution engine; the zero value is ModeSync.
+	Mode Mode
+	// N is the number of vertices. Required (except with Counts init
+	// in mode sync/async, where 0 means "use the counts' sum").
+	N int64
+	// Protocol is the dynamics to run. Required. Non-sync modes
+	// support ThreeMajority, TwoChoices and Voter.
+	Protocol Protocol
+	// Init generates each trial's initial configuration. Required.
+	Init Init
+	// Seed is the base seed; trial i derives everything from
+	// rng.DeriveSeed(Seed, i).
+	Seed uint64
+	// NumTrials is the number of independent trials (0 means 1). The
+	// Trials method streams them; it could not share the field's
+	// natural name.
+	NumTrials int
+	// Parallelism bounds the worker goroutines (0 = GOMAXPROCS):
+	// trial fan-out in every mode — memory-clamped for the graph and
+	// gossip engines — with the leftover budget sharding each graph
+	// run's vertex loop. Results never depend on it.
+	Parallelism int
+	// MaxRounds bounds each trial (<= 0 = the engine default, matching
+	// the legacy entry points). A trial that exhausts the budget
+	// reports Consensus = false, not an error.
+	MaxRounds int
+	// MaxTicks bounds each async-mode trial (0 = DefaultMaxTicks).
+	// Only valid in ModeAsync.
+	MaxTicks int64
+	// Stop, when set, ends each trial at the first round boundary
+	// where the condition holds — recording hitting times directly
+	// instead of simulating to consensus. The zero value is
+	// StopAtConsensus(). Works in every mode and never perturbs the
+	// RNG streams: a stopped trial is the prefix of the unstopped one.
+	Stop StopCondition
+	// Adversary, if set, corrupts the configuration after every round.
+	// Only valid in ModeSync.
+	Adversary Adversary
+	// OnRound, if non-nil, observes every round of every trial (round
+	// 0 = initial state); returning true stops that trial. It runs on
+	// the trial's worker goroutine, so with Parallelism != 1 it must
+	// be safe for concurrent calls with distinct trial indices. Only
+	// valid in ModeSync.
+	OnRound func(trial, round int, s Snapshot) (stop bool)
+	// Topology is the graph family. Required in — and only valid in —
+	// ModeGraph.
+	Topology Topology
+	// Crashed lists node IDs crashed from the start. Only valid in
+	// ModeGossip.
+	Crashed []int
+	// LossProb is the per-pull loss probability in [0, 1). Only valid
+	// in ModeGossip.
+	LossProb float64
+	// Trace, if non-nil, records a per-round trace of every trial
+	// under the spec's decimation policy (see internal/trace); each
+	// TrialResult carries its own points. Tracing never touches the
+	// RNG streams: traced results are byte-identical to untraced.
+	Trace *trace.Spec
+}
+
+// TrialResult is one trial's outcome, mode-tagged and carrying the
+// hitting-time observables stop conditions are run for.
+type TrialResult struct {
+	// Trial is the trial index.
+	Trial int
+	// Mode echoes the experiment's (normalized) mode.
+	Mode Mode
+	// Rounds is the consensus (or stopping) time in
+	// synchronous(-equivalent) rounds; fractional only in ModeAsync
+	// (Ticks/N).
+	Rounds float64
+	// Ticks is the number of single-vertex updates (ModeAsync only;
+	// 0 otherwise).
+	Ticks int64
+	// Consensus reports whether the trial reached consensus within its
+	// budget (all vertices agree; in gossip mode, all alive nodes).
+	Consensus bool
+	// Stopped reports whether the Stop condition ended the trial.
+	Stopped bool
+	// Winner is the consensus opinion, or the plurality at cutoff.
+	Winner int
+	// Gamma and Live are the final configuration's potential Γ = Σ α²
+	// and live-opinion count — the phase observables at the recorded
+	// round.
+	Gamma float64
+	Live  int
+	// FinalCounts is the final opinion histogram including frozen
+	// crashed nodes (ModeGossip only; nil otherwise).
+	FinalCounts []int64
+	// Trace holds the trial's sampled round trace when
+	// Experiment.Trace was set (nil otherwise).
+	Trace []trace.Point
+}
+
+// Outcome is the collected result of Experiment.Run.
+type Outcome struct {
+	// Mode echoes the experiment's (normalized) mode.
+	Mode Mode
+	// Trials holds the per-trial results, indexed by trial.
+	Trials []TrialResult
+}
+
+// Converged returns how many trials reached consensus.
+func (o *Outcome) Converged() int {
+	n := 0
+	for _, t := range o.Trials {
+		if t.Consensus {
+			n++
+		}
+	}
+	return n
+}
+
+// MedianRounds returns the median of the per-trial round counts
+// (converged or not); 0 for an empty outcome.
+func (o *Outcome) MedianRounds() float64 {
+	if len(o.Trials) == 0 {
+		return 0
+	}
+	rounds := make([]float64, len(o.Trials))
+	for i, t := range o.Trials {
+		rounds[i] = t.Rounds
+	}
+	return stats.Median(rounds)
+}
+
+// Run executes the experiment's trials across the parallel scheduler
+// and returns them collected into an Outcome. The error is either a
+// validation error or — for the rare per-trial construction failures
+// the upfront validation cannot rule out (e.g. a random-regular
+// topology build exhausting its attempts) — the error of the lowest
+// failing trial index.
+func (e Experiment) Run() (*Outcome, error) {
+	c, err := e.compile()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.prebuild(); err != nil {
+		return nil, err
+	}
+	out := &Outcome{Mode: c.e.Mode, Trials: make([]TrialResult, 0, c.e.NumTrials)}
+	var runErr error
+	c.stream(func(i int, tr TrialResult) bool {
+		out.Trials = append(out.Trials, tr)
+		return true
+	}, &runErr)
+	if runErr != nil {
+		return nil, runErr
+	}
+	return out, nil
+}
+
+// Trials returns an iterator streaming the experiment's trials in
+// deterministic index order as the parallel scheduler completes them:
+// trial i is yielded as soon as trials 0..i have all finished, so a
+// consumer sees identical bytes for every Parallelism value while
+// later trials keep running in the background. Breaking out of the
+// loop cancels the trials that have not started yet.
+//
+// Validation errors — including the static topology/fault-knob shape
+// checks — surface here before any trial runs. The one per-trial
+// failure validation cannot rule out (a random-regular topology build
+// exhausting its pairing attempts, probabilistically negligible) ends
+// the sequence early at that index; use Run to observe it as an
+// error.
+func (e Experiment) Trials() (iter.Seq2[int, TrialResult], error) {
+	c, err := e.compile()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.prebuild(); err != nil {
+		return nil, err
+	}
+	return func(yield func(int, TrialResult) bool) {
+		c.stream(yield, nil)
+	}, nil
+}
+
+// normalize fills the experiment's defaults.
+func (e Experiment) normalize() Experiment {
+	if e.Mode == "" {
+		e.Mode = ModeSync
+	}
+	if e.NumTrials == 0 {
+		e.NumTrials = 1
+	}
+	if e.MaxRounds < 0 {
+		// The legacy entry points treated any non-positive budget as
+		// "use the engine default"; the unified path keeps that.
+		e.MaxRounds = 0
+	}
+	if e.Mode == ModeAsync && e.MaxTicks == 0 {
+		e.MaxTicks = DefaultMaxTicks
+	}
+	return e
+}
+
+// compiled is a validated experiment with its mode's engine bindings
+// resolved — the one execution path behind Run, Trials and the
+// deprecated per-mode wrappers.
+type compiled struct {
+	e    Experiment
+	stop stop.Spec
+	// sync bindings
+	proto   core.Protocol
+	post    func(round int, r *rng.Rand, v *population.Vector)
+	usdDone func(v *population.Vector) bool
+	// async binding
+	dyn async.Dynamics
+	// graph binding
+	rule graph.Rule
+	// gossip binding
+	grule gossip.Rule
+}
+
+// compile validates the experiment once and resolves its engine
+// bindings. Error texts match the legacy per-mode entry points, whose
+// wrappers share this path.
+func (e Experiment) compile() (*compiled, error) {
+	e = e.normalize()
+	c := &compiled{e: e, stop: e.Stop.spec}
+	if e.NumTrials < 0 {
+		return nil, fmt.Errorf("%w: NumTrials = %d", errConfig, e.NumTrials)
+	}
+	if err := c.stop.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", errConfig, err)
+	}
+	if e.Trace != nil {
+		spec := e.Trace.Normalize()
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", errConfig, err)
+		}
+		c.e.Trace = &spec
+	}
+	// Per-mode knobs are rejected outside their mode rather than
+	// silently ignored: the Experiment is validated once, loudly.
+	if e.Mode != ModeAsync && e.MaxTicks != 0 {
+		return nil, fmt.Errorf("%w: MaxTicks is only valid in ModeAsync", errConfig)
+	}
+	if e.Mode != ModeSync {
+		if e.Adversary.impl != nil {
+			return nil, fmt.Errorf("%w: Adversary is only valid in ModeSync", errConfig)
+		}
+		if e.OnRound != nil {
+			return nil, fmt.Errorf("%w: OnRound is only valid in ModeSync", errConfig)
+		}
+	}
+	if e.Mode != ModeGraph && e.Topology.build != nil {
+		return nil, fmt.Errorf("%w: Topology is only valid in ModeGraph", errConfig)
+	}
+	if e.Mode != ModeGossip && (e.LossProb != 0 || len(e.Crashed) > 0) {
+		return nil, fmt.Errorf("%w: Crashed/LossProb are only valid in ModeGossip", errConfig)
+	}
+
+	switch e.Mode {
+	case ModeSync:
+		if e.Protocol.impl == nil {
+			return nil, fmt.Errorf("%w: Protocol is required", errConfig)
+		}
+		if e.Init.build == nil {
+			return nil, fmt.Errorf("%w: Init is required", errConfig)
+		}
+		if e.N < 0 {
+			return nil, fmt.Errorf("%w: N = %d", errConfig, e.N)
+		}
+		c.proto = e.Protocol.impl
+		c.post = adversary.PostRound(e.Adversary.impl)
+		if _, isUSD := e.Protocol.impl.(core.Undecided); isUSD {
+			c.usdDone = func(v *population.Vector) bool {
+				_, ok := core.DecidedConsensus(v)
+				return ok
+			}
+		}
+	case ModeAsync:
+		if e.Protocol.impl == nil {
+			return nil, fmt.Errorf("%w: Protocol is required", errConfig)
+		}
+		if e.Init.build == nil {
+			return nil, fmt.Errorf("%w: Init is required", errConfig)
+		}
+		if e.N < 0 {
+			return nil, fmt.Errorf("%w: N = %d", errConfig, e.N)
+		}
+		if e.MaxTicks < 0 {
+			return nil, fmt.Errorf("%w: MaxTicks = %d", errConfig, e.MaxTicks)
+		}
+		switch e.Protocol.Name() {
+		case "3-majority":
+			c.dyn = async.ThreeMajority
+		case "2-choices":
+			c.dyn = async.TwoChoices
+		case "voter":
+			c.dyn = async.Voter
+		default:
+			return nil, fmt.Errorf("%w: protocol %q has no asynchronous variant", errConfig, e.Protocol.Name())
+		}
+	case ModeGraph:
+		if e.N < 1 {
+			return nil, fmt.Errorf("%w: N = %d", errConfig, e.N)
+		}
+		if e.Topology.build == nil {
+			return nil, fmt.Errorf("%w: Topology is required", errConfig)
+		}
+		if e.Init.build == nil {
+			return nil, fmt.Errorf("%w: Init is required", errConfig)
+		}
+		rule, err := ruleFor(e.Protocol)
+		if err != nil {
+			return nil, err
+		}
+		c.rule = rule
+		// The static half of the topology's shape validation runs here
+		// (same error texts as the per-trial build), so a misshapen
+		// topology fails the Experiment loudly instead of per trial.
+		if e.Topology.check != nil {
+			if err := e.Topology.check(int(e.N)); err != nil {
+				return nil, err
+			}
+		}
+	case ModeGossip:
+		if e.N < 1 {
+			return nil, fmt.Errorf("%w: N = %d", errConfig, e.N)
+		}
+		if e.Init.build == nil {
+			return nil, fmt.Errorf("%w: Init is required", errConfig)
+		}
+		// Mirror gossip.New's static checks so the invalid knob fails
+		// the Experiment loudly instead of per trial (positive form,
+		// so NaN is rejected too).
+		if !(e.LossProb >= 0 && e.LossProb < 1) {
+			return nil, fmt.Errorf("%w: LossProb = %v", errConfig, e.LossProb)
+		}
+		for _, id := range e.Crashed {
+			if id < 0 || int64(id) >= e.N {
+				return nil, fmt.Errorf("%w: crashed id %d out of range", errConfig, id)
+			}
+		}
+		switch e.Protocol.Name() {
+		case "3-majority":
+			c.grule = gossip.ThreeMajority
+		case "2-choices":
+			c.grule = gossip.TwoChoices
+		case "voter":
+			c.grule = gossip.Voter
+		default:
+			return nil, fmt.Errorf("%w: protocol %q has no gossip form", errConfig, e.Protocol.Name())
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown Mode %q", errConfig, e.Mode)
+	}
+	return c, nil
+}
+
+// prebuild validates the init generator with one throwaway build, so
+// per-trial init errors cannot occur mid-batch (the generator is
+// deterministic given n — draw-stateful inits like Dirichlet just
+// advance their stream by one configuration, exactly as the legacy
+// RunMany validation did).
+func (c *compiled) prebuild() error {
+	_, err := c.e.Init.build(c.e.N)
+	return err
+}
+
+// Worker budgets for the trial fan-out of the memory-heavy engines.
+// The per-request shape caps (internal/service's MaxGraphN,
+// MaxGraphEdges, MaxGossipN) were sized for one run at a time; these
+// clamps keep a maximal experiment on a many-core machine from
+// multiplying that single-run peak by the core count.
+const (
+	// graphVertexBudget caps the total vertices materialized at once
+	// across a graph experiment's concurrent trials (each live trial
+	// holds its own topology and two opinion arrays).
+	graphVertexBudget = 1 << 25
+	// graphEdgeBudget caps the total adjacency edge slots — the
+	// dominant cost for dense topologies — at twice the service
+	// layer's per-topology MaxGraphEdges, so a maximal adjacency caps
+	// at two concurrent builds.
+	graphEdgeBudget = 1 << 30
+	// gossipNodeBudget caps the node goroutines alive at once across a
+	// gossip experiment's concurrent trials.
+	gossipNodeBudget = 1 << 18
+)
+
+// workerSplit turns the parallelism budget into (trial workers,
+// per-trial graph shard workers). Both levels are deterministic, so
+// the split affects wall-clock only.
+func (c *compiled) workerSplit(parallelism int) (trialWorkers, graphWorkers int) {
+	switch c.e.Mode {
+	case ModeGraph:
+		trialWorkers = parallelism
+		if trialWorkers > c.e.NumTrials {
+			trialWorkers = c.e.NumTrials
+		}
+		if byMem := int(graphVertexBudget / c.e.N); byMem < trialWorkers {
+			trialWorkers = byMem
+		}
+		if degree := c.e.Topology.degree; degree > 0 {
+			if byEdges := int(graphEdgeBudget / (c.e.N * degree)); byEdges < trialWorkers {
+				trialWorkers = byEdges
+			}
+		}
+		if trialWorkers < 1 {
+			trialWorkers = 1
+		}
+		// The remainder of the budget shards each run's vertex loop;
+		// rounding up means transient mild oversubscription rather than
+		// budgeted cores idling when the division is uneven.
+		graphWorkers = (parallelism + trialWorkers - 1) / trialWorkers
+		return trialWorkers, graphWorkers
+	case ModeGossip:
+		trialWorkers = int(gossipNodeBudget / c.e.N)
+		if trialWorkers < 1 {
+			trialWorkers = 1
+		}
+		if trialWorkers > parallelism {
+			trialWorkers = parallelism
+		}
+		return trialWorkers, 0
+	default:
+		return parallelism, 0
+	}
+}
+
+// trialOutcome carries one trial's result (or its construction error)
+// from a worker to the in-order consumer.
+type trialOutcome struct {
+	res TrialResult
+	err error
+}
+
+// errTrialCancelled marks trials skipped after the consumer broke out
+// of the stream or an earlier trial failed; it never escapes stream.
+var errTrialCancelled = fmt.Errorf("plurality: trial cancelled")
+
+// stream runs the trials on sim.ForEachTrial's deterministic scheduler
+// and delivers results to yield in index order as they complete.
+// Per-trial randomness depends only on (Seed, trial), so the delivered
+// bytes are identical for every Parallelism value. On a per-trial
+// error the stream stops at that index (the lowest failing one, since
+// delivery is in index order) and reports it through errOut; remaining
+// unstarted trials are skipped.
+func (c *compiled) stream(yield func(int, TrialResult) bool, errOut *error) {
+	trials := c.e.NumTrials
+	parallelism := c.e.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	trialWorkers, graphWorkers := c.workerSplit(parallelism)
+	var samplers []*trace.Sampler
+	if c.e.Trace != nil {
+		samplers = make([]*trace.Sampler, trials)
+		for i := range samplers {
+			samplers[i] = trace.NewSampler(*c.e.Trace, i)
+		}
+	}
+	// Buffered per-trial slots: every worker sends exactly once and
+	// never blocks, so an early consumer break leaks nothing.
+	outs := make([]chan trialOutcome, trials)
+	for i := range outs {
+		outs[i] = make(chan trialOutcome, 1)
+	}
+	var cancelled atomic.Bool
+	go func() {
+		// The scheduler's own lowest-index error reporting is unused:
+		// the consumer below sees errors in index order already.
+		_ = sim.ForEachTrial(trials, trialWorkers, func(i int) error {
+			if cancelled.Load() {
+				outs[i] <- trialOutcome{err: errTrialCancelled}
+				return nil
+			}
+			var tr *trace.Sampler
+			if samplers != nil {
+				tr = samplers[i]
+			}
+			var onRound func(round int, s Snapshot) bool
+			if c.e.OnRound != nil {
+				hook := c.e.OnRound
+				onRound = func(round int, s Snapshot) bool { return hook(i, round, s) }
+			}
+			res, err := c.runFacade(rng.DeriveSeed(c.e.Seed, uint64(i)), tr, onRound, graphWorkers)
+			if err != nil {
+				outs[i] <- trialOutcome{err: err}
+				return err
+			}
+			res.Trial = i
+			if tr != nil {
+				res.Trace = tr.Points()
+			}
+			outs[i] <- trialOutcome{res: res}
+			return nil
+		})
+	}()
+	for i := 0; i < trials; i++ {
+		out := <-outs[i]
+		if out.err != nil {
+			cancelled.Store(true)
+			if errOut != nil {
+				*errOut = out.err
+			}
+			return
+		}
+		if !yield(i, out.res) {
+			cancelled.Store(true)
+			return
+		}
+	}
+}
+
+// runFacade executes one trial from its façade seed — the single
+// engine dispatch shared by Experiment trials (facadeSeed =
+// rng.DeriveSeed(Seed, trial)) and the deprecated per-mode wrappers
+// (facadeSeed = their Config's Seed, preserving the legacy streams
+// byte-for-byte). The sync engine consumes the façade seed directly as
+// its RNG stream; the other engines expand it once more, exactly as
+// their legacy entry points always did. tr and onRound observe rounds;
+// graphWorkers bounds the sharded graph rounds (ignored elsewhere).
+func (c *compiled) runFacade(facadeSeed uint64, tr *trace.Sampler, onRound func(round int, s Snapshot) bool, graphWorkers int) (TrialResult, error) {
+	stopped := false
+	var stopFn func(round int64, v *population.Vector) bool
+	if !c.stop.IsZero() {
+		spec := c.stop
+		stopFn = func(round int64, v *population.Vector) bool {
+			if spec.Done(round, v) {
+				stopped = true
+				return true
+			}
+			return false
+		}
+	}
+	switch c.e.Mode {
+	case ModeSync:
+		v, err := c.e.Init.build(c.e.N)
+		if err != nil {
+			return TrialResult{}, err
+		}
+		rc := core.RunConfig{
+			MaxRounds: c.e.MaxRounds,
+			PostRound: c.post,
+			Done:      c.usdDone,
+		}
+		if tr != nil || onRound != nil || stopFn != nil {
+			rc.Observer = func(round int, v *population.Vector) bool {
+				tr.Observe(int64(round), v) // nil-safe no-op when untraced
+				hit := false
+				if onRound != nil && onRound(round, Snapshot{v: v}) {
+					hit = true
+				}
+				if stopFn != nil && stopFn(int64(round), v) {
+					hit = true
+				}
+				return hit
+			}
+		}
+		res := core.Run(rng.New(facadeSeed), c.proto, v, rc)
+		return TrialResult{
+			Mode:      ModeSync,
+			Rounds:    float64(res.Rounds),
+			Consensus: res.Consensus,
+			Stopped:   stopped,
+			Winner:    res.Winner,
+			Gamma:     res.Gamma,
+			Live:      res.Live,
+		}, nil
+	case ModeAsync:
+		v, err := c.e.Init.build(c.e.N)
+		if err != nil {
+			return TrialResult{}, err
+		}
+		r := rng.New(rng.DeriveSeed(facadeSeed, 0))
+		res := async.RunHooked(r, c.dyn, v, c.e.MaxTicks, tr, stopFn)
+		return TrialResult{
+			Mode:      ModeAsync,
+			Rounds:    res.Rounds,
+			Ticks:     res.Ticks,
+			Consensus: res.Consensus,
+			Stopped:   stopped,
+			Winner:    res.Winner,
+			Gamma:     res.Gamma,
+			Live:      res.Live,
+		}, nil
+	case ModeGraph:
+		r := rng.New(rng.DeriveSeed(facadeSeed, 0))
+		g, err := c.e.Topology.build(int(c.e.N), r)
+		if err != nil {
+			return TrialResult{}, err
+		}
+		v, err := c.e.Init.build(c.e.N)
+		if err != nil {
+			return TrialResult{}, err
+		}
+		st, err := graph.NewState(g, v.K(), graph.ShuffledAssignment(v, r))
+		if err != nil {
+			return TrialResult{}, err
+		}
+		maxRounds := c.e.MaxRounds
+		if maxRounds <= 0 {
+			maxRounds = 100_000
+		}
+		res := graph.RunShardedHooked(rng.DeriveSeed(facadeSeed, 1), st, c.rule, maxRounds, graphWorkers, tr, stopFn)
+		return TrialResult{
+			Mode:      ModeGraph,
+			Rounds:    float64(res.Rounds),
+			Consensus: res.Consensus,
+			Stopped:   stopped,
+			Winner:    int(res.Winner),
+			Gamma:     res.Gamma,
+			Live:      res.Live,
+		}, nil
+	case ModeGossip:
+		v, err := c.e.Init.build(c.e.N)
+		if err != nil {
+			return TrialResult{}, err
+		}
+		nw, err := gossip.New(gossip.Config{
+			N:        int(c.e.N),
+			Rule:     c.grule,
+			Init:     v,
+			Seed:     facadeSeed,
+			Crashed:  c.e.Crashed,
+			LossProb: c.e.LossProb,
+		})
+		if err != nil {
+			return TrialResult{}, err
+		}
+		defer nw.Close()
+		maxRounds := c.e.MaxRounds
+		if maxRounds <= 0 {
+			maxRounds = 100_000
+		}
+		res := nw.RunHooked(maxRounds, tr, stopFn)
+		final := nw.Counts()
+		counts := make([]int64, final.K())
+		for i := range counts {
+			counts[i] = final.Count(i)
+		}
+		return TrialResult{
+			Mode:        ModeGossip,
+			Rounds:      float64(res.Rounds),
+			Consensus:   res.Consensus,
+			Stopped:     stopped,
+			Winner:      int(res.Winner),
+			Gamma:       res.Gamma,
+			Live:        res.Live,
+			FinalCounts: counts,
+		}, nil
+	}
+	panic(fmt.Sprintf("plurality: unreachable mode %q", c.e.Mode)) // compile validated the mode
+}

@@ -1,11 +1,6 @@
 package plurality
 
-import (
-	"fmt"
-
-	"plurality/internal/gossip"
-	"plurality/internal/trace"
-)
+import "plurality/internal/trace"
 
 // GossipConfig describes a run of the dynamics as an actual
 // message-passing system: one goroutine per node, pull-based opinion
@@ -52,54 +47,39 @@ type GossipResult struct {
 // RunGossip executes the configured dynamics on a real concurrent
 // gossip network until all alive nodes agree or the round budget runs
 // out. The network is torn down before returning.
+//
+// Deprecated: use Experiment with Mode: ModeGossip, which adds trials,
+// stop conditions and streaming. This wrapper keeps its exact streams:
+// cfg.Seed is consumed as the engine seed directly, which is what an
+// Experiment derives per trial (rng.DeriveSeed(Seed, i)).
 func RunGossip(cfg GossipConfig) (GossipResult, error) {
-	if cfg.N < 1 {
-		return GossipResult{}, fmt.Errorf("%w: N = %d", errConfig, cfg.N)
-	}
-	if cfg.Init.build == nil {
-		return GossipResult{}, fmt.Errorf("%w: Init is required", errConfig)
-	}
-	var rule gossip.Rule
-	switch cfg.Protocol.Name() {
-	case "3-majority":
-		rule = gossip.ThreeMajority
-	case "2-choices":
-		rule = gossip.TwoChoices
-	case "voter":
-		rule = gossip.Voter
-	default:
-		return GossipResult{}, fmt.Errorf("%w: protocol %q has no gossip form", errConfig, cfg.Protocol.Name())
-	}
-	v, err := cfg.Init.build(int64(cfg.N))
+	c, err := cfg.experiment().compile()
 	if err != nil {
 		return GossipResult{}, err
 	}
-	nw, err := gossip.New(gossip.Config{
-		N:        cfg.N,
-		Rule:     rule,
-		Init:     v,
-		Seed:     cfg.Seed,
-		Crashed:  cfg.Crashed,
-		LossProb: cfg.LossProb,
-	})
+	tr, err := c.runFacade(cfg.Seed, cfg.Trace, nil, 0)
 	if err != nil {
 		return GossipResult{}, err
-	}
-	defer nw.Close()
-	maxRounds := cfg.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = 100_000
-	}
-	res := nw.RunTraced(maxRounds, cfg.Trace)
-	final := nw.Counts()
-	counts := make([]int64, final.K())
-	for i := range counts {
-		counts[i] = final.Count(i)
 	}
 	return GossipResult{
-		Rounds:      res.Rounds,
-		Consensus:   res.Consensus,
-		Winner:      int(res.Winner),
-		FinalCounts: counts,
+		Rounds:      int(tr.Rounds),
+		Consensus:   tr.Consensus,
+		Winner:      tr.Winner,
+		FinalCounts: tr.FinalCounts,
 	}, nil
+}
+
+// experiment translates the legacy GossipConfig into its gossip-mode
+// Experiment (the caller-owned Trace sampler stays outside).
+func (cfg GossipConfig) experiment() Experiment {
+	return Experiment{
+		Mode:      ModeGossip,
+		N:         int64(cfg.N),
+		Protocol:  cfg.Protocol,
+		Init:      cfg.Init,
+		Seed:      cfg.Seed,
+		Crashed:   cfg.Crashed,
+		LossProb:  cfg.LossProb,
+		MaxRounds: cfg.MaxRounds,
+	}
 }

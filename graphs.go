@@ -12,55 +12,120 @@ import (
 // open problem of running the dynamics beyond the complete graph.
 // Construct values with the topology constructors below.
 type Topology struct {
-	name  string
+	name string
+	// degree is the per-vertex adjacency-slot count the topology will
+	// materialize (0 for the complete graph, which stores no
+	// adjacency) — the Experiment scheduler's per-trial memory model.
+	degree int64
+	// check is the static (allocation-free) part of the build's shape
+	// validation, mirroring its error texts, so Experiment.compile can
+	// reject a misshapen topology loudly before any trial runs.
+	check func(n int) error
 	build func(n int, r *rng.Rand) (graph.Graph, error)
 }
 
 // CompleteTopology is the paper's setting: every vertex samples
 // uniformly among all n vertices (self-loops included).
 func CompleteTopology() Topology {
-	return Topology{name: "complete", build: func(n int, _ *rng.Rand) (graph.Graph, error) {
-		return graph.NewComplete(n)
-	}}
+	return Topology{
+		name: "complete",
+		check: func(n int) error {
+			if n < 1 {
+				return fmt.Errorf("%w: Complete needs n >= 1, got %d", graph.ErrGraph, n)
+			}
+			return nil
+		},
+		build: func(n int, _ *rng.Rand) (graph.Graph, error) {
+			return graph.NewComplete(n)
+		},
+	}
 }
 
 // RingTopology is the circulant graph where each vertex is adjacent
 // to the radius nearest vertices on each side — the low-conductance
 // extreme.
 func RingTopology(radius int) Topology {
-	return Topology{name: "ring", build: func(n int, _ *rng.Rand) (graph.Graph, error) {
-		return graph.NewRing(n, radius)
-	}}
+	return Topology{
+		name:   "ring",
+		degree: 2 * int64(radius),
+		check: func(n int) error {
+			if n < 3 || radius < 1 || radius >= (n+1)/2 {
+				return fmt.Errorf("%w: Ring needs n >= 3, 1 <= radius < n/2, got n=%d radius=%d", graph.ErrGraph, n, radius)
+			}
+			return nil
+		},
+		build: func(n int, _ *rng.Rand) (graph.Graph, error) {
+			return graph.NewRing(n, radius)
+		},
+	}
 }
 
 // TorusTopology is the side×side two-dimensional torus; RunOnGraph
 // requires N = side².
 func TorusTopology(side int) Topology {
-	return Topology{name: "torus", build: func(n int, _ *rng.Rand) (graph.Graph, error) {
+	check := func(n int) error {
 		if side*side != n {
-			return nil, fmt.Errorf("plurality: torus side %d does not match N=%d", side, n)
+			return fmt.Errorf("plurality: torus side %d does not match N=%d", side, n)
 		}
-		return graph.NewTorus(side, side)
-	}}
+		if side < 3 {
+			return fmt.Errorf("%w: Torus needs w, h >= 3, got %dx%d", graph.ErrGraph, side, side)
+		}
+		return nil
+	}
+	return Topology{
+		name:   "torus",
+		degree: 4,
+		check:  check,
+		build: func(n int, _ *rng.Rand) (graph.Graph, error) {
+			if err := check(n); err != nil {
+				return nil, err
+			}
+			return graph.NewTorus(side, side)
+		},
+	}
 }
 
 // RandomRegularTopology is a uniformly random simple d-regular graph —
 // an expander with high probability, the fast sparse topology.
 func RandomRegularTopology(d int) Topology {
-	return Topology{name: "random-regular", build: func(n int, r *rng.Rand) (graph.Graph, error) {
-		return graph.NewRandomRegular(n, d, r)
-	}}
+	return Topology{
+		name:   "random-regular",
+		degree: int64(d),
+		check: func(n int) error {
+			if n < 4 || d < 3 || d >= n || n*d%2 != 0 {
+				return fmt.Errorf("%w: RandomRegular needs n >= 4, 3 <= d < n, n·d even; got n=%d d=%d", graph.ErrGraph, n, d)
+			}
+			return nil
+		},
+		build: func(n int, r *rng.Rand) (graph.Graph, error) {
+			return graph.NewRandomRegular(n, d, r)
+		},
+	}
 }
 
 // HypercubeTopology is the dim-dimensional hypercube; RunOnGraph
 // requires N = 2^dim.
 func HypercubeTopology(dim int) Topology {
-	return Topology{name: "hypercube", build: func(n int, _ *rng.Rand) (graph.Graph, error) {
-		if n != 1<<dim {
-			return nil, fmt.Errorf("plurality: hypercube dim %d does not match N=%d", dim, n)
+	check := func(n int) error {
+		if dim < 1 || dim > 30 {
+			return fmt.Errorf("%w: Hypercube needs 1 <= dim <= 30, got %d", graph.ErrGraph, dim)
 		}
-		return graph.NewHypercube(dim)
-	}}
+		if n != 1<<dim {
+			return fmt.Errorf("plurality: hypercube dim %d does not match N=%d", dim, n)
+		}
+		return nil
+	}
+	return Topology{
+		name:   "hypercube",
+		degree: int64(dim),
+		check:  check,
+		build: func(n int, _ *rng.Rand) (graph.Graph, error) {
+			if err := check(n); err != nil {
+				return nil, err
+			}
+			return graph.NewHypercube(dim)
+		},
+	}
 }
 
 // GraphConfig describes an agent-based run on an explicit topology.
@@ -97,39 +162,36 @@ type GraphConfig struct {
 // the stream rng.DeriveSeed(Seed, 0); rounds draw from the sharded
 // per-(rng.DeriveSeed(Seed, 1), round, shard) streams (see
 // internal/graph.StepSharded).
+//
+// Deprecated: use Experiment with Mode: ModeGraph, which adds trials,
+// stop conditions and streaming. This wrapper keeps its exact streams:
+// cfg.Seed is consumed as the engine seed directly, which is what an
+// Experiment derives per trial (rng.DeriveSeed(Seed, i)).
 func RunOnGraph(cfg GraphConfig) (Result, error) {
-	if cfg.N < 1 {
-		return Result{}, fmt.Errorf("%w: N = %d", errConfig, cfg.N)
-	}
-	if cfg.Topology.build == nil {
-		return Result{}, fmt.Errorf("%w: Topology is required", errConfig)
-	}
-	if cfg.Init.build == nil {
-		return Result{}, fmt.Errorf("%w: Init is required", errConfig)
-	}
-	rule, err := ruleFor(cfg.Protocol)
+	c, err := cfg.experiment().compile()
 	if err != nil {
 		return Result{}, err
 	}
-	r := rng.New(rng.DeriveSeed(cfg.Seed, 0))
-	g, err := cfg.Topology.build(cfg.N, r)
+	tr, err := c.runFacade(cfg.Seed, cfg.Trace, nil, cfg.Parallelism)
 	if err != nil {
 		return Result{}, err
 	}
-	v, err := cfg.Init.build(int64(cfg.N))
-	if err != nil {
-		return Result{}, err
+	return Result{Rounds: int(tr.Rounds), Consensus: tr.Consensus, Winner: tr.Winner}, nil
+}
+
+// experiment translates the legacy GraphConfig into its graph-mode
+// Experiment (the caller-owned Trace sampler stays outside).
+func (cfg GraphConfig) experiment() Experiment {
+	return Experiment{
+		Mode:        ModeGraph,
+		N:           int64(cfg.N),
+		Topology:    cfg.Topology,
+		Protocol:    cfg.Protocol,
+		Init:        cfg.Init,
+		Seed:        cfg.Seed,
+		MaxRounds:   cfg.MaxRounds,
+		Parallelism: cfg.Parallelism,
 	}
-	st, err := graph.NewState(g, v.K(), graph.ShuffledAssignment(v, r))
-	if err != nil {
-		return Result{}, err
-	}
-	maxRounds := cfg.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = 100_000
-	}
-	res := graph.RunShardedTraced(rng.DeriveSeed(cfg.Seed, 1), st, rule, maxRounds, cfg.Parallelism, cfg.Trace)
-	return Result{Rounds: res.Rounds, Consensus: res.Consensus, Winner: int(res.Winner)}, nil
 }
 
 func ruleFor(p Protocol) (graph.Rule, error) {

@@ -91,12 +91,16 @@ type RunResult struct {
 	Consensus bool
 	// Winner is the final plurality opinion.
 	Winner int
+	// Gamma and Live are the final configuration's potential Γ = Σ α²
+	// and live-opinion count.
+	Gamma float64
+	Live  int
 }
 
 // Run executes d from configuration v until consensus or maxTicks
 // updates. v is not modified.
 func Run(r *rng.Rand, d Dynamics, v *population.Vector, maxTicks int64) RunResult {
-	return RunTraced(r, d, v, maxTicks, nil)
+	return RunHooked(r, d, v, maxTicks, nil, nil)
 }
 
 // RunTraced is Run with an optional round tracer: tr samples the
@@ -106,38 +110,68 @@ func Run(r *rng.Rand, d Dynamics, v *population.Vector, maxTicks int64) RunResul
 // materialisation is paid only for rounds the tracer's decimation
 // policy actually keeps.
 func RunTraced(r *rng.Rand, d Dynamics, v *population.Vector, maxTicks int64, tr *trace.Sampler) RunResult {
+	return RunHooked(r, d, v, maxTicks, tr, nil)
+}
+
+// RunHooked is RunTraced with an optional stop condition: stop, if
+// non-nil, is evaluated on the materialised configuration at full
+// synchronous-equivalent round boundaries only (every n ticks, and at
+// round 0 before any tick), and a true return ends the run there.
+// Like tracing, the hook draws no randomness from the run's stream —
+// a stopped run is byte-for-byte the prefix of the unstopped run of
+// the same seed — and a nil stop costs one comparison per tick.
+func RunHooked(r *rng.Rand, d Dynamics, v *population.Vector, maxTicks int64, tr *trace.Sampler, stop func(round int64, v *population.Vector) bool) RunResult {
 	f := population.NewFenwick(v.Counts())
 	n := f.Total()
-	finish := func(ticks int64, consensus bool, winner int) RunResult {
+	finish := func(ticks int64, consensus bool, winner int, gamma float64, live int) RunResult {
 		return RunResult{
 			Ticks:     ticks,
 			Rounds:    float64(ticks) / float64(n),
 			Consensus: consensus,
 			Winner:    winner,
+			Gamma:     gamma,
+			Live:      live,
 		}
 	}
-	if tr.Wants(0) {
-		tr.Observe(0, f.Vector())
+	// cutoff finishes a run stopped short of consensus (stop hook or
+	// tick budget) on an already-materialised configuration.
+	cutoff := func(ticks int64, vec *population.Vector) RunResult {
+		op, ok := vec.Consensus()
+		if !ok {
+			op, _ = vec.MaxOpinion()
+		}
+		return finish(ticks, ok, op, vec.Gamma(), vec.Live())
+	}
+	// observe materializes the counts at most once per round boundary,
+	// shared by the sampler and the stop hook.
+	observe := func(round int64) (vec *population.Vector, stopped bool) {
+		if stop == nil && !tr.Wants(round) {
+			return nil, false
+		}
+		vec = f.Vector()
+		tr.Observe(round, vec)
+		return vec, stop != nil && stop(round, vec)
+	}
+	if vec, stopped := observe(0); stopped {
+		return cutoff(0, vec)
 	}
 	if op, ok := consensusOf(f); ok {
-		return finish(0, true, op)
+		return finish(0, true, op, 1, 1)
 	}
 	for t := int64(1); t <= maxTicks; t++ {
 		next := d.Tick(r, f)
-		if tr != nil && t%n == 0 {
-			if round := t / n; tr.Wants(round) {
-				tr.Observe(round, f.Vector())
+		if (tr != nil || stop != nil) && t%n == 0 {
+			if vec, stopped := observe(t / n); stopped {
+				return cutoff(t, vec)
 			}
 		}
 		// Only the opinion that just gained a vertex can have reached
 		// consensus, so the check is O(1) per tick.
 		if f.Count(next) == n {
-			return finish(t, true, next)
+			return finish(t, true, next, 1, 1)
 		}
 	}
-	vec := f.Vector()
-	op, _ := vec.MaxOpinion()
-	return finish(maxTicks, false, op)
+	return cutoff(maxTicks, f.Vector())
 }
 
 func consensusOf(f *population.Fenwick) (int, bool) {

@@ -42,6 +42,12 @@ type RunResult struct {
 	// run ended in an actual single-opinion state; otherwise the
 	// currently largest opinion.
 	Winner int
+	// Gamma and Live are the final configuration's potential Γ = Σ α²
+	// and live-opinion count — the hitting-time observables a run
+	// stopped at a phase boundary (observer stop) is run for. Both are
+	// O(1) reads of the Vector's incremental aggregates.
+	Gamma float64
+	Live  int
 }
 
 // Run executes protocol p from configuration v (mutated in place)
@@ -70,7 +76,7 @@ func Run(r *rng.Rand, p Protocol, v *population.Vector, cfg RunConfig) RunResult
 		if !ok {
 			winner, _ = v.MaxOpinion()
 		}
-		return RunResult{Rounds: rounds, Consensus: consensus, Winner: winner}
+		return RunResult{Rounds: rounds, Consensus: consensus, Winner: winner, Gamma: v.Gamma(), Live: v.Live()}
 	}
 
 	if cfg.Observer != nil && cfg.Observer(0, v) {

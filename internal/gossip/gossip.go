@@ -412,16 +412,21 @@ func (nw *Network) AliveConsensus() (opinion int32, ok bool) {
 	return first, true
 }
 
-// Result reports how a gossip run ended.
+// Result reports how a gossip run ended. Gamma and Live are the final
+// potential Γ = Σ α² and live-opinion count over the full population,
+// crashed (frozen) nodes included — so they can stay below 1 and
+// above 1 respectively even at alive-consensus.
 type Result struct {
 	Rounds    int
 	Consensus bool
 	Winner    int32
+	Gamma     float64
+	Live      int
 }
 
 // Run executes rounds until all alive nodes agree or maxRounds.
 func (nw *Network) Run(maxRounds int) Result {
-	return nw.RunTraced(maxRounds, nil)
+	return nw.RunHooked(maxRounds, nil, nil)
 }
 
 // RunTraced is Run with an optional round tracer: tr samples the
@@ -432,11 +437,37 @@ func (nw *Network) Run(maxRounds int) Result {
 // kept rounds reuse the counts Round materializes anyway, so tracing
 // adds only the O(live) observable reads.
 func (nw *Network) RunTraced(maxRounds int, tr *trace.Sampler) Result {
-	if tr.Wants(0) {
-		tr.Observe(0, nw.Counts())
+	return nw.RunHooked(maxRounds, tr, nil)
+}
+
+// RunHooked is RunTraced with an optional stop condition: stop, if
+// non-nil, is evaluated on the coordinator's counts between rounds
+// (after the commit barrier, like tracing, and at round 0 before any
+// pull) and a true return ends the run there. The hook reads only the
+// coordinator's state — node PRNG streams are untouched — so a stopped
+// run is byte-for-byte the prefix of the unstopped run of the same
+// seed.
+func (nw *Network) RunHooked(maxRounds int, tr *trace.Sampler, stop func(round int64, v *population.Vector) bool) Result {
+	finish := func(rounds int, consensus bool, winner int32, v *population.Vector) Result {
+		if v == nil {
+			v = nw.Counts()
+		}
+		return Result{Rounds: rounds, Consensus: consensus, Winner: winner, Gamma: v.Gamma(), Live: v.Live()}
+	}
+	if stop != nil || tr.Wants(0) {
+		// One shared materialisation for the sampler and the stop hook.
+		v := nw.Counts()
+		tr.Observe(0, v)
+		if stop != nil && stop(0, v) {
+			if op, ok := nw.AliveConsensus(); ok {
+				return finish(0, true, op, v)
+			}
+			op, _ := v.MaxOpinion()
+			return finish(0, false, int32(op), v)
+		}
 	}
 	if op, ok := nw.AliveConsensus(); ok {
-		return Result{Rounds: 0, Consensus: true, Winner: op}
+		return finish(0, true, op, nil)
 	}
 	for t := 1; t <= maxRounds; t++ {
 		// Round already materializes the post-commit counts; reuse them
@@ -445,13 +476,23 @@ func (nw *Network) RunTraced(maxRounds int, tr *trace.Sampler) Result {
 		if tr.Wants(int64(t)) {
 			tr.Observe(int64(t), v)
 		}
+		// Stop hook before the consensus test, like every engine: a
+		// condition first holding at the consensus round still
+		// observes the stop, and the result stays the consensus one.
+		if stop != nil && stop(int64(t), v) {
+			if op, ok := nw.AliveConsensus(); ok {
+				return finish(t, true, op, v)
+			}
+			op, _ := v.MaxOpinion()
+			return finish(t, false, int32(op), v)
+		}
 		if op, ok := nw.AliveConsensus(); ok {
-			return Result{Rounds: t, Consensus: true, Winner: op}
+			return finish(t, true, op, v)
 		}
 	}
 	v := nw.Counts()
 	op, _ := v.MaxOpinion()
-	return Result{Rounds: maxRounds, Consensus: false, Winner: int32(op)}
+	return finish(maxRounds, false, int32(op), v)
 }
 
 // Close stops all node goroutines and waits for them to exit. It is

@@ -295,27 +295,43 @@ func (s *ShardScratch) grow(shards int) {
 	s.same = s.same[:shards]
 }
 
-// RunResult reports how an agent-based run ended.
+// RunResult reports how an agent-based run ended. Gamma and Live are
+// the final configuration's potential Γ = Σ α² and live-opinion count
+// (1 and 1 at consensus).
 type RunResult struct {
 	Rounds    int
 	Consensus bool
 	Winner    int32
+	Gamma     float64
+	Live      int
+}
+
+// consensusResult is the RunResult of a run that ended in an actual
+// single-opinion state (Γ = 1, one live opinion, no count scan needed).
+func consensusResult(rounds int, winner int32) RunResult {
+	return RunResult{Rounds: rounds, Consensus: true, Winner: winner, Gamma: 1, Live: 1}
+}
+
+// cutoffResult is the RunResult of a run stopped short of consensus
+// (stop hook or round budget) on already-materialised counts.
+func cutoffResult(rounds int, v *population.Vector) RunResult {
+	op, _ := v.MaxOpinion()
+	return RunResult{Rounds: rounds, Consensus: false, Winner: int32(op), Gamma: v.Gamma(), Live: v.Live()}
 }
 
 // Run executes rule on st until consensus or maxRounds, drawing all
 // randomness sequentially from r (single-stream engine).
 func Run(r *rng.Rand, st *State, rule Rule, maxRounds int) RunResult {
 	if op, ok := st.Consensus(); ok {
-		return RunResult{Rounds: 0, Consensus: true, Winner: op}
+		return consensusResult(0, op)
 	}
 	for t := 1; t <= maxRounds; t++ {
 		st.Step(r, rule)
 		if op, ok := st.Consensus(); ok {
-			return RunResult{Rounds: t, Consensus: true, Winner: op}
+			return consensusResult(t, op)
 		}
 	}
-	op, _ := st.Counts().MaxOpinion()
-	return RunResult{Rounds: maxRounds, Consensus: false, Winner: int32(op)}
+	return cutoffResult(maxRounds, st.Counts())
 }
 
 // RunSharded executes rule on st until consensus or maxRounds using
@@ -335,22 +351,54 @@ func RunSharded(seed uint64, st *State, rule Rule, maxRounds, workers int) RunRe
 // count materialisation is paid only for rounds the tracer's
 // decimation policy keeps.
 func RunShardedTraced(seed uint64, st *State, rule Rule, maxRounds, workers int, tr *trace.Sampler) RunResult {
-	if tr.Wants(0) {
-		tr.Observe(0, st.Counts())
+	return RunShardedHooked(seed, st, rule, maxRounds, workers, tr, nil)
+}
+
+// RunShardedHooked is RunShardedTraced with an optional stop
+// condition: stop, if non-nil, is evaluated on the materialised counts
+// between rounds (after the shard barrier, like tracing, and at round
+// 0 before any step), and a true return ends the run there. The hook
+// draws no randomness from the round streams — a stopped run is
+// byte-for-byte the prefix of the unstopped run of the same seed, for
+// every workers value — and a nil stop costs one comparison per round.
+func RunShardedHooked(seed uint64, st *State, rule Rule, maxRounds, workers int, tr *trace.Sampler, stop func(round int64, v *population.Vector) bool) RunResult {
+	// observe materializes the counts at most once per round, shared
+	// by the sampler and the stop hook; stopped reports whether the
+	// hook fired (v is then the materialized counts).
+	observe := func(round int64) (v *population.Vector, stopped bool) {
+		if stop == nil && !tr.Wants(round) {
+			return nil, false
+		}
+		v = st.Counts()
+		tr.Observe(round, v)
+		return v, stop != nil && stop(round, v)
+	}
+	if v, stopped := observe(0); stopped {
+		if op, ok := st.Consensus(); ok {
+			return consensusResult(0, op)
+		}
+		return cutoffResult(0, v)
 	}
 	if op, ok := st.Consensus(); ok {
-		return RunResult{Rounds: 0, Consensus: true, Winner: op}
+		return consensusResult(0, op)
 	}
 	var scratch ShardScratch
 	for t := 1; t <= maxRounds; t++ {
 		op, ok := st.StepSharded(rule, seed, t, workers, &scratch)
-		if tr.Wants(int64(t)) {
-			tr.Observe(int64(t), st.Counts())
+		// The stop hook is evaluated before the consensus test — the
+		// same order every engine uses — so a condition that first
+		// holds at the consensus round itself still observes (and
+		// reports) the stop, while the result remains the consensus
+		// result.
+		if v, stopped := observe(int64(t)); stopped {
+			if ok {
+				return consensusResult(t, op)
+			}
+			return cutoffResult(t, v)
 		}
 		if ok {
-			return RunResult{Rounds: t, Consensus: true, Winner: op}
+			return consensusResult(t, op)
 		}
 	}
-	op, _ := st.Counts().MaxOpinion()
-	return RunResult{Rounds: maxRounds, Consensus: false, Winner: int32(op)}
+	return cutoffResult(maxRounds, st.Counts())
 }

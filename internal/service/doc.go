@@ -9,19 +9,22 @@
 //
 //   - Request / SweepRequest: a flat, JSON-serialisable description of
 //     a simulation (protocol, population, initial condition,
-//     adversary, and execution mode — count-space, asynchronous,
-//     agent-on-graph, or gossip). Normalize fills defaults so that
-//     semantically identical requests are structurally identical, and
-//     Key hashes the normalized form into the canonical config key
-//     used for caching and deduplication.
+//     adversary, execution mode — count-space, asynchronous,
+//     agent-on-graph, or gossip — plus optional trace and stop specs).
+//     Normalize fills defaults so that semantically identical requests
+//     are structurally identical, and Key hashes the normalized form
+//     into the canonical config key used for caching and
+//     deduplication.
 //   - Execute / ExecuteParallel: a pure function from a Request to a
-//     Response. Trial i of any request gets the façade seed
-//     rng.DeriveSeed(Seed, i) (which the non-sync façades expand once
-//     more at their entry points), and all four modes fan trials
-//     across workers via sim.ForEachTrial — with mode graph also
-//     sharding each run's vertex loop — so results are reproducible
-//     and independent of the parallelism budget; see DESIGN.md
-//     §Simulation service for the full determinism contract.
+//     Response. The request maps one-to-one onto a
+//     plurality.Experiment (Request.Experiment), the unified execution
+//     path for all four modes: trial i of any request gets the façade
+//     seed rng.DeriveSeed(Seed, i) (which the non-sync engines expand
+//     once more), and trials fan across workers via sim.ForEachTrial —
+//     with mode graph also sharding each run's vertex loop — so
+//     results are reproducible and independent of the parallelism
+//     budget; see DESIGN.md §Simulation service for the full
+//     determinism contract.
 //   - Runner: a bounded worker pool with an LRU result cache keyed by
 //     Request.Key, in-flight deduplication, a job store for detached
 //     submissions, and backpressure (ErrBusy when the queue is full,

@@ -2,13 +2,9 @@ package service
 
 import (
 	"encoding/json"
-	"fmt"
 	"io"
 	"runtime"
 
-	"plurality"
-	"plurality/internal/rng"
-	"plurality/internal/sim"
 	"plurality/internal/stats"
 	"plurality/internal/trace"
 )
@@ -18,16 +14,19 @@ type Trial struct {
 	// Trial is the trial index. Trial i's façade seed is
 	// rng.DeriveSeed(Request.Seed, i): mode sync consumes it directly
 	// as the trial's RNG stream (sim.RunMany's derivation), while the
-	// async/graph/gossip façade entry points expand it once more —
+	// async/graph/gossip engines expand it once more —
 	// their root streams are rng.DeriveSeed(rng.DeriveSeed(Seed, i), j)
-	// for entry-point-specific j. Both derivations are frozen: changing
+	// for engine-specific j. Both derivations are frozen: changing
 	// either would silently invalidate every cached and recorded
 	// Response (see TestTrialSeedContractPinned).
 	Trial int `json:"trial"`
-	// Rounds is the consensus time in synchronous(-equivalent) rounds.
-	// It is fractional only in mode async (Ticks/N).
+	// Rounds is the consensus (or stopping) time in
+	// synchronous(-equivalent) rounds. It is fractional only in mode
+	// async (Ticks/N).
 	Rounds float64 `json:"rounds"`
 	// Consensus reports whether the run converged within its budget.
+	// A trial ended by a stop condition reports the consensus state at
+	// the stopping round (almost always false — that is the point).
 	Consensus bool `json:"consensus"`
 	// Winner is the consensus opinion, or the plurality at cutoff.
 	Winner int `json:"winner"`
@@ -86,12 +85,13 @@ func Execute(q Request) (*Response, error) {
 }
 
 // ExecuteParallel is Execute with an explicit parallelism budget
-// (<= 0 means GOMAXPROCS): every mode fans its trials across up to
-// that many workers through sim.ForEachTrial, and mode graph
-// additionally spends budget left over by a short trial list on
-// sharding each run's vertex loop. Parallelism is an execution hint
-// only — the Response (and hence its canonical JSON encoding) is
-// byte-identical for every value.
+// (<= 0 means GOMAXPROCS). The request maps to one
+// plurality.Experiment — the single execution path for all four modes
+// — whose scheduler fans trials across up to that many workers
+// (memory-clamped for the graph and gossip engines, with mode graph
+// spending leftover budget on sharding each run's vertex loop).
+// Parallelism is an execution hint only — the Response (and hence its
+// canonical JSON encoding) is byte-identical for every value.
 func ExecuteParallel(q Request, parallelism int) (*Response, error) {
 	q = q.Normalize()
 	if err := q.Validate(); err != nil {
@@ -100,25 +100,37 @@ func ExecuteParallel(q Request, parallelism int) (*Response, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	var (
-		trials []Trial
-		points []trace.Point
-		err    error
-	)
-	switch q.Mode {
-	case ModeSync:
-		trials, points, err = executeSync(q, parallelism)
-	case ModeAsync:
-		trials, points, err = executeAsync(q, parallelism)
-	case ModeGraph:
-		trials, points, err = executeGraph(q, parallelism)
-	case ModeGossip:
-		trials, points, err = executeGossip(q, parallelism)
-	default:
-		err = fmt.Errorf("service: unknown mode %q", q.Mode)
-	}
+	exp, err := q.Experiment()
 	if err != nil {
 		return nil, err
+	}
+	exp.Parallelism = parallelism
+	out, err := exp.Run()
+	if err != nil {
+		return nil, err
+	}
+	trials := make([]Trial, len(out.Trials))
+	var points []trace.Point
+	if q.Trace != nil {
+		var buf trace.Buffer
+		for _, tr := range out.Trials {
+			// Buffer.Record never fails; trials are flushed in trial
+			// order, so the merged trace is parallelism-independent.
+			_ = trace.Emit(tr.Trace, &buf)
+		}
+		points = buf.Points
+	}
+	for i, tr := range out.Trials {
+		trials[i] = Trial{
+			Trial:     i,
+			Rounds:    tr.Rounds,
+			Consensus: tr.Consensus,
+			Winner:    tr.Winner,
+		}
+		if q.Mode == ModeAsync {
+			ticks := tr.Ticks
+			trials[i].Ticks = &ticks
+		}
 	}
 	return &Response{
 		Key:     q.Key(),
@@ -127,237 +139,6 @@ func ExecuteParallel(q Request, parallelism int) (*Response, error) {
 		Trials:  trials,
 		Trace:   points,
 	}, nil
-}
-
-// trialSamplers is the per-trial sampler set of one traced request —
-// nil for an untraced request, where forTrial hands the engines nil
-// (inert) samplers and flatten returns no points. Each trial's sampler
-// is touched only by the worker running that trial, and flatten
-// concatenates in trial order, so the merged trace — like the trials —
-// is identical for every parallelism value.
-type trialSamplers []*trace.Sampler
-
-func newTrialSamplers(q Request) trialSamplers {
-	if q.Trace == nil {
-		return nil
-	}
-	ts := make(trialSamplers, q.Trials)
-	for i := range ts {
-		ts[i] = trace.NewSampler(*q.Trace, i)
-	}
-	return ts
-}
-
-func (ts trialSamplers) forTrial(i int) *trace.Sampler {
-	if ts == nil {
-		return nil
-	}
-	return ts[i]
-}
-
-func (ts trialSamplers) flatten() []trace.Point {
-	if ts == nil {
-		return nil
-	}
-	var buf trace.Buffer
-	for _, s := range ts {
-		// Buffer.Record never fails, so neither does the flush.
-		_ = s.Flush(&buf)
-	}
-	return buf.Points
-}
-
-func executeSync(q Request, parallelism int) ([]Trial, []trace.Point, error) {
-	cfg, err := q.Config()
-	if err != nil {
-		return nil, nil, err
-	}
-	var (
-		results []plurality.Result
-		points  []trace.Point
-	)
-	if q.Trace != nil {
-		var traces [][]trace.Point
-		results, traces, err = plurality.RunManyTraced(cfg, q.Trials, parallelism, *q.Trace)
-		if err == nil {
-			var buf trace.Buffer
-			for _, tr := range traces {
-				_ = trace.Emit(tr, &buf)
-			}
-			points = buf.Points
-		}
-	} else {
-		results, err = plurality.RunManyParallel(cfg, q.Trials, parallelism)
-	}
-	if err != nil {
-		return nil, nil, err
-	}
-	trials := make([]Trial, len(results))
-	for i, res := range results {
-		trials[i] = Trial{
-			Trial:     i,
-			Rounds:    float64(res.Rounds),
-			Consensus: res.Consensus,
-			Winner:    res.Winner,
-		}
-	}
-	return trials, points, nil
-}
-
-func executeAsync(q Request, parallelism int) ([]Trial, []trace.Point, error) {
-	cfg, err := q.Config()
-	if err != nil {
-		return nil, nil, err
-	}
-	samplers := newTrialSamplers(q)
-	trials := make([]Trial, q.Trials)
-	err = sim.ForEachTrial(q.Trials, parallelism, func(i int) error {
-		c := cfg
-		c.Seed = rng.DeriveSeed(q.Seed, uint64(i))
-		c.Trace = samplers.forTrial(i)
-		res, err := plurality.RunAsync(c, q.MaxTicks)
-		if err != nil {
-			return err
-		}
-		ticks := res.Ticks
-		trials[i] = Trial{
-			Trial:     i,
-			Rounds:    res.Rounds,
-			Consensus: res.Consensus,
-			Winner:    res.Winner,
-			Ticks:     &ticks,
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return trials, samplers.flatten(), nil
-}
-
-// graphVertexBudget and graphEdgeBudget cap what a single graph
-// request may have materialized at once across its concurrent trials
-// (each live trial holds its own topology and two opinion arrays):
-// total vertices, and total adjacency edge slots — the dominant cost
-// for dense topologies, which the vertex count alone would miss.
-// MaxGraphN/MaxGraphEdges were sized for one run at a time; the clamp
-// keeps a maximal request from multiplying that peak by the core
-// count (a full-size adjacency caps at two concurrent builds).
-const (
-	graphVertexBudget = 1 << 25
-	graphEdgeBudget   = 2 * MaxGraphEdges
-)
-
-// graphTrialWorkers bounds a graph request's trial fan-out to the
-// vertex and edge budgets (always allowing one trial). degree is the
-// request's per-vertex adjacency degree (Request.graphDegree).
-func graphTrialWorkers(parallelism, trials int, n, degree int64) int {
-	workers := parallelism
-	if workers > trials {
-		workers = trials
-	}
-	if byMem := int(graphVertexBudget / n); byMem < workers {
-		workers = byMem
-	}
-	if degree > 0 {
-		if byEdges := int(graphEdgeBudget / (n * degree)); byEdges < workers {
-			workers = byEdges
-		}
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
-}
-
-func executeGraph(q Request, parallelism int) ([]Trial, []trace.Point, error) {
-	cfg, err := q.GraphConfig()
-	if err != nil {
-		return nil, nil, err
-	}
-	// Split the budget: one worker per trial first (memory-clamped),
-	// and when the trial fan-out is narrower than the budget (the
-	// lone-big-job case), the remainder shards each run's vertex loop.
-	// The per-run share rounds up — transient mild oversubscription
-	// beats budgeted cores idling whenever parallelism doesn't divide
-	// evenly. Both levels are deterministic, so the split affects
-	// wall-clock only.
-	trialWorkers := graphTrialWorkers(parallelism, q.Trials, q.N, q.graphDegree())
-	perRun := (parallelism + trialWorkers - 1) / trialWorkers
-	samplers := newTrialSamplers(q)
-	trials := make([]Trial, q.Trials)
-	err = sim.ForEachTrial(q.Trials, trialWorkers, func(i int) error {
-		c := cfg
-		c.Seed = rng.DeriveSeed(q.Seed, uint64(i))
-		c.Parallelism = perRun
-		c.Trace = samplers.forTrial(i)
-		res, err := plurality.RunOnGraph(c)
-		if err != nil {
-			return err
-		}
-		trials[i] = Trial{
-			Trial:     i,
-			Rounds:    float64(res.Rounds),
-			Consensus: res.Consensus,
-			Winner:    res.Winner,
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return trials, samplers.flatten(), nil
-}
-
-// gossipNodeBudget caps the node goroutines a single gossip request
-// may have alive at once across its concurrent trials. MaxGossipN was
-// sized for one network at a time; without this clamp a
-// {n: MaxGossipN, trials: many} request on a many-core server would
-// multiply that peak by the parallelism budget and could OOM the
-// process on goroutine stacks alone.
-const gossipNodeBudget = 1 << 18
-
-// gossipTrialWorkers bounds a gossip request's trial fan-out so that
-// concurrent networks stay within gossipNodeBudget total nodes (always
-// allowing one trial).
-func gossipTrialWorkers(parallelism int, n int64) int {
-	workers := int(gossipNodeBudget / n)
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > parallelism {
-		workers = parallelism
-	}
-	return workers
-}
-
-func executeGossip(q Request, parallelism int) ([]Trial, []trace.Point, error) {
-	cfg, err := q.GossipConfig()
-	if err != nil {
-		return nil, nil, err
-	}
-	samplers := newTrialSamplers(q)
-	trials := make([]Trial, q.Trials)
-	err = sim.ForEachTrial(q.Trials, gossipTrialWorkers(parallelism, q.N), func(i int) error {
-		c := cfg
-		c.Seed = rng.DeriveSeed(q.Seed, uint64(i))
-		c.Trace = samplers.forTrial(i)
-		res, err := plurality.RunGossip(c)
-		if err != nil {
-			return err
-		}
-		trials[i] = Trial{
-			Trial:     i,
-			Rounds:    float64(res.Rounds),
-			Consensus: res.Consensus,
-			Winner:    res.Winner,
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return trials, samplers.flatten(), nil
 }
 
 func summarize(trials []Trial) Summary {

@@ -55,9 +55,11 @@ func TestResponseBytesInvariantAcrossParallelism(t *testing.T) {
 
 // TestModeTrialSeedEquivalence pins the structural half of the seed
 // contract: trial i of an async/graph/gossip request reproduces the
-// façade entry point called directly with the façade seed
+// legacy façade entry point called directly with the façade seed
 // rng.DeriveSeed(Request.Seed, i) — the derivation every recorded
-// Response depends on.
+// Response depends on. The legacy configs are built by hand, so this
+// cross-checks the unified Request → Experiment mapping against an
+// independent construction.
 func TestModeTrialSeedEquivalence(t *testing.T) {
 	reqs := parallelTestRequests()
 
@@ -67,12 +69,12 @@ func TestModeTrialSeedEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, tr := range asyncResp.Trials {
-		cfg, err := async.Normalize().Config()
-		if err != nil {
-			t.Fatal(err)
-		}
-		cfg.Seed = rng.DeriveSeed(async.Seed, uint64(i))
-		res, err := plurality.RunAsync(cfg, async.MaxTicks)
+		res, err := plurality.RunAsync(plurality.Config{
+			N:        async.N,
+			Protocol: plurality.TwoChoices(),
+			Init:     plurality.Balanced(async.K),
+			Seed:     rng.DeriveSeed(async.Seed, uint64(i)),
+		}, async.MaxTicks)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,12 +89,13 @@ func TestModeTrialSeedEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, tr := range graphResp.Trials {
-		cfg, err := graph.Normalize().GraphConfig()
-		if err != nil {
-			t.Fatal(err)
-		}
-		cfg.Seed = rng.DeriveSeed(graph.Seed, uint64(i))
-		res, err := plurality.RunOnGraph(cfg)
+		res, err := plurality.RunOnGraph(plurality.GraphConfig{
+			N:        int(graph.N),
+			Topology: plurality.CompleteTopology(),
+			Protocol: plurality.ThreeMajority(),
+			Init:     plurality.Balanced(graph.K),
+			Seed:     rng.DeriveSeed(graph.Seed, uint64(i)),
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,61 +110,18 @@ func TestModeTrialSeedEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, tr := range gossipResp.Trials {
-		cfg, err := gossip.Normalize().GossipConfig()
-		if err != nil {
-			t.Fatal(err)
-		}
-		cfg.Seed = rng.DeriveSeed(gossip.Seed, uint64(i))
-		res, err := plurality.RunGossip(cfg)
+		res, err := plurality.RunGossip(plurality.GossipConfig{
+			N:        int(gossip.N),
+			Protocol: plurality.Voter(),
+			Init:     plurality.Balanced(gossip.K),
+			Seed:     rng.DeriveSeed(gossip.Seed, uint64(i)),
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if tr.Rounds != float64(res.Rounds) || tr.Winner != res.Winner || tr.Consensus != res.Consensus {
 			t.Fatalf("gossip trial %d %+v does not match façade %+v", i, tr, res)
 		}
-	}
-}
-
-// TestGossipTrialWorkersClampedToNodeBudget: gossip trial fan-out is
-// bounded so concurrent networks cannot exceed gossipNodeBudget total
-// node goroutines, whatever the parallelism budget.
-func TestGossipTrialWorkersClampedToNodeBudget(t *testing.T) {
-	if got := gossipTrialWorkers(32, MaxGossipN); int64(got)*MaxGossipN > gossipNodeBudget {
-		t.Fatalf("gossipTrialWorkers(32, MaxGossipN) = %d exceeds the node budget", got)
-	}
-	if got := gossipTrialWorkers(32, MaxGossipN); got < 1 {
-		t.Fatalf("gossipTrialWorkers must allow at least one trial, got %d", got)
-	}
-	if got := gossipTrialWorkers(8, 100); got != 8 {
-		t.Fatalf("small networks should use the full budget: got %d, want 8", got)
-	}
-	if got := gossipTrialWorkers(1, 50); got != 1 {
-		t.Fatalf("serial stays serial: got %d", got)
-	}
-}
-
-// TestGraphTrialWorkersClampedToBudgets: graph trial fan-out is
-// bounded so concurrent runs cannot materialize more than
-// graphVertexBudget vertices or graphEdgeBudget adjacency slots,
-// whatever the parallelism budget.
-func TestGraphTrialWorkersClampedToBudgets(t *testing.T) {
-	if got := graphTrialWorkers(32, 32, MaxGraphN, 0); int64(got)*MaxGraphN > graphVertexBudget {
-		t.Fatalf("graphTrialWorkers(32, 32, MaxGraphN, 0) = %d exceeds the vertex budget", got)
-	}
-	if got := graphTrialWorkers(32, 32, MaxGraphN, 0); got < 1 {
-		t.Fatalf("graphTrialWorkers must allow at least one trial, got %d", got)
-	}
-	// A dense mid-size topology (n·degree = MaxGraphEdges, ~2 GiB per
-	// adjacency) is edge-bound: at most two concurrent builds, even on
-	// a 64-core budget.
-	if got := graphTrialWorkers(64, 64, 1<<18, 1<<11); got != 2 {
-		t.Fatalf("dense adjacency fan-out = %d, want 2 (edge budget)", got)
-	}
-	if got := graphTrialWorkers(8, 4, 1000, 8); got != 4 {
-		t.Fatalf("small graphs use one worker per trial: got %d, want 4", got)
-	}
-	if got := graphTrialWorkers(3, 100, 1000, 8); got != 3 {
-		t.Fatalf("parallelism still bounds fan-out: got %d, want 3", got)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"plurality"
 	"plurality/internal/population"
+	"plurality/internal/stop"
 	"plurality/internal/trace"
 )
 
@@ -147,6 +148,17 @@ type Request struct {
 	// Response bytes, exactly as they were before tracing existed.
 	// Works in every mode.
 	Trace *trace.Spec `json:"trace,omitempty"`
+	// Stop, if non-nil, ends every trial at the first round boundary
+	// where the spec's conjunction holds (see internal/stop) —
+	// recording hitting times like the Γ >= 1/2 crossing directly
+	// instead of simulating to consensus. Stop conditions never touch
+	// the engines' RNG streams: a stopped trial is the prefix of the
+	// unstopped trial of the same request. The spec is part of the
+	// request's identity — folded into the config key — while an
+	// absent (or zero, after normalization) spec leaves the key, and
+	// the Response bytes, exactly as they were before stop conditions
+	// existed. Works in every mode.
+	Stop *stop.Spec `json:"stop,omitempty"`
 }
 
 // Normalize returns the request with defaults filled in and names
@@ -224,6 +236,18 @@ func (q Request) Normalize() Request {
 	if q.Trace != nil {
 		t := q.Trace.Normalize()
 		q.Trace = &t
+	}
+	// A zero stop spec is the consensus-only default — inert, so it is
+	// cleared to nil rather than splitting the cache key of otherwise
+	// identical requests; unstopped keys stay identical to the
+	// pre-stop era.
+	if q.Stop != nil {
+		s := q.Stop.Normalize()
+		if s.IsZero() {
+			q.Stop = nil
+		} else {
+			q.Stop = &s
+		}
 	}
 	return q
 }
@@ -314,6 +338,11 @@ func (q Request) Validate() error {
 				q.Trials, q.Trace.MaxPoints, total, int64(MaxTracePoints))
 		}
 	}
+	if q.Stop != nil {
+		if err := q.Stop.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -332,82 +361,55 @@ func (q Request) Key() string {
 	return hex.EncodeToString(sum[:])
 }
 
-// Config translates the request into the façade's count-space Config
-// (modes sync and async).
-func (q Request) Config() (plurality.Config, error) {
+// Experiment translates the (normalized) request into its
+// plurality.Experiment — the single Request → engine mapping for all
+// four modes, replacing the old Config/GraphConfig/GossipConfig
+// triple-bridging. Normalize has already cleared the fields the mode
+// does not consume, so the translation is field-for-field; the caller
+// sets Parallelism (an execution hint outside the request's identity).
+func (q Request) Experiment() (plurality.Experiment, error) {
 	proto, err := ParseProtocol(q.Protocol)
 	if err != nil {
-		return plurality.Config{}, err
+		return plurality.Experiment{}, err
 	}
 	init, err := buildInit(q)
 	if err != nil {
-		return plurality.Config{}, err
+		return plurality.Experiment{}, err
 	}
-	cfg := plurality.Config{
+	e := plurality.Experiment{
+		Mode:      plurality.Mode(q.Mode),
 		N:         q.N,
 		Protocol:  proto,
 		Init:      init,
 		Seed:      q.Seed,
+		NumTrials: q.Trials,
 		MaxRounds: q.MaxRounds,
+		MaxTicks:  q.MaxTicks,
+		Crashed:   q.Crashed,
+		LossProb:  q.LossProb,
+		Trace:     q.Trace,
+	}
+	if q.Stop != nil {
+		e.Stop = plurality.StopSpec(*q.Stop)
 	}
 	if q.AdversaryF > 0 {
 		switch q.Adversary {
 		case "hinder":
-			cfg.Adversary = plurality.HinderAdversary(q.AdversaryF)
+			e.Adversary = plurality.HinderAdversary(q.AdversaryF)
 		case "help":
-			cfg.Adversary = plurality.HelpAdversary(q.AdversaryF)
+			e.Adversary = plurality.HelpAdversary(q.AdversaryF)
 		case "scatter":
-			cfg.Adversary = plurality.ScatterAdversary(q.AdversaryF)
+			e.Adversary = plurality.ScatterAdversary(q.AdversaryF)
 		}
 	}
-	return cfg, nil
-}
-
-// GraphConfig translates the request into the agent-engine config
-// (mode graph). The per-trial seed is applied by Execute.
-func (q Request) GraphConfig() (plurality.GraphConfig, error) {
-	proto, err := ParseProtocol(q.Protocol)
-	if err != nil {
-		return plurality.GraphConfig{}, err
+	if q.Mode == ModeGraph {
+		topo, err := parseTopology(q.Topology, q.TopologyParam, q.N)
+		if err != nil {
+			return plurality.Experiment{}, err
+		}
+		e.Topology = topo
 	}
-	init, err := buildInit(q)
-	if err != nil {
-		return plurality.GraphConfig{}, err
-	}
-	topo, err := parseTopology(q.Topology, q.TopologyParam, q.N)
-	if err != nil {
-		return plurality.GraphConfig{}, err
-	}
-	return plurality.GraphConfig{
-		N:         int(q.N),
-		Topology:  topo,
-		Protocol:  proto,
-		Init:      init,
-		Seed:      q.Seed,
-		MaxRounds: q.MaxRounds,
-	}, nil
-}
-
-// GossipConfig translates the request into the message-passing config
-// (mode gossip). The per-trial seed is applied by Execute.
-func (q Request) GossipConfig() (plurality.GossipConfig, error) {
-	proto, err := ParseProtocol(q.Protocol)
-	if err != nil {
-		return plurality.GossipConfig{}, err
-	}
-	init, err := buildInit(q)
-	if err != nil {
-		return plurality.GossipConfig{}, err
-	}
-	return plurality.GossipConfig{
-		N:         int(q.N),
-		Protocol:  proto,
-		Init:      init,
-		Seed:      q.Seed,
-		Crashed:   q.Crashed,
-		LossProb:  q.LossProb,
-		MaxRounds: q.MaxRounds,
-	}, nil
+	return e, nil
 }
 
 // ParseProtocol resolves a protocol name ("3-majority", "2-choices",

@@ -1,0 +1,193 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"plurality/internal/stop"
+)
+
+// TestStopKeyFolding: a stop spec is part of a request's identity —
+// folded into the canonical key — while an absent, null, or zero spec
+// leaves the key exactly as it was before stop conditions existed.
+func TestStopKeyFolding(t *testing.T) {
+	base := Request{Protocol: "3-majority", N: 1000, K: 8, Seed: 1}
+	stopped := base
+	stopped.Stop = &stop.Spec{GammaAtLeast: 0.5}
+	if base.Key() == stopped.Key() {
+		t.Fatal("stop spec not folded into the config key")
+	}
+	// A JSON null stop is the absent spec.
+	var fromJSON Request
+	if err := json.Unmarshal([]byte(`{"protocol":"3-majority","n":1000,"k":8,"seed":1,"stop":null}`), &fromJSON); err != nil {
+		t.Fatal(err)
+	}
+	if fromJSON.Key() != base.Key() {
+		t.Fatal("explicit null stop should key like an absent one")
+	}
+	// The zero spec is the consensus-only default: inert, cleared by
+	// Normalize, so it cannot split the cache key.
+	inert := base
+	inert.Stop = &stop.Spec{}
+	if inert.Key() != base.Key() {
+		t.Fatal("zero stop spec split the cache key")
+	}
+	if norm := inert.Normalize(); norm.Stop != nil {
+		t.Fatal("zero stop spec survived Normalize")
+	}
+	// Normalize must not mutate the caller's spec in place.
+	spec := stop.Spec{GammaAtLeast: 0.5}
+	req := base
+	req.Stop = &spec
+	_ = req.Normalize()
+	if spec.GammaAtLeast != 0.5 {
+		t.Fatalf("Normalize mutated the caller's spec: %+v", spec)
+	}
+	// Different specs are different cache entries.
+	other := base
+	other.Stop = &stop.Spec{LiveAtMost: 2}
+	if other.Key() == stopped.Key() {
+		t.Fatal("distinct stop specs share a key")
+	}
+}
+
+// TestStopValidation: invalid specs are user errors.
+func TestStopValidation(t *testing.T) {
+	for _, bad := range []stop.Spec{
+		{GammaAtLeast: -1},
+		{GammaAtLeast: 2},
+		{LiveAtMost: -3},
+		{AfterRounds: -1},
+	} {
+		bad := bad
+		q := Request{Protocol: "3-majority", N: 1000, K: 8, Seed: 1, Stop: &bad}
+		if err := q.Normalize().Validate(); err == nil {
+			t.Errorf("stop spec %+v validated", bad)
+		}
+	}
+}
+
+// TestExecuteWithStop: for every mode, a gamma-stopped request ends
+// strictly earlier than the full-consensus run of the same request,
+// echoes the normalized stop spec, and keeps the per-trial shape.
+func TestExecuteWithStop(t *testing.T) {
+	reqs := map[string]Request{
+		"sync":   {Protocol: "3-majority", N: 20_000, K: 16, Seed: 7, Trials: 2},
+		"async":  {Protocol: "3-majority", N: 1_000, K: 16, Seed: 7, Trials: 2, Mode: ModeAsync},
+		"graph":  {Protocol: "3-majority", N: 1_500, K: 16, Seed: 7, Trials: 2, Mode: ModeGraph, Topology: "complete"},
+		"gossip": {Protocol: "3-majority", N: 256, K: 8, Seed: 7, Trials: 2, Mode: ModeGossip},
+	}
+	for name, req := range reqs {
+		req := req
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			full, err := Execute(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stopped := req
+			stopped.Stop = &stop.Spec{GammaAtLeast: 0.5}
+			resp, err := Execute(stopped)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Request.Stop == nil || resp.Request.Stop.GammaAtLeast != 0.5 {
+				t.Fatalf("response does not echo the stop spec: %+v", resp.Request.Stop)
+			}
+			if resp.Key == full.Key {
+				t.Fatal("stopped and full requests share a key")
+			}
+			for i, tr := range resp.Trials {
+				ft := full.Trials[i]
+				if tr.Rounds >= ft.Rounds {
+					t.Fatalf("trial %d: stopped rounds %v not below full %v", i, tr.Rounds, ft.Rounds)
+				}
+				if tr.Consensus {
+					t.Fatalf("trial %d: stopped trial reports consensus", i)
+				}
+			}
+			// The per-trial JSON shape is unchanged: no new fields leak
+			// into trials.
+			data, err := json.Marshal(resp.Trials[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			fields := map[string]any{}
+			if err := json.Unmarshal(data, &fields); err != nil {
+				t.Fatal(err)
+			}
+			for f := range fields {
+				switch f {
+				case "trial", "rounds", "consensus", "winner", "ticks":
+				default:
+					t.Fatalf("unexpected trial field %q in %s", f, data)
+				}
+			}
+		})
+	}
+}
+
+// TestStopResponseBytesInvariantAcrossParallelism extends the
+// determinism contract to stopped requests.
+func TestStopResponseBytesInvariantAcrossParallelism(t *testing.T) {
+	req := Request{Protocol: "3-majority", N: 5_000, K: 16, Seed: 3, Trials: 4,
+		Stop: &stop.Spec{GammaAtLeast: 0.5}}
+	var want []byte
+	for _, parallelism := range []int{1, 3, 0} {
+		resp, err := ExecuteParallel(req, parallelism)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeJSONLine(&buf, resp); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(want, buf.Bytes()) {
+			t.Fatalf("parallelism %d changed stopped-response bytes", parallelism)
+		}
+	}
+	if !strings.Contains(string(want), `"stop":{"gamma_at_least":0.5}`) {
+		t.Fatalf("canonical body lacks the stop spec: %s", want)
+	}
+}
+
+// TestStopSweep: stop specs ride through sweep points (the base
+// request's stop applies to every point, and point keys include it).
+func TestStopSweep(t *testing.T) {
+	rn := NewRunner(Options{QueueDepth: 16})
+	defer rn.Close()
+	sr := SweepRequest{
+		Base: Request{
+			Protocol: "3-majority", N: 5_000, Seed: 2, Trials: 2,
+			Stop: &stop.Spec{GammaAtLeast: 0.5},
+		},
+		Sweep:  "k",
+		Values: []int64{8, 16},
+	}
+	var points []SweepPoint
+	if err := rn.Sweep(t.Context(), sr, func(p SweepPoint) error {
+		points = append(points, p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		q := sr.Base
+		q.K = int(p.K)
+		if p.Key != q.Key() {
+			t.Fatalf("point key %s does not match stopped request key %s", p.Key, q.Key())
+		}
+		if p.Summary.Converged != 0 {
+			t.Fatalf("stopped sweep point converged: %+v", p.Summary)
+		}
+	}
+}

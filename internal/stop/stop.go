@@ -1,0 +1,167 @@
+// Package stop defines declarative stop conditions for dynamics runs:
+// when, short of full consensus, a trial should end. The paper's
+// headline results are statements about *hitting times* — the round Γ
+// crosses 1/2, the round the live-opinion count halves, a fixed round
+// budget — and D'Archivio et al.'s follow-up ties consensus time to
+// phase boundaries that occur long before consensus. A Spec lets a
+// caller run every trial exactly to such a boundary instead of
+// simulating to consensus and reading the boundary off a trace.
+//
+// # Contract
+//
+// A Spec is evaluated by the engines at round boundaries only, on the
+// same between-rounds state the trace subsystem samples, and it never
+// draws from an engine's RNG stream: up to the round it fires, a
+// stopped run is byte-for-byte the prefix of the unstopped run of the
+// same seed. Consensus always ends a run, whatever the Spec — a stop
+// condition can only shorten a trial, never extend one.
+//
+// A Spec with several clauses set is a conjunction: the run stops at
+// the first round where every set clause holds simultaneously. The
+// zero Spec has no clauses and never fires (consensus-only — the
+// default). Spec is JSON-serialisable and is folded into the service
+// layer's canonical config key; an absent Spec leaves the key exactly
+// as it was before stop conditions existed.
+package stop
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"plurality/internal/population"
+)
+
+// Spec is a conjunction of stop clauses; zero-valued clauses are
+// unset. The zero Spec never fires.
+type Spec struct {
+	// GammaAtLeast stops once Γ = Σ α(i)² has reached the threshold
+	// (in (0, 1]; 0 = unset). Γ ≥ 1/2 is the paper's two-opinion
+	// endgame boundary.
+	GammaAtLeast float64 `json:"gamma_at_least,omitempty"`
+	// LiveAtMost stops once at most this many opinions have surviving
+	// supporters (>= 1; 0 = unset).
+	LiveAtMost int `json:"live_at_most,omitempty"`
+	// AfterRounds stops at the end of this round (>= 1; 0 = unset) —
+	// like MaxRounds, but composable with the other clauses: combined,
+	// the run stops at the first round >= AfterRounds where the rest of
+	// the conjunction also holds.
+	AfterRounds int64 `json:"after_rounds,omitempty"`
+}
+
+// IsZero reports whether no clause is set (the consensus-only default).
+func (s Spec) IsZero() bool { return s == Spec{} }
+
+// Normalize returns the canonical form of the spec. All fields are
+// already canonical scalars, so this is the identity today; it exists
+// so the request layer can treat stop specs and trace specs uniformly.
+func (s Spec) Normalize() Spec { return s }
+
+// Validate reports whether the spec describes evaluable clauses.
+// Errors are user errors (the service maps them to 400). The zero spec
+// is valid: it simply never fires.
+func (s Spec) Validate() error {
+	// The positive-form range test rejects NaN too (every comparison
+	// with NaN is false), which would otherwise turn the conjunction
+	// in Done into an unconditional stop.
+	if s.GammaAtLeast != 0 && !(s.GammaAtLeast > 0 && s.GammaAtLeast <= 1) {
+		return fmt.Errorf("stop: gamma_at_least must be in (0, 1], got %v", s.GammaAtLeast)
+	}
+	if s.LiveAtMost < 0 {
+		return fmt.Errorf("stop: live_at_most must be >= 1, got %d", s.LiveAtMost)
+	}
+	if s.AfterRounds < 0 {
+		return fmt.Errorf("stop: after_rounds must be >= 1, got %d", s.AfterRounds)
+	}
+	return nil
+}
+
+// Done reports whether every set clause holds for the configuration at
+// the end of the given round. It reads only the Vector's O(1)
+// incremental aggregates and draws no randomness. The zero spec
+// returns false forever.
+func (s Spec) Done(round int64, v *population.Vector) bool {
+	if s.IsZero() {
+		return false
+	}
+	if s.GammaAtLeast > 0 && v.Gamma() < s.GammaAtLeast {
+		return false
+	}
+	if s.LiveAtMost > 0 && v.Live() > s.LiveAtMost {
+		return false
+	}
+	if s.AfterRounds > 0 && round < s.AfterRounds {
+		return false
+	}
+	return true
+}
+
+// And returns the conjunction of two specs: the result fires only when
+// both would. Same-clause merges keep the stricter threshold (the
+// larger Γ, the smaller live count, the later round).
+func (s Spec) And(t Spec) Spec {
+	out := s
+	if t.GammaAtLeast > out.GammaAtLeast {
+		out.GammaAtLeast = t.GammaAtLeast
+	}
+	if t.LiveAtMost > 0 && (out.LiveAtMost == 0 || t.LiveAtMost < out.LiveAtMost) {
+		out.LiveAtMost = t.LiveAtMost
+	}
+	if t.AfterRounds > out.AfterRounds {
+		out.AfterRounds = t.AfterRounds
+	}
+	return out
+}
+
+// String renders the spec in the ParseSpec syntax ("" for the zero
+// spec).
+func (s Spec) String() string {
+	var parts []string
+	if s.GammaAtLeast > 0 {
+		parts = append(parts, "gamma>="+strconv.FormatFloat(s.GammaAtLeast, 'g', -1, 64))
+	}
+	if s.LiveAtMost > 0 {
+		parts = append(parts, "live<="+strconv.Itoa(s.LiveAtMost))
+	}
+	if s.AfterRounds > 0 {
+		parts = append(parts, "round>="+strconv.FormatInt(s.AfterRounds, 10))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec parses the CLI shorthand for a spec: comma-separated
+// clauses "gamma>=G", "live<=M", "round>=R" (conjunction), e.g.
+// "gamma>=0.5" or "gamma>=0.5,live<=2". The result is validated.
+func ParseSpec(text string) (Spec, error) {
+	var spec Spec
+	trimmed := strings.TrimSpace(text)
+	if trimmed == "" {
+		return Spec{}, fmt.Errorf("stop: empty spec (want gamma>=G, live<=M and/or round>=R)")
+	}
+	for _, part := range strings.Split(trimmed, ",") {
+		part = strings.TrimSpace(part)
+		switch {
+		case strings.HasPrefix(part, "gamma>="):
+			g, err := strconv.ParseFloat(part[len("gamma>="):], 64)
+			if err != nil || g <= 0 || g > 1 {
+				return Spec{}, fmt.Errorf("stop: bad clause %q (want gamma>=G with G in (0,1])", part)
+			}
+			spec = spec.And(Spec{GammaAtLeast: g})
+		case strings.HasPrefix(part, "live<="):
+			m, err := strconv.Atoi(part[len("live<="):])
+			if err != nil || m < 1 {
+				return Spec{}, fmt.Errorf("stop: bad clause %q (want live<=M with M >= 1)", part)
+			}
+			spec = spec.And(Spec{LiveAtMost: m})
+		case strings.HasPrefix(part, "round>="):
+			r, err := strconv.ParseInt(part[len("round>="):], 10, 64)
+			if err != nil || r < 1 {
+				return Spec{}, fmt.Errorf("stop: bad clause %q (want round>=R with R >= 1)", part)
+			}
+			spec = spec.And(Spec{AfterRounds: r})
+		default:
+			return Spec{}, fmt.Errorf("stop: bad clause %q (want gamma>=G, live<=M or round>=R)", part)
+		}
+	}
+	return spec, spec.Validate()
+}

@@ -1,0 +1,152 @@
+package stop
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"plurality/internal/population"
+)
+
+func vec(t *testing.T, counts ...int64) *population.Vector {
+	t.Helper()
+	v, err := population.FromCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestZeroSpecNeverFires(t *testing.T) {
+	var s Spec
+	if !s.IsZero() {
+		t.Fatal("zero spec not IsZero")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("zero spec invalid: %v", err)
+	}
+	v := vec(t, 1000) // consensus state, Γ = 1, live = 1
+	if s.Done(1_000_000, v) {
+		t.Fatal("zero spec fired")
+	}
+	if s.String() != "" {
+		t.Fatalf("zero spec renders %q", s.String())
+	}
+}
+
+func TestDoneClauses(t *testing.T) {
+	balanced := vec(t, 250, 250, 250, 250) // Γ = 0.25, live = 4
+	skewed := vec(t, 900, 100)             // Γ = 0.82, live = 2
+	cases := []struct {
+		name  string
+		spec  Spec
+		round int64
+		v     *population.Vector
+		want  bool
+	}{
+		{"gamma below", Spec{GammaAtLeast: 0.5}, 3, balanced, false},
+		{"gamma reached", Spec{GammaAtLeast: 0.5}, 3, skewed, true},
+		{"gamma exact", Spec{GammaAtLeast: 0.25}, 3, balanced, true},
+		{"live above", Spec{LiveAtMost: 2}, 3, balanced, false},
+		{"live reached", Spec{LiveAtMost: 2}, 3, skewed, true},
+		{"rounds early", Spec{AfterRounds: 10}, 9, skewed, false},
+		{"rounds reached", Spec{AfterRounds: 10}, 10, skewed, true},
+		{"conjunction half", Spec{GammaAtLeast: 0.5, AfterRounds: 10}, 3, skewed, false},
+		{"conjunction full", Spec{GammaAtLeast: 0.5, AfterRounds: 10}, 12, skewed, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.spec.Done(tc.round, tc.v); got != tc.want {
+				t.Fatalf("Done(%d) = %v, want %v", tc.round, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, bad := range []Spec{
+		{GammaAtLeast: -0.1},
+		{GammaAtLeast: 1.5},
+		{GammaAtLeast: math.NaN()}, // would make Done() an unconditional stop
+		{LiveAtMost: -1},
+		{AfterRounds: -7},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("spec %+v accepted", bad)
+		}
+	}
+	for _, good := range []Spec{
+		{},
+		{GammaAtLeast: 1},
+		{GammaAtLeast: 0.5, LiveAtMost: 2, AfterRounds: 100},
+	} {
+		if err := good.Validate(); err != nil {
+			t.Errorf("spec %+v rejected: %v", good, err)
+		}
+	}
+}
+
+func TestAndKeepsStricter(t *testing.T) {
+	a := Spec{GammaAtLeast: 0.3, LiveAtMost: 8}
+	b := Spec{GammaAtLeast: 0.5, LiveAtMost: 16, AfterRounds: 40}
+	got := a.And(b)
+	want := Spec{GammaAtLeast: 0.5, LiveAtMost: 8, AfterRounds: 40}
+	if got != want {
+		t.Fatalf("And = %+v, want %+v", got, want)
+	}
+	if r := b.And(a); r != want {
+		t.Fatalf("And not symmetric: %+v vs %+v", r, want)
+	}
+	if r := a.And(Spec{}); r != a {
+		t.Fatalf("And with zero spec changed %+v to %+v", a, r)
+	}
+}
+
+func TestParseSpecRoundTrips(t *testing.T) {
+	cases := map[string]Spec{
+		"gamma>=0.5":              {GammaAtLeast: 0.5},
+		"live<=2":                 {LiveAtMost: 2},
+		"round>=100":              {AfterRounds: 100},
+		"gamma>=0.5,live<=2":      {GammaAtLeast: 0.5, LiveAtMost: 2},
+		" gamma>=0.25 , round>=7": {GammaAtLeast: 0.25, AfterRounds: 7},
+	}
+	for text, want := range cases {
+		got, err := ParseSpec(text)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", text, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", text, got, want)
+			continue
+		}
+		again, err := ParseSpec(got.String())
+		if err != nil || again != got {
+			t.Errorf("String round-trip of %q failed: %q -> %+v, %v", text, got.String(), again, err)
+		}
+	}
+	for _, bad := range []string{"", "gamma>=0", "gamma>=2", "live<=0", "round>=0", "gamma=0.5", "nonsense", "gamma>=0.5;live<=2"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	data, err := json.Marshal(Spec{GammaAtLeast: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"gamma_at_least":0.5}` {
+		t.Fatalf("marshal = %s", data)
+	}
+	// Unset clauses must be omitted so the service's canonical keys do
+	// not depend on clause count.
+	data, err = json.Marshal(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{}` {
+		t.Fatalf("zero spec marshal = %s", data)
+	}
+}

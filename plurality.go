@@ -42,7 +42,6 @@ import (
 	"plurality/internal/core"
 	"plurality/internal/population"
 	"plurality/internal/rng"
-	"plurality/internal/sim"
 	"plurality/internal/trace"
 )
 
@@ -190,11 +189,16 @@ func Fractions(fracs []float64) Init {
 }
 
 // Dirichlet draws a fresh random fraction vector from the symmetric
-// Dirichlet(concentration) distribution on every build — so RunMany
-// trials start from independent random configurations. Small
-// concentrations give spiky starts (large γ₀), large ones
-// near-balanced starts. The stream is deterministic in seed; the
-// returned Init is safe for concurrent use.
+// Dirichlet(concentration) distribution on every build — so
+// multi-trial runs start from independent random configurations.
+// Small concentrations give spiky starts (large γ₀), large ones
+// near-balanced starts. The returned Init is safe for concurrent use
+// and its draw sequence is deterministic in seed — but unlike every
+// other generator it is draw-stateful: under parallel trial execution
+// the assignment of draws to trial indices depends on scheduling, and
+// multi-trial entry points consume one validation draw up front. For
+// per-trial reproducibility, run with Parallelism: 1 or use a
+// deterministic generator.
 func Dirichlet(k int, concentration float64, seed uint64) Init {
 	if k < 1 || concentration <= 0 {
 		return Init{build: func(int64) (*population.Vector, error) {
@@ -306,56 +310,48 @@ type Result struct {
 
 var errConfig = errors.New("plurality: invalid config")
 
-func (cfg Config) validate() error {
-	if cfg.Protocol.impl == nil {
-		return fmt.Errorf("%w: Protocol is required", errConfig)
+// experiment translates the legacy Config into its sync-mode
+// Experiment. The Config-level OnRound and Trace (a caller-owned
+// sampler) stay outside: the wrappers pass them straight into the
+// shared trial path, preserving the legacy hook semantics exactly.
+func (cfg Config) experiment() Experiment {
+	return Experiment{
+		Mode:      ModeSync,
+		N:         cfg.N,
+		Protocol:  cfg.Protocol,
+		Init:      cfg.Init,
+		Seed:      cfg.Seed,
+		MaxRounds: cfg.MaxRounds,
+		Adversary: cfg.Adversary,
 	}
-	if cfg.Init.build == nil {
-		return fmt.Errorf("%w: Init is required", errConfig)
-	}
-	if cfg.N < 0 {
-		return fmt.Errorf("%w: N = %d", errConfig, cfg.N)
-	}
-	return nil
 }
 
 // Run executes one run of the configured dynamics.
+//
+// Deprecated: Run is the legacy single-run entry point, kept
+// byte-identical forever; new code should use Experiment, which adds
+// trials, parallelism, stop conditions and streaming. Run(cfg) is
+// Experiment{Mode: ModeSync, NumTrials: 1, ...} with the same Seed.
 func Run(cfg Config) (Result, error) {
-	if err := cfg.validate(); err != nil {
-		return Result{}, err
-	}
-	v, err := cfg.Init.build(cfg.N)
+	c, err := cfg.experiment().compile()
 	if err != nil {
 		return Result{}, err
 	}
-	r := rng.New(rng.DeriveSeed(cfg.Seed, 0))
-	rc := core.RunConfig{
-		MaxRounds: cfg.MaxRounds,
-		PostRound: adversary.PostRound(cfg.Adversary.impl),
+	// The legacy stream: rng.New(DeriveSeed(Seed, 0)) — the façade
+	// seed of trial 0, which is why Experiment reproduces Run exactly.
+	tr, err := c.runFacade(rng.DeriveSeed(cfg.Seed, 0), cfg.Trace, cfg.OnRound, 0)
+	if err != nil {
+		return Result{}, err
 	}
-	if cfg.OnRound != nil || cfg.Trace != nil {
-		onRound, tr := cfg.OnRound, cfg.Trace
-		rc.Observer = func(round int, v *population.Vector) bool {
-			tr.Observe(int64(round), v) // nil-safe no-op when untraced
-			if onRound != nil {
-				return onRound(round, Snapshot{v: v})
-			}
-			return false
-		}
-	}
-	if _, isUSD := cfg.Protocol.impl.(core.Undecided); isUSD {
-		rc.Done = func(v *population.Vector) bool {
-			_, ok := core.DecidedConsensus(v)
-			return ok
-		}
-	}
-	res := core.Run(r, cfg.Protocol.impl, v, rc)
-	return Result{Rounds: res.Rounds, Consensus: res.Consensus, Winner: res.Winner}, nil
+	return Result{Rounds: int(tr.Rounds), Consensus: tr.Consensus, Winner: tr.Winner}, nil
 }
 
 // RunMany executes trials independent runs in parallel (deterministic
 // in cfg.Seed and the trial index) and returns per-trial results.
 // Config.OnRound is not supported here; use Run for observed runs.
+//
+// Deprecated: use Experiment with NumTrials set; RunMany(cfg, t) is
+// Experiment{..., NumTrials: t}.Run() with the results unwrapped.
 func RunMany(cfg Config, trials int) ([]Result, error) {
 	return RunManyParallel(cfg, trials, 0)
 }
@@ -364,8 +360,11 @@ func RunMany(cfg Config, trials int) ([]Result, error) {
 // (parallelism <= 0 means GOMAXPROCS). Trial i's stream depends only
 // on (cfg.Seed, i), so the results are identical for every
 // parallelism value.
+//
+// Deprecated: use Experiment with NumTrials and Parallelism set.
 func RunManyParallel(cfg Config, trials, parallelism int) ([]Result, error) {
-	return runManyParallel(cfg, trials, parallelism, nil)
+	results, _, err := runManyLegacy(cfg, trials, parallelism, nil)
+	return results, err
 }
 
 // RunManyTraced is RunManyParallel with per-round tracing: each trial
@@ -374,76 +373,57 @@ func RunManyParallel(cfg Config, trials, parallelism int) ([]Result, error) {
 // Results, is identical for every parallelism value. Tracing never
 // touches the trial RNG streams: the Results are byte-for-byte the
 // ones RunManyParallel returns for the same Config.
+//
+// Deprecated: use Experiment with Trace set; each TrialResult carries
+// its own points.
 func RunManyTraced(cfg Config, trials, parallelism int, spec trace.Spec) ([]Result, [][]trace.Point, error) {
-	spec = spec.Normalize()
-	if err := spec.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", errConfig, err)
-	}
-	samplers := make([]*trace.Sampler, max(trials, 0))
-	for i := range samplers {
-		samplers[i] = trace.NewSampler(spec, i)
-	}
-	results, err := runManyParallel(cfg, trials, parallelism, func(trial int) func(round int, v *population.Vector) bool {
-		s := samplers[trial]
-		return func(round int, v *population.Vector) bool {
-			s.Observe(int64(round), v)
-			return false
-		}
-	})
+	return runManyLegacy(cfg, trials, parallelism, &spec)
+}
+
+// runManyLegacy is the shared body of the multi-trial wrappers: it
+// validates with the legacy error texts, then collects the unified
+// trial stream into the legacy result shapes.
+func runManyLegacy(cfg Config, trials, parallelism int, spec *trace.Spec) ([]Result, [][]trace.Point, error) {
+	e := cfg.experiment()
+	// compile never sees an invalid count: config errors keep their
+	// precedence (legacy order was validate-then-trials) and a bad
+	// trials value keeps the legacy "trials = %d" text below.
+	e.NumTrials = max(trials, 1)
+	e.Parallelism = parallelism
+	e.Trace = spec
+	c, err := e.compile()
 	if err != nil {
 		return nil, nil, err
 	}
-	traces := make([][]trace.Point, len(samplers))
-	for i, s := range samplers {
-		traces[i] = s.Points()
-	}
-	return results, traces, nil
-}
-
-func runManyParallel(cfg Config, trials, parallelism int, observe func(trial int) func(round int, v *population.Vector) bool) ([]Result, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
 	if trials < 1 {
-		return nil, fmt.Errorf("%w: trials = %d", errConfig, trials)
+		return nil, nil, fmt.Errorf("%w: trials = %d", errConfig, trials)
 	}
 	if cfg.OnRound != nil {
-		return nil, fmt.Errorf("%w: OnRound is not supported by RunMany", errConfig)
+		return nil, nil, fmt.Errorf("%w: OnRound is not supported by RunMany", errConfig)
 	}
 	if cfg.Trace != nil {
-		return nil, fmt.Errorf("%w: Config.Trace is per-run; use RunManyTraced for multi-trial traces", errConfig)
+		return nil, nil, fmt.Errorf("%w: Config.Trace is per-run; use RunManyTraced for multi-trial traces", errConfig)
 	}
 	// Validate the generator once up front so per-trial errors cannot
 	// differ (Init.build is deterministic given n).
-	if _, err := cfg.Init.build(cfg.N); err != nil {
-		return nil, err
+	if err := c.prebuild(); err != nil {
+		return nil, nil, err
 	}
-	spec := sim.Spec{
-		Protocol: cfg.Protocol.impl,
-		Init: func(int) *population.Vector {
-			v, err := cfg.Init.build(cfg.N)
-			if err != nil {
-				panic(err) // unreachable: validated above
-			}
-			return v
-		},
-		Trials:      trials,
-		Seed:        cfg.Seed,
-		MaxRounds:   cfg.MaxRounds,
-		PostRound:   adversary.PostRound(cfg.Adversary.impl),
-		Parallelism: parallelism,
-		Observe:     observe,
+	results := make([]Result, 0, trials)
+	var traces [][]trace.Point
+	if spec != nil {
+		traces = make([][]trace.Point, 0, trials)
 	}
-	if _, isUSD := cfg.Protocol.impl.(core.Undecided); isUSD {
-		spec.Done = func(v *population.Vector) bool {
-			_, ok := core.DecidedConsensus(v)
-			return ok
+	var runErr error
+	c.stream(func(i int, tr TrialResult) bool {
+		results = append(results, Result{Rounds: int(tr.Rounds), Consensus: tr.Consensus, Winner: tr.Winner})
+		if spec != nil {
+			traces = append(traces, tr.Trace)
 		}
+		return true
+	}, &runErr)
+	if runErr != nil {
+		return nil, nil, runErr
 	}
-	results := sim.RunMany(spec)
-	out := make([]Result, len(results))
-	for i, res := range results {
-		out[i] = Result{Rounds: res.Rounds, Consensus: res.Consensus, Winner: res.Winner}
-	}
-	return out, nil
+	return results, traces, nil
 }

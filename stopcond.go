@@ -1,0 +1,71 @@
+package plurality
+
+import "plurality/internal/stop"
+
+// StopCondition tells an Experiment when, short of full consensus, a
+// trial should end — at a phase boundary instead of the absorbing
+// state. The paper's headline results are hitting-time statements (the
+// round Γ crosses 1/2, the round the live-opinion count halves), and
+// D'Archivio et al. tie consensus time to boundaries crossed long
+// before consensus; a StopCondition runs every trial exactly to such a
+// boundary.
+//
+// Conditions are evaluated at round boundaries on the between-rounds
+// state — through the same observer hooks as tracing, never the
+// engines' RNG streams — so a stopped trial is byte-for-byte the
+// prefix of the unstopped trial of the same seed, in every mode and at
+// every parallelism. Consensus always ends a trial whatever the
+// condition: a StopCondition can only shorten a run.
+//
+// The zero value is StopAtConsensus(). Combine conditions with And;
+// a combined condition fires at the first round where every clause
+// holds simultaneously.
+type StopCondition struct {
+	spec stop.Spec
+}
+
+// StopAtConsensus returns the default condition: run until all
+// vertices agree (or the round/tick budget runs out).
+func StopAtConsensus() StopCondition { return StopCondition{} }
+
+// StopWhenGammaAtLeast stops a trial at the end of the first round
+// with Γ = Σ α(i)² >= g (g in (0, 1]; 0 means "unset" in the
+// declarative spec encoding and yields StopAtConsensus, any other
+// out-of-range value is rejected at validation). Γ >= 1/2 is the
+// paper's two-opinion endgame boundary.
+func StopWhenGammaAtLeast(g float64) StopCondition {
+	return StopCondition{spec: stop.Spec{GammaAtLeast: g}}
+}
+
+// StopWhenLiveAtMost stops a trial at the end of the first round with
+// at most m surviving opinions (m >= 1) — the live-opinion decay
+// observable of the paper's Remark 2.5.
+func StopWhenLiveAtMost(m int) StopCondition {
+	return StopCondition{spec: stop.Spec{LiveAtMost: m}}
+}
+
+// StopAfterRounds stops a trial at the end of round r (r >= 1). Unlike
+// MaxRounds it composes with the other clauses: combined via And, the
+// trial stops at the first round >= r where the rest of the
+// conjunction also holds.
+func StopAfterRounds(r int64) StopCondition {
+	return StopCondition{spec: stop.Spec{AfterRounds: r}}
+}
+
+// StopSpec wraps a declarative stop.Spec (the JSON form the service
+// layer's requests carry) into a StopCondition.
+func StopSpec(s stop.Spec) StopCondition { return StopCondition{spec: s} }
+
+// And returns the conjunction of two conditions: the result fires only
+// at a round where both would. Same-clause combinations keep the
+// stricter threshold.
+func (c StopCondition) And(d StopCondition) StopCondition {
+	return StopCondition{spec: c.spec.And(d.spec)}
+}
+
+// Spec returns the condition's declarative form — what a service
+// request's "stop" field carries.
+func (c StopCondition) Spec() stop.Spec { return c.spec }
+
+// String renders the condition ("" for StopAtConsensus).
+func (c StopCondition) String() string { return c.spec.String() }
