@@ -12,12 +12,28 @@
 // Usage:
 //
 //	conserve [-addr :8080] [-workers 0] [-parallelism 0] [-queue 64] [-cache 256]
+//	         [-data-dir DIR] [-max-retries 0] [-job-timeout 0] [-drain-timeout 30s]
 //
 // -workers sizes the request pool (how many requests run at once);
 // -parallelism is each request's internal budget (trial fan-out in
 // every mode, plus sharded graph rounds), so a lone big job expands
 // into idle cores. Both default to GOMAXPROCS; neither affects
 // results.
+//
+// -data-dir makes jobs durable: admissions, per-trial checkpoints and
+// completions go to an append-only checksummed journal under DIR, and
+// completed results are served from DIR/results across restarts. A
+// killed server replays the journal on the next start, re-queues
+// interrupted jobs, and resumes each from its last checkpoint — the
+// response bytes are identical to an uninterrupted run. Without the
+// flag conserve is fully in-memory, exactly as before.
+//
+// -max-retries retries a failing job that many times (with capped,
+// jittered exponential backoff, resuming from its last checkpoint);
+// -job-timeout bounds each attempt. On SIGTERM/SIGINT conserve drains:
+// intake answers 503, running jobs checkpoint and stop at the next
+// trial boundary (journaled as interrupted, so a restart resumes
+// them), bounded by -drain-timeout.
 //
 // Examples:
 //
@@ -56,6 +72,7 @@ import (
 	"syscall"
 	"time"
 
+	"plurality/internal/durable"
 	"plurality/internal/service"
 )
 
@@ -75,22 +92,47 @@ func main() {
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("conserve", flag.ContinueOnError)
 	var (
-		addr        = fs.String("addr", ":8080", "listen address")
-		workers     = fs.Int("workers", 0, "simulation workers, i.e. requests running at once (0 = GOMAXPROCS)")
-		parallelism = fs.Int("parallelism", 0, "per-request parallelism budget: trial fan-out and sharded graph rounds (0 = GOMAXPROCS; never affects results)")
-		queue       = fs.Int("queue", 64, "admission queue depth (full queue => 429)")
-		cache       = fs.Int("cache", 256, "LRU result-cache entries (-1 disables)")
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 0, "simulation workers, i.e. requests running at once (0 = GOMAXPROCS)")
+		parallelism  = fs.Int("parallelism", 0, "per-request parallelism budget: trial fan-out and sharded graph rounds (0 = GOMAXPROCS; never affects results)")
+		queue        = fs.Int("queue", 64, "admission queue depth (full queue => 429)")
+		cache        = fs.Int("cache", 256, "LRU result-cache entries (-1 disables)")
+		dataDir      = fs.String("data-dir", "", "durable data directory: journal + on-disk results, crash-safe resume (empty = in-memory only)")
+		maxRetries   = fs.Int("max-retries", 0, "in-process retries per failing job, resuming from its last checkpoint")
+		jobTimeout   = fs.Duration("job-timeout", 0, "wall-clock bound per execution attempt (0 = none)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound: how long to let in-flight jobs checkpoint and finish")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	runner := service.NewRunner(service.Options{
+	opts := service.Options{
 		Workers:     *workers,
 		Parallelism: *parallelism,
 		QueueDepth:  *queue,
 		CacheSize:   *cache,
-	})
+		MaxAttempts: *maxRetries + 1,
+		JobTimeout:  *jobTimeout,
+	}
+	if *dataDir != "" {
+		store, err := durable.Open(durable.OSFS{}, *dataDir)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		rec := store.Recovered()
+		log.Printf("conserve: journal replay: %d records (%d bytes) in %s; %d completed results, %d interrupted jobs to resume",
+			rec.Journal.Records, rec.Journal.ValidBytes, rec.Elapsed.Round(time.Millisecond), rec.CompletedKeys, len(rec.Interrupted))
+		if rec.Journal.CorruptTail != "" {
+			log.Printf("conserve: journal corruption recovered: %s (valid prefix kept)", rec.Journal.CorruptTail)
+		}
+		for _, a := range rec.Anomalies {
+			log.Printf("conserve: journal anomaly: %s", a)
+		}
+		opts.Store = store
+	}
+
+	runner := service.NewRunner(opts)
 	defer runner.Close()
 
 	ln, err := net.Listen("tcp", *addr)
@@ -110,9 +152,18 @@ func run(ctx context.Context, args []string) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		log.Printf("conserve: shutting down")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful drain, in order: (1) runner stops admitting — intake
+		// answers 503 while the server keeps serving; (2) running jobs
+		// observe the cancellation at the next trial boundary, write a
+		// final checkpoint, and end journaled as interrupted (a restart
+		// resumes them); (3) the HTTP server shuts down; (4) the store's
+		// deferred Close flushes the journal.
+		log.Printf("conserve: draining (timeout %s)", *drainTimeout)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		return srv.Shutdown(shutCtx)
+		if err := runner.Drain(drainCtx); err != nil {
+			log.Printf("conserve: drain incomplete: %v (checkpoints are journaled; restart resumes)", err)
+		}
+		return srv.Shutdown(drainCtx)
 	}
 }

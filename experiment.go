@@ -1,6 +1,7 @@
 package plurality
 
 import (
+	"context"
 	"fmt"
 	"iter"
 	"runtime"
@@ -87,6 +88,16 @@ type Experiment struct {
 	// Trials method streams them; it could not share the field's
 	// natural name.
 	NumTrials int
+	// FirstTrial, when positive, skips trials 0..FirstTrial-1: only
+	// trials FirstTrial..NumTrials-1 are executed and delivered, each
+	// still derived from rng.DeriveSeed(Seed, trial) under its absolute
+	// index. Because trials are independent in exactly that index, the
+	// delivered suffix is byte-identical to the same trials of a full
+	// run — the property the service layer's checkpoint/resume leans
+	// on: re-running an interrupted request with FirstTrial set to the
+	// checkpoint continues it exactly. Must be in [0, NumTrials]
+	// (FirstTrial == NumTrials runs nothing).
+	FirstTrial int
 	// Parallelism bounds the worker goroutines (0 = GOMAXPROCS):
 	// trial fan-out in every mode — memory-clamped for the graph and
 	// gossip engines — with the leftover budget sharding each graph
@@ -212,7 +223,7 @@ func (e Experiment) Run() (*Outcome, error) {
 	}
 	out := &Outcome{Mode: c.e.Mode, Trials: make([]TrialResult, 0, c.e.NumTrials)}
 	var runErr error
-	c.stream(func(i int, tr TrialResult) bool {
+	c.stream(nil, func(i int, tr TrialResult) bool {
 		out.Trials = append(out.Trials, tr)
 		return true
 	}, &runErr)
@@ -244,8 +255,35 @@ func (e Experiment) Trials() (iter.Seq2[int, TrialResult], error) {
 		return nil, err
 	}
 	return func(yield func(int, TrialResult) bool) {
-		c.stream(yield, nil)
+		c.stream(nil, yield, nil)
 	}, nil
+}
+
+// Stream executes the experiment's trials, delivering each to yield in
+// deterministic index order exactly as Trials does, with two additions
+// the durable service layer needs: a context that cancels cooperatively
+// at trial boundaries (no new trial starts after ctx fires; in-flight
+// trials finish; Stream returns ctx.Err()), and an error return — a
+// validation error before any trial runs, or the lowest failing trial
+// index's error (trial panics included). Combined with FirstTrial,
+// this is the checkpoint/resume primitive: every yielded trial is a
+// complete unit of progress, and an interrupted stream can be continued
+// by a new Stream with FirstTrial set past the last yielded index,
+// producing bytes identical to the uninterrupted run.
+//
+// yield returning false stops the stream early without error, as in
+// Trials.
+func (e Experiment) Stream(ctx context.Context, yield func(int, TrialResult) bool) error {
+	c, err := e.compile()
+	if err != nil {
+		return err
+	}
+	if err := c.prebuild(); err != nil {
+		return err
+	}
+	var runErr error
+	c.stream(ctx, yield, &runErr)
+	return runErr
 }
 
 // normalize fills the experiment's defaults.
@@ -293,6 +331,9 @@ func (e Experiment) compile() (*compiled, error) {
 	c := &compiled{e: e, stop: e.Stop.spec}
 	if e.NumTrials < 0 {
 		return nil, fmt.Errorf("%w: NumTrials = %d", errConfig, e.NumTrials)
+	}
+	if e.FirstTrial < 0 || e.FirstTrial > e.NumTrials {
+		return nil, fmt.Errorf("%w: FirstTrial = %d with NumTrials = %d", errConfig, e.FirstTrial, e.NumTrials)
 	}
 	if err := c.stop.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", errConfig, err)
@@ -504,15 +545,26 @@ type trialOutcome struct {
 // of the stream or an earlier trial failed; it never escapes stream.
 var errTrialCancelled = fmt.Errorf("plurality: trial cancelled")
 
-// stream runs the trials on sim.ForEachTrial's deterministic scheduler
-// and delivers results to yield in index order as they complete.
-// Per-trial randomness depends only on (Seed, trial), so the delivered
-// bytes are identical for every Parallelism value. On a per-trial
-// error the stream stops at that index (the lowest failing one, since
-// delivery is in index order) and reports it through errOut; remaining
-// unstarted trials are skipped.
-func (c *compiled) stream(yield func(int, TrialResult) bool, errOut *error) {
+// stream runs trials FirstTrial..NumTrials-1 on the deterministic
+// trial scheduler and delivers results to yield in index order as they
+// complete. Per-trial randomness depends only on (Seed, trial), so the
+// delivered bytes are identical for every Parallelism value. On a
+// per-trial error the stream stops at that index (the lowest failing
+// one, since delivery is in index order) and reports it through
+// errOut; remaining unstarted trials are skipped. A panic inside a
+// trial body is contained to that trial and surfaces the same way — a
+// poisoned configuration fails one experiment, not the process.
+//
+// ctx, when non-nil, cancels cooperatively at trial boundaries: no new
+// trial starts after it fires, in-flight trials run to completion, and
+// errOut reports ctx.Err() — the contract the service layer's drain
+// and job-timeout paths rely on to checkpoint cleanly.
+func (c *compiled) stream(ctx context.Context, yield func(int, TrialResult) bool, errOut *error) {
 	trials := c.e.NumTrials
+	first := c.e.FirstTrial
+	if first >= trials {
+		return
+	}
 	parallelism := c.e.Parallelism
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -521,21 +573,22 @@ func (c *compiled) stream(yield func(int, TrialResult) bool, errOut *error) {
 	var samplers []*trace.Sampler
 	if c.e.Trace != nil {
 		samplers = make([]*trace.Sampler, trials)
-		for i := range samplers {
+		for i := first; i < trials; i++ {
 			samplers[i] = trace.NewSampler(*c.e.Trace, i)
 		}
 	}
 	// Buffered per-trial slots: every worker sends exactly once and
 	// never blocks, so an early consumer break leaks nothing.
 	outs := make([]chan trialOutcome, trials)
-	for i := range outs {
+	for i := first; i < trials; i++ {
 		outs[i] = make(chan trialOutcome, 1)
 	}
 	var cancelled atomic.Bool
 	go func() {
 		// The scheduler's own lowest-index error reporting is unused:
 		// the consumer below sees errors in index order already.
-		_ = sim.ForEachTrial(trials, trialWorkers, func(i int) error {
+		_ = sim.ForEachTrialCtx(ctx, trials-first, trialWorkers, func(idx int) error {
+			i := first + idx
 			if cancelled.Load() {
 				outs[i] <- trialOutcome{err: errTrialCancelled}
 				return nil
@@ -549,7 +602,17 @@ func (c *compiled) stream(yield func(int, TrialResult) bool, errOut *error) {
 				hook := c.e.OnRound
 				onRound = func(round int, s Snapshot) bool { return hook(i, round, s) }
 			}
-			res, err := c.runFacade(rng.DeriveSeed(c.e.Seed, uint64(i)), tr, onRound, graphWorkers)
+			res, err := func() (res TrialResult, err error) {
+				// Contain trial panics here, where the per-trial result
+				// slot can still be delivered; the scheduler's own
+				// recovery cannot reach outs[i].
+				defer func() {
+					if p := recover(); p != nil {
+						err = fmt.Errorf("plurality: trial %d panicked: %v", i, p)
+					}
+				}()
+				return c.runFacade(rng.DeriveSeed(c.e.Seed, uint64(i)), tr, onRound, graphWorkers)
+			}()
 			if err != nil {
 				outs[i] <- trialOutcome{err: err}
 				return err
@@ -562,18 +625,30 @@ func (c *compiled) stream(yield func(int, TrialResult) bool, errOut *error) {
 			return nil
 		})
 	}()
-	for i := 0; i < trials; i++ {
-		out := <-outs[i]
-		if out.err != nil {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	for i := first; i < trials; i++ {
+		select {
+		case <-done:
 			cancelled.Store(true)
 			if errOut != nil {
-				*errOut = out.err
+				*errOut = ctx.Err()
 			}
 			return
-		}
-		if !yield(i, out.res) {
-			cancelled.Store(true)
-			return
+		case out := <-outs[i]:
+			if out.err != nil {
+				cancelled.Store(true)
+				if errOut != nil {
+					*errOut = out.err
+				}
+				return
+			}
+			if !yield(i, out.res) {
+				cancelled.Store(true)
+				return
+			}
 		}
 	}
 }

@@ -1,0 +1,116 @@
+package durable
+
+import (
+	"sync"
+)
+
+// FaultFS wraps an FS with injectable failures — the fault-injection
+// harness behind the crash-safety tests. Hooks run before the real
+// operation; returning a non-nil error suppresses it. WriteHook may
+// additionally truncate a write (a torn write: the first `allow` bytes
+// land, then the error surfaces), modelling ENOSPC and kernel
+// short-write behavior.
+//
+// All hooks are optional; a zero-hook FaultFS is transparent. Hook
+// fields must be set before the FS is handed to a Journal/Store (they
+// are read without synchronization; the Calls counter is separate and
+// safe for concurrent use).
+type FaultFS struct {
+	FS
+	// WriteHook intercepts every File.Write: it sees the file name and
+	// payload size and returns how many bytes to let through plus the
+	// error to report. allow < 0 means "all of them".
+	WriteHook func(name string, size int) (allow int, err error)
+	// SyncHook intercepts every File.Sync.
+	SyncHook func(name string) error
+	// RenameHook intercepts Rename (atomic result publish).
+	RenameHook func(oldname, newname string) error
+
+	mu    sync.Mutex
+	calls map[string]int
+}
+
+// NewFaultFS wraps base (OSFS{} for a real temp dir).
+func NewFaultFS(base FS) *FaultFS {
+	return &FaultFS{FS: base, calls: make(map[string]int)}
+}
+
+// Count returns how many times the named op ("write", "sync",
+// "rename") ran (including suppressed ones).
+func (f *FaultFS) Count(op string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[op]
+}
+
+func (f *FaultFS) bump(op string) {
+	f.mu.Lock()
+	f.calls[op]++
+	f.mu.Unlock()
+}
+
+// OpenAppend implements FS.
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	file, err := f.FS.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f, name: name}, nil
+}
+
+// Create implements FS.
+func (f *FaultFS) Create(name string) (File, error) {
+	file, err := f.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f, name: name}, nil
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	f.bump("rename")
+	if f.RenameHook != nil {
+		if err := f.RenameHook(oldname, newname); err != nil {
+			return err
+		}
+	}
+	return f.FS.Rename(oldname, newname)
+}
+
+// faultFile threads the hooks through a single open file.
+type faultFile struct {
+	File
+	fs   *FaultFS
+	name string
+}
+
+func (f *faultFile) Write(b []byte) (int, error) {
+	f.fs.bump("write")
+	if hook := f.fs.WriteHook; hook != nil {
+		allow, err := hook(f.name, len(b))
+		if err != nil {
+			if allow < 0 || allow > len(b) {
+				allow = len(b)
+			}
+			n := 0
+			if allow > 0 {
+				// The torn half really lands on disk, exactly like a
+				// crash mid-write.
+				n, _ = f.File.Write(b[:allow])
+			}
+			return n, err
+		}
+	}
+	return f.File.Write(b)
+}
+
+func (f *faultFile) Sync() error {
+	f.fs.bump("sync")
+	if hook := f.fs.SyncHook; hook != nil {
+		if err := hook(f.name); err != nil {
+			return err
+		}
+	}
+	return f.File.Sync()
+}

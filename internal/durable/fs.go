@@ -1,0 +1,85 @@
+// Package durable is the crash-safety layer under the conserve
+// service: an append-only, CRC-checksummed, fsync'd journal of job
+// lifecycle records plus a disk-backed result cache, combined into a
+// Store the runner replays on startup. Keys are the service layer's
+// canonical SHA-256 request keys, so a journal written by one process
+// is meaningful to any other process serving the same request space.
+//
+// Filesystem access goes through the small FS interface so the fault
+// -injection harness (FaultFS) can exercise torn writes, ENOSPC and
+// fsync failures without touching a real disk's failure modes.
+package durable
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the subset of *os.File the journal and result cache need.
+type File interface {
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	// Truncate cuts the file to the given length.
+	Truncate(size int64) error
+}
+
+// FS abstracts the filesystem operations the durability layer
+// performs. OSFS is the real implementation; FaultFS wraps any FS with
+// injectable failures.
+type FS interface {
+	// OpenAppend opens (creating if needed) the file for appending.
+	OpenAppend(name string) (File, error)
+	// Create opens the file for writing from scratch (truncating).
+	Create(name string) (File, error)
+	// ReadFile returns the file's full contents.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes the file.
+	Remove(name string) error
+	// MkdirAll creates the directory and its parents.
+	MkdirAll(name string) error
+	// ReadDir lists the directory's entry names.
+	ReadDir(name string) ([]string, error)
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(name string) error { return os.MkdirAll(name, 0o755) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(name string) ([]string, error) {
+	entries, err := os.ReadDir(name)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = filepath.Base(e.Name())
+	}
+	return names, nil
+}

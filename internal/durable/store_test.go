@@ -1,0 +1,430 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testKey(i int) string {
+	return fmt.Sprintf("%064x", i)
+}
+
+func openStore(t *testing.T, fsys FS, dir string) *Store {
+	t.Helper()
+	s, err := Open(fsys, dir)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	return s
+}
+
+func TestStoreLifecycleAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, OSFS{}, dir)
+	k1, k2, k3 := testKey(1), testKey(2), testKey(3)
+
+	// k1 completes, k2 is interrupted mid-flight with a checkpoint,
+	// k3 fails terminally.
+	for _, step := range []func() error{
+		func() error { return s.Submitted(k1, []byte(`{"mode":"sync"}`)) },
+		func() error { return s.Started(k1, 1) },
+		func() error { return s.Completed(k1, []byte(`{"trials":[1,2,3]}`)) },
+		func() error { return s.Submitted(k2, []byte(`{"mode":"graph"}`)) },
+		func() error { return s.Started(k2, 1) },
+		func() error { return s.Checkpoint(k2, []byte(`{"next_trial":7}`)) },
+		func() error { return s.Submitted(k3, []byte(`{"mode":"gossip"}`)) },
+		func() error { return s.Started(k3, 1) },
+		func() error { return s.Failed(k3, "attempt budget exhausted") },
+	} {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if data, ok := s.Result(k1); !ok || string(data) != `{"trials":[1,2,3]}` {
+		t.Fatalf("live result: ok=%v data=%s", ok, data)
+	}
+	s.Close()
+
+	// Reopen: the crash-recovery path.
+	s2 := openStore(t, OSFS{}, dir)
+	defer s2.Close()
+	rec := s2.Recovered()
+	if rec.CompletedKeys != 1 {
+		t.Fatalf("CompletedKeys = %d, want 1", rec.CompletedKeys)
+	}
+	if len(rec.Anomalies) != 0 {
+		t.Fatalf("clean reopen reported anomalies: %v", rec.Anomalies)
+	}
+	if len(rec.Interrupted) != 1 {
+		t.Fatalf("Interrupted = %+v, want exactly k2", rec.Interrupted)
+	}
+	st := rec.Interrupted[0]
+	if st.Key != k2 || st.Attempts != 1 || string(st.Checkpoint) != `{"next_trial":7}` ||
+		string(st.Request) != `{"mode":"graph"}` {
+		t.Fatalf("interrupted state %+v", st)
+	}
+	if data, ok := s2.Result(k1); !ok || string(data) != `{"trials":[1,2,3]}` {
+		t.Fatalf("recovered result: ok=%v data=%s", ok, data)
+	}
+	if _, ok := s2.Result(k2); ok {
+		t.Fatal("interrupted key served a result")
+	}
+}
+
+// TestStoreInterruptedOrder: re-queue order is first-submission order,
+// so a restart drains the backlog in the order clients created it.
+func TestStoreInterruptedOrder(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, OSFS{}, dir)
+	var want []string
+	for i := 5; i >= 1; i-- {
+		k := testKey(i)
+		want = append(want, k)
+		if err := s.Submitted(k, []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	s2 := openStore(t, OSFS{}, dir)
+	defer s2.Close()
+	got := s2.Recovered().Interrupted
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d jobs, want %d", len(got), len(want))
+	}
+	for i, st := range got {
+		if st.Key != want[i] {
+			t.Fatalf("position %d: got %s want %s", i, st.Key, want[i])
+		}
+	}
+}
+
+// TestStoreDuplicateCompletion: a duplicate completed record is an
+// anomaly (logged, kept-first), never a crash, and the key still
+// serves its result.
+func TestStoreDuplicateCompletion(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, OSFS{}, dir)
+	k := testKey(1)
+	if err := s.Submitted(k, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Completed(k, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Forge the duplicate directly in the journal, as a crashed writer
+	// that double-journaled would have.
+	if err := s.journal.Append(Record{Op: OpCompleted, Key: k}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := openStore(t, OSFS{}, dir)
+	defer s2.Close()
+	rec := s2.Recovered()
+	if rec.CompletedKeys != 1 || len(rec.Interrupted) != 0 {
+		t.Fatalf("recovery %+v", rec)
+	}
+	found := false
+	for _, a := range rec.Anomalies {
+		if strings.Contains(a, "duplicate completion") && strings.Contains(a, k) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("duplicate completion not reported: %v", rec.Anomalies)
+	}
+	if data, ok := s2.Result(k); !ok || string(data) != `{"v":1}` {
+		t.Fatalf("result after duplicate: ok=%v data=%s", ok, data)
+	}
+}
+
+// TestStoreCompletedWithoutResult: a completed record whose result file
+// vanished re-queues the job instead of serving nothing.
+func TestStoreCompletedWithoutResult(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, OSFS{}, dir)
+	k := testKey(1)
+	if err := s.Submitted(k, []byte(`{"mode":"async"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Completed(k, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.Remove(filepath.Join(dir, "results", k+".json")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, OSFS{}, dir)
+	defer s2.Close()
+	rec := s2.Recovered()
+	if rec.CompletedKeys != 0 {
+		t.Fatalf("CompletedKeys = %d, want 0", rec.CompletedKeys)
+	}
+	if len(rec.Interrupted) != 1 || rec.Interrupted[0].Key != k {
+		t.Fatalf("missing-result key not re-queued: %+v", rec.Interrupted)
+	}
+	found := false
+	for _, a := range rec.Anomalies {
+		if strings.Contains(a, "no readable result") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing result not reported: %v", rec.Anomalies)
+	}
+}
+
+// TestStoreResubmitAfterCompletion: a fresh submitted record after a
+// completion supersedes it (deliberate re-run), so replay re-queues.
+func TestStoreResubmitAfterCompletion(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, OSFS{}, dir)
+	k := testKey(1)
+	if err := s.Submitted(k, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Completed(k, []byte(`{"r":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submitted(k, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2 := openStore(t, OSFS{}, dir)
+	defer s2.Close()
+	rec := s2.Recovered()
+	if len(rec.Interrupted) != 1 || rec.Interrupted[0].Key != k {
+		t.Fatalf("resubmitted key not re-queued: %+v", rec.Interrupted)
+	}
+}
+
+// TestStoreCorruptTailRecovery: a garbage tail after live records is
+// logged as an anomaly and the prefix state machine still works.
+func TestStoreCorruptTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, OSFS{}, dir)
+	k := testKey(1)
+	if err := s.Submitted(k, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Completed(k, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	jp := filepath.Join(dir, "journal.log")
+	f, err := os.OpenFile(jp, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xFF, 0x01, 0x02})
+	f.Close()
+
+	s2 := openStore(t, OSFS{}, dir)
+	defer s2.Close()
+	rec := s2.Recovered()
+	if rec.CompletedKeys != 1 {
+		t.Fatalf("CompletedKeys = %d after torn tail", rec.CompletedKeys)
+	}
+	if rec.Journal.CorruptTail == "" || len(rec.Anomalies) == 0 {
+		t.Fatalf("torn tail not reported: %+v", rec)
+	}
+}
+
+// TestStoreCrashAtEveryBoundary is the headline durability property:
+// truncate the journal at every record boundary of a full lifecycle
+// and assert that at no crash point is a completed result lost — a
+// completed record always has readable result bytes — and keys only
+// ever classify as completed / interrupted / failed, never vanish once
+// submitted (unless their submission record itself is gone).
+func TestStoreCrashAtEveryBoundary(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, OSFS{}, dir)
+	k1, k2 := testKey(1), testKey(2)
+	var cuts []int64
+	mark := func() { cuts = append(cuts, s.JournalSize()) }
+	mark()
+	steps := []func() error{
+		func() error { return s.Submitted(k1, []byte(`{"a":1}`)) },
+		func() error { return s.Started(k1, 1) },
+		func() error { return s.Submitted(k2, []byte(`{"b":2}`)) },
+		func() error { return s.Checkpoint(k1, []byte(`{"next_trial":4}`)) },
+		func() error { return s.Completed(k1, []byte(`{"r":1}`)) },
+		func() error { return s.Started(k2, 1) },
+		func() error { return s.Failed(k2, "boom") },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+		mark()
+	}
+	s.Close()
+	full, err := os.ReadFile(filepath.Join(dir, "journal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// k1 completes at step index 5 (cuts[5] is the boundary after it).
+	completedAt := cuts[5]
+	for ci, cut := range cuts {
+		cdir := t.TempDir()
+		if err := os.MkdirAll(filepath.Join(cdir, "results"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		// The result cache is written before the completed record, so at
+		// every journal cut the full cache directory is a valid (over-)
+		// approximation of disk state.
+		entries, err := os.ReadDir(filepath.Join(dir, "results"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(dir, "results", e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(cdir, "results", e.Name()), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(cdir, "journal.log"), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		s2 := openStore(t, OSFS{}, cdir)
+		rec := s2.Recovered()
+		if cut >= completedAt {
+			// Once the completed record is on disk, the result must be
+			// servable — never lost, never re-queued.
+			if rec.CompletedKeys != 1 {
+				t.Fatalf("cut %d (offset %d): CompletedKeys=%d, completed result lost", ci, cut, rec.CompletedKeys)
+			}
+			data, ok := s2.Result(k1)
+			if !ok || string(data) != `{"r":1}` {
+				t.Fatalf("cut %d: completed result unreadable: ok=%v data=%s", ci, ok, data)
+			}
+			for _, st := range rec.Interrupted {
+				if st.Key == k1 {
+					t.Fatalf("cut %d: completed key re-queued", ci)
+				}
+			}
+		} else if ci >= 1 {
+			// k1 submitted but not completed: must be re-queued, exactly
+			// once.
+			n := 0
+			for _, st := range rec.Interrupted {
+				if st.Key == k1 {
+					n++
+				}
+			}
+			if n != 1 {
+				t.Fatalf("cut %d: submitted-not-completed key queued %d times", ci, n)
+			}
+		}
+		s2.Close()
+	}
+}
+
+// TestStoreResultCachePutFaults: ENOSPC / fsync / rename failures while
+// publishing a result surface from Completed, leave no half-written
+// result visible, and do not journal the completion.
+func TestStoreResultCachePutFaults(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		set  func(f *FaultFS)
+	}{
+		{"enospc", func(f *FaultFS) {
+			f.WriteHook = func(name string, size int) (int, error) {
+				if strings.Contains(name, "results") {
+					return 3, fmt.Errorf("no space left on device")
+				}
+				return -1, nil
+			}
+		}},
+		{"fsync", func(f *FaultFS) {
+			f.SyncHook = func(name string) error {
+				if strings.Contains(name, "results") {
+					return fmt.Errorf("fsync: input/output error")
+				}
+				return nil
+			}
+		}},
+		{"rename", func(f *FaultFS) {
+			f.RenameHook = func(oldname, newname string) error {
+				return fmt.Errorf("rename: input/output error")
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := NewFaultFS(OSFS{})
+			s, err := Open(ffs, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := testKey(1)
+			if err := s.Submitted(k, []byte(`{}`)); err != nil {
+				t.Fatal(err)
+			}
+			tc.set(ffs)
+			if err := s.Completed(k, []byte(`{"r":1}`)); err == nil {
+				t.Fatal("Completed succeeded under an injected fault")
+			}
+			ffs.WriteHook, ffs.SyncHook, ffs.RenameHook = nil, nil, nil
+			if _, ok := s.Result(k); ok {
+				t.Fatal("half-written result became visible")
+			}
+			s.Close()
+
+			// Restart: the job must come back as interrupted, not
+			// completed (the completed record was never journaled).
+			s2 := openStore(t, OSFS{}, dir)
+			defer s2.Close()
+			rec := s2.Recovered()
+			if rec.CompletedKeys != 0 || len(rec.Interrupted) != 1 {
+				t.Fatalf("after %s fault: %+v", tc.name, rec)
+			}
+		})
+	}
+}
+
+func TestResultCacheRejectsMalformedKeys(t *testing.T) {
+	c, err := NewResultCache(OSFS{}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"", "short", strings.Repeat("g", 64), "../../../../etc/passwd",
+		strings.Repeat("A", 64), testKey(1) + "x",
+	} {
+		if err := c.Put(bad, []byte(`{}`)); err == nil {
+			t.Fatalf("Put accepted malformed key %q", bad)
+		}
+		if _, _, err := c.Get(bad); err == nil {
+			t.Fatalf("Get accepted malformed key %q", bad)
+		}
+	}
+}
+
+func TestResultCacheLenSkipsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewResultCache(OSFS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(testKey(1), []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	// A stale temp file from a crashed Put must not count.
+	if err := os.WriteFile(filepath.Join(dir, testKey(2)+".json.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Len()
+	if err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1", n, err)
+	}
+}

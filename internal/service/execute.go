@@ -1,10 +1,12 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"runtime"
 
+	"plurality"
 	"plurality/internal/stats"
 	"plurality/internal/trace"
 )
@@ -93,6 +95,55 @@ func Execute(q Request) (*Response, error) {
 // Parallelism is an execution hint only — the Response (and hence its
 // canonical JSON encoding) is byte-identical for every value.
 func ExecuteParallel(q Request, parallelism int) (*Response, error) {
+	return ExecuteResumable(nil, q, parallelism, nil, 0, nil)
+}
+
+// ResumeState is a request's durable checkpoint: the trials completed
+// so far plus where to pick back up. It is the opaque payload the
+// durable journal stores under checkpoint records. Trials are
+// independent in their index (the frozen per-trial seed contract), so
+// executing trials NextTrial..NumTrials-1 and appending them to Trials
+// yields bytes identical to an uninterrupted run — which is what makes
+// the checkpoint exact rather than approximate.
+type ResumeState struct {
+	// NextTrial is the first trial index not yet executed; always
+	// len(Trials).
+	NextTrial int `json:"next_trial"`
+	// Trials holds the completed per-trial outcomes, indexed by trial.
+	Trials []Trial `json:"trials"`
+	// Trace holds the completed trials' sampled points in trial order
+	// (only when the request traces).
+	Trace []trace.Point `json:"trace,omitempty"`
+}
+
+// valid reports whether the state can resume a q with the given trial
+// count. A corrupt or mismatched checkpoint is discarded (run from
+// trial 0) rather than trusted.
+func (rs *ResumeState) valid(numTrials int) bool {
+	return rs != nil && rs.NextTrial == len(rs.Trials) &&
+		rs.NextTrial >= 0 && rs.NextTrial <= numTrials
+}
+
+// ExecuteResumable is the checkpointing execution path behind
+// ExecuteParallel and the durable runner. It streams the request's
+// trials in deterministic index order and:
+//
+//   - starts from resume.NextTrial when resume is a valid checkpoint
+//     of this request (invalid or nil checkpoints are ignored and the
+//     request runs from trial 0);
+//   - after each `every`-th completed trial (every <= 1 means each
+//     one), calls onCheckpoint with the progress so far — the callback
+//     must copy or serialize the state before returning, as the
+//     backing slices keep growing;
+//   - stops claiming new trials once ctx is cancelled (nil ctx never
+//     cancels), finishing in-flight trials and returning ctx.Err();
+//     the last onCheckpoint then bounds the lost work to under
+//     `every` trials.
+//
+// The completed Response is byte-identical to ExecuteParallel's for
+// every (resume, every, parallelism): checkpointing observes the trial
+// stream, never perturbs it.
+func ExecuteResumable(ctx context.Context, q Request, parallelism int, resume *ResumeState, every int, onCheckpoint func(ResumeState)) (*Response, error) {
 	q = q.Normalize()
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -105,23 +156,24 @@ func ExecuteParallel(q Request, parallelism int) (*Response, error) {
 		return nil, err
 	}
 	exp.Parallelism = parallelism
-	out, err := exp.Run()
-	if err != nil {
-		return nil, err
+	numTrials := exp.NumTrials
+	if numTrials == 0 {
+		numTrials = 1 // Experiment normalizes 0 to 1
 	}
-	trials := make([]Trial, len(out.Trials))
+
+	var trials []Trial
 	var points []trace.Point
-	if q.Trace != nil {
-		var buf trace.Buffer
-		for _, tr := range out.Trials {
-			// Buffer.Record never fails; trials are flushed in trial
-			// order, so the merged trace is parallelism-independent.
-			_ = trace.Emit(tr.Trace, &buf)
-		}
-		points = buf.Points
+	if resume.valid(numTrials) {
+		exp.FirstTrial = resume.NextTrial
+		trials = append(trials, resume.Trials...)
+		points = append(points, resume.Trace...)
 	}
-	for i, tr := range out.Trials {
-		trials[i] = Trial{
+	if every < 1 {
+		every = 1
+	}
+	sinceCheckpoint := 0
+	streamErr := exp.Stream(ctx, func(i int, tr plurality.TrialResult) bool {
+		t := Trial{
 			Trial:     i,
 			Rounds:    tr.Rounds,
 			Consensus: tr.Consensus,
@@ -129,8 +181,26 @@ func ExecuteParallel(q Request, parallelism int) (*Response, error) {
 		}
 		if q.Mode == ModeAsync {
 			ticks := tr.Ticks
-			trials[i].Ticks = &ticks
+			t.Ticks = &ticks
 		}
+		trials = append(trials, t)
+		if q.Trace != nil {
+			// Points are concatenated in trial order, so the merged
+			// trace is parallelism- and resume-independent.
+			points = append(points, tr.Trace...)
+		}
+		sinceCheckpoint++
+		if onCheckpoint != nil && sinceCheckpoint >= every && len(trials) < numTrials {
+			onCheckpoint(ResumeState{NextTrial: len(trials), Trials: trials, Trace: points})
+			sinceCheckpoint = 0
+		}
+		return true
+	})
+	if streamErr != nil {
+		return nil, streamErr
+	}
+	if len(points) == 0 {
+		points = nil
 	}
 	return &Response{
 		Key:     q.Key(),

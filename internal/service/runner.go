@@ -2,16 +2,25 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"plurality/internal/durable"
 )
 
 // ErrBusy is returned when the runner's admission queue is full; the
 // server surfaces it as HTTP 429 with a Retry-After hint.
 var ErrBusy = errors.New("service: queue full, retry later")
+
+// ErrDraining is returned for submissions while the runner drains for
+// shutdown; the server surfaces it as HTTP 503.
+var ErrDraining = errors.New("service: draining, not accepting work")
 
 // errClosed is returned for submissions after Close.
 var errClosed = errors.New("service: runner is closed")
@@ -45,6 +54,32 @@ type Options struct {
 	// MaxJobs bounds how many finished jobs stay queryable via Job
 	// (default 1024); the oldest finished jobs are evicted first.
 	MaxJobs int
+	// Store, when non-nil, makes jobs durable: admissions, attempts,
+	// checkpoints, completions and terminal failures are journaled;
+	// completed results are served from disk across restarts; jobs the
+	// store replayed as interrupted are re-queued at construction and
+	// resume from their last checkpoint. A nil Store keeps the runner
+	// fully in-memory, byte-identical to the pre-durability behavior.
+	Store *durable.Store
+	// MaxAttempts bounds execution attempts per job within this process
+	// (default 1 — no retries). A failing attempt is retried with
+	// capped exponential backoff, resuming from the job's last
+	// checkpoint, until the budget is spent; then the job fails
+	// terminally (journaled, never re-queued by a restart).
+	MaxAttempts int
+	// JobTimeout, when positive, bounds each execution attempt. A timed
+	// out attempt counts against MaxAttempts; because execution resumes
+	// from the last checkpoint, a retried timeout continues rather than
+	// starts over.
+	JobTimeout time.Duration
+	// CheckpointEvery is the checkpoint cadence in completed trials
+	// (default 1 — checkpoint after every trial).
+	CheckpointEvery int
+	// RetryBaseDelay and RetryMaxDelay shape the retry backoff: attempt
+	// n sleeps base·2^(n-1) jittered by ±50%, capped at max (defaults
+	// 100ms and 5s).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -66,7 +101,38 @@ func (o Options) withDefaults() Options {
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 1024
 	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 1
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 1
+	}
+	if o.RetryBaseDelay <= 0 {
+		o.RetryBaseDelay = 100 * time.Millisecond
+	}
+	if o.RetryMaxDelay <= 0 {
+		o.RetryMaxDelay = 5 * time.Second
+	}
 	return o
+}
+
+// backoffDelay is the sleep before retry attempt next (2-based: the
+// sleep after the first failure is backoffDelay(2)): base·2^(next-2)
+// jittered uniformly in [½, 1½), capped at max. The jitter decorrelates
+// retry storms after a shared fault.
+func backoffDelay(next int, base, max time.Duration) time.Duration {
+	d := base
+	for i := 2; i < next && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	jittered := d/2 + time.Duration(rand.Int64N(int64(d)))
+	if jittered > max {
+		jittered = max
+	}
+	return jittered
 }
 
 // Status is a job's lifecycle state.
@@ -97,6 +163,13 @@ type Job struct {
 	status Status
 	resp   *Response
 	err    error
+	// attempts is the total started-attempt count, including attempts
+	// from before a crash (replayed from the journal).
+	attempts int
+	// resumeData is the latest checkpoint's JSON (a ResumeState);
+	// retries and restarts resume from it instead of re-running
+	// completed trials.
+	resumeData []byte
 }
 
 // Done returns a channel closed when the job finishes.
@@ -141,6 +214,17 @@ type Metrics struct {
 	// Executions counts simulations actually run by workers; a cache
 	// hit serves a request without incrementing it.
 	Executions uint64
+	// Retries counts execution attempts beyond each job's first.
+	Retries uint64
+	// Recovered counts jobs re-queued from the durable journal at
+	// startup.
+	Recovered uint64
+	// DiskHits counts results served from the durable result cache
+	// after an LRU miss.
+	DiskHits uint64
+	// ReplaySeconds is how long the startup journal replay took (0
+	// without a store).
+	ReplaySeconds float64
 	// QueueLen / QueueCap describe the admission queue right now.
 	QueueLen int
 	QueueCap int
@@ -152,10 +236,14 @@ type Metrics struct {
 	CacheLen int
 	// JobsInFlight is the number of queued or running jobs.
 	JobsInFlight int
+	// DrainInFlight is the number of jobs still in flight while the
+	// runner drains (0 when not draining).
+	DrainInFlight int
 }
 
-// Runner owns a bounded worker pool, the LRU result cache, and the job
-// store. It is safe for concurrent use. Close it when done.
+// Runner owns a bounded worker pool, the LRU result cache, the job
+// store and (optionally) the durable journal. It is safe for
+// concurrent use. Close (or Drain) it when done.
 type Runner struct {
 	opts  Options
 	queue chan *Job
@@ -164,9 +252,13 @@ type Runner struct {
 	// the channel: admissions after closed=true are rejected, so once
 	// senders drains no new send can race the close.
 	senders sync.WaitGroup
-	// exec runs one request at a parallelism budget; it is
-	// ExecuteParallel except in tests.
-	exec func(Request, int) (*Response, error)
+	// exec runs one request with checkpoint/resume support; it is
+	// ExecuteResumable except in tests.
+	exec func(ctx context.Context, q Request, parallelism int, resume *ResumeState, every int, onCheckpoint func(ResumeState)) (*Response, error)
+	// baseCtx is cancelled by Drain: running jobs observe it at trial
+	// boundaries, checkpoint, and stop without a terminal record.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
 
 	requests    atomic.Uint64
 	cacheHits   atomic.Uint64
@@ -174,10 +266,15 @@ type Runner struct {
 	joined      atomic.Uint64
 	rejected    atomic.Uint64
 	executions  atomic.Uint64
+	retries     atomic.Uint64
+	recovered   atomic.Uint64
+	diskHits    atomic.Uint64
 	nextID      atomic.Uint64
+	replay      time.Duration
 
 	mu       sync.Mutex
 	closed   bool
+	draining bool
 	jobs     map[string]*Job // by ID, queued/running/finished (bounded)
 	byKey    map[string]*Job // queued/running only, for dedup
 	finished []string        // finished job IDs, oldest first
@@ -185,22 +282,84 @@ type Runner struct {
 	cache    *lru
 }
 
-// NewRunner starts the worker pool.
+// NewRunner starts the worker pool. With Options.Store set it also
+// re-queues every job the journal replayed as interrupted — each
+// resumes from its last checkpoint — before any new admission can
+// race them (their dedup entries are registered synchronously, so an
+// early client submitting the same key joins the recovered job).
 func NewRunner(opts Options) *Runner {
 	opts = opts.withDefaults()
+	baseCtx, cancelBase := context.WithCancel(context.Background())
 	r := &Runner{
-		opts:  opts,
-		queue: make(chan *Job, opts.QueueDepth),
-		exec:  ExecuteParallel,
-		jobs:  make(map[string]*Job),
-		byKey: make(map[string]*Job),
-		cache: newLRU(opts.CacheSize),
+		opts:       opts,
+		queue:      make(chan *Job, opts.QueueDepth),
+		exec:       ExecuteResumable,
+		baseCtx:    baseCtx,
+		cancelBase: cancelBase,
+		jobs:       make(map[string]*Job),
+		byKey:      make(map[string]*Job),
+		cache:      newLRU(opts.CacheSize),
 	}
 	for w := 0; w < opts.Workers; w++ {
 		r.wg.Add(1)
 		go r.worker()
 	}
+	if opts.Store != nil {
+		r.requeueRecovered(opts.Store.Recovered())
+	}
 	return r
+}
+
+// requeueRecovered turns the journal's interrupted jobs back into
+// queued Jobs. Registration is synchronous (dedup works immediately);
+// the queue sends happen on a senders-registered goroutine so a deep
+// backlog cannot deadlock construction against a bounded queue.
+func (r *Runner) requeueRecovered(rec durable.Recovery) {
+	r.replay = rec.Elapsed
+	var requeued []*Job
+	r.mu.Lock()
+	for _, st := range rec.Interrupted {
+		var req Request
+		if err := json.Unmarshal(st.Request, &req); err != nil {
+			r.mu.Unlock()
+			r.opts.Store.Failed(st.Key, fmt.Sprintf("service: recovered request unreadable: %v", err))
+			r.mu.Lock()
+			continue
+		}
+		req = req.Normalize()
+		if err := req.Validate(); err != nil {
+			r.mu.Unlock()
+			r.opts.Store.Failed(st.Key, fmt.Sprintf("service: recovered request invalid: %v", err))
+			r.mu.Lock()
+			continue
+		}
+		j := &Job{
+			ID:         fmt.Sprintf("j%06d", r.nextID.Add(1)),
+			Key:        st.Key,
+			req:        req,
+			runner:     r,
+			done:       make(chan struct{}),
+			status:     StatusQueued,
+			attempts:   st.Attempts,
+			resumeData: st.Checkpoint,
+		}
+		r.jobs[j.ID] = j
+		r.byKey[j.Key] = j
+		r.inFlight++
+		requeued = append(requeued, j)
+	}
+	r.mu.Unlock()
+	r.recovered.Add(uint64(len(requeued)))
+	if len(requeued) == 0 {
+		return
+	}
+	r.senders.Add(1)
+	go func() {
+		defer r.senders.Done()
+		for _, j := range requeued {
+			r.queue <- j
+		}
+	}()
 }
 
 // Close stops admissions, waits for queued and running jobs to finish,
@@ -216,6 +375,44 @@ func (r *Runner) Close() {
 	r.senders.Wait()
 	close(r.queue)
 	r.wg.Wait()
+}
+
+// Drain is the graceful-shutdown path: new submissions fail with
+// ErrDraining, running jobs are cancelled cooperatively — they
+// checkpoint and stop at the next trial boundary, journaled as
+// interrupted (not failed) so a restart re-queues and resumes them —
+// and Drain returns once every job has wound down, or with ctx's error
+// if the deadline expires first (workers are then abandoned, which is
+// safe: the journal already has their checkpoints).
+func (r *Runner) Drain(ctx context.Context) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.draining = true
+	r.mu.Unlock()
+	r.cancelBase()
+	done := make(chan struct{})
+	go func() {
+		r.senders.Wait()
+		close(r.queue)
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (r *Runner) isDraining() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.draining
 }
 
 // Do admits the request and blocks until its response is ready,
@@ -235,6 +432,13 @@ func (r *Runner) DoWait(ctx context.Context, req Request) (*Response, bool, erro
 
 func (r *Runner) do(ctx context.Context, req Request, block bool) (*Response, bool, error) {
 	for {
+		// A dead ctx must not admit fresh work: without this check a
+		// waiter that was cancelled while dedup-joined to a job that
+		// was then abandoned would resubmit a brand-new job with no one
+		// left to consume it.
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		job, cached, err := r.submit(ctx, req, block)
 		if err != nil {
 			return nil, false, err
@@ -278,7 +482,11 @@ func (r *Runner) submit(ctx context.Context, req Request, block bool) (*Job, *Re
 
 	r.mu.Lock()
 	if r.closed {
+		draining := r.draining
 		r.mu.Unlock()
+		if draining {
+			return nil, nil, ErrDraining
+		}
 		return nil, nil, errClosed
 	}
 	if resp, ok := r.cache.get(key); ok {
@@ -290,6 +498,21 @@ func (r *Runner) submit(ctx context.Context, req Request, block bool) (*Job, *Re
 		r.joined.Add(1)
 		r.mu.Unlock()
 		return j, nil, nil
+	}
+	// LRU miss: the durable result cache may still hold the key from a
+	// previous run (or a previous process).
+	if r.opts.Store != nil {
+		if data, ok := r.opts.Store.Result(key); ok {
+			var resp Response
+			if err := json.Unmarshal(data, &resp); err == nil {
+				r.diskHits.Add(1)
+				r.cacheHits.Add(1)
+				r.cache.add(key, &resp)
+				r.mu.Unlock()
+				return nil, &resp, nil
+			}
+			// An unreadable result file falls through to re-execution.
+		}
 	}
 	r.cacheMisses.Add(1)
 	j := &Job{
@@ -306,6 +529,14 @@ func (r *Runner) submit(ctx context.Context, req Request, block bool) (*Job, *Re
 	r.senders.Add(1)
 	r.mu.Unlock()
 	defer r.senders.Done()
+
+	if r.opts.Store != nil {
+		if data, err := json.Marshal(req); err == nil {
+			// Best-effort: a failed journal append degrades durability
+			// for this job, not availability.
+			_ = r.opts.Store.Submitted(key, data)
+		}
+	}
 
 	if block {
 		select {
@@ -362,46 +593,177 @@ func (r *Runner) Job(id string) (*Job, bool) {
 func (r *Runner) worker() {
 	defer r.wg.Done()
 	for j := range r.queue {
-		r.mu.Lock()
-		j.status = StatusRunning
-		r.mu.Unlock()
+		r.runJob(j)
+	}
+}
 
-		resp, err := r.exec(j.req, r.opts.Parallelism)
+// runJob executes one job through its attempt budget: each attempt
+// resumes from the latest checkpoint, failures back off and retry, a
+// drain cancellation ends the job as interrupted (resumable on
+// restart), and exhaustion of the budget is a terminal, journaled
+// failure.
+func (r *Runner) runJob(j *Job) {
+	r.mu.Lock()
+	j.status = StatusRunning
+	attempts := j.attempts
+	r.mu.Unlock()
+
+	processAttempts := 0
+	for {
+		attempts++
+		processAttempts++
+		r.mu.Lock()
+		j.attempts = attempts
+		resume := decodeResume(j.resumeData)
+		r.mu.Unlock()
+		if r.opts.Store != nil {
+			_ = r.opts.Store.Started(j.Key, attempts)
+		}
+
+		ctx := r.baseCtx
+		cancel := context.CancelFunc(func() {})
+		if r.opts.JobTimeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, r.opts.JobTimeout)
+		}
+		resp, err := func() (resp *Response, err error) {
+			// The execution path contains trial panics on its own; this
+			// recover is the worker's last line — whatever escapes fails
+			// the job, never the process.
+			defer func() {
+				if p := recover(); p != nil {
+					resp, err = nil, fmt.Errorf("service: job %s panicked: %v", j.ID, p)
+				}
+			}()
+			return r.exec(ctx, j.req, r.opts.Parallelism, resume,
+				r.opts.CheckpointEvery, func(rs ResumeState) { r.checkpoint(j, rs) })
+		}()
+		cancel()
 		r.executions.Add(1)
 
-		r.mu.Lock()
-		j.resp, j.err = resp, err
-		if err != nil {
-			j.status = StatusFailed
-		} else {
-			j.status = StatusDone
-			r.cache.add(j.Key, resp)
+		switch {
+		case err == nil:
+			r.finishJob(j, resp, nil, false)
+			return
+		case errors.Is(err, context.Canceled) && r.isDraining():
+			// Interrupted, not failed: the journal keeps the job's
+			// submitted/checkpoint records, so a restart re-queues it
+			// and resumes from the last checkpoint.
+			r.finishJob(j, nil, fmt.Errorf("%w: job interrupted", ErrDraining), false)
+			return
+		case processAttempts >= r.opts.MaxAttempts:
+			if errors.Is(err, context.DeadlineExceeded) {
+				err = fmt.Errorf("service: job timed out after %s on attempt %d: %w", r.opts.JobTimeout, attempts, err)
+			}
+			r.finishJob(j, nil, err, true)
+			return
 		}
-		delete(r.byKey, j.Key)
-		r.inFlight--
-		r.finish(j)
-		r.mu.Unlock()
-		close(j.done)
+		r.retries.Add(1)
+		if !r.sleepBackoff(processAttempts + 1) {
+			r.finishJob(j, nil, fmt.Errorf("%w: job interrupted", ErrDraining), false)
+			return
+		}
 	}
+}
+
+// sleepBackoff sleeps the pre-retry backoff; it returns false if the
+// runner started draining mid-sleep (the retry is abandoned so the
+// restart can pick the job up instead).
+func (r *Runner) sleepBackoff(next int) bool {
+	t := time.NewTimer(backoffDelay(next, r.opts.RetryBaseDelay, r.opts.RetryMaxDelay))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.baseCtx.Done():
+		return false
+	}
+}
+
+// checkpoint records resumable progress: in memory for in-process
+// retries, and in the journal (when durable) for restarts. Serialized
+// here, inside the callback, because the state's backing slices keep
+// growing after it returns.
+func (r *Runner) checkpoint(j *Job, rs ResumeState) {
+	data, err := json.Marshal(rs)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	j.resumeData = data
+	r.mu.Unlock()
+	if r.opts.Store != nil {
+		_ = r.opts.Store.Checkpoint(j.Key, data)
+	}
+}
+
+// decodeResume parses a checkpoint payload, nil when absent or
+// unreadable (the job then simply runs from trial 0).
+func decodeResume(data []byte) *ResumeState {
+	if len(data) == 0 {
+		return nil
+	}
+	var rs ResumeState
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil
+	}
+	return &rs
+}
+
+// finishJob settles a job: result durably published (when completed
+// and durable — result bytes before the completion record, so a crash
+// between the two re-runs the job instead of losing the result),
+// terminal failures journaled, waiters released.
+func (r *Runner) finishJob(j *Job, resp *Response, err error, terminal bool) {
+	if r.opts.Store != nil {
+		if err == nil {
+			if data, merr := json.Marshal(resp); merr == nil {
+				_ = r.opts.Store.Completed(j.Key, data)
+			}
+		} else if terminal {
+			_ = r.opts.Store.Failed(j.Key, err.Error())
+		}
+	}
+	r.mu.Lock()
+	j.resp, j.err = resp, err
+	if err != nil {
+		j.status = StatusFailed
+	} else {
+		j.status = StatusDone
+		r.cache.add(j.Key, resp)
+	}
+	delete(r.byKey, j.Key)
+	r.inFlight--
+	r.finish(j)
+	r.mu.Unlock()
+	close(j.done)
 }
 
 // Metrics returns a snapshot of the runner's counters.
 func (r *Runner) Metrics() Metrics {
 	r.mu.Lock()
 	cacheLen, inFlight := r.cache.len(), r.inFlight
+	drainInFlight := 0
+	if r.draining {
+		drainInFlight = inFlight
+	}
 	r.mu.Unlock()
 	return Metrics{
-		Requests:     r.requests.Load(),
-		CacheHits:    r.cacheHits.Load(),
-		CacheMisses:  r.cacheMisses.Load(),
-		Joined:       r.joined.Load(),
-		Rejected:     r.rejected.Load(),
-		Executions:   r.executions.Load(),
-		QueueLen:     len(r.queue),
-		QueueCap:     cap(r.queue),
-		Workers:      r.opts.Workers,
-		Parallelism:  r.opts.Parallelism,
-		CacheLen:     cacheLen,
-		JobsInFlight: inFlight,
+		Requests:      r.requests.Load(),
+		CacheHits:     r.cacheHits.Load(),
+		CacheMisses:   r.cacheMisses.Load(),
+		Joined:        r.joined.Load(),
+		Rejected:      r.rejected.Load(),
+		Executions:    r.executions.Load(),
+		Retries:       r.retries.Load(),
+		Recovered:     r.recovered.Load(),
+		DiskHits:      r.diskHits.Load(),
+		ReplaySeconds: r.replay.Seconds(),
+		QueueLen:      len(r.queue),
+		QueueCap:      cap(r.queue),
+		Workers:       r.opts.Workers,
+		Parallelism:   r.opts.Parallelism,
+		CacheLen:      cacheLen,
+		JobsInFlight:  inFlight,
+		DrainInFlight: drainInFlight,
 	}
 }

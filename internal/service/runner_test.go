@@ -66,7 +66,7 @@ func TestDoDedupesInFlight(t *testing.T) {
 	defer r.Close()
 	started := make(chan struct{})
 	release := make(chan struct{})
-	r.exec = func(q Request, _ int) (*Response, error) {
+	r.exec = func(_ context.Context, q Request, _ int, _ *ResumeState, _ int, _ func(ResumeState)) (*Response, error) {
 		close(started)
 		<-release
 		return Execute(q)
@@ -111,7 +111,7 @@ func TestDoQueueFull(t *testing.T) {
 	defer r.Close()
 	started := make(chan struct{}, 8)
 	release := make(chan struct{})
-	r.exec = func(q Request, _ int) (*Response, error) {
+	r.exec = func(_ context.Context, q Request, _ int, _ *ResumeState, _ int, _ func(ResumeState)) (*Response, error) {
 		started <- struct{}{}
 		<-release
 		return &Response{Key: q.Key()}, nil
@@ -141,7 +141,7 @@ func TestJoinerSurvivesAbandonedJob(t *testing.T) {
 	defer r.Close()
 	started := make(chan struct{}, 8)
 	release := make(chan struct{})
-	r.exec = func(q Request, _ int) (*Response, error) {
+	r.exec = func(_ context.Context, q Request, _ int, _ *ResumeState, _ int, _ func(ResumeState)) (*Response, error) {
 		started <- struct{}{}
 		<-release
 		return Execute(q)
@@ -197,7 +197,7 @@ func TestAbandonedJobStaysPollable(t *testing.T) {
 	defer r.Close()
 	started := make(chan struct{}, 8)
 	release := make(chan struct{})
-	r.exec = func(q Request, _ int) (*Response, error) {
+	r.exec = func(_ context.Context, q Request, _ int, _ *ResumeState, _ int, _ func(ResumeState)) (*Response, error) {
 		started <- struct{}{}
 		<-release
 		return &Response{Key: q.Key()}, nil
@@ -278,7 +278,9 @@ func TestSubmitInvalidRequest(t *testing.T) {
 func TestFailedJobSnapshot(t *testing.T) {
 	r := NewRunner(Options{Workers: 1})
 	defer r.Close()
-	r.exec = func(q Request, _ int) (*Response, error) { return nil, fmt.Errorf("boom") }
+	r.exec = func(_ context.Context, q Request, _ int, _ *ResumeState, _ int, _ func(ResumeState)) (*Response, error) {
+		return nil, fmt.Errorf("boom")
+	}
 	job, _, err := r.Submit(testRequest(5))
 	if err != nil {
 		t.Fatal(err)
@@ -297,7 +299,9 @@ func TestFailedJobSnapshot(t *testing.T) {
 func TestFinishedJobEviction(t *testing.T) {
 	r := NewRunner(Options{Workers: 1, MaxJobs: 2, CacheSize: -1})
 	defer r.Close()
-	r.exec = func(q Request, _ int) (*Response, error) { return &Response{Key: q.Key()}, nil }
+	r.exec = func(_ context.Context, q Request, _ int, _ *ResumeState, _ int, _ func(ResumeState)) (*Response, error) {
+		return &Response{Key: q.Key()}, nil
+	}
 	var ids []string
 	for seed := uint64(1); seed <= 3; seed++ {
 		job, _, err := r.Submit(testRequest(seed))

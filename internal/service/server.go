@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 
 	"plurality/internal/trace"
@@ -16,8 +17,12 @@ const (
 	// result cache ("hit") or computed ("miss"). It is a header — not
 	// a body field — so cold and cached bodies stay byte-identical.
 	CacheHeader = "X-Conserve-Cache"
-	// RetryAfterSeconds is the Retry-After hint sent with 429.
-	RetryAfterSeconds = 1
+	// RetryAfterMinSeconds and RetryAfterMaxSeconds bound the
+	// Retry-After hint sent with 429. The value is jittered uniformly
+	// in [min, max] so a burst of rejected clients does not retry in
+	// lockstep and re-create the very overload that rejected them.
+	RetryAfterMinSeconds = 1
+	RetryAfterMaxSeconds = 3
 )
 
 // NewServer wraps a Runner into the conserve HTTP handler:
@@ -73,6 +78,8 @@ func handleRun(rn *Runner, w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrBusy):
 			writeBusy(w)
+		case errors.Is(err, ErrDraining):
+			writeDraining(w)
 		case err != nil:
 			writeError(w, http.StatusBadRequest, err)
 		case resp != nil: // already cached; no job needed
@@ -90,6 +97,8 @@ func handleRun(rn *Runner, w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrBusy):
 		writeBusy(w)
+	case errors.Is(err, ErrDraining):
+		writeDraining(w)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
 	default:
@@ -162,7 +171,14 @@ func handleSweep(rn *Runner, w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil && !emitted {
-		writeError(w, http.StatusBadRequest, err)
+		switch {
+		case errors.Is(err, ErrBusy):
+			writeBusy(w)
+		case errors.Is(err, ErrDraining):
+			writeDraining(w)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
 	}
 }
 
@@ -197,8 +213,17 @@ func writeError(w http.ResponseWriter, code int, err error) {
 }
 
 func writeBusy(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", fmt.Sprint(RetryAfterSeconds))
+	after := RetryAfterMinSeconds + rand.IntN(RetryAfterMaxSeconds-RetryAfterMinSeconds+1)
+	w.Header().Set("Retry-After", fmt.Sprint(after))
 	writeError(w, http.StatusTooManyRequests, ErrBusy)
+}
+
+// writeDraining answers a submission rejected because the server is
+// shutting down: 503 tells load balancers (unlike 429) to take the
+// instance out of rotation rather than retry against it.
+func writeDraining(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", fmt.Sprint(RetryAfterMaxSeconds))
+	writeError(w, http.StatusServiceUnavailable, ErrDraining)
 }
 
 func writeMetrics(w http.ResponseWriter, m Metrics) {
@@ -220,4 +245,14 @@ func writeMetrics(w http.ResponseWriter, m Metrics) {
 	fmt.Fprintf(w, "conserve_parallelism %d\n", m.Parallelism)
 	fmt.Fprintf(w, "conserve_cache_len %d\n", m.CacheLen)
 	fmt.Fprintf(w, "conserve_jobs_in_flight %d\n", m.JobsInFlight)
+	fmt.Fprintf(w, "# HELP conserve_job_retries_total Execution attempts beyond each job's first.\n")
+	fmt.Fprintf(w, "conserve_job_retries_total %d\n", m.Retries)
+	fmt.Fprintf(w, "# HELP conserve_jobs_recovered_total Interrupted jobs re-queued from the journal at startup.\n")
+	fmt.Fprintf(w, "conserve_jobs_recovered_total %d\n", m.Recovered)
+	fmt.Fprintf(w, "# HELP conserve_disk_hits_total Results served from the durable result cache after an LRU miss.\n")
+	fmt.Fprintf(w, "conserve_disk_hits_total %d\n", m.DiskHits)
+	fmt.Fprintf(w, "# HELP conserve_journal_replay_seconds Startup journal replay duration.\n")
+	fmt.Fprintf(w, "conserve_journal_replay_seconds %g\n", m.ReplaySeconds)
+	fmt.Fprintf(w, "# HELP conserve_drain_inflight Jobs still in flight while draining (0 when not draining).\n")
+	fmt.Fprintf(w, "conserve_drain_inflight %d\n", m.DrainInFlight)
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -120,7 +121,7 @@ func TestRunQueueFull(t *testing.T) {
 	srv, rn := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
 	release := make(chan struct{})
 	started := make(chan struct{}, 8)
-	rn.exec = func(q Request, _ int) (*Response, error) {
+	rn.exec = func(_ context.Context, q Request, _ int, _ *ResumeState, _ int, _ func(ResumeState)) (*Response, error) {
 		started <- struct{}{}
 		<-release
 		return &Response{Key: q.Key()}, nil
@@ -147,6 +148,76 @@ func TestRunQueueFull(t *testing.T) {
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("429 without Retry-After")
+	}
+}
+
+// TestBusyRetryAfterJitterRange: the 429 Retry-After hint is jittered
+// per response, always inside [RetryAfterMinSeconds,
+// RetryAfterMaxSeconds] — never a fixed value that would synchronise
+// rejected clients into a retry stampede.
+func TestBusyRetryAfterJitterRange(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		rec := httptest.NewRecorder()
+		writeBusy(rec)
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("status %d", rec.Code)
+		}
+		after, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+		if err != nil {
+			t.Fatalf("Retry-After %q: %v", rec.Header().Get("Retry-After"), err)
+		}
+		if after < RetryAfterMinSeconds || after > RetryAfterMaxSeconds {
+			t.Fatalf("Retry-After %d outside [%d, %d]", after, RetryAfterMinSeconds, RetryAfterMaxSeconds)
+		}
+	}
+}
+
+// TestDrainingReturns503: while the runner drains for shutdown, /run
+// answers 503 (load balancers stop routing here) rather than 429
+// (which invites retries against a dying instance).
+func TestDrainingReturns503(t *testing.T) {
+	rn := NewRunner(Options{Workers: 1, QueueDepth: 4})
+	srv := httptest.NewServer(NewServer(rn))
+	defer srv.Close()
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	rn.exec = func(_ context.Context, q Request, _ int, _ *ResumeState, _ int, _ func(ResumeState)) (*Response, error) {
+		started <- struct{}{}
+		<-release
+		return &Response{Key: q.Key()}, nil
+	}
+
+	if _, _, err := rn.Submit(Request{Protocol: "voter", N: 100, K: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-started // a job is running; Drain will block on it
+
+	drained := make(chan error, 1)
+	go func() { drained <- rn.Drain(context.Background()) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for !rn.isDraining() {
+		if time.Now().After(deadline) {
+			t.Fatal("runner never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp := postJSON(t, srv.URL+"/run", `{"protocol":"voter","n":100,"k":2,"seed":2}`)
+	data := readAll(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, body %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	sweep := postJSON(t, srv.URL+"/sweep", sweepBody)
+	if readAll(t, sweep); sweep.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining sweep status %d", sweep.StatusCode)
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
 	}
 }
 
@@ -296,6 +367,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		"conserve_cache_misses_total 1",
 		"conserve_queue_cap",
 		"conserve_workers 1",
+		"conserve_job_retries_total 0",
+		"conserve_jobs_recovered_total 0",
+		"conserve_disk_hits_total 0",
+		"conserve_journal_replay_seconds 0",
+		"conserve_drain_inflight 0",
 	} {
 		if !bytes.Contains(data, []byte(metric)) {
 			t.Errorf("metrics missing %q in:\n%s", metric, data)

@@ -21,7 +21,7 @@ func TestSweepBoundedInFlight(t *testing.T) {
 		mu          sync.Mutex
 		maxInFlight int
 	)
-	r.exec = func(q Request, _ int) (*Response, error) {
+	r.exec = func(_ context.Context, q Request, _ int, _ *ResumeState, _ int, _ func(ResumeState)) (*Response, error) {
 		m := r.Metrics()
 		mu.Lock()
 		if m.JobsInFlight > maxInFlight {
@@ -71,7 +71,7 @@ func TestSweepBoundedErrorAborts(t *testing.T) {
 	defer r.Close()
 
 	var executed atomic.Int64
-	r.exec = func(q Request, _ int) (*Response, error) {
+	r.exec = func(_ context.Context, q Request, _ int, _ *ResumeState, _ int, _ func(ResumeState)) (*Response, error) {
 		executed.Add(1)
 		if q.K == 3 {
 			return nil, context.DeadlineExceeded

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -104,6 +105,98 @@ func ForEachTrial(trials, parallelism int, body func(trial int) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// ForEachTrialCtx is ForEachTrial with cooperative cancellation and
+// per-trial panic containment — the scheduler variant the durable
+// service layer drives: cancelling the context stops workers from
+// *claiming* further trials (trials already claimed run to completion,
+// so cancellation lands exactly at trial boundaries and every result
+// that was produced is a complete, checkpointable trial), and a panic
+// inside body is recovered into that trial's error instead of killing
+// the process — a poisoned configuration fails one job, not the
+// server.
+//
+// The error is the lowest failing trial index among the trials that
+// ran (panics included), or ctx.Err() if the context was cancelled and
+// no trial failed. A nil ctx never cancels.
+func ForEachTrialCtx(ctx context.Context, trials, parallelism int, body func(trial int) error) error {
+	if trials <= 0 {
+		return nil
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	cancelled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	guarded := func(trial int) (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("sim: trial %d panicked: %v", trial, p)
+			}
+		}()
+		return body(trial)
+	}
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	var firstErr error
+	if workers == 1 {
+		for trial := 0; trial < trials; trial++ {
+			if cancelled() {
+				break
+			}
+			if err := guarded(trial); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr == nil && ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return firstErr
+	}
+	errs := make([]error, trials)
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if cancelled() {
+					return
+				}
+				trial := int(atomic.AddInt64(&next, 1))
+				if trial >= trials {
+					return
+				}
+				errs[trial] = guarded(trial)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
 	}
 	return nil
 }

@@ -415,7 +415,7 @@ func runManyLegacy(cfg Config, trials, parallelism int, spec *trace.Spec) ([]Res
 		traces = make([][]trace.Point, 0, trials)
 	}
 	var runErr error
-	c.stream(func(i int, tr TrialResult) bool {
+	c.stream(nil, func(i int, tr TrialResult) bool {
 		results = append(results, Result{Rounds: int(tr.Rounds), Consensus: tr.Consensus, Winner: tr.Winner})
 		if spec != nil {
 			traces = append(traces, tr.Trace)
