@@ -121,7 +121,7 @@ func run(args []string, out io.Writer) error {
 	}
 	for _, c := range cur.Benchmarks {
 		if !seen[c.Name] {
-			fmt.Fprintf(out, "| %s | — | %.0f | — | 🆕 new suite |\n", c.Name, c.NsPerOp)
+			fmt.Fprintf(out, "| %s | — | %.0f | — | 🆕 new (info) |\n", c.Name, c.NsPerOp)
 		}
 	}
 	fmt.Fprintf(out, "\n%d suites compared, %d warnings, %d failures.\n", len(base.Benchmarks), warns, fails)

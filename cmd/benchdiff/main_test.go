@@ -103,8 +103,13 @@ func TestNewSuiteAndImprovement(t *testing.T) {
 	if err != nil {
 		t.Fatalf("improvement diff failed: %v\n%s", err, out)
 	}
-	if !strings.Contains(out, "🚀 improved") || !strings.Contains(out, "🆕 new suite") {
+	if !strings.Contains(out, "🚀 improved") || !strings.Contains(out, "🆕 new (info)") {
 		t.Fatalf("markers absent:\n%s", out)
+	}
+	// New-in-current suites are informational: they must never count
+	// toward the failure total.
+	if !strings.Contains(out, "0 failures") {
+		t.Fatalf("new suite counted as failure:\n%s", out)
 	}
 }
 

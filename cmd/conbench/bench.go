@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"plurality"
 	"plurality/internal/service"
 	"plurality/internal/stop"
 )
@@ -21,6 +22,10 @@ import (
 type benchCase struct {
 	Name string
 	Run  func(seed uint64) error
+	// PerOp divides the measured ns/allocs/bytes before recording
+	// (0 = 1): the _batchN suites run N trials per Run call but report
+	// per-trial numbers, directly comparable to their serial twins.
+	PerOp int
 }
 
 // consensusRun executes one full run through the shared service layer
@@ -93,6 +98,32 @@ func stoppedRun(n int64, k int, protocol string, spec stop.Spec) func(seed uint6
 	}
 }
 
+// batchConsensusRun executes one trials-wide batch through
+// plurality.Experiment directly — the sync batch executor, bypassing
+// the service layer's per-request canonicalisation so the recorded
+// allocs/op are the executor's own. Paired with the serial suite of
+// the same shape (divided per trial via PerOp), the ns/op ratio in
+// BENCH.json is the recorded batch-kernel speedup: shared per-config
+// tables plus multi-core trial fan-out.
+func batchConsensusRun(n int64, k, trials int, proto plurality.Protocol) func(seed uint64) error {
+	return func(seed uint64) error {
+		out, err := plurality.Experiment{
+			N:         n,
+			Protocol:  proto,
+			Init:      plurality.Balanced(k),
+			Seed:      seed,
+			NumTrials: trials,
+		}.Run()
+		if err != nil {
+			return err
+		}
+		if out.Converged() != trials {
+			return fmt.Errorf("only %d/%d trials reached consensus", out.Converged(), trials)
+		}
+		return nil
+	}
+}
+
 func benchSuite() []benchCase {
 	// The non-sync suites: a multi-trial workload per mode, measured
 	// serial and at full parallelism. The graph pair additionally has a
@@ -113,20 +144,27 @@ func benchSuite() []benchCase {
 	// stopped twin there would measure nothing but noise.)
 	gammaHalf := stop.Spec{GammaAtLeast: 0.5}
 	return []benchCase{
-		{"run_three_majority_n1e6_k100", consensusRun(1_000_000, 100, "3-majority")},
-		{"run_two_choices_n1e6_k100", consensusRun(1_000_000, 100, "2-choices")},
-		{"run_voter_n1e5_k64_stopgamma", stoppedRun(100_000, 64, "voter", gammaHalf)},
-		{"run_three_majority_many_opinions_k_eq_n_1e5", consensusRun(100_000, 100_000, "3-majority")},
-		{"run_two_choices_many_opinions_k_eq_n_1e4", consensusRun(10_000, 10_000, "2-choices")},
-		{"run_voter_n1e5_k64", consensusRun(100_000, 64, "voter")},
-		{"run_graph_complete_n1e5_k8_t8_par1", modeConsensusRun(graphTrials, 1)},
-		{"run_graph_complete_n1e5_k8_t8_parmax", modeConsensusRun(graphTrials, 0)},
-		{"run_graph_complete_n1e6_k2_t1_par1", modeConsensusRun(graphLone, 1)},
-		{"run_graph_complete_n1e6_k2_t1_parmax", modeConsensusRun(graphLone, 0)},
-		{"run_async_3majority_n2e4_k8_t8_par1", modeConsensusRun(asyncTrials, 1)},
-		{"run_async_3majority_n2e4_k8_t8_parmax", modeConsensusRun(asyncTrials, 0)},
-		{"run_gossip_3majority_n2e3_k4_t8_par1", modeConsensusRun(gossipTrials, 1)},
-		{"run_gossip_3majority_n2e3_k4_t8_parmax", modeConsensusRun(gossipTrials, 0)},
+		{"run_three_majority_n1e6_k100", consensusRun(1_000_000, 100, "3-majority"), 0},
+		{"run_two_choices_n1e6_k100", consensusRun(1_000_000, 100, "2-choices"), 0},
+		{"run_voter_n1e5_k64_stopgamma", stoppedRun(100_000, 64, "voter", gammaHalf), 0},
+		{"run_three_majority_many_opinions_k_eq_n_1e5", consensusRun(100_000, 100_000, "3-majority"), 0},
+		{"run_two_choices_many_opinions_k_eq_n_1e4", consensusRun(10_000, 10_000, "2-choices"), 0},
+		// The _batch8 twins of the two many-opinions suites: 8 trials
+		// per op through the sync batch executor at full parallelism,
+		// recorded per trial (PerOp).
+		{"run_three_majority_many_opinions_k_eq_n_1e5_batch8",
+			batchConsensusRun(100_000, 100_000, 8, plurality.ThreeMajority()), 8},
+		{"run_two_choices_many_opinions_k_eq_n_1e4_batch8",
+			batchConsensusRun(10_000, 10_000, 8, plurality.TwoChoices()), 8},
+		{"run_voter_n1e5_k64", consensusRun(100_000, 64, "voter"), 0},
+		{"run_graph_complete_n1e5_k8_t8_par1", modeConsensusRun(graphTrials, 1), 0},
+		{"run_graph_complete_n1e5_k8_t8_parmax", modeConsensusRun(graphTrials, 0), 0},
+		{"run_graph_complete_n1e6_k2_t1_par1", modeConsensusRun(graphLone, 1), 0},
+		{"run_graph_complete_n1e6_k2_t1_parmax", modeConsensusRun(graphLone, 0), 0},
+		{"run_async_3majority_n2e4_k8_t8_par1", modeConsensusRun(asyncTrials, 1), 0},
+		{"run_async_3majority_n2e4_k8_t8_parmax", modeConsensusRun(asyncTrials, 0), 0},
+		{"run_gossip_3majority_n2e3_k4_t8_par1", modeConsensusRun(gossipTrials, 1), 0},
+		{"run_gossip_3majority_n2e3_k4_t8_parmax", modeConsensusRun(gossipTrials, 0), 0},
 	}
 }
 
@@ -167,12 +205,16 @@ func measure(c benchCase, iters int) (benchRecord, error) {
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
+	div := uint64(iters)
+	if c.PerOp > 1 {
+		div *= uint64(c.PerOp)
+	}
 	return benchRecord{
 		Name:        c.Name,
 		Iterations:  iters,
-		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
-		AllocsPerOp: (after.Mallocs - before.Mallocs) / uint64(iters),
-		BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(iters),
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(div),
+		AllocsPerOp: (after.Mallocs - before.Mallocs) / div,
+		BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / div,
 	}, nil
 }
 

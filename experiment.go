@@ -139,6 +139,11 @@ type Experiment struct {
 	// TrialResult carries its own points. Tracing never touches the
 	// RNG streams: traced results are byte-identical to untraced.
 	Trace *trace.Spec
+	// noBatch forces the classic build-per-trial sync executor even
+	// where the batch executor would engage. Unexported: it exists for
+	// the batch≡serial equivalence tests, which run both executors on
+	// the same Experiment and require identical bytes.
+	noBatch bool
 }
 
 // TrialResult is one trial's outcome, mode-tagged and carrying the
@@ -315,6 +320,10 @@ type compiled struct {
 	proto   core.Protocol
 	post    func(round int, r *rng.Rand, v *population.Vector)
 	usdDone func(v *population.Vector) bool
+	// template is the shared initial configuration of the sync batch
+	// executor (nil when the experiment runs build-per-trial: stateful
+	// init, non-sync mode, or noBatch).
+	template *population.Vector
 	// async binding
 	dyn async.Dynamics
 	// graph binding
@@ -470,8 +479,16 @@ func (e Experiment) compile() (*compiled, error) {
 // advance their stream by one configuration, exactly as the legacy
 // RunMany validation did).
 func (c *compiled) prebuild() error {
-	_, err := c.e.Init.build(c.e.N)
-	return err
+	v, err := c.e.Init.build(c.e.N)
+	if err != nil {
+		return err
+	}
+	// A pure init builds the same configuration on every call, so the
+	// validation build doubles as the batch executor's shared template.
+	if c.e.Mode == ModeSync && !c.e.Init.stateful {
+		c.template = v
+	}
+	return nil
 }
 
 // Worker budgets for the trial fan-out of the memory-heavy engines.
@@ -584,52 +601,69 @@ func (c *compiled) stream(ctx context.Context, yield func(int, TrialResult) bool
 		outs[i] = make(chan trialOutcome, 1)
 	}
 	var cancelled atomic.Bool
-	go func() {
-		// The scheduler's own lowest-index error reporting is unused:
-		// the consumer below sees errors in index order already.
-		_ = sim.ForEachTrialCtx(ctx, trials-first, trialWorkers, func(idx int) error {
-			i := first + idx
-			if cancelled.Load() {
-				outs[i] <- trialOutcome{err: errTrialCancelled}
-				return nil
-			}
-			var tr *trace.Sampler
-			if samplers != nil {
-				tr = samplers[i]
-			}
-			var onRound func(round int, s Snapshot) bool
-			if c.e.OnRound != nil {
-				hook := c.e.OnRound
-				onRound = func(round int, s Snapshot) bool { return hook(i, round, s) }
-			}
-			res, err := func() (res TrialResult, err error) {
-				// Contain trial panics here, where the per-trial result
-				// slot can still be delivered; the scheduler's own
-				// recovery cannot reach outs[i].
-				defer func() {
-					if p := recover(); p != nil {
-						err = fmt.Errorf("plurality: trial %d panicked: %v", i, p)
-					}
+	if c.batchable() {
+		go c.streamBatch(ctx, trialWorkers, samplers, outs, &cancelled)
+	} else {
+		go func() {
+			// The scheduler's own lowest-index error reporting is unused:
+			// the consumer below sees errors in index order already.
+			_ = sim.ForEachTrialCtx(ctx, trials-first, trialWorkers, func(idx int) error {
+				i := first + idx
+				if cancelled.Load() {
+					outs[i] <- trialOutcome{err: errTrialCancelled}
+					return nil
+				}
+				var tr *trace.Sampler
+				if samplers != nil {
+					tr = samplers[i]
+				}
+				var onRound func(round int, s Snapshot) bool
+				if c.e.OnRound != nil {
+					hook := c.e.OnRound
+					onRound = func(round int, s Snapshot) bool { return hook(i, round, s) }
+				}
+				res, err := func() (res TrialResult, err error) {
+					// Contain trial panics here, where the per-trial result
+					// slot can still be delivered; the scheduler's own
+					// recovery cannot reach outs[i].
+					defer func() {
+						if p := recover(); p != nil {
+							err = fmt.Errorf("plurality: trial %d panicked: %v", i, p)
+						}
+					}()
+					return c.runFacade(rng.DeriveSeed(c.e.Seed, uint64(i)), tr, onRound, graphWorkers)
 				}()
-				return c.runFacade(rng.DeriveSeed(c.e.Seed, uint64(i)), tr, onRound, graphWorkers)
-			}()
-			if err != nil {
-				outs[i] <- trialOutcome{err: err}
-				return err
-			}
-			res.Trial = i
-			if tr != nil {
-				res.Trace = tr.Points()
-			}
-			outs[i] <- trialOutcome{res: res}
-			return nil
-		})
-	}()
+				if err != nil {
+					outs[i] <- trialOutcome{err: err}
+					return err
+				}
+				res.Trial = i
+				if tr != nil {
+					res.Trace = tr.Points()
+				}
+				outs[i] <- trialOutcome{res: res}
+				return nil
+			})
+		}()
+	}
 	var done <-chan struct{}
 	if ctx != nil {
 		done = ctx.Done()
 	}
 	for i := first; i < trials; i++ {
+		// Cancellation takes priority over buffered results: a plain
+		// two-way select picks randomly when both are ready, which
+		// would let a cancelled consumer drain to completion whenever
+		// the producers happen to outrun it.
+		select {
+		case <-done:
+			cancelled.Store(true)
+			if errOut != nil {
+				*errOut = ctx.Err()
+			}
+			return
+		default:
+		}
 		select {
 		case <-done:
 			cancelled.Store(true)
@@ -650,6 +684,113 @@ func (c *compiled) stream(ctx context.Context, yield func(int, TrialResult) bool
 				return
 			}
 		}
+	}
+}
+
+// batchMaxWidth caps the trial range a batch worker claims at once:
+// wide enough to amortize the runner's shared state over many trials,
+// narrow enough that cancellation (checked per trial) and in-order
+// delivery stay responsive on long ranges.
+const batchMaxWidth = 64
+
+// batchable reports whether the experiment runs on the sync batch
+// executor: multiple trials of one pure-init sync configuration, with
+// no OnRound hook (whose Snapshot contract exposes the Vector
+// representation the flat kernel does not materialize). Adversaries,
+// USD protocols and protocols without a flat kernel still batch — the
+// runner routes them through the generic engine with the template and
+// scratch arenas shared.
+func (c *compiled) batchable() bool {
+	return c.e.Mode == ModeSync &&
+		c.template != nil &&
+		c.e.OnRound == nil &&
+		!c.e.noBatch &&
+		c.e.NumTrials-c.e.FirstTrial > 1
+}
+
+// streamBatch is stream's producer for the batch executor: workers
+// claim contiguous trial ranges (sim.ForEachTrialRangeCtx) and run
+// each range through one BatchRunner, so the template clone, sampler
+// arenas and flat-kernel state are built once per range instead of
+// once per trial. Each trial still consumes rng.DeriveSeed(Seed, i)
+// in the serial order, so the delivered bytes are identical to the
+// classic executor for every Parallelism and width.
+func (c *compiled) streamBatch(ctx context.Context, trialWorkers int, samplers []*trace.Sampler, outs []chan trialOutcome, cancelled *atomic.Bool) {
+	trials := c.e.NumTrials
+	first := c.e.FirstTrial
+	span := trials - first
+	width := (span + trialWorkers - 1) / trialWorkers
+	if width > batchMaxWidth {
+		width = batchMaxWidth
+	}
+	_ = sim.ForEachTrialRangeCtx(ctx, span, trialWorkers, width, func(lo, hi int) error {
+		runner := core.NewBatchRunner(c.proto, c.template)
+		for idx := lo; idx < hi; idx++ {
+			i := first + idx
+			if cancelled.Load() {
+				outs[i] <- trialOutcome{err: errTrialCancelled}
+				continue
+			}
+			var tr *trace.Sampler
+			if samplers != nil {
+				tr = samplers[i]
+			}
+			res, err := func() (res TrialResult, err error) {
+				defer func() {
+					if p := recover(); p != nil {
+						err = fmt.Errorf("plurality: trial %d panicked: %v", i, p)
+					}
+				}()
+				return c.runBatchTrial(runner, i, tr), nil
+			}()
+			if err != nil {
+				outs[i] <- trialOutcome{err: err}
+				// The panic may have left the shared runner state
+				// mid-round; later trials in the range get a fresh one.
+				runner = core.NewBatchRunner(c.proto, c.template)
+				continue
+			}
+			res.Trial = i
+			if tr != nil {
+				res.Trace = tr.Points()
+			}
+			outs[i] <- trialOutcome{res: res}
+		}
+		return nil
+	})
+}
+
+// runBatchTrial is runFacade's sync arm on a shared BatchRunner: the
+// same observer wiring and result mapping, with the per-trial
+// Init.build replaced by the runner's template reuse.
+func (c *compiled) runBatchTrial(runner *core.BatchRunner, trial int, tr *trace.Sampler) TrialResult {
+	stopped := false
+	cfg := core.BatchRunConfig{
+		MaxRounds: c.e.MaxRounds,
+		PostRound: c.post,
+		Done:      c.usdDone,
+	}
+	if tr != nil || !c.stop.IsZero() {
+		spec := c.stop
+		hasStop := !spec.IsZero()
+		cfg.Observer = func(round int, v core.View) bool {
+			tr.Observe(int64(round), v) // nil-safe no-op when untraced
+			if hasStop && spec.Done(int64(round), v) {
+				stopped = true
+				return true
+			}
+			return false
+		}
+	}
+	res := runner.RunTrial(rng.DeriveSeed(c.e.Seed, uint64(trial)), cfg)
+	return TrialResult{
+		Mode:      ModeSync,
+		Rounds:    float64(res.Rounds),
+		Consensus: res.Consensus,
+		Stopped:   stopped,
+		Winner:    res.Winner,
+		Gamma:     res.Gamma,
+		Live:      res.Live,
 	}
 }
 

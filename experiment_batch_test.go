@@ -1,0 +1,158 @@
+package plurality
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+
+	"plurality/internal/trace"
+)
+
+// The batch≡serial property: for every batch width, protocol, stop
+// condition and trace setting, the batch executor's Outcome is
+// byte-identical to the classic build-per-trial executor's. The test
+// names contain "Identical" so the CI determinism job picks them up.
+
+// runOutcome executes e and fails the test on error.
+func runOutcome(t *testing.T, e Experiment) *Outcome {
+	t.Helper()
+	out, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// assertOutcomesIdentical compares two Outcomes including every trace
+// point; reflect.DeepEqual distinguishes NaN and ±0, which is stricter
+// than == on the float observables.
+func assertOutcomesIdentical(t *testing.T, got, want *Outcome, what string) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s diverged:\n got %+v\nwant %+v", what, got, want)
+	}
+}
+
+func TestBatchSerialIdentical(t *testing.T) {
+	protocols := []struct {
+		name  string
+		proto Protocol
+	}{
+		{"3majority", ThreeMajority()},
+		{"2choices", TwoChoices()},
+		{"voter", Voter()},
+		{"hmajority3", HMajority(3)}, // flat kernel via the 3-majority law
+		{"hmajority5", HMajority(5)}, // no flat kernel: generic batched engine
+	}
+	widths := []int{1, 2, 7, 64}
+	for _, p := range protocols {
+		for _, b := range widths {
+			for _, stopped := range []bool{false, true} {
+				for _, traced := range []bool{false, true} {
+					name := p.name + sub("B", b) + flag("stop", stopped) + flag("trace", traced)
+					t.Run(name, func(t *testing.T) {
+						e := Experiment{
+							N:           600,
+							Protocol:    p.proto,
+							Init:        Balanced(12),
+							Seed:        0xfeed + uint64(b),
+							NumTrials:   b,
+							Parallelism: 1,
+						}
+						if stopped {
+							e.Stop = StopWhenGammaAtLeast(0.5)
+						}
+						if traced {
+							e.Trace = &trace.Spec{Policy: "every"}
+						}
+						serial := e
+						serial.noBatch = true
+						want := runOutcome(t, serial)
+						got := runOutcome(t, e)
+						assertOutcomesIdentical(t, got, want, "batch vs serial")
+
+						wide := e
+						wide.Parallelism = 8
+						assertOutcomesIdentical(t, runOutcome(t, wide), want, "batch at Parallelism 8")
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestBatchGenericPathIdentical covers the configurations the flat
+// kernel cannot take — adversaries, USD, Median — which the batch
+// executor routes through the generic engine with shared template and
+// scratch. The property is the same: identical Outcomes.
+func TestBatchGenericPathIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Experiment
+	}{
+		{"adversary-hinder", Experiment{
+			N: 600, Protocol: ThreeMajority(), Init: Balanced(8),
+			Adversary: HinderAdversary(3), MaxRounds: 200,
+		}},
+		{"adversary-scatter-traced", Experiment{
+			N: 600, Protocol: TwoChoices(), Init: Balanced(8),
+			Adversary: ScatterAdversary(2), MaxRounds: 200,
+			Trace: &trace.Spec{Policy: "log2"},
+		}},
+		{"undecided", Experiment{
+			N: 500, Protocol: Undecided(), Init: Balanced(10),
+		}},
+		{"median-stopped", Experiment{
+			N: 500, Protocol: Median(), Init: Balanced(10),
+			Stop: StopWhenLiveAtMost(2),
+		}},
+		{"lazy-3majority", Experiment{
+			N: 500, Protocol: LazyVariant(ThreeMajority(), 0.3), Init: Balanced(10),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := tc.e
+			e.Seed = 0xabcd
+			e.NumTrials = 6
+			e.Parallelism = 1
+			serial := e
+			serial.noBatch = true
+			want := runOutcome(t, serial)
+			assertOutcomesIdentical(t, runOutcome(t, e), want, "generic batch vs serial")
+
+			wide := e
+			wide.Parallelism = 8
+			assertOutcomesIdentical(t, runOutcome(t, wide), want, "generic batch at Parallelism 8")
+		})
+	}
+}
+
+// TestBatchFirstTrialIdentical pins the resume contract on the batch
+// executor: the delivered suffix of a FirstTrial run matches the same
+// trials of a full run.
+func TestBatchFirstTrialIdentical(t *testing.T) {
+	e := Experiment{
+		N: 800, Protocol: ThreeMajority(), Init: Balanced(16),
+		Seed: 7, NumTrials: 9, Parallelism: 1,
+	}
+	full := runOutcome(t, e)
+	part := e
+	part.FirstTrial = 4
+	got := runOutcome(t, part)
+	want := full.Trials[4:]
+	if !reflect.DeepEqual(got.Trials, want) {
+		t.Errorf("FirstTrial suffix diverged:\n got %+v\nwant %+v", got.Trials, want)
+	}
+}
+
+func sub(k string, v int) string {
+	return "/" + k + "=" + strconv.Itoa(v)
+}
+
+func flag(k string, on bool) string {
+	if on {
+		return "/" + k
+	}
+	return ""
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"plurality/internal/population"
+	"plurality/internal/rng"
+)
+
+// roundObs is one round's full observable surface, as a stop condition
+// or trace sampler would read it through View.
+type roundObs struct {
+	round    int
+	n        int64
+	gamma    float64
+	live     int
+	maxOp    int
+	maxCount int64
+	sumCubes float64
+}
+
+func observe(round int, v View) roundObs {
+	op, c := v.MaxOpinion()
+	return roundObs{
+		round: round, n: v.N(), gamma: v.Gamma(), live: v.Live(),
+		maxOp: op, maxCount: c, sumCubes: v.SumCubes(),
+	}
+}
+
+// serialReference runs one trial on the generic Vector engine and
+// records every round's observables — the reference the batch runner
+// must reproduce bitwise.
+func serialReference(p Protocol, counts []int64, seed uint64, maxRounds int) (RunResult, []roundObs) {
+	v := population.MustFromCounts(counts)
+	var seen []roundObs
+	res := Run(rng.New(seed), p, v, RunConfig{
+		MaxRounds: maxRounds,
+		Observer: func(round int, v *population.Vector) bool {
+			seen = append(seen, observe(round, v))
+			return false
+		},
+	})
+	return res, seen
+}
+
+// batchTrial runs one trial through a BatchRunner with the same
+// observer wiring.
+func batchTrial(b *BatchRunner, seed uint64, maxRounds int) (RunResult, []roundObs) {
+	var seen []roundObs
+	res := b.RunTrial(seed, BatchRunConfig{
+		MaxRounds: maxRounds,
+		Observer: func(round int, v View) bool {
+			seen = append(seen, observe(round, v))
+			return false
+		},
+	})
+	return res, seen
+}
+
+func assertTrialMatches(t *testing.T, p Protocol, b *BatchRunner, counts []int64, seed uint64, maxRounds int) {
+	t.Helper()
+	wantRes, wantObs := serialReference(p, counts, seed, maxRounds)
+	gotRes, gotObs := batchTrial(b, seed, maxRounds)
+	if gotRes != wantRes {
+		t.Fatalf("%s seed %#x: result %+v, serial %+v (counts %v)", p.Name(), seed, gotRes, wantRes, counts)
+	}
+	if !reflect.DeepEqual(gotObs, wantObs) {
+		for i := range wantObs {
+			if i >= len(gotObs) || gotObs[i] != wantObs[i] {
+				t.Fatalf("%s seed %#x: round %d observables %+v, serial %+v (counts %v)",
+					p.Name(), seed, i, gotObs[i], wantObs[i], counts)
+			}
+		}
+		t.Fatalf("%s seed %#x: observed %d rounds, serial %d", p.Name(), seed, len(gotObs), len(wantObs))
+	}
+}
+
+// batchProtocols is every dynamics the runner must reproduce: the
+// three flat kernels, an h-majority alias of each, and generic-engine
+// protocols without a flat kernel.
+var batchProtocols = []Protocol{
+	ThreeMajority{},
+	TwoChoices{},
+	Voter{},
+	HMajority{H: 1},
+	HMajority{H: 3},
+	HMajority{H: 5},
+	Median{},
+	Undecided{},
+}
+
+func TestBatchRunnerIdenticalToSerial(t *testing.T) {
+	configs := [][]int64{
+		{50, 50, 50, 50},
+		{1, 1, 1, 1, 1, 1, 1, 1},
+		{997, 1, 1, 1},
+		{0, 40, 0, 60, 0},
+		{200},
+		// Large enough for the BTPE binomial regime and the 2-choices
+		// direct-per-slot path, small enough for the voter walk.
+		{1 << 14, 1 << 12, 1 << 10, 5, 5, 5},
+	}
+	for _, p := range batchProtocols {
+		for _, counts := range configs {
+			template := population.MustFromCounts(counts)
+			b := NewBatchRunner(p, template)
+			for seed := uint64(0); seed < 3; seed++ {
+				assertTrialMatches(t, p, b, counts, 0x9d2c^seed, 0)
+			}
+		}
+	}
+}
+
+// TestBatchRunnerReusedStateIdentical pins full per-trial isolation:
+// re-running a seed on a runner dirtied by other trials (including a
+// MaxRounds cutoff mid-run) reproduces the first run exactly.
+func TestBatchRunnerReusedStateIdentical(t *testing.T) {
+	counts := []int64{300, 200, 100, 50, 25, 12}
+	for _, p := range batchProtocols {
+		template := population.MustFromCounts(counts)
+		b := NewBatchRunner(p, template)
+		firstRes, firstObs := batchTrial(b, 42, 0)
+		batchTrial(b, 1001, 0) // dirty the shared state
+		batchTrial(b, 7, 3)    // ... and leave a trial cut off mid-run
+		againRes, againObs := batchTrial(b, 42, 0)
+		if againRes != firstRes || !reflect.DeepEqual(againObs, firstObs) {
+			t.Errorf("%s: trial not reproducible on a reused runner: %+v vs %+v",
+				p.Name(), againRes, firstRes)
+		}
+	}
+}
+
+// TestBatchRunnerObserverStop: an observer stopping at round 2 must
+// leave the same result as the serial engine stopped at round 2.
+func TestBatchRunnerObserverStop(t *testing.T) {
+	counts := []int64{500, 300, 200, 100}
+	for _, p := range batchProtocols {
+		stopAt := func(round int, _ View) bool { return round >= 2 }
+		v := population.MustFromCounts(counts)
+		want := Run(rng.New(5), p, v, RunConfig{
+			Observer: func(round int, _ *population.Vector) bool { return round >= 2 },
+		})
+		b := NewBatchRunner(p, population.MustFromCounts(counts))
+		got := b.RunTrial(5, BatchRunConfig{Observer: stopAt})
+		if got != want {
+			t.Errorf("%s: stopped result %+v, serial %+v", p.Name(), got, want)
+		}
+	}
+}
+
+// FuzzBatchRunnerMatchesSerial drives the batch runner from arbitrary
+// configurations, protocols and seeds and requires bitwise identity
+// with the serial engine on the result and every round's observables.
+func FuzzBatchRunnerMatchesSerial(f *testing.F) {
+	f.Add([]byte{10, 20, 30}, uint64(1), uint8(0), uint8(10))
+	f.Add([]byte{1}, uint64(2), uint8(1), uint8(0))
+	f.Add([]byte{255, 0, 0, 255}, uint64(3), uint8(2), uint8(3))
+	f.Add([]byte{0, 200, 3}, uint64(4), uint8(3), uint8(50))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9}, uint64(5), uint8(4), uint8(255))
+	f.Fuzz(func(t *testing.T, raw []byte, seed uint64, protoSel uint8, maxRounds uint8) {
+		if len(raw) == 0 || len(raw) > 48 {
+			return
+		}
+		counts := make([]int64, len(raw))
+		var n int64
+		for i, b := range raw {
+			counts[i] = int64(b)
+			n += int64(b)
+		}
+		if n == 0 {
+			counts[0] = 1
+		}
+		p := batchProtocols[int(protoSel)%len(batchProtocols)]
+		template := population.MustFromCounts(counts)
+		b := NewBatchRunner(p, template)
+		// Two trials per input: the second runs on dirtied shared state.
+		assertTrialMatches(t, p, b, counts, seed, int(maxRounds))
+		assertTrialMatches(t, p, b, counts, seed^0x5bf03635, int(maxRounds))
+	})
+}

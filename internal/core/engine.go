@@ -23,6 +23,12 @@ type RunConfig struct {
 	// on decided consensus; norm-growth experiments terminate on a γ
 	// threshold).
 	Done func(v *population.Vector) bool
+	// Scratch, if non-nil, is the sampler arena to (re)use; batch
+	// executors pass one shared arena across a whole trial range so
+	// per-trial allocations amortize to zero. Scratch reuse never
+	// changes results: every sampler fully (re)initializes the
+	// portions it reads.
+	Scratch *Scratch
 }
 
 // DefaultMaxRounds is the fallback round bound; it is far above the
@@ -66,7 +72,10 @@ func Run(r *rng.Rand, p Protocol, v *population.Vector, cfg RunConfig) RunResult
 			return ok
 		}
 	}
-	s := &Scratch{}
+	s := cfg.Scratch
+	if s == nil {
+		s = &Scratch{}
+	}
 
 	finish := func(rounds int, consensus bool) RunResult {
 		// At actual consensus the winner is the single live opinion,

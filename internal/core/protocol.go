@@ -65,48 +65,46 @@ type Scratch struct {
 	alias   rng.Alias
 }
 
+// grown returns buf resized to length n, reallocating with geometric
+// capacity growth when needed. The hot loops re-request the Scratch
+// buffers every round at fluctuating sizes, so exact-fit growth would
+// realloc on every new high-water mark; doubling keeps buffer
+// allocations logarithmic in the working-size range. Callers fully
+// overwrite the portion they read, so stale contents never matter.
+func grown[T int | int32 | int64 | float64](buf []T, n int) []T {
+	if cap(buf) < n {
+		buf = make([]T, max(n, 2*cap(buf), 64))
+	}
+	return buf[:n]
+}
+
 // Probs returns a float64 buffer of length k.
 func (s *Scratch) Probs(k int) []float64 {
-	if cap(s.probs) < k {
-		s.probs = make([]float64, k)
-	}
-	s.probs = s.probs[:k]
+	s.probs = grown(s.probs, k)
 	return s.probs
 }
 
 // Outs returns an int64 buffer of length k.
 func (s *Scratch) Outs(k int) []int64 {
-	if cap(s.outs) < k {
-		s.outs = make([]int64, k)
-	}
-	s.outs = s.outs[:k]
+	s.outs = grown(s.outs, k)
 	return s.outs
 }
 
 // Aux returns a second int64 buffer of length k.
 func (s *Scratch) Aux(k int) []int64 {
-	if cap(s.aux) < k {
-		s.aux = make([]int64, k)
-	}
-	s.aux = s.aux[:k]
+	s.aux = grown(s.aux, k)
 	return s.aux
 }
 
 // probsAux returns a second float64 buffer of length k.
 func (s *Scratch) probsAux(k int) []float64 {
-	if cap(s.probs2) < k {
-		s.probs2 = make([]float64, k)
-	}
-	s.probs2 = s.probs2[:k]
+	s.probs2 = grown(s.probs2, k)
 	return s.probs2
 }
 
 // Aux2 returns a third int64 buffer of length k.
 func (s *Scratch) Aux2(k int) []int64 {
-	if cap(s.aux2) < k {
-		s.aux2 = make([]int64, k)
-	}
-	s.aux2 = s.aux2[:k]
+	s.aux2 = grown(s.aux2, k)
 	return s.aux2
 }
 
@@ -114,20 +112,14 @@ func (s *Scratch) Aux2(k int) []int64 {
 // opinion-index lists handed to population.Vector.CommitLive when the
 // committed set extends the live view (e.g. the Undecided slot).
 func (s *Scratch) Idx(m int) []int32 {
-	if cap(s.idx) < m {
-		s.idx = make([]int32, m)
-	}
-	s.idx = s.idx[:m]
+	s.idx = grown(s.idx, m)
 	return s.idx
 }
 
 // Fen returns an int64 buffer of length m for the Fenwick tree of the
 // without-replacement agreement sampler.
 func (s *Scratch) Fen(m int) []int64 {
-	if cap(s.fen) < m {
-		s.fen = make([]int64, m)
-	}
-	s.fen = s.fen[:m]
+	s.fen = grown(s.fen, m)
 	return s.fen
 }
 
@@ -142,49 +134,34 @@ func (s *Scratch) Alias(weights []float64) *rng.Alias {
 // Samples returns an int buffer of length h for h-Majority's
 // per-vertex sample sets.
 func (s *Scratch) Samples(h int) []int {
-	if cap(s.samples) < h {
-		s.samples = make([]int, h)
-	}
-	s.samples = s.samples[:h]
+	s.samples = grown(s.samples, h)
 	return s.samples
 }
 
 // Members returns an int32 buffer of length m for the grouped
 // multinomial sampler's counting-sorted category-member lists.
 func (s *Scratch) Members(m int) []int32 {
-	if cap(s.members) < m {
-		s.members = make([]int32, m)
-	}
-	s.members = s.members[:m]
+	s.members = grown(s.members, m)
 	return s.members
 }
 
 // GroupProbs returns a float64 buffer of length m for the grouped
 // multinomial sampler's merged-category weights.
 func (s *Scratch) GroupProbs(m int) []float64 {
-	if cap(s.gProbs) < m {
-		s.gProbs = make([]float64, m)
-	}
-	s.gProbs = s.gProbs[:m]
+	s.gProbs = grown(s.gProbs, m)
 	return s.gProbs
 }
 
 // GroupOuts returns an int64 buffer of length m for the grouped
 // multinomial sampler's merged-category totals.
 func (s *Scratch) GroupOuts(m int) []int64 {
-	if cap(s.gOuts) < m {
-		s.gOuts = make([]int64, m)
-	}
-	s.gOuts = s.gOuts[:m]
+	s.gOuts = grown(s.gOuts, m)
 	return s.gOuts
 }
 
 // Ops returns an int32 buffer of length n (per-vertex opinions, used
 // by the reference steppers and by h-Majority for h > 3).
 func (s *Scratch) Ops(n int) []int32 {
-	if cap(s.ops) < n {
-		s.ops = make([]int32, n)
-	}
-	s.ops = s.ops[:n]
+	s.ops = grown(s.ops, n)
 	return s.ops
 }

@@ -1,0 +1,100 @@
+package rng
+
+import "math"
+
+// BinomialEach draws out[j] ~ Binomial(counts[j], p) independently for
+// every j and returns the total, consuming the stream draw-for-draw
+// identically to calling Binomial(counts[j], p) in index order: the
+// same generator values are read and every out[j] is bitwise equal.
+// Zero counts (and p <= 0) consume no randomness and yield 0, exactly
+// like the scalar call.
+//
+// The point of the batched form is hoisting the p-only setup out of
+// the loop: the reflection to small p, the odds ratio s = p/q and
+// log1p(-p) — the Exp/Log1p calls that dominate the BINV path's cost
+// on the engine's one-binomial-per-live-slot rounds — are computed
+// once per call instead of once per slot. The hoisted values feed the
+// same expressions, so every sample is unchanged.
+//
+// len(out) must be at least len(counts); panics if any count is
+// negative.
+func (r *Rand) BinomialEach(counts []int64, p float64, out []int64) int64 {
+	if p <= 0 {
+		var bad bool
+		for j, n := range counts {
+			bad = bad || n < 0
+			out[j] = 0
+		}
+		if bad {
+			panic("rng: Binomial with n < 0")
+		}
+		return 0
+	}
+	if p >= 1 {
+		var total int64
+		for j, n := range counts {
+			if n < 0 {
+				panic("rng: Binomial with n < 0")
+			}
+			out[j] = n
+			total += n
+		}
+		return total
+	}
+	reflect := p > 0.5
+	ps := p
+	if reflect {
+		ps = 1 - p
+	}
+	// Hoisted BINV constants; the same expressions binomialBINV
+	// evaluates per call.
+	q := 1 - ps
+	s := ps / q
+	l1p := math.Log1p(-ps)
+
+	var total int64
+	for j, n := range counts {
+		switch {
+		case n < 0:
+			panic("rng: Binomial with n < 0")
+		case n == 0:
+			out[j] = 0
+			continue
+		}
+		var x int64
+		if float64(n)*ps < binvCutoff {
+			x = r.binomialBINVPre(n, s, float64(n+1)*s, math.Exp(float64(n)*l1p))
+		} else {
+			x = r.binomialBTPE(n, ps)
+		}
+		if reflect {
+			x = n - x
+		}
+		out[j] = x
+		total += x
+	}
+	return total
+}
+
+// binomialBINVPre is binomialBINV with the (n, p)-derived constants
+// precomputed by the caller: s = p/q, a = (n+1)s, f = q^n (as
+// Exp(n·Log1p(-p))). Draw-identical to binomialBINV given equal
+// constants.
+func (r *Rand) binomialBINVPre(n int64, s, a, f float64) int64 {
+	for {
+		u := r.Float64()
+		fx := f
+		var x int64
+		for {
+			if u < fx {
+				return x
+			}
+			u -= fx
+			x++
+			if x > n {
+				break // numeric leakage beyond the support; redraw
+			}
+			fx *= a/float64(x) - s
+		}
+	}
+}

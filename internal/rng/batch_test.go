@@ -1,0 +1,108 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// scalarBinomialEach is the reference BinomialEach: the scalar calls
+// the batched form promises to be draw-identical to.
+func scalarBinomialEach(r *Rand, counts []int64, p float64, out []int64) int64 {
+	var total int64
+	for j, n := range counts {
+		out[j] = r.Binomial(n, p)
+		total += out[j]
+	}
+	return total
+}
+
+// assertBinomialEachMatches runs both forms from the same seed and
+// requires equal outputs, equal totals and an equal generator state
+// afterwards (same number of stream draws consumed).
+func assertBinomialEachMatches(t *testing.T, counts []int64, p float64, seed uint64) {
+	t.Helper()
+	batched := New(seed)
+	scalar := New(seed)
+	gotOut := make([]int64, len(counts))
+	wantOut := make([]int64, len(counts))
+	gotTotal := batched.BinomialEach(counts, p, gotOut)
+	wantTotal := scalarBinomialEach(scalar, counts, p, wantOut)
+	for j := range counts {
+		if gotOut[j] != wantOut[j] {
+			t.Fatalf("BinomialEach(%v, %v)[%d] = %d, scalar %d", counts, p, j, gotOut[j], wantOut[j])
+		}
+	}
+	if gotTotal != wantTotal {
+		t.Fatalf("BinomialEach(%v, %v) total = %d, scalar %d", counts, p, gotTotal, wantTotal)
+	}
+	if g, w := batched.Uint64(), scalar.Uint64(); g != w {
+		t.Fatalf("BinomialEach(%v, %v) left a diverged generator state", counts, p)
+	}
+}
+
+func TestBinomialEachMatchesScalarStream(t *testing.T) {
+	cases := []struct {
+		name   string
+		counts []int64
+		p      float64
+	}{
+		{"empty", nil, 0.3},
+		{"single", []int64{10}, 0.5},
+		{"zeros-interleaved", []int64{0, 5, 0, 0, 12, 0}, 0.25},
+		{"all-zero", []int64{0, 0, 0}, 0.7},
+		{"binv-range", []int64{1, 2, 3, 40, 7}, 0.1},
+		{"btpe-range", []int64{100_000, 250_000, 1}, 0.4},
+		{"mixed-regimes", []int64{1, 100_000, 0, 30, 1_000_000}, 0.03},
+		{"reflected", []int64{9, 1000, 0, 50_000}, 0.9},
+		{"p-zero", []int64{5, 0, 9}, 0},
+		{"p-negative", []int64{5, 9}, -0.5},
+		{"p-one", []int64{5, 0, 9}, 1},
+		{"p-above-one", []int64{5, 9}, 1.5},
+		{"p-tiny", []int64{1 << 40}, 1e-12},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := uint64(0); seed < 5; seed++ {
+				assertBinomialEachMatches(t, tc.counts, tc.p, seed^0xc0ffee)
+			}
+		})
+	}
+}
+
+func TestBinomialEachNegativeCountPanics(t *testing.T) {
+	for _, p := range []float64{-1, 0, 0.5, 1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BinomialEach with a negative count, p=%v: no panic", p)
+				}
+			}()
+			r := New(1)
+			out := make([]int64, 2)
+			r.BinomialEach([]int64{3, -1}, p, out)
+		}()
+	}
+}
+
+// FuzzBinomialEachMatchesScalar is the draw-identity property under
+// arbitrary count vectors, probabilities and seeds. Count magnitudes
+// cycle through multipliers so the same input exercises the BINV, BTPE
+// and reflected regimes side by side.
+func FuzzBinomialEachMatchesScalar(f *testing.F) {
+	f.Add([]byte{10, 0, 200}, 0.3, uint64(1))
+	f.Add([]byte{1}, 0.999, uint64(2))
+	f.Add([]byte{255, 255, 255, 255}, 0.5, uint64(3))
+	f.Add([]byte{0, 0}, 0.0, uint64(4))
+	f.Add([]byte{17, 4}, 1e-9, uint64(5))
+	f.Fuzz(func(t *testing.T, raw []byte, p float64, seed uint64) {
+		if math.IsNaN(p) || len(raw) > 64 {
+			return
+		}
+		multipliers := []int64{1, 37, 1_001, 65_537}
+		counts := make([]int64, len(raw))
+		for i, b := range raw {
+			counts[i] = int64(b) * multipliers[i%len(multipliers)]
+		}
+		assertBinomialEachMatches(t, counts, p, seed)
+	})
+}

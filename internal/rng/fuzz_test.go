@@ -69,3 +69,112 @@ func FuzzMultinomialConservation(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMultinomialDenseMatchesPadded is MultinomialDense's documented
+// contract: for any strictly positive weight vector, its counts equal
+// what Multinomial returns on a copy padded with zero-probability
+// slots in arbitrary positions (the recursion never draws for an
+// empty category). The padding mask doubles as the zero-weight-opinion
+// degenerate case, and small n exercises the remaining == 0 residual
+// path where trailing categories are assigned without a draw.
+func FuzzMultinomialDenseMatchesPadded(f *testing.F) {
+	f.Add(uint16(100), []byte{1, 2, 3}, []byte{0b101}, uint64(1))
+	f.Add(uint16(0), []byte{5}, []byte{0xff}, uint64(2))
+	f.Add(uint16(1), []byte{9, 9}, []byte{0}, uint64(3))
+	f.Add(uint16(60000), []byte{1, 255, 1, 255}, []byte{0b0110}, uint64(4))
+	f.Fuzz(func(t *testing.T, n uint16, rawWeights []byte, mask []byte, seed uint64) {
+		if len(rawWeights) == 0 || len(rawWeights) > 32 {
+			return
+		}
+		dense := make([]float64, len(rawWeights))
+		for i, b := range rawWeights {
+			dense[i] = float64(b) + 0.5 // strictly positive
+		}
+		maskBit := func(i int) bool {
+			if len(mask) == 0 {
+				return false
+			}
+			return mask[(i/8)%len(mask)]&(1<<(i%8)) != 0
+		}
+		// Interleave a zero-probability slot before dense[i] wherever
+		// the mask selects, plus one trailing zero slot.
+		var padded []float64
+		var position []int // padded index of each dense slot
+		for i, w := range dense {
+			if maskBit(i) {
+				padded = append(padded, 0)
+			}
+			position = append(position, len(padded))
+			padded = append(padded, w)
+		}
+		padded = append(padded, 0)
+
+		denseOut := make([]int64, len(dense))
+		New(seed).MultinomialDense(int64(n), dense, denseOut)
+		paddedOut := make([]int64, len(padded))
+		New(seed).Multinomial(int64(n), padded, paddedOut)
+
+		var sum int64
+		for i := range dense {
+			if denseOut[i] != paddedOut[position[i]] {
+				t.Fatalf("dense[%d] = %d, padded = %d (n=%d weights=%v mask=%v)",
+					i, denseOut[i], paddedOut[position[i]], n, dense, mask)
+			}
+			sum += denseOut[i]
+		}
+		if sum != int64(n) {
+			t.Fatalf("dense counts sum to %d, want %d", sum, n)
+		}
+	})
+}
+
+// FuzzAliasFillMatchesFresh: a reused Alias table (Fill) must sample
+// the identical index sequence as a freshly built one, never select a
+// zero-weight category, and degenerate to constant 0 when k = 1.
+func FuzzAliasFillMatchesFresh(f *testing.F) {
+	f.Add([]byte{3, 0, 250}, []byte{8}, uint64(1))
+	f.Add([]byte{1}, []byte{7, 7, 7}, uint64(2))
+	f.Add([]byte{0, 0, 9, 0}, []byte{}, uint64(3))
+	f.Fuzz(func(t *testing.T, first []byte, second []byte, seed uint64) {
+		toWeights := func(raw []byte) []float64 {
+			if len(raw) == 0 || len(raw) > 32 {
+				return nil
+			}
+			w := make([]float64, len(raw))
+			total := 0.0
+			for i, b := range raw {
+				w[i] = float64(b)
+				total += w[i]
+			}
+			if total == 0 {
+				w[0] = 1
+			}
+			return w
+		}
+		// Dirty the reused table with the first weight vector, then
+		// Fill it with the second and compare against a fresh build.
+		w1 := toWeights(first)
+		w2 := toWeights(second)
+		if w1 == nil || w2 == nil {
+			return
+		}
+		reused := NewAlias(w1)
+		reused.Fill(w2)
+		fresh := NewAlias(w2)
+		rReused := New(seed)
+		rFresh := New(seed)
+		for i := 0; i < 64; i++ {
+			got := reused.Sample(rReused)
+			want := fresh.Sample(rFresh)
+			if got != want {
+				t.Fatalf("reused sample %d = %d, fresh = %d (weights %v)", i, got, want, w2)
+			}
+			if w2[got] == 0 {
+				t.Fatalf("sampled zero-weight category %d (weights %v)", got, w2)
+			}
+			if len(w2) == 1 && got != 0 {
+				t.Fatalf("k=1 alias sampled %d", got)
+			}
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachTrialRangeCoversEveryTrialOnce: for every (parallelism,
+// width) shape, the claimed ranges partition [0, trials) — each index
+// visited exactly once, every range non-empty, contiguous, and at most
+// width wide.
+func TestForEachTrialRangeCoversEveryTrialOnce(t *testing.T) {
+	const trials = 57
+	for _, parallelism := range []int{1, 3, 0, 100} {
+		for _, width := range []int{1, 4, 8, 57, 1000, 0, -2} {
+			var calls [trials]atomic.Int32
+			err := ForEachTrialRangeCtx(nil, trials, parallelism, width, func(lo, hi int) error {
+				if lo >= hi {
+					return fmt.Errorf("empty range [%d, %d)", lo, hi)
+				}
+				if w := max(width, 1); hi-lo > w {
+					return fmt.Errorf("range [%d, %d) wider than %d", lo, hi, w)
+				}
+				for i := lo; i < hi; i++ {
+					calls[i].Add(1)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("parallelism %d width %d: %v", parallelism, width, err)
+			}
+			for i := range calls {
+				if n := calls[i].Load(); n != 1 {
+					t.Fatalf("parallelism %d width %d: trial %d ran %d times", parallelism, width, i, n)
+				}
+			}
+		}
+	}
+}
+
+// TestForEachTrialRangeReturnsLowestRangeError pins deterministic
+// error reporting across schedules: the caller sees the error of the
+// lowest-starting failing range.
+func TestForEachTrialRangeReturnsLowestRangeError(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	for _, parallelism := range []int{1, 4} {
+		err := ForEachTrialRangeCtx(nil, 40, parallelism, 4, func(lo, hi int) error {
+			switch lo {
+			case 8:
+				return sentinel
+			case 24:
+				return errors.New("late error")
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("parallelism %d: got %v, want the range-8 sentinel", parallelism, err)
+		}
+	}
+}
+
+// TestForEachTrialRangePanicBecomesError: a panicking body is
+// recovered into that range's error instead of crashing the scheduler.
+func TestForEachTrialRangePanicBecomesError(t *testing.T) {
+	for _, parallelism := range []int{1, 4} {
+		err := ForEachTrialRangeCtx(nil, 20, parallelism, 5, func(lo, hi int) error {
+			if lo == 10 {
+				panic("boom")
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "[10, 15) panicked: boom") {
+			t.Fatalf("parallelism %d: got %v, want the recovered panic", parallelism, err)
+		}
+	}
+}
+
+// TestForEachTrialRangeCancellation: a cancelled context stops further
+// claims and surfaces ctx.Err() when no range failed.
+func TestForEachTrialRangeCancellation(t *testing.T) {
+	for _, parallelism := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := ForEachTrialRangeCtx(ctx, 1000, parallelism, 2, func(lo, hi int) error {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism %d: got %v, want context.Canceled", parallelism, err)
+		}
+		if n := ran.Load(); n >= 500 {
+			t.Fatalf("parallelism %d: %d ranges ran after cancellation", parallelism, n)
+		}
+	}
+}
+
+// TestForEachTrialRangeNoTrials: empty inputs run nothing.
+func TestForEachTrialRangeNoTrials(t *testing.T) {
+	body := func(int, int) error { return errors.New("must not run") }
+	if err := ForEachTrialRangeCtx(nil, 0, 4, 8, body); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEachTrialRangeCtx(nil, -3, 1, 8, body); err != nil {
+		t.Fatal(err)
+	}
+}

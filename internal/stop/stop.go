@@ -28,9 +28,18 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-
-	"plurality/internal/population"
 )
+
+// State is the configuration surface a Spec reads: the O(1)
+// incremental aggregates, nothing else. Both *population.Vector and
+// the batch engine's flat kernel satisfy it, so stop conditions run
+// identically on either executor.
+type State interface {
+	// Gamma returns Γ = Σ α(i)².
+	Gamma() float64
+	// Live returns the number of opinions with surviving supporters.
+	Live() int
+}
 
 // Spec is a conjunction of stop clauses; zero-valued clauses are
 // unset. The zero Spec never fires.
@@ -77,10 +86,10 @@ func (s Spec) Validate() error {
 }
 
 // Done reports whether every set clause holds for the configuration at
-// the end of the given round. It reads only the Vector's O(1)
+// the end of the given round. It reads only the state's O(1)
 // incremental aggregates and draws no randomness. The zero spec
 // returns false forever.
-func (s Spec) Done(round int64, v *population.Vector) bool {
+func (s Spec) Done(round int64, v State) bool {
 	if s.IsZero() {
 		return false
 	}

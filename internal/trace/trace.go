@@ -35,9 +35,23 @@ import (
 	"io"
 	"strconv"
 	"strings"
-
-	"plurality/internal/population"
 )
+
+// State is the configuration surface a trace point reads. Both
+// *population.Vector and the batch engine's flat kernel satisfy it, so
+// sampling works identically on either executor.
+type State interface {
+	// N returns the number of vertices.
+	N() int64
+	// Gamma returns Γ = Σ α(i)².
+	Gamma() float64
+	// Live returns the number of opinions with at least one supporter.
+	Live() int
+	// MaxOpinion returns the plurality opinion and its count.
+	MaxOpinion() (opinion int, count int64)
+	// SumCubes returns Σ α(i)³.
+	SumCubes() float64
+}
 
 // encodeJSONLine writes v's JSON encoding followed by a newline — the
 // same one-line serialisation the service layer uses, so a
@@ -74,9 +88,9 @@ type Point struct {
 }
 
 // PointOf reads v's observables into a Point. Gamma and Live are O(1)
-// (the Vector maintains incremental aggregates); MaxOpinion and
+// (the engines maintain incremental aggregates); MaxOpinion and
 // SumCubes scan the live set, O(live).
-func PointOf(trial int, round int64, v *population.Vector) Point {
+func PointOf(trial int, round int64, v State) Point {
 	_, c := v.MaxOpinion()
 	return Point{
 		Trial:    trial,
@@ -315,7 +329,7 @@ func (s *Sampler) Wants(round int64) bool {
 
 // Observe samples v at the end of the given round if the policy keeps
 // it. Rounds must be passed in strictly increasing order. Nil-safe.
-func (s *Sampler) Observe(round int64, v *population.Vector) {
+func (s *Sampler) Observe(round int64, v State) {
 	if !s.Wants(round) {
 		return
 	}

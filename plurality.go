@@ -106,6 +106,12 @@ func LazyVariant(base Protocol, beta float64) Protocol {
 // PlantedBias, Zipf, Geometric, TwoLeaders, Counts or Fractions.
 type Init struct {
 	build func(n int64) (*population.Vector, error)
+	// stateful marks generators whose successive builds differ (their
+	// draws come from an internal stream). A pure init builds the same
+	// configuration for every trial, which lets the sync batch executor
+	// build it once and reuse it as a shared template; stateful inits
+	// must keep the build-per-trial path.
+	stateful bool
 }
 
 // Balanced splits the population as evenly as possible over k
@@ -207,7 +213,7 @@ func Dirichlet(k int, concentration float64, seed uint64) Init {
 	}
 	var mu sync.Mutex
 	r := rng.New(rng.DeriveSeed(seed, 0x9e3779b9))
-	return Init{build: func(n int64) (*population.Vector, error) {
+	return Init{stateful: true, build: func(n int64) (*population.Vector, error) {
 		fracs := make([]float64, k)
 		mu.Lock()
 		r.Dirichlet(concentration, fracs)
