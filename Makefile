@@ -2,18 +2,34 @@
 # .github/workflows/ci.yml), so a green `make check bench-diff` locally
 # predicts a green pipeline.
 
-.PHONY: check lint test bench-baseline bench-diff
+.PHONY: check lint lint-fix test bench-baseline bench-diff
 
 check: lint test
 
-# gofmt must be clean (the CI lint step fails on any unformatted file)
-# and vet must pass.
+# gofmt must be clean (the CI lint job fails on any unformatted file),
+# vet must pass, and convet — the custom contract vet over the
+# determinism / RNG-stream / durability analyzers (DESIGN.md
+# "Statically enforced contracts") — must report zero unsuppressed
+# diagnostics. Lint budget: `go run ./cmd/convet ./...` loads package
+# metadata and export data from the build cache, so it finishes in
+# about a second warm and well under 30s cold (conbench-style note for
+# builders: the whole lint target is never the long pole; `go build
+# ./...` also covers cmd/convet itself).
 lint:
 	@unformatted="$$(gofmt -l .)"; \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	go vet ./...
+	go run ./cmd/convet ./...
+
+# lint-fix applies the mechanical half (gofmt). convet findings have
+# no autofix by design: either fix the contract violation or annotate
+# the flagged line with `//lint:allow <analyzer> <reason>` — the
+# runner prints every suppression so waivers stay visible.
+lint-fix:
+	gofmt -w .
+	go run ./cmd/convet ./...
 
 test:
 	go build ./...

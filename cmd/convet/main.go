@@ -1,0 +1,105 @@
+// Command convet is the repository's contract vet: a multichecker over
+// the internal/lint analyzer suite that statically enforces the
+// determinism, RNG-stream, and durability contracts the runtime test
+// matrix otherwise only checks probabilistically.
+//
+// Usage:
+//
+//	convet [flags] [packages]
+//
+// With no packages, ./... is checked. Diagnostics print one per line as
+//
+//	path:line:col: message (analyzer)
+//
+// and the exit status is 1 when any unsuppressed diagnostic (or any
+// malformed //lint:allow directive) remains, 2 on load failure.
+// Suppressions are per-site annotations —
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line above — and every suppression that
+// fires is counted and printed, so waivers stay visible in CI logs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"plurality/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("convet", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	list := flags.Bool("list", false, "list the analyzers in the suite and exit")
+	only := flags.String("run", "", "comma-separated analyzer names to run (default: all)")
+	quiet := flags.Bool("q", false, "print diagnostics only, no suppression summary")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Fprintf(stdout, "%-14s %s\n  contract: %s\n", a.Name, a.Doc, a.Contract)
+		}
+		return 0
+	}
+
+	analyzers := lint.All
+	if *only != "" {
+		var err error
+		analyzers, err = lint.ByName(*only)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	// Directives are validated against the full suite, so a -run
+	// subset never misreports an allow for an unselected analyzer.
+	allows, malformed := lint.CollectAllows(pkgs, lint.All)
+	kept, suppressed := lint.ApplySuppressions(diags, allows)
+	kept = append(kept, malformed...)
+	lint.SortDiagnostics(kept)
+
+	for _, d := range kept {
+		fmt.Fprintln(stdout, d)
+	}
+	if !*quiet {
+		for _, s := range suppressed {
+			fmt.Fprintf(stderr, "convet: suppressed %s at %s: //lint:allow %s %s\n",
+				s.Diagnostic.Analyzer, s.Diagnostic.Pos, s.Allow.Analyzer, s.Allow.Reason)
+		}
+		for _, a := range lint.UnusedAllows(allows) {
+			fmt.Fprintf(stderr, "convet: warning: unused //lint:allow %s at %s\n", a.Analyzer, a.Pos)
+		}
+		fmt.Fprintf(stderr, "convet: %d package(s), %d diagnostic(s), %d suppressed\n",
+			len(pkgs), len(kept), len(suppressed))
+	}
+	if len(kept) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -113,7 +113,7 @@ func OpenJournal(fsys FS, path string) (*Journal, []Record, ReplayInfo, error) {
 		// Drop the torn tail so the next append starts a clean record
 		// at the valid offset.
 		if err := f.Truncate(info.ValidBytes); err != nil {
-			f.Close()
+			f.Close() //lint:allow durableorder best-effort cleanup; the truncate error already aborts the open
 			return nil, nil, ReplayInfo{}, fmt.Errorf("durable: truncate corrupt tail: %w", err)
 		}
 	}
@@ -121,12 +121,12 @@ func OpenJournal(fsys FS, path string) (*Journal, []Record, ReplayInfo, error) {
 		// Fresh (or wholly corrupt) file: start over with a header.
 		if len(data) > 0 {
 			if err := f.Truncate(0); err != nil {
-				f.Close()
+				f.Close() //lint:allow durableorder best-effort cleanup; the reset error already aborts the open
 				return nil, nil, ReplayInfo{}, fmt.Errorf("durable: reset corrupt journal: %w", err)
 			}
 		}
 		if err := j.write([]byte(journalHeader)); err != nil {
-			f.Close()
+			f.Close() //lint:allow durableorder best-effort cleanup; the header-write error already aborts the open
 			return nil, nil, ReplayInfo{}, err
 		}
 		j.size = int64(len(journalHeader))

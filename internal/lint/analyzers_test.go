@@ -1,0 +1,64 @@
+package lint_test
+
+import (
+	"testing"
+
+	"plurality/internal/lint"
+	"plurality/internal/lint/linttest"
+)
+
+// Each fixture package carries positive cases (// want lines that fail
+// if the analyzer misses them), negative cases (clean shapes that fail
+// the run if flagged), and a //lint:allow suppression case (which
+// fails if the diagnostic either disappears or survives suppression).
+
+func TestDetMapRange(t *testing.T) {
+	linttest.Run(t, "testdata", lint.DetMapRange, "detmaprange/internal/core")
+}
+
+func TestNoRawEntropy(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoRawEntropy, "norawentropy/internal/sim")
+}
+
+func TestRNGPurityImportBan(t *testing.T) {
+	linttest.Run(t, "testdata", lint.RNGPurity, "rngpurity/internal/stop")
+}
+
+func TestRNGPurityHooks(t *testing.T) {
+	linttest.Run(t, "testdata", lint.RNGPurity, "rngpurity/internal/core")
+}
+
+func TestDurableOrder(t *testing.T) {
+	linttest.Run(t, "testdata", lint.DurableOrder, "durableorder/internal/durable")
+}
+
+func TestGammaFloat(t *testing.T) {
+	linttest.Run(t, "testdata", lint.GammaFloat, "gammafloat/internal/population")
+}
+
+// TestScoping pins the suffix-based package scoping: a kernel-only
+// analyzer must stay silent outside its scope even on flaggable code.
+func TestScoping(t *testing.T) {
+	for _, tc := range []struct {
+		path   string
+		kernel bool
+	}{
+		{"plurality/internal/core", true},
+		{"plurality/internal/rng", true},
+		{"plurality/internal/sim", true},
+		{"plurality/internal/population", true},
+		{"plurality/internal/async", true},
+		{"plurality/internal/graph", true},
+		{"plurality/internal/gossip", true},
+		{"detmaprange/internal/core", true},
+		{"plurality/internal/service", false},
+		{"plurality/internal/durable", false},
+		{"plurality", false},
+		{"internal/corex", false},
+		{"myinternal/core", false},
+	} {
+		if got := lint.IsKernelPkg(tc.path); got != tc.kernel {
+			t.Errorf("IsKernelPkg(%q) = %v, want %v", tc.path, got, tc.kernel)
+		}
+	}
+}

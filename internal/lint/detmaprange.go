@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetMapRange guards the byte-identity contract (DESIGN.md
+// "Determinism & the cache key"): trial results must be identical
+// across parallelism, batch width, and resume, which a map-ordered
+// loop in the kernel silently breaks — Go randomizes map iteration
+// order per execution, so any result, RNG draw, or float accumulation
+// ordered by such a loop differs run to run.
+var DetMapRange = &Analyzer{
+	Name: "detmaprange",
+	Doc: "flags range-over-map (and unsorted maps.Keys/Values/All) in the " +
+		"deterministic-kernel packages, where iteration-order nondeterminism " +
+		"breaks byte-identical trial results",
+	Contract: `DESIGN.md "Determinism & the cache key"`,
+	Run:      runDetMapRange,
+}
+
+func runDetMapRange(pass *Pass) error {
+	if !IsKernelPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Calls like slices.Sorted(maps.Keys(m)) impose a total order
+		// before anything observes the sequence; collect the inner
+		// calls they launder so only bare uses are flagged.
+		sorted := make(map[*ast.CallExpr]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "slices" && sortingFuncs[fn.Name()] {
+				for _, arg := range call.Args {
+					if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+						sorted[inner] = true
+					}
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil && isMapType(t) {
+					pass.Reportf(n.Pos(), "range over map %s iterates in nondeterministic order inside a deterministic-kernel package; iterate a sorted key slice instead", types.ExprString(n.X))
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.Info, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "maps" {
+					return true
+				}
+				if name := fn.Name(); mapSeqFuncs[name] && !sorted[n] {
+					pass.Reportf(n.Pos(), "maps.%s iterates the map in nondeterministic order inside a deterministic-kernel package; wrap in slices.Sorted (or sort the result) before iterating", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+var sortingFuncs = map[string]bool{
+	"Sorted":           true,
+	"SortedFunc":       true,
+	"SortedStableFunc": true,
+}
+
+var mapSeqFuncs = map[string]bool{
+	"Keys":   true,
+	"Values": true,
+	"All":    true,
+}
+
+// isMapType reports whether t is (an alias of) a map type.
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GammaFloat guards the floating-point half of the byte-identity
+// contract (DESIGN.md "Determinism & the cache key"): the kernel's
+// incremental aggregates — Γ = Σ α(i)², Σc², Σα³ — are reductions
+// whose bit pattern depends on summation order, because float addition
+// does not reassociate. A reduction is deterministic only when its
+// iteration order is: accumulating over a map range (order randomized
+// per run) or from goroutine bodies (order set by the scheduler)
+// yields answers that differ in the low bits run to run, which the
+// byte-identity equivalence matrix then reports as corruption.
+var GammaFloat = &Analyzer{
+	Name: "gammafloat",
+	Doc: "flags floating-point accumulation in variable-order contexts (range " +
+		"over a map, goroutine bodies) in the deterministic-kernel packages, " +
+		"where reassociation breaks byte-identical aggregates",
+	Contract: `DESIGN.md "Determinism & the cache key"`,
+	Run:      runGammaFloat,
+}
+
+func runGammaFloat(pass *Pass) error {
+	if !IsKernelPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil && isMapType(t) {
+					checkFloatAccum(pass, n.Body, n.Body.Pos(), n.Body.End(),
+						"inside a range over a map (per-run iteration order)", false)
+				}
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					// Indexed stores are exempt here: a per-shard
+					// partial[i] += x with an ordered merge afterwards is
+					// exactly the deterministic fan-out pattern the sharded
+					// graph rounds use.
+					checkFloatAccum(pass, lit.Body, lit.Body.Pos(), lit.Body.End(),
+						"inside a goroutine body (scheduler-ordered)", true)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFloatAccum reports compound float accumulation into variables
+// that outlive the variable-order region [lo, hi) — the shape of a
+// reduction whose result depends on visit order.
+func checkFloatAccum(pass *Pass, body ast.Node, lo, hi token.Pos, context string, indexedOK bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if assign.Tok != token.ADD_ASSIGN && assign.Tok != token.SUB_ASSIGN &&
+			assign.Tok != token.MUL_ASSIGN && assign.Tok != token.QUO_ASSIGN {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			if !isFloatExpr(pass.Info, lhs) {
+				continue
+			}
+			if indexedOK {
+				if _, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					continue
+				}
+			}
+			if !escapesRegion(pass, lhs, lo, hi) {
+				continue
+			}
+			pass.Reportf(assign.Pos(), "floating-point accumulation into %s %s reassociates the reduction and breaks byte-identical aggregates; accumulate in deterministic index order and merge ordered partials", types.ExprString(lhs), context)
+		}
+		return true
+	})
+}
+
+// isFloatExpr reports whether the expression has floating-point (or
+// complex) type.
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// escapesRegion reports whether the accumulation target outlives the
+// variable-order region: an identifier declared before the region, or
+// any field/element of a structure (which can always be observed from
+// outside). Loop-local scratch floats are fine — their final value
+// never leaves an iteration.
+func escapesRegion(pass *Pass, lhs ast.Expr, lo, hi token.Pos) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := pass.Info.ObjectOf(lhs)
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < lo || obj.Pos() >= hi
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}

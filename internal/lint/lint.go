@@ -1,0 +1,191 @@
+// Package lint is a custom static-analysis suite that enforces, at
+// compile time, the contracts the rest of the repository can only
+// check at runtime:
+//
+//   - determinism of the trial kernel (byte-identical results across
+//     parallelism, batch width, and resume) — analyzers detmaprange
+//     and gammafloat;
+//   - the frozen RNG-stream contract (all randomness flows through
+//     internal/rng seeded streams; stop conditions, trace sampling and
+//     observer hooks never consume draws) — analyzers norawentropy and
+//     rngpurity;
+//   - the durability write-ordering contract (result bytes durable
+//     before the completed journal record; no silently dropped
+//     Sync/Close/Rename/Write errors) — analyzer durableorder.
+//
+// The package mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Reportf) but is self-contained on the standard
+// library: packages are loaded from `go list -export -json` metadata
+// and type-checked against gc export data, the same mechanism `go vet`
+// drivers use. cmd/convet is the multichecker binary over the suite.
+//
+// Diagnostics can be suppressed, one site at a time, with an
+// annotated allow directive on the flagged line or the line above:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory; the runner counts and prints every
+// suppression so waivers stay visible. See DESIGN.md "Statically
+// enforced contracts" for the mapping from each analyzer to the
+// runtime contract it guards.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one named check. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis.Analyzer so the suite could be
+// rehosted on the real framework without touching analyzer bodies.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and in
+	// //lint:allow directives.
+	Name string
+	// Doc is the one-paragraph description printed by convet -list.
+	Doc string
+	// Contract cites the DESIGN.md contract the analyzer guards.
+	Contract string
+	// Run reports diagnostics for one package via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// All is the convet suite, in stable order.
+var All = []*Analyzer{
+	DetMapRange,
+	NoRawEntropy,
+	RNGPurity,
+	DurableOrder,
+	GammaFloat,
+}
+
+// ByName resolves a comma-separated analyzer selection against All.
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range All {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+		}
+	}
+	return out, nil
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diagnostics *[]Diagnostic
+}
+
+// Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diagnostics = append(*p.diagnostics, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Kernel packages: the deterministic trial kernel, identified by
+// import-path suffix so the linttest harness can stand up fixture
+// packages (e.g. testdata path "detmaprange/internal/core") that scope
+// exactly like the real ones.
+var kernelSuffixes = []string{
+	"internal/core",
+	"internal/rng",
+	"internal/sim",
+	"internal/population",
+	"internal/async",
+	"internal/graph",
+	"internal/gossip",
+}
+
+// hasPathSuffix reports whether path is suffix or ends with
+// "/"+suffix — i.e. suffix matches on import-path-segment boundaries.
+func hasPathSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// IsKernelPkg reports whether the import path names one of the
+// deterministic-kernel packages.
+func IsKernelPkg(path string) bool {
+	for _, s := range kernelSuffixes {
+		if hasPathSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// isRNGPkg reports whether the import path is the seeded-stream
+// substrate (internal/rng) — the one legitimate randomness source.
+func isRNGPkg(path string) bool { return hasPathSuffix(path, "internal/rng") }
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for calls through function
+// values, built-ins and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// RunAnalyzers applies each analyzer to each package and returns the
+// raw (unsuppressed) diagnostics in deterministic order.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:    a,
+				Fset:        pkg.Fset,
+				Files:       pkg.Files,
+				Pkg:         pkg.Types,
+				Info:        pkg.Info,
+				diagnostics: &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	return diags, nil
+}

@@ -1,0 +1,286 @@
+// Package linttest is the analysistest-style harness for the convet
+// analyzer suite: it loads a fixture package from a GOPATH-shaped
+// testdata tree, type-checks it (resolving fixture imports from
+// source and everything else — stdlib, real module packages — from gc
+// export data), runs one analyzer, applies //lint:allow suppressions,
+// and diffs the surviving diagnostics against // want annotations.
+//
+// Fixture layout mirrors analysistest:
+//
+//	testdata/src/<import/path>/*.go
+//
+// The import path is chosen by the test and drives analyzer scoping:
+// a fixture at testdata/src/detmaprange/internal/core is a kernel
+// package to the suite because scoping matches on import-path
+// suffixes.
+//
+// Expectations are end-of-line comments on the line the diagnostic is
+// reported at:
+//
+//	for range m { // want `range over map`
+//
+// holding one or more quoted or backquoted regular expressions that
+// must each match one diagnostic message on that line. A line with a
+// //lint:allow directive expects its diagnostic to be suppressed, so
+// it carries no want.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"plurality/internal/lint"
+)
+
+// Run loads testdata/src/<pkgPath>, applies the analyzer, and reports
+// any mismatch between diagnostics and // want annotations as test
+// errors.
+func Run(t *testing.T, testdataDir string, a *lint.Analyzer, pkgPath string) {
+	t.Helper()
+	abs, err := filepath.Abs(testdataDir)
+	if err != nil {
+		t.Fatalf("linttest: resolve %s: %v", testdataDir, err)
+	}
+	l := newLoader(abs)
+	pkg, err := l.loadTarget(pkgPath)
+	if err != nil {
+		t.Fatalf("linttest: load %s: %v", pkgPath, err)
+	}
+
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: run %s: %v", a.Name, err)
+	}
+	allows, malformed := lint.CollectAllows([]*lint.Package{pkg}, lint.All)
+	for _, d := range malformed {
+		t.Errorf("linttest: %s", d)
+	}
+	kept, _ := lint.ApplySuppressions(diags, allows)
+
+	wants := collectWants(t, pkg)
+	for _, d := range kept {
+		if !wants.match(d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants.unmatched() {
+		t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern)
+	}
+}
+
+// want is one expected-diagnostic annotation.
+type want struct {
+	file    string
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet struct{ wants []*want }
+
+func (ws *wantSet) match(d lint.Diagnostic) bool {
+	for _, w := range ws.wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws *wantSet) unmatched() []*want {
+	var out []*want
+	for _, w := range ws.wants {
+		if !w.matched {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// wantRE captures the quoted or backquoted patterns of a want comment.
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+func collectWants(t *testing.T, pkg *lint.Package) *wantSet {
+	t.Helper()
+	ws := &wantSet{}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				text, ok = strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				matches := wantRE.FindAllStringSubmatch(text, -1)
+				if len(matches) == 0 {
+					t.Errorf("%s: malformed want comment (no quoted pattern): %s", pos, c.Text)
+					continue
+				}
+				for _, m := range matches {
+					pattern := m[1]
+					if m[2] != "" {
+						pattern = m[2]
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, pattern, err)
+						continue
+					}
+					ws.wants = append(ws.wants, &want{file: pos.Filename, line: pos.Line, pattern: pattern, re: re})
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// loader resolves fixture imports from testdata/src and everything
+// else from gc export data produced by `go list -export`.
+type loader struct {
+	fset       *token.FileSet
+	srcRoot    string
+	pkgs       map[string]*types.Package
+	exports    map[string]string
+	exportImp  types.Importer
+	inProgress map[string]bool
+}
+
+func newLoader(testdataDir string) *loader {
+	l := &loader{
+		fset:       token.NewFileSet(),
+		srcRoot:    filepath.Join(testdataDir, "src"),
+		pkgs:       make(map[string]*types.Package),
+		exports:    make(map[string]string),
+		inProgress: make(map[string]bool),
+	}
+	l.exportImp = lint.ExportDataImporter(l.fset, func(path string) (string, bool) {
+		file, ok := l.exports[path]
+		return file, ok
+	})
+	return l
+}
+
+// loadTarget parses and type-checks the fixture package with full
+// syntax and type info, ready for analysis.
+func (l *loader) loadTarget(pkgPath string) (*lint.Package, error) {
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(pkgPath))
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	info := lint.NewInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %v", err)
+	}
+	return &lint.Package{
+		ImportPath: pkgPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// Import implements types.Importer over the two-tier resolution.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		if l.inProgress[path] {
+			return nil, fmt.Errorf("linttest: import cycle through %q", path)
+		}
+		l.inProgress[path] = true
+		defer delete(l.inProgress, path)
+		files, err := l.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		conf := types.Config{Importer: l}
+		pkg, err := conf.Check(path, l.fset, files, nil)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck fixture dep %s: %v", path, err)
+		}
+		l.pkgs[path] = pkg
+		return pkg, nil
+	}
+	if _, ok := l.exports[path]; !ok {
+		if err := l.goList(path); err != nil {
+			return nil, err
+		}
+	}
+	return l.exportImp.Import(path)
+}
+
+// goList records export-data locations for path and its whole
+// dependency cone.
+func (l *loader) goList(path string) error {
+	cmd := exec.Command("go", "list", "-export", "-json", "-deps", path)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("linttest: go list -export %s: %v\n%s", path, err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p struct {
+			ImportPath string
+			Export     string
+		}
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("linttest: parse go list output: %v", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+func (l *loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, nil
+}

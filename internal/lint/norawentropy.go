@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// NoRawEntropy guards the frozen RNG-stream contract (DESIGN.md "Seed
+// & stream contract"): every random draw in the kernel must come from
+// an internal/rng stream derived via rng.DeriveSeed(Seed, trial), so
+// the same (seed, trial) always replays the same bytes on any machine.
+// Ambient entropy — global math/rand state, crypto/rand, wall-clock
+// reads, process identity — is invisible to the seed contract and
+// breaks cross-machine and cross-run reproducibility.
+var NoRawEntropy = &Analyzer{
+	Name: "norawentropy",
+	Doc: "forbids math/rand, crypto/rand, time.Now and process-identity " +
+		"entropy in the deterministic-kernel packages; all randomness must " +
+		"flow through internal/rng seeded streams",
+	Contract: `DESIGN.md "Seed & stream contract"`,
+	Run:      runNoRawEntropy,
+}
+
+// entropyImports are package imports that smuggle ambient entropy or
+// nonreproducible sampling into the kernel.
+var entropyImports = map[string]string{
+	"math/rand":    "use internal/rng seeded streams (math/rand draws are not stable across Go releases)",
+	"math/rand/v2": "use internal/rng seeded streams (math/rand/v2 draws are not seed-reproducible across platforms)",
+	"crypto/rand":  "kernel randomness must be replayable; crypto/rand never is",
+}
+
+// entropyCalls are ambient-state reads that differ per run or per
+// host, keyed by package path then function name.
+var entropyCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock time is per-run entropy",
+		"Since": "wall-clock time is per-run entropy",
+		"Until": "wall-clock time is per-run entropy",
+	},
+	"os": {
+		"Getpid":   "process identity is per-run entropy",
+		"Hostname": "host identity is per-machine entropy",
+	},
+}
+
+func runNoRawEntropy(pass *Pass) error {
+	if !IsKernelPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := entropyImports[path]; ok {
+				pass.Reportf(imp.Pos(), "import of %s in a deterministic-kernel package: %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if why, ok := entropyCalls[fn.Pkg().Path()][fn.Name()]; ok {
+				pass.Reportf(call.Pos(), "call to %s.%s in a deterministic-kernel package: %s", fn.Pkg().Path(), fn.Name(), why)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// allowPrefix introduces a suppression directive:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The directive waives diagnostics from the named analyzer on the same
+// line or on the line directly below (annotation-above style). The
+// reason is mandatory — an unexplained waiver is itself a diagnostic.
+const allowPrefix = "lint:allow"
+
+// Allow is one parsed //lint:allow directive.
+type Allow struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+	// Used is set when the directive suppressed at least one
+	// diagnostic in this run.
+	Used bool
+}
+
+// Suppression pairs a waived diagnostic with the directive that
+// waived it.
+type Suppression struct {
+	Diagnostic Diagnostic
+	Allow      *Allow
+}
+
+// CollectAllows parses every //lint:allow directive in the packages.
+// Malformed directives (missing analyzer, unknown analyzer, missing
+// reason) are returned as diagnostics attributed to the pseudo-
+// analyzer "allowdirective" so they fail the run like any finding.
+func CollectAllows(pkgs []*Package, known []*Analyzer) ([]*Allow, []Diagnostic) {
+	names := make(map[string]bool, len(known))
+	for _, a := range known {
+		names[a.Name] = true
+	}
+	var allows []*Allow
+	var malformed []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, group := range f.Comments {
+				for _, c := range group.List {
+					text, ok := strings.CutPrefix(c.Text, "//")
+					if !ok {
+						continue // block comments can't carry directives
+					}
+					text, ok = strings.CutPrefix(strings.TrimSpace(text), allowPrefix)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					fields := strings.Fields(text)
+					switch {
+					case len(fields) == 0:
+						malformed = append(malformed, Diagnostic{
+							Pos:      pos,
+							Analyzer: "allowdirective",
+							Message:  "//lint:allow needs an analyzer name and a reason",
+						})
+					case !names[fields[0]]:
+						malformed = append(malformed, Diagnostic{
+							Pos:      pos,
+							Analyzer: "allowdirective",
+							Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q", fields[0]),
+						})
+					case len(fields) == 1:
+						malformed = append(malformed, Diagnostic{
+							Pos:      pos,
+							Analyzer: "allowdirective",
+							Message:  fmt.Sprintf("//lint:allow %s needs a reason", fields[0]),
+						})
+					default:
+						allows = append(allows, &Allow{
+							Pos:      pos,
+							Analyzer: fields[0],
+							Reason:   strings.Join(fields[1:], " "),
+						})
+					}
+				}
+			}
+		}
+	}
+	return allows, malformed
+}
+
+// ApplySuppressions splits diagnostics into surviving and suppressed
+// according to the allow directives, marking each directive that
+// fired. A directive at line L waives matching diagnostics at lines L
+// and L+1 of the same file.
+func ApplySuppressions(diags []Diagnostic, allows []*Allow) (kept []Diagnostic, suppressed []Suppression) {
+	type key struct {
+		file string
+		line int
+		name string
+	}
+	index := make(map[key]*Allow, len(allows))
+	for _, a := range allows {
+		index[key{a.Pos.Filename, a.Pos.Line, a.Analyzer}] = a
+		index[key{a.Pos.Filename, a.Pos.Line + 1, a.Analyzer}] = a
+	}
+	for _, d := range diags {
+		if a, ok := index[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; ok {
+			a.Used = true
+			suppressed = append(suppressed, Suppression{Diagnostic: d, Allow: a})
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, analyzer —
+// the stable presentation order convet prints.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// UnusedAllows returns the directives that waived nothing this run —
+// stale annotations worth cleaning up (reported as warnings, not
+// failures, so an analyzer improvement never breaks the build).
+func UnusedAllows(allows []*Allow) []*Allow {
+	var out []*Allow
+	for _, a := range allows {
+		if !a.Used {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseOne wraps a source string into the minimal Package the
+// suppression layer reads (no type info needed).
+func parseOne(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{ImportPath: "fixture", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestCollectAllowsMalformed(t *testing.T) {
+	pkg := parseOne(t, `package p
+
+//lint:allow
+func A() {}
+
+//lint:allow nosuchanalyzer because reasons
+func B() {}
+
+//lint:allow detmaprange
+func C() {}
+
+//lint:allow detmaprange a perfectly good reason
+func D() {}
+`)
+	allows, malformed := CollectAllows([]*Package{pkg}, All)
+	if len(allows) != 1 {
+		t.Fatalf("want 1 valid allow, got %d", len(allows))
+	}
+	if allows[0].Reason != "a perfectly good reason" {
+		t.Errorf("reason = %q", allows[0].Reason)
+	}
+	if len(malformed) != 3 {
+		t.Fatalf("want 3 malformed directives, got %d: %v", len(malformed), malformed)
+	}
+	for _, d := range malformed {
+		if d.Analyzer != "allowdirective" {
+			t.Errorf("malformed directive attributed to %q", d.Analyzer)
+		}
+	}
+	wantMsgs := []string{"needs an analyzer name", "unknown analyzer", "needs a reason"}
+	for i, m := range wantMsgs {
+		if !strings.Contains(malformed[i].Message, m) {
+			t.Errorf("malformed[%d] = %q, want substring %q", i, malformed[i].Message, m)
+		}
+	}
+}
+
+func TestApplySuppressionsAdjacency(t *testing.T) {
+	mk := func(line int, analyzer string) Diagnostic {
+		return Diagnostic{Pos: token.Position{Filename: "fixture.go", Line: line}, Analyzer: analyzer, Message: "m"}
+	}
+	allow := &Allow{Pos: token.Position{Filename: "fixture.go", Line: 10}, Analyzer: "detmaprange", Reason: "r"}
+	diags := []Diagnostic{
+		mk(10, "detmaprange"), // same line: suppressed
+		mk(11, "detmaprange"), // line below: suppressed
+		mk(12, "detmaprange"), // two below: kept
+		mk(10, "gammafloat"),  // same line, other analyzer: kept
+	}
+	kept, suppressed := ApplySuppressions(diags, []*Allow{allow})
+	if len(suppressed) != 2 || len(kept) != 2 {
+		t.Fatalf("kept %d suppressed %d, want 2 and 2", len(kept), len(suppressed))
+	}
+	if !allow.Used {
+		t.Error("allow should be marked used")
+	}
+	unused := UnusedAllows([]*Allow{allow, {Analyzer: "rngpurity"}})
+	if len(unused) != 1 || unused[0].Analyzer != "rngpurity" {
+		t.Errorf("unused = %+v", unused)
+	}
+}
+
+func TestSortDiagnosticsOrder(t *testing.T) {
+	d := []Diagnostic{
+		{Pos: token.Position{Filename: "b.go", Line: 1}},
+		{Pos: token.Position{Filename: "a.go", Line: 9, Column: 2}, Analyzer: "z"},
+		{Pos: token.Position{Filename: "a.go", Line: 9, Column: 2}, Analyzer: "a"},
+		{Pos: token.Position{Filename: "a.go", Line: 3}},
+	}
+	SortDiagnostics(d)
+	if d[0].Pos.Line != 3 || d[1].Analyzer != "a" || d[2].Analyzer != "z" || d[3].Pos.Filename != "b.go" {
+		t.Errorf("order = %+v", d)
+	}
+}

@@ -1,0 +1,61 @@
+// Fixture for the detmaprange analyzer: its import path ends in
+// internal/core, so the suite treats it as a deterministic-kernel
+// package.
+package core
+
+import (
+	"maps"
+	"slices"
+)
+
+// SumMap ranges a map directly: flagged.
+func SumMap(m map[int]float64) float64 {
+	var sum float64
+	for _, w := range m { // want `range over map m iterates in nondeterministic order`
+		sum += w
+	}
+	return sum
+}
+
+// SumSlice ranges a slice: deterministic, clean.
+func SumSlice(ws []float64) float64 {
+	var sum float64
+	for _, w := range ws {
+		sum += w
+	}
+	return sum
+}
+
+// UnsortedKeys iterates maps.Keys without imposing an order: flagged.
+func UnsortedKeys(m map[int]int) int {
+	last := 0
+	for k := range maps.Keys(m) { // want `maps.Keys iterates the map in nondeterministic order`
+		last = k
+	}
+	return last
+}
+
+// SortedKeys launders the sequence through slices.Sorted first: clean.
+func SortedKeys(m map[int]int) []int {
+	return slices.Sorted(maps.Keys(m))
+}
+
+// UnsortedValues is the Values variant: flagged.
+func UnsortedValues(m map[int]int) int {
+	total := 0
+	for v := range maps.Values(m) { // want `maps.Values iterates the map in nondeterministic order`
+		total += v
+	}
+	return total
+}
+
+// Allowed documents an order-independent use and suppresses the
+// diagnostic.
+func Allowed(m map[int]bool) int {
+	n := 0
+	//lint:allow detmaprange membership count is order-independent
+	for range m {
+		n++
+	}
+	return n
+}

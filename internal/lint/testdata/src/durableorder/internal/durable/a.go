@@ -1,0 +1,80 @@
+// Fixture for the durableorder analyzer: the import path ends in
+// internal/durable, so ignored durability errors and misordered
+// completed-record appends are flagged.
+package durable
+
+// Record mirrors the journal record shape the analyzer keys on.
+type Record struct {
+	Op  string
+	Key string
+}
+
+// OpCompleted is the completion marker; the analyzer matches the
+// constant's value, not its name.
+const OpCompleted = "completed"
+
+type file struct{}
+
+func (file) Sync() error                 { return nil }
+func (file) Close() error                { return nil }
+func (file) Write(b []byte) (int, error) { return len(b), nil }
+func (file) Name() string                { return "" }
+
+type journal struct{ f file }
+
+func (j *journal) Append(rec Record) error { return nil }
+
+type cache struct{}
+
+func (cache) Put(key string, data []byte) error { return nil }
+
+// IgnoredErrors drops durability-critical errors three ways: all
+// flagged.
+func IgnoredErrors(f file) {
+	f.Sync()        // want `Sync error ignored on a durability path`
+	_ = f.Close()   // want `Close error ignored on a durability path`
+	defer f.Close() // want `Close error ignored on a durability path`
+}
+
+// HandledErrors propagates them: clean. Name returns no error, so
+// ignoring its result is fine.
+func HandledErrors(f file) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	_ = f.Name()
+	return f.Close()
+}
+
+// CompletedBeforePut journals completion before the result bytes are
+// durable: flagged.
+func CompletedBeforePut(j *journal, c cache, key string, result []byte) error {
+	if err := j.Append(Record{Op: OpCompleted, Key: key}); err != nil { // want `completed record appended before any result-durability Put`
+		return err
+	}
+	return c.Put(key, result)
+}
+
+// PutThenCompleted is the contract order: clean.
+func PutThenCompleted(j *journal, c cache, key string, result []byte) error {
+	if err := c.Put(key, result); err != nil {
+		return err
+	}
+	return j.Append(Record{Op: OpCompleted, Key: key})
+}
+
+// RawStringOp matches by constant value, not spelling: flagged.
+func RawStringOp(j *journal, key string) error {
+	return j.Append(Record{Op: "completed", Key: key}) // want `completed record appended before any result-durability Put`
+}
+
+// OtherOps are not completion records: clean.
+func OtherOps(j *journal, key string) error {
+	return j.Append(Record{Op: "started", Key: key})
+}
+
+// Waived documents a best-effort cleanup close.
+func Waived(f file) {
+	//lint:allow durableorder fd abandoned on an already-failing path
+	f.Close()
+}

@@ -1,0 +1,99 @@
+// Fixture for the gammafloat analyzer: the import path ends in
+// internal/population, a deterministic-kernel package, so
+// variable-order floating-point reductions are flagged.
+package population
+
+// SumMap accumulates a float across a map range: flagged.
+func SumMap(m map[int]float64) float64 {
+	var sum float64
+	for _, w := range m {
+		sum += w // want `floating-point accumulation into sum inside a range over a map`
+	}
+	return sum
+}
+
+// SumSlice accumulates in slice order: deterministic, clean.
+func SumSlice(ws []float64) float64 {
+	var sum float64
+	for _, w := range ws {
+		sum += w
+	}
+	return sum
+}
+
+// CountMap accumulates an integer: associative, clean.
+func CountMap(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// LocalScratch resets a loop-local float every iteration: its value
+// never leaves an iteration, clean.
+func LocalScratch(m map[int][]float64) int {
+	hits := 0
+	for _, ws := range m { // iteration order irrelevant to an int count
+		rowSum := 0.0
+		for _, w := range ws {
+			rowSum += w
+		}
+		if rowSum > 1 {
+			hits++
+		}
+	}
+	return hits
+}
+
+// SharedGoroutineSum races goroutine-ordered additions into one
+// accumulator: flagged.
+func SharedGoroutineSum(parts [][]float64) float64 {
+	var total float64
+	done := make(chan struct{})
+	for _, part := range parts {
+		go func() {
+			for _, w := range part {
+				total += w // want `floating-point accumulation into total inside a goroutine body`
+			}
+			done <- struct{}{}
+		}()
+	}
+	for range parts {
+		<-done
+	}
+	return total
+}
+
+// ShardedSum stores per-shard partials and merges them in index
+// order afterwards — the deterministic fan-out pattern: clean.
+func ShardedSum(parts [][]float64) float64 {
+	partial := make([]float64, len(parts))
+	done := make(chan struct{})
+	for i := range parts {
+		go func() {
+			for _, w := range parts[i] {
+				partial[i] += w
+			}
+			done <- struct{}{}
+		}()
+	}
+	for range parts {
+		<-done
+	}
+	var total float64
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+// Waived documents an aggregate that never reaches a result.
+func Waived(m map[int]float64) float64 {
+	var sum float64
+	for _, w := range m {
+		//lint:allow gammafloat diagnostic-only aggregate, never part of a result
+		sum += w
+	}
+	return sum
+}

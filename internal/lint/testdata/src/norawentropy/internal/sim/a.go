@@ -1,0 +1,44 @@
+// Fixture for the norawentropy analyzer: the import path ends in
+// internal/sim, a deterministic-kernel package, so ambient entropy is
+// forbidden.
+package sim
+
+import (
+	crand "crypto/rand" // want `import of crypto/rand in a deterministic-kernel package`
+	"math/rand"         // want `import of math/rand in a deterministic-kernel package`
+	"os"
+	"time"
+)
+
+// Jitter draws from the global math/rand stream (the import line
+// carries the diagnostic).
+func Jitter() float64 { return rand.Float64() }
+
+// Entropy keeps the crypto/rand import in use.
+var Entropy = crand.Reader
+
+// Stamp reads the wall clock: flagged.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `call to time.Now in a deterministic-kernel package`
+}
+
+// Elapsed reads the wall clock through Since: flagged.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `call to time.Since in a deterministic-kernel package`
+}
+
+// PID reads process identity: flagged.
+func PID() int {
+	return os.Getpid() // want `call to os.Getpid in a deterministic-kernel package`
+}
+
+// Tick is a duration constant: the time package itself is fine, only
+// ambient reads are entropy.
+const Tick = 10 * time.Millisecond
+
+// LogStamp is waived: the timestamp decorates operator logs and never
+// reaches a result.
+func LogStamp() int64 {
+	//lint:allow norawentropy wall-clock used only for operator logging
+	return time.Now().Unix()
+}

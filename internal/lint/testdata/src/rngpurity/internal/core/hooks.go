@@ -1,0 +1,99 @@
+// Fixture for rngpurity's hook-purity rule: functions bound to
+// observer/stop hook slots must not reach an RNG draw through any
+// chain of same-package calls.
+package core
+
+import "rngpurity/internal/rng"
+
+// RunConfig mirrors the engine config surface: Observer is the
+// draw-free round hook, PostRound is the adversary hook that may draw.
+type RunConfig struct {
+	Observer  func(round int) bool
+	PostRound func(r *rng.Rand)
+}
+
+// Run stands in for the engine entry point.
+func Run(r *rng.Rand, cfg RunConfig) {
+	for round := 0; round < 3; round++ {
+		if cfg.PostRound != nil {
+			cfg.PostRound(r)
+		}
+		if cfg.Observer != nil && cfg.Observer(round) {
+			return
+		}
+	}
+}
+
+// runHooked stands in for the engines' hooked entry points; the
+// parameter name "stop" marks the argument as a hook body.
+func runHooked(maxRounds int, stop func(round int) bool) {
+	for round := 0; round < maxRounds; round++ {
+		if stop != nil && stop(round) {
+			return
+		}
+	}
+}
+
+// DirectDraw binds an observer that draws directly: flagged.
+func DirectDraw(r *rng.Rand) RunConfig {
+	return RunConfig{
+		Observer: func(round int) bool { // want `bound to Observer field can reach RNG draw`
+			return r.Float64() < 0.5
+		},
+	}
+}
+
+// impure reaches a draw one call deep.
+func impure(r *rng.Rand) bool { return r.Intn(2) == 0 }
+
+// TransitiveDraw binds an observer that draws through a same-package
+// helper: flagged.
+func TransitiveDraw(r *rng.Rand) {
+	var cfg RunConfig
+	cfg.Observer = func(round int) bool { return impure(r) } // want `bound to Observer field can reach RNG draw`
+	Run(r, cfg)
+}
+
+// StreamArgDraw binds a stop hook that hands the stream to a package
+// function: flagged.
+func StreamArgDraw(r *rng.Rand) {
+	out := make([]int64, 4)
+	runHooked(100, func(round int) bool { // want `bound to stop parameter of runHooked can reach RNG draw`
+		rng.MultinomialDense(r, out)
+		return false
+	})
+}
+
+// pureObserver reads state only.
+func pureObserver(counts []int64) func(round int) bool {
+	return func(round int) bool { return len(counts) == 0 }
+}
+
+// CleanObserver binds a draw-free closure through a factory: clean.
+func CleanObserver(r *rng.Rand, counts []int64) {
+	Run(r, RunConfig{Observer: pureObserver(counts)})
+}
+
+// SeedArithmetic derives seeds and forks nothing: rng.DeriveSeed and
+// rng.New take no stream, so a hook may call them.
+func SeedArithmetic(r *rng.Rand) {
+	runHooked(10, func(round int) bool {
+		return rng.DeriveSeed(7, uint64(round))%2 == 0
+	})
+	Run(r, RunConfig{})
+}
+
+// Adversary binds the PostRound hook, which legitimately draws: clean
+// (PostRound consumes the engine stream by design; only Observer-like
+// slots are frozen).
+func Adversary(r *rng.Rand) RunConfig {
+	return RunConfig{PostRound: func(rr *rng.Rand) { rr.Uint64() }}
+}
+
+// Waived suppresses a deliberate diagnostic-only draw with a reason.
+func Waived(r *rng.Rand) RunConfig {
+	return RunConfig{
+		//lint:allow rngpurity diagnostic-only draw on a dedicated side stream
+		Observer: func(round int) bool { return r.Float64() < 0.5 },
+	}
+}

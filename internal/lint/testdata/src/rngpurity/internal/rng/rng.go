@@ -1,0 +1,29 @@
+// Fixture stand-in for the real internal/rng: the analyzer matches on
+// the import-path suffix, so this stub exercises the draw-detection
+// rules without depending on the real module.
+package rng
+
+// Rand is a stub stream; every method models a state-mutating draw.
+type Rand struct{ s uint64 }
+
+// New derives a fresh stream from a seed; it consumes nothing.
+func New(seed uint64) *Rand { return &Rand{s: seed} }
+
+// DeriveSeed is pure seed arithmetic; it consumes nothing.
+func DeriveSeed(base, index uint64) uint64 { return base ^ index<<1 }
+
+// Uint64 is a draw.
+func (r *Rand) Uint64() uint64 { r.s++; return r.s }
+
+// Float64 is a draw.
+func (r *Rand) Float64() float64 { return float64(r.Uint64() % 1000) }
+
+// Intn is a draw.
+func (r *Rand) Intn(n int) int { return int(r.Uint64() % uint64(n)) }
+
+// MultinomialDense consumes the stream it is handed: a draw.
+func MultinomialDense(r *Rand, out []int64) {
+	for i := range out {
+		out[i] = int64(r.Uint64())
+	}
+}

@@ -1,0 +1,21 @@
+// Fixture for rngpurity's pure-by-construction rule: a package whose
+// import path ends in internal/stop may not import any randomness
+// source at all.
+package stop
+
+import (
+	"math/rand" // want `internal/stop must stay RNG-free by construction`
+
+	"rngpurity/internal/rng" // want `internal/stop must stay RNG-free by construction`
+)
+
+// Spec is a minimal stop-condition shape.
+type Spec struct{ AfterRounds int64 }
+
+// Done keeps the banned imports in use; the imports themselves carry
+// the diagnostics.
+func (s Spec) Done(round int64) bool {
+	_ = rand.Int
+	_ = rng.New
+	return s.AfterRounds > 0 && round >= s.AfterRounds
+}
