@@ -2,9 +2,9 @@
 # .github/workflows/ci.yml), so a green `make check bench-diff` locally
 # predicts a green pipeline.
 
-.PHONY: check lint lint-fix test bench-baseline bench-diff
+.PHONY: check lint lint-fix test docs-check bench-baseline bench-diff
 
-check: lint test
+check: lint test docs-check
 
 # gofmt must be clean (the CI lint job fails on any unformatted file),
 # vet must pass, and convet — the custom contract vet over the
@@ -34,6 +34,14 @@ lint-fix:
 test:
 	go build ./...
 	go test ./...
+
+# docs-check runs the documentation audits (internal/docs): every
+# relative markdown link resolves, every internal/* package has a
+# doc.go stating its contract, and every curl example in README.md and
+# the conserve docs decodes as a valid service request. `go test ./...`
+# covers these too; the named target exists for doc-only edits.
+docs-check:
+	go test -count=1 ./internal/docs/
 
 # bench-baseline refreshes the committed bench-regression baseline.
 # Run it on an otherwise idle machine after a deliberate perf change

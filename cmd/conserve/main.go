@@ -42,6 +42,7 @@
 //	curl -s -X POST localhost:8080/sweep -d '{"base":{"protocol":"3-majority","n":100000,"seed":1,"trials":5},"sweep":"k","values":[2,4,8,16]}'
 //	curl -s -X POST 'localhost:8080/run?trace=1' -d '{"protocol":"3-majority","n":100000,"k":100,"seed":1}'
 //	curl -s -X POST localhost:8080/run -d '{"protocol":"3-majority","n":100000,"k":100,"seed":1,"stop":{"gamma_at_least":0.5}}'
+//	curl -s -X POST localhost:8080/run -d '{"protocol":"3-majority","n":1000000000,"k":100,"tier":"analytic"}'
 //
 // The trace form records a per-round trace (γ, live opinions,
 // max-opinion density, Σα³ under the adaptive decimation policy; put a
@@ -51,6 +52,13 @@
 // crossing; see internal/stop) instead of consensus — the per-trial
 // "rounds" become hitting times, and the stop spec is part of the
 // cache key.
+//
+// The tier form answers from the calibrated analytic model (see
+// internal/analytic) in microseconds without simulating: the response
+// carries "method":"analytic" and a prediction with its interval.
+// Sync 3-majority/2-choices requests whose n exceeds the simulation
+// cap are promoted to the analytic tier automatically instead of
+// being rejected; conserve_analytic_requests_total counts both forms.
 //
 // Results are deterministic in the request alone — trial i's façade
 // seed is DeriveSeed(seed, i), which mode sync consumes directly and

@@ -271,6 +271,116 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestAnalyticTierSmoke boots the real server and exercises the
+// analytic answer tier end to end: a planet-scale /run answers 200
+// with method "analytic" and an interval-carrying prediction, an
+// over-cap n is promoted to the tier instead of rejected, the metric
+// counts both, and the handler answers cache-miss analytic requests in
+// well under a millisecond (each request below varies k, so none is a
+// cache hit — the latency bound is on the compute path, not the LRU).
+func TestAnalyticTierSmoke(t *testing.T) {
+	addrs := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrs <- a }
+	defer func() { onListen = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2"})
+	}()
+	var base string
+	select {
+	case a := <-addrs:
+		base = fmt.Sprintf("http://%s", a)
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not start")
+	}
+
+	post := func(body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(base+"/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatalf("non-JSON body (%d): %s", resp.StatusCode, raw)
+		}
+		return resp.StatusCode, m
+	}
+
+	// The quickstart request: n = 10^9, explicit tier.
+	code, m := post(`{"protocol":"3-majority","n":1000000000,"k":100,"tier":"analytic"}`)
+	if code != http.StatusOK || m["method"] != "analytic" {
+		t.Fatalf("analytic run: code %d, method %v", code, m["method"])
+	}
+	pred, ok := m["analytic"].(map[string]any)
+	if !ok {
+		t.Fatalf("response missing analytic prediction: %v", m)
+	}
+	lo, _ := pred["rounds_lo"].(float64)
+	mid, _ := pred["rounds"].(float64)
+	hi, _ := pred["rounds_hi"].(float64)
+	if !(0 < lo && lo <= mid && mid <= hi) {
+		t.Fatalf("prediction interval not ordered: lo=%v rounds=%v hi=%v", lo, mid, hi)
+	}
+
+	// Auto-promotion: n beyond the sync simulation cap answers 200
+	// analytically instead of 400.
+	code, m = post(`{"protocol":"2-choices","n":10000000000,"k":64}`)
+	if code != http.StatusOK || m["method"] != "analytic" {
+		t.Fatalf("promoted run: code %d, method %v", code, m["method"])
+	}
+
+	// Latency: every request below is a cache miss (k varies), and the
+	// fastest of 50 must still clear a millisecond with wide margin.
+	minLatency := time.Hour
+	for k := 2; k < 52; k++ {
+		body := fmt.Sprintf(`{"protocol":"3-majority","n":1000000000,"k":%d,"tier":"analytic"}`, k)
+		start := time.Now()
+		code, _ := post(body)
+		if d := time.Since(start); d < minLatency {
+			minLatency = d
+		}
+		if code != http.StatusOK {
+			t.Fatalf("analytic run k=%d: code %d", k, code)
+		}
+	}
+	if minLatency >= time.Millisecond {
+		t.Fatalf("analytic tier too slow: fastest of 50 cache-miss requests took %s (want < 1ms)", minLatency)
+	}
+	t.Logf("fastest analytic cache-miss request: %s", minLatency)
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	mm := regexp.MustCompile(`conserve_analytic_requests_total (\d+)`).FindSubmatch(metrics)
+	if mm == nil {
+		t.Fatalf("metrics missing conserve_analytic_requests_total:\n%s", metrics)
+	}
+	if n, _ := strconv.Atoi(string(mm[1])); n != 52 {
+		t.Fatalf("conserve_analytic_requests_total %d, want 52", n)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"-addr"}); err == nil {
 		t.Fatal("dangling flag accepted")

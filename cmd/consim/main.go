@@ -8,7 +8,7 @@
 //
 //	consim -n 1000000 -k 100 -protocol 3-majority [-init balanced]
 //	       [-seed 1] [-every 10] [-max-rounds 0] [-adversary 0]
-//	       [-trials 1] [-json] [-trace spec] [-stop spec]
+//	       [-trials 1] [-json] [-trace spec] [-stop spec] [-tier analytic]
 //
 // Protocols: 3-majority, 2-choices, voter, median, undecided, h<m>
 // (e.g. h5), lazy:<beta>:<base>. Inits: balanced, zipf, geometric,
@@ -28,6 +28,13 @@
 // internal/stop), e.g. -stop gamma>=0.5 records the Γ ≥ 1/2 hitting
 // time directly. The stop spec is part of the request identity, so it
 // rides in -json/-trace bodies and in the server's cache key alike.
+//
+// -tier analytic answers from the calibrated theory model instead of
+// simulating (see internal/analytic): the printout is the predicted
+// consensus time with its prediction interval, and -json emits the
+// canonical analytic response (method "analytic"), byte-identical to
+// the server's. Sync 3-majority/2-choices requests whose n exceeds the
+// simulation cap are promoted to this tier automatically.
 package main
 
 import (
@@ -60,6 +67,7 @@ func requestFromFlags(fs *flag.FlagSet, args []string) (service.Request, error) 
 	fs.IntVar(&req.MaxRounds, "max-rounds", 0, "round budget (0 = default)")
 	fs.Int64Var(&req.AdversaryF, "adversary", 0, "hinder-adversary per-round budget F (0 = none)")
 	fs.StringVar(&stopSpec, "stop", "", "stop condition: comma-separated gamma>=G, live<=M, round>=R (default: consensus)")
+	fs.StringVar(&req.Tier, "tier", "", "answer tier: simulation (default) or analytic (calibrated model, no simulation)")
 	if err := fs.Parse(args); err != nil {
 		return service.Request{}, err
 	}
@@ -110,6 +118,22 @@ func run(args []string) error {
 			return service.EncodeJSONLine(os.Stdout, resp)
 		}
 		return service.WriteTraceNDJSON(os.Stdout, resp, nil)
+	}
+
+	// The analytic tier has no rounds to print: it answers in closed
+	// form from the calibrated model, so the plain mode prints the
+	// prediction and its interval instead of a trajectory.
+	if req.Tier == service.TierAnalytic {
+		resp, err := service.Execute(req)
+		if err != nil {
+			return err
+		}
+		p := resp.Analytic
+		fmt.Printf("analytic tier (model %s): %s on n=%d, gamma0 %.4g, delta %.4g\n",
+			p.ModelVersion, p.Dynamics, req.N, p.Gamma0, p.MaxDensity)
+		fmt.Printf("predicted consensus in %.4g rounds (%g%% interval: %.4g – %.4g)\n",
+			p.Rounds, 100*p.Confidence, p.RoundsLo, p.RoundsHi)
+		return nil
 	}
 
 	// The round printout runs through the same unified Experiment the

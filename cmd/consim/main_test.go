@@ -57,6 +57,26 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+func TestRunAnalyticTier(t *testing.T) {
+	// Plain, -json, and the auto-promotion path (n beyond the sync
+	// simulation cap with no explicit tier) all answer analytically.
+	if err := run([]string{"-n", "1000000000", "-k", "100", "-tier", "analytic"}); err != nil {
+		t.Fatalf("run -tier analytic: %v", err)
+	}
+	if err := run([]string{"-n", "1000000000", "-k", "100", "-tier", "analytic", "-json"}); err != nil {
+		t.Fatalf("run -tier analytic -json: %v", err)
+	}
+	if err := run([]string{"-n", "10000000000", "-k", "64", "-protocol", "2-choices"}); err != nil {
+		t.Fatalf("run with promoted n: %v", err)
+	}
+	if err := run([]string{"-n", "1000", "-k", "4", "-tier", "bogus"}); err == nil {
+		t.Fatal("bad tier accepted")
+	}
+	if err := run([]string{"-n", "1000", "-k", "4", "-protocol", "voter", "-tier", "analytic"}); err == nil {
+		t.Fatal("analytic tier accepted a protocol outside its theorems")
+	}
+}
+
 func TestRunRejectsBadTraceSpec(t *testing.T) {
 	if err := run([]string{"-n", "500", "-k", "4", "-trace", "bogus"}); err == nil {
 		t.Fatal("bad trace spec accepted")

@@ -1,0 +1,168 @@
+package analytic
+
+import (
+	"fmt"
+
+	"plurality"
+	"plurality/internal/population"
+)
+
+// GridPoint is one calibration (or cross-validation) configuration:
+// either a balanced k-opinion start or an explicit count vector, run
+// for Trials trials under the named dynamics.
+type GridPoint struct {
+	Dynamics string  `json:"dynamics"`
+	N        int64   `json:"n"`
+	K        int     `json:"k,omitempty"`      // balanced start when Counts is nil
+	Counts   []int64 `json:"counts,omitempty"` // explicit start; N must equal the sum
+	Trials   int     `json:"trials"`
+	Seed     uint64  `json:"seed"`
+}
+
+// Observe fully simulates one grid point on the exact sync engine and
+// reduces it to the Observation the model fits against. Every trial
+// must reach consensus — a cutoff hides the very quantity being
+// calibrated, so it is an error, not a censored data point.
+func Observe(p GridPoint) (Observation, error) {
+	d, ok := DynamicsByName(p.Dynamics)
+	if !ok {
+		return Observation{}, fmt.Errorf("analytic: grid point has unknown dynamics %q", p.Dynamics)
+	}
+	var proto plurality.Protocol
+	switch d.String() {
+	case "3-Majority":
+		proto = plurality.ThreeMajority()
+	default:
+		proto = plurality.TwoChoices()
+	}
+	counts := p.Counts
+	if counts == nil {
+		counts = population.Balanced(p.N, p.K).Counts()
+	}
+	gamma0, delta := Profile(counts)
+	e := plurality.Experiment{
+		N:         p.N,
+		Protocol:  proto,
+		Init:      plurality.Counts(counts),
+		Seed:      p.Seed,
+		NumTrials: p.Trials,
+	}
+	out, err := e.Run()
+	if err != nil {
+		return Observation{}, fmt.Errorf("analytic: grid point (%s n=%d k=%d): %w", p.Dynamics, p.N, p.K, err)
+	}
+	if out.Converged() != len(out.Trials) {
+		return Observation{}, fmt.Errorf("analytic: grid point (%s n=%d k=%d): %d/%d trials converged",
+			p.Dynamics, p.N, p.K, out.Converged(), len(out.Trials))
+	}
+	k := p.K
+	if k == 0 {
+		k = len(counts)
+	}
+	return Observation{
+		Dynamics: d.String(),
+		N:        float64(p.N),
+		K:        k,
+		Gamma0:   gamma0,
+		Delta:    delta,
+		Rounds:   out.MedianRounds(),
+		Trials:   p.Trials,
+		Seed:     p.Seed,
+	}, nil
+}
+
+// ObserveAll runs a grid sequentially (each point already fans its
+// trials across cores) and returns the observations in grid order.
+func ObserveAll(grid []GridPoint) ([]Observation, error) {
+	obs := make([]Observation, 0, len(grid))
+	for _, p := range grid {
+		o, err := Observe(p)
+		if err != nil {
+			return nil, err
+		}
+		obs = append(obs, o)
+	}
+	return obs, nil
+}
+
+// LeaderCounts builds an n-vertex histogram whose largest opinion has
+// density delta, with the remaining mass spread over tail opinions of
+// density tailDensity each (the last takes the remainder) — the
+// examples/phaseportrait configuration family, where the max-density
+// law is exercised away from the balanced δ = 1/k line.
+func LeaderCounts(n int64, delta, tailDensity float64) []int64 {
+	leader := int64(delta * float64(n))
+	tail := int64(tailDensity * float64(n))
+	counts := []int64{leader}
+	for remaining := n - leader; remaining > 0; {
+		c := tail
+		if c > remaining {
+			c = remaining
+		}
+		counts = append(counts, c)
+		remaining -= c
+	}
+	return counts
+}
+
+// CalibrationConfidence is the nominal coverage the default grids are
+// fitted and cross-validated at.
+const CalibrationConfidence = 0.95
+
+// calibrationSeed derives a distinct fixed seed per grid point so the
+// artifact is reproducible and no two points share trial streams.
+func calibrationSeed(base uint64, i int) uint64 { return base + uint64(i)*1_000_003 }
+
+// DefaultCalibrationPoints is the grid the shipped artifact is fitted
+// to: both dynamics × (balanced supports and leader configurations)
+// spanning n from 10⁶ to the largest simulable n (population.MaxN),
+// so the fitted constants are anchored exactly where the analytic
+// tier takes over from simulation.
+func DefaultCalibrationPoints() []GridPoint {
+	const trials = 5
+	var grid []GridPoint
+	for _, dyn := range []string{"3-Majority", "2-Choices"} {
+		for _, p := range []GridPoint{
+			{N: 1_000_000, K: 8},
+			{N: 1_000_000, K: 32},
+			{N: 1_000_000, K: 128},
+			{N: 100_000_000, K: 32},
+			{N: population.MaxN, K: 8},
+			{N: population.MaxN, K: 64},
+			{N: 1_000_000, Counts: LeaderCounts(1_000_000, 1.0/4, 1.0/256)},
+			{N: 1_000_000, Counts: LeaderCounts(1_000_000, 1.0/16, 1.0/256)},
+			{N: 1_000_000, Counts: LeaderCounts(1_000_000, 1.0/64, 1.0/256)},
+			{N: population.MaxN, Counts: LeaderCounts(population.MaxN, 1.0/16, 1.0/256)},
+		} {
+			p.Dynamics = dyn
+			p.Trials = trials
+			p.Seed = calibrationSeed(0x9e3779b9, len(grid))
+			grid = append(grid, p)
+		}
+	}
+	return grid
+}
+
+// DefaultCrossValPoints is the held-out grid the CI harness simulates
+// and checks against the embedded model: disjoint seeds and disjoint
+// (k, δ) values from the calibration grid, pinned at the largest
+// simulable n plus one decade below.
+func DefaultCrossValPoints() []GridPoint {
+	const trials = 3
+	var grid []GridPoint
+	for _, dyn := range []string{"3-Majority", "2-Choices"} {
+		for _, p := range []GridPoint{
+			{N: 10_000_000, K: 16},
+			{N: population.MaxN, K: 16},
+			{N: population.MaxN, K: 48},
+			{N: population.MaxN, Counts: LeaderCounts(population.MaxN, 1.0/8, 1.0/512)},
+			{N: population.MaxN, Counts: LeaderCounts(population.MaxN, 1.0/32, 1.0/512)},
+		} {
+			p.Dynamics = dyn
+			p.Trials = trials
+			p.Seed = calibrationSeed(0x5bd1e995, len(grid))
+			grid = append(grid, p)
+		}
+	}
+	return grid
+}

@@ -1,0 +1,64 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Check is one cross-validation comparison: a held-out simulated
+// observation against the model's prediction interval for the same
+// configuration.
+type Check struct {
+	Observation Observation `json:"observation"`
+	Prediction  Prediction  `json:"prediction"`
+	Hit         bool        `json:"hit"` // observed median inside [RoundsLo, RoundsHi]
+}
+
+// Report is the cross-validation result the CI harness gates on.
+type Report struct {
+	ModelVersion string  `json:"model_version"`
+	Confidence   float64 `json:"confidence"`
+	Checks       []Check `json:"checks"`
+	Hits         int     `json:"hits"`
+}
+
+// CrossValidate scores held-out observations against the model's
+// prediction intervals. A prediction failure (unknown dynamics,
+// degenerate densities) is an error — a model that cannot answer a
+// simulable configuration must fail the harness, not skip the point.
+func (m *Model) CrossValidate(obs []Observation) (Report, error) {
+	rep := Report{ModelVersion: m.Version, Confidence: m.Confidence}
+	for _, o := range obs {
+		p, err := m.Predict(o.Dynamics, o.N, o.Gamma0, o.Delta)
+		if err != nil {
+			return Report{}, fmt.Errorf("analytic: cross-validation point (%s n=%v): %w", o.Dynamics, o.N, err)
+		}
+		hit := o.Rounds >= p.RoundsLo && o.Rounds <= p.RoundsHi
+		if hit {
+			rep.Hits++
+		}
+		rep.Checks = append(rep.Checks, Check{Observation: o, Prediction: p, Hit: hit})
+	}
+	return rep, nil
+}
+
+// HitRate is the fraction of checks whose observation fell inside the
+// prediction interval (1 for an empty report).
+func (r Report) HitRate() float64 {
+	if len(r.Checks) == 0 {
+		return 1
+	}
+	return float64(r.Hits) / float64(len(r.Checks))
+}
+
+// Pass reports whether observed values fell outside the interval no
+// more often than the nominal rate allows: hit-rate ≥ confidence,
+// with the integer-count slack of a finite grid (a grid of m points
+// cannot resolve a miss-rate finer than 1/m, so the threshold rounds
+// the allowed misses up to the nearest whole check).
+func (r Report) Pass() bool {
+	// The epsilon absorbs float noise like (1-0.95)*20 = 1.0000…9,
+	// which a bare Ceil would round to 2 allowed misses.
+	allowedMisses := int(math.Ceil((1-r.Confidence)*float64(len(r.Checks)) - 1e-9))
+	return len(r.Checks)-r.Hits <= allowedMisses
+}

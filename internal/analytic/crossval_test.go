@@ -1,0 +1,40 @@
+package analytic
+
+import "testing"
+
+// TestCrossValidateHeldOutGrid is the first-class harness the tier's
+// guarantee rests on: simulate the held-out grid — disjoint seeds and
+// (k, δ) values from the calibration grid, anchored at the largest
+// simulable n — and fail if observed consensus times fall outside the
+// embedded model's prediction intervals more often than the nominal
+// rate allows.
+func TestCrossValidateHeldOutGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the full held-out grid")
+	}
+	m, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := ObserveAll(DefaultCrossValPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.CrossValidate(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Checks {
+		status := "hit "
+		if !c.Hit {
+			status = "MISS"
+		}
+		t.Logf("%s %-10s n=%.3g k=%-4d δ=%-8.3g observed=%-7.4g predicted=[%.4g, %.4g, %.4g]",
+			status, c.Observation.Dynamics, c.Observation.N, c.Observation.K, c.Observation.Delta,
+			c.Observation.Rounds, c.Prediction.RoundsLo, c.Prediction.Rounds, c.Prediction.RoundsHi)
+	}
+	t.Logf("hit rate %d/%d = %.2f (nominal %.2f)", rep.Hits, len(rep.Checks), rep.HitRate(), rep.Confidence)
+	if !rep.Pass() {
+		t.Fatalf("cross-validation failed: hit rate %.2f below nominal %.2f", rep.HitRate(), rep.Confidence)
+	}
+}

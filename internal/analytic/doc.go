@@ -1,0 +1,35 @@
+// Package analytic is the theory-backed answer tier for planet-scale
+// n: it serves predicted consensus-time distributions from the
+// paper's fitted scaling laws in microseconds, where simulation would
+// need memory (and caches) proportional to the request.
+//
+// The model rests on two validated results:
+//
+//   - the Theorem 1.1 / Theorem 2.1 consensus-time shapes
+//     (theory.ConsensusTimeShape, theory.ConsensusTimeFromGamma,
+//     theory.NormGrowthTimeShape), and
+//   - the D'Archivio–Becchetti–Clementi–Pasquale max-initial-density
+//     law (arXiv 2606.11778; reproduced end to end by
+//     examples/phaseportrait): 3-Majority's consensus time is
+//     governed by δ = max_i α_i(0), T = Θ̃(1/δ).
+//
+// Shape unifies them: S_d(n, δ) = min(ln(n)/δ, NormGrowthTimeShape),
+// which for the balanced configuration (δ = 1/k) reduces exactly to
+// the Theorem 1.1 shape min(k·ln n, …). Fit estimates the one free
+// multiplicative constant per dynamics — and the spread around it —
+// from calibration runs at the largest simulable n, producing a Model
+// whose Predict returns a point estimate plus an empirical prediction
+// interval. The fitted Model is persisted as a versioned JSON
+// artifact (testdata/analytic_calibration.json, embedded as the
+// Default model; regenerate with
+// `go test ./internal/analytic -run Calibration -update-calibration`),
+// and CrossValidate is the first-class harness that fails the build
+// when held-out simulations at the largest simulable n fall outside
+// the interval more often than the nominal rate.
+//
+// internal/service dispatches requests to this tier (Request.Tier
+// "analytic", or automatically when n exceeds the simulation caps)
+// and returns Responses marked "method": "analytic"; see DESIGN.md
+// §"Answer tiers: simulation and analytic", which owns this package's
+// contract.
+package analytic

@@ -1,0 +1,248 @@
+package analytic
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"plurality/internal/theory"
+)
+
+// ModelVersion identifies the calibration-artifact schema plus the
+// fitting procedure. Bump it whenever Fit, Shape, or the artifact
+// layout changes meaning: the version is part of the response payload
+// (and therefore of what cached analytic answers assert), so a silent
+// change would let stale artifacts masquerade as current ones.
+const ModelVersion = "analytic-v1"
+
+// MinHalfWidth is the floor on the fitted log-space interval
+// half-width. Calibration grids are finite; a grid that happens to
+// land tightly around the fit must not produce an interval narrower
+// than the run-to-run spread we observe at fixed parameters
+// (median-of-trials jitter is ±20–40% at small grids).
+const MinHalfWidth = 0.35
+
+// Observation is one calibration or cross-validation measurement: a
+// fully simulated configuration reduced to the quantities the model
+// fits against.
+type Observation struct {
+	Dynamics string  `json:"dynamics"`         // theory.Dynamics name: "3-Majority" or "2-Choices"
+	N        float64 `json:"n"`                // population size
+	K        int     `json:"k"`                // initial support size (informational)
+	Gamma0   float64 `json:"gamma0"`           // initial squared-density norm Σα_i²
+	Delta    float64 `json:"delta"`            // max initial opinion density max α_i
+	Rounds   float64 `json:"rounds"`           // observed median consensus rounds
+	Trials   int     `json:"trials,omitempty"` // trials behind the median
+	Seed     uint64  `json:"seed,omitempty"`   // base seed of the runs
+}
+
+// DynamicsFit is the per-dynamics calibration result: rounds are
+// modelled as exp(LogC)·Shape with an empirical prediction interval
+// of ±HalfWidth in log space.
+type DynamicsFit struct {
+	LogC      float64 `json:"log_c"`
+	HalfWidth float64 `json:"half_width"`
+	Points    int     `json:"points"`
+}
+
+// Model is the fitted analytic tier: one multiplicative constant (and
+// interval) per dynamics, plus the observations it was fitted to so
+// the artifact is self-describing and re-fittable.
+type Model struct {
+	Version      string                 `json:"version"`
+	Confidence   float64                `json:"confidence"`
+	CalibratedN  float64                `json:"calibrated_max_n"` // largest simulated n in the grid
+	Fits         map[string]DynamicsFit `json:"fits"`             // keyed by theory.Dynamics name
+	Observations []Observation          `json:"observations"`
+}
+
+// Prediction is an analytic answer: a consensus-time point estimate
+// with the model's empirical prediction interval.
+type Prediction struct {
+	ModelVersion string  `json:"model_version"`
+	Dynamics     string  `json:"dynamics"`
+	Shape        float64 `json:"shape"`  // S_d(n, δ) before the fitted constant
+	Gamma0       float64 `json:"gamma0"` // echo of the request's initial Σα_i²
+	MaxDensity   float64 `json:"max_density"`
+	Rounds       float64 `json:"rounds"`     // point estimate exp(LogC)·Shape
+	RoundsLo     float64 `json:"rounds_lo"`  // lower prediction-interval bound
+	RoundsHi     float64 `json:"rounds_hi"`  // upper prediction-interval bound
+	Confidence   float64 `json:"confidence"` // nominal coverage of [lo, hi]
+}
+
+// DynamicsByName maps the engine's protocol names to theory.Dynamics.
+// The analytic tier covers exactly the two dynamics the paper's
+// consensus-time theorems cover.
+func DynamicsByName(name string) (theory.Dynamics, bool) {
+	switch name {
+	case theory.ThreeMajority.String(), "3-majority":
+		return theory.ThreeMajority, true
+	case theory.TwoChoices.String(), "2-choices":
+		return theory.TwoChoices, true
+	}
+	return 0, false
+}
+
+// Shape is the dimensionless consensus-time shape the model scales:
+//
+//	S_d(n, δ) = min(ln(n)/δ, NormGrowthTimeShape(d, n))
+//
+// The first branch is the D'Archivio max-density law (an effective
+// ConsensusTimeFromGamma with γ replaced by δ); the second is the
+// k-independent branch of Theorem 1.1/2.1, which wins once the
+// support is so fragmented that the norm-growth phase dominates. At
+// the balanced configuration δ = 1/k this is exactly
+// theory.ConsensusTimeShape(d, n, k).
+func Shape(d theory.Dynamics, n, delta float64) float64 {
+	if n <= 1 || delta >= 1 {
+		return 0 // already (or trivially) in consensus
+	}
+	if delta <= 0 {
+		return math.Inf(1)
+	}
+	return math.Min(theory.ConsensusTimeFromGamma(n, delta), theory.NormGrowthTimeShape(d, n))
+}
+
+// Fit calibrates one Model from simulated observations. For each
+// dynamics it fits the single multiplicative constant in log space
+// (LogC = mean of ln(rounds/shape)) and sets the prediction interval
+// from the worst residual with a 1.5× safety factor, floored at
+// MinHalfWidth. Every dynamics needs at least two observations with
+// positive, finite shape and rounds.
+func Fit(obs []Observation, confidence float64) (*Model, error) {
+	if confidence <= 0 || confidence >= 1 {
+		return nil, fmt.Errorf("analytic: confidence %v outside (0, 1)", confidence)
+	}
+	resid := make(map[string][]float64)
+	maxN := 0.0
+	for i, o := range obs {
+		d, ok := DynamicsByName(o.Dynamics)
+		if !ok {
+			return nil, fmt.Errorf("analytic: observation %d has unknown dynamics %q", i, o.Dynamics)
+		}
+		s := Shape(d, o.N, o.Delta)
+		if !(s > 0) || math.IsInf(s, 1) || !(o.Rounds > 0) {
+			return nil, fmt.Errorf("analytic: observation %d (n=%v δ=%v rounds=%v) is degenerate", i, o.N, o.Delta, o.Rounds)
+		}
+		resid[d.String()] = append(resid[d.String()], math.Log(o.Rounds/s))
+		maxN = math.Max(maxN, o.N)
+	}
+	m := &Model{
+		Version:      ModelVersion,
+		Confidence:   confidence,
+		CalibratedN:  maxN,
+		Fits:         make(map[string]DynamicsFit, len(resid)),
+		Observations: append([]Observation(nil), obs...),
+	}
+	sort.SliceStable(m.Observations, func(i, j int) bool {
+		a, b := m.Observations[i], m.Observations[j]
+		if a.Dynamics != b.Dynamics {
+			return a.Dynamics < b.Dynamics
+		}
+		if a.N != b.N {
+			return a.N < b.N
+		}
+		return a.Delta > b.Delta
+	})
+	for name, rs := range resid {
+		if len(rs) < 2 {
+			return nil, fmt.Errorf("analytic: dynamics %s has %d observation(s); need at least 2", name, len(rs))
+		}
+		mean := 0.0
+		for _, r := range rs {
+			mean += r
+		}
+		mean /= float64(len(rs))
+		worst := 0.0
+		for _, r := range rs {
+			worst = math.Max(worst, math.Abs(r-mean))
+		}
+		m.Fits[name] = DynamicsFit{
+			LogC:      mean,
+			HalfWidth: math.Max(1.5*worst, MinHalfWidth),
+			Points:    len(rs),
+		}
+	}
+	return m, nil
+}
+
+// Predict evaluates the fitted law for one configuration. delta is
+// the maximum initial opinion density, gamma0 the initial Σα_i²
+// (echoed into the prediction; the shape depends only on delta).
+func (m *Model) Predict(dynamics string, n, gamma0, delta float64) (Prediction, error) {
+	d, ok := DynamicsByName(dynamics)
+	if !ok {
+		return Prediction{}, fmt.Errorf("analytic: no fitted law for dynamics %q", dynamics)
+	}
+	fit, ok := m.Fits[d.String()]
+	if !ok {
+		return Prediction{}, fmt.Errorf("analytic: model %s has no fit for %s", m.Version, d)
+	}
+	if n < 2 {
+		return Prediction{}, fmt.Errorf("analytic: population n=%v below 2", n)
+	}
+	if !(delta > 0) || delta > 1 || !(gamma0 > 0) || gamma0 > 1 {
+		return Prediction{}, fmt.Errorf("analytic: densities γ₀=%v δ=%v outside (0, 1]", gamma0, delta)
+	}
+	p := Prediction{
+		ModelVersion: m.Version,
+		Dynamics:     d.String(),
+		Shape:        Shape(d, n, delta),
+		Gamma0:       gamma0,
+		MaxDensity:   delta,
+		Confidence:   m.Confidence,
+	}
+	if p.Shape == 0 { // single-opinion start: consensus at round 0
+		return p, nil
+	}
+	p.Rounds = math.Exp(fit.LogC) * p.Shape
+	p.RoundsLo = p.Rounds * math.Exp(-fit.HalfWidth)
+	p.RoundsHi = p.Rounds * math.Exp(fit.HalfWidth)
+	return p, nil
+}
+
+// Profile reduces an explicit count vector to the densities the model
+// consumes: γ₀ = Σ(c_i/n)² and δ = max c_i/n. Zero counts are
+// ignored; an empty or all-zero vector profiles to (0, 0).
+func Profile(counts []int64) (gamma0, delta float64) {
+	var n float64
+	for _, c := range counts {
+		if c > 0 {
+			n += float64(c)
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	for _, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		a := float64(c) / n
+		gamma0 += a * a
+		delta = math.Max(delta, a)
+	}
+	return gamma0, delta
+}
+
+//go:embed testdata/analytic_calibration.json
+var calibrationJSON []byte
+
+var defaultModel = sync.OnceValues(func() (*Model, error) {
+	var m Model
+	if err := json.Unmarshal(calibrationJSON, &m); err != nil {
+		return nil, fmt.Errorf("analytic: embedded calibration artifact: %w", err)
+	}
+	if m.Version != ModelVersion {
+		return nil, fmt.Errorf("analytic: embedded artifact version %q, want %s (regenerate with -update-calibration)", m.Version, ModelVersion)
+	}
+	return &m, nil
+})
+
+// Default returns the embedded calibrated model. The artifact is
+// compiled into the binary, so the analytic tier needs no filesystem
+// access at serve time.
+func Default() (*Model, error) { return defaultModel() }

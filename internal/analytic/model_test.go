@@ -1,0 +1,236 @@
+package analytic
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"testing"
+
+	"plurality/internal/population"
+	"plurality/internal/theory"
+)
+
+// updateCalibration regenerates the embedded calibration artifact by
+// fully simulating the default grid:
+//
+//	go test ./internal/analytic -run Calibration -update-calibration
+var updateCalibration = flag.Bool("update-calibration", false, "refit and rewrite testdata/analytic_calibration.json")
+
+func TestUpdateCalibration(t *testing.T) {
+	if !*updateCalibration {
+		t.Skip("pass -update-calibration to refit the artifact")
+	}
+	obs, err := ObserveAll(DefaultCalibrationPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Fit(obs, CalibrationConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("testdata/analytic_calibration.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, fit := range m.Fits {
+		t.Logf("%s: C = %.4f, interval ×/÷ %.2f over %d points", name, math.Exp(fit.LogC), math.Exp(fit.HalfWidth), fit.Points)
+	}
+}
+
+// TestDefaultModelSelfDescribing checks the embedded artifact: it
+// loads, matches the current schema version, covers both dynamics at
+// the nominal confidence, was calibrated up to the largest simulable
+// n — and refitting its own recorded observations reproduces its
+// fitted constants exactly, so the artifact carries everything needed
+// to audit or regenerate it.
+func TestDefaultModelSelfDescribing(t *testing.T) {
+	m, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != ModelVersion {
+		t.Fatalf("version = %q, want %q", m.Version, ModelVersion)
+	}
+	if m.Confidence != CalibrationConfidence {
+		t.Errorf("confidence = %v, want %v", m.Confidence, CalibrationConfidence)
+	}
+	if m.CalibratedN != float64(population.MaxN) {
+		t.Errorf("calibrated_max_n = %v, want %v (largest simulable n)", m.CalibratedN, float64(population.MaxN))
+	}
+	for _, dyn := range []string{"3-Majority", "2-Choices"} {
+		fit, ok := m.Fits[dyn]
+		if !ok {
+			t.Fatalf("no fit for %s", dyn)
+		}
+		if fit.Points < 2 || fit.HalfWidth < MinHalfWidth {
+			t.Errorf("%s fit degenerate: %+v", dyn, fit)
+		}
+	}
+	refit, err := Fit(m.Observations, m.Confidence)
+	if err != nil {
+		t.Fatalf("refit of recorded observations: %v", err)
+	}
+	for dyn, want := range m.Fits {
+		got := refit.Fits[dyn]
+		if math.Abs(got.LogC-want.LogC) > 1e-12 || math.Abs(got.HalfWidth-want.HalfWidth) > 1e-12 || got.Points != want.Points {
+			t.Errorf("%s: refit %+v != artifact %+v", dyn, got, want)
+		}
+	}
+}
+
+// TestShapeReducesToConsensusTimeShape pins the balanced-line
+// identity the model's docs claim: at δ = 1/k the unified shape is
+// exactly the Theorem 1.1/2.1 shape.
+func TestShapeReducesToConsensusTimeShape(t *testing.T) {
+	for _, d := range []theory.Dynamics{theory.ThreeMajority, theory.TwoChoices} {
+		for _, n := range []float64{1e4, 1e6, 1e9, 1e12} {
+			for _, k := range []float64{2, 10, 1e3, 1e6} {
+				got := Shape(d, n, 1/k)
+				want := theory.ConsensusTimeShape(d, n, k)
+				if math.Abs(got-want) > 1e-9*want {
+					t.Errorf("%s n=%g k=%g: Shape(δ=1/k) = %g, ConsensusTimeShape = %g", d, n, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestShapeBoundaries(t *testing.T) {
+	if s := Shape(theory.ThreeMajority, 1e6, 1); s != 0 {
+		t.Errorf("δ=1 (consensus already): shape = %v, want 0", s)
+	}
+	if s := Shape(theory.ThreeMajority, 1, 0.5); s != 0 {
+		t.Errorf("n=1: shape = %v, want 0", s)
+	}
+	if s := Shape(theory.ThreeMajority, 1e6, 0); !math.IsInf(s, 1) {
+		t.Errorf("δ=0: shape = %v, want +Inf", s)
+	}
+}
+
+func TestPredictIntervalAndErrors(t *testing.T) {
+	m, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Predict("3-majority", 1e9, 0.01, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(p.RoundsLo < p.Rounds && p.Rounds < p.RoundsHi) {
+		t.Errorf("interval not ordered: [%v, %v, %v]", p.RoundsLo, p.Rounds, p.RoundsHi)
+	}
+	if p.ModelVersion != ModelVersion || p.Confidence != m.Confidence {
+		t.Errorf("prediction metadata %+v", p)
+	}
+	if p.Dynamics != "3-Majority" {
+		t.Errorf("dynamics = %q, want canonical name", p.Dynamics)
+	}
+	// Engine protocol names and theory names resolve identically.
+	q, err := m.Predict("3-Majority", 1e9, 0.01, 0.1)
+	if err != nil || q != p {
+		t.Errorf("name aliasing: %+v vs %+v (err %v)", q, p, err)
+	}
+	if single, err := m.Predict("2-choices", 1e9, 1, 1); err != nil || single.Rounds != 0 {
+		t.Errorf("δ=1 start: %+v, %v; want zero-round prediction", single, err)
+	}
+	for _, bad := range []struct {
+		dyn              string
+		n, gamma0, delta float64
+	}{
+		{"voter", 1e9, 0.01, 0.1},
+		{"3-majority", 1, 0.01, 0.1},
+		{"3-majority", 1e9, 0, 0.1},
+		{"3-majority", 1e9, 0.01, 0},
+		{"3-majority", 1e9, 0.01, 1.5},
+		{"3-majority", 1e9, math.NaN(), 0.1},
+	} {
+		if _, err := m.Predict(bad.dyn, bad.n, bad.gamma0, bad.delta); err == nil {
+			t.Errorf("Predict(%+v) accepted", bad)
+		}
+	}
+}
+
+func TestProfile(t *testing.T) {
+	gamma0, delta := Profile([]int64{50, 30, 20})
+	if math.Abs(gamma0-0.38) > 1e-12 || delta != 0.5 {
+		t.Errorf("Profile = (%v, %v), want (0.38, 0.5)", gamma0, delta)
+	}
+	if g, d := Profile([]int64{0, -3}); g != 0 || d != 0 {
+		t.Errorf("empty profile = (%v, %v)", g, d)
+	}
+	// Zero counts are ignored, matching the engine's live-opinion view.
+	g1, d1 := Profile([]int64{10, 0, 10})
+	g2, d2 := Profile([]int64{10, 10})
+	if g1 != g2 || d1 != d2 {
+		t.Errorf("zero-count invariance: (%v, %v) vs (%v, %v)", g1, d1, g2, d2)
+	}
+}
+
+func TestFitRejectsDegenerateInput(t *testing.T) {
+	good := Observation{Dynamics: "3-Majority", N: 1e6, K: 10, Gamma0: 0.1, Delta: 0.1, Rounds: 100}
+	if _, err := Fit([]Observation{good, good}, 0.95); err != nil {
+		t.Fatalf("minimal valid fit: %v", err)
+	}
+	cases := [][]Observation{
+		{good},                                 // one point per dynamics
+		{good, {Dynamics: "voter", Rounds: 1}}, // unknown dynamics
+		{good, {Dynamics: "3-Majority", N: 1e6, Delta: 0.1}},          // zero rounds
+		{good, {Dynamics: "3-Majority", N: 1e6, Delta: 1, Rounds: 5}}, // zero shape
+	}
+	for i, obs := range cases {
+		if _, err := Fit(obs, 0.95); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := Fit([]Observation{good, good}, 1.5); err == nil {
+		t.Error("confidence 1.5 accepted")
+	}
+}
+
+func TestObserveBalancedAgreesWithExplicitCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates")
+	}
+	p := GridPoint{Dynamics: "3-Majority", N: 200_000, K: 16, Trials: 3, Seed: 11}
+	byK, err := Observe(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Counts = population.Balanced(p.N, p.K).Counts()
+	byCounts, err := Observe(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byK != byCounts {
+		t.Errorf("balanced-by-k %+v != explicit counts %+v", byK, byCounts)
+	}
+	if byK.Gamma0 < 1.0/16-1e-9 || byK.Delta < 1.0/16-1e-9 || byK.Delta > 1.0/16+1e-6 {
+		t.Errorf("balanced profile (%v, %v) far from 1/16", byK.Gamma0, byK.Delta)
+	}
+}
+
+func TestReportPass(t *testing.T) {
+	mk := func(total, hits int, conf float64) Report {
+		r := Report{Confidence: conf, Hits: hits, Checks: make([]Check, total)}
+		return r
+	}
+	for _, c := range []struct {
+		r    Report
+		want bool
+	}{
+		{mk(10, 10, 0.95), true},
+		{mk(10, 9, 0.95), true},  // 1 miss ≤ ceil(0.5)
+		{mk(10, 8, 0.95), false}, // 2 misses > 1
+		{mk(0, 0, 0.95), true},
+		{mk(20, 19, 0.95), true},
+		{mk(20, 18, 0.95), false},
+	} {
+		if got := c.r.Pass(); got != c.want {
+			t.Errorf("Pass(%d/%d @ %v) = %v, want %v", c.r.Hits, len(c.r.Checks), c.r.Confidence, got, c.want)
+		}
+	}
+}

@@ -1,28 +1,3 @@
-// Package core implements the paper's consensus dynamics — 3-Majority
-// and 2-Choices (Shimizu & Shiraga, PODC 2025, Definition 3.1) — plus
-// the related dynamics used as baselines and extensions: Voter
-// (1-Choice), h-Majority, the Median rule of Doerr et al. (DGMSS11),
-// and the Undecided-State Dynamics.
-//
-// All protocols here run on the n-vertex complete graph with
-// self-loops, where a "random neighbor" is a uniformly random vertex.
-// On that graph the opinion-count vector is a sufficient statistic for
-// the whole process, and each protocol's one-round transition is
-// sampled exactly from the counts:
-//
-//   - 3-Majority: by Eq. (5) of the paper the probability that a vertex
-//     adopts opinion i is p(i) = α(i)(1 + α(i) − γ), independent of its
-//     current opinion, so the next counts are exactly Multinomial(n, p).
-//   - 2-Choices: a vertex's two samples agree on opinion D with
-//     Pr[D=i] = α(i)², independent of its own opinion; "agree on your
-//     own opinion and keep it" is indistinguishable from adopting it.
-//     With A(j) ~ Bin(c(j), γ) agreeing vertices per class and
-//     T ~ Multinomial(ΣA(j), α²/γ) agreed destinations, the next counts
-//     are exactly c'(i) = c(i) − A(i) + T(i).
-//
-// Package core also provides brute-force per-vertex reference
-// implementations of Definition 3.1 (see reference.go), against which
-// the exact count-space samplers are validated in the tests.
 package core
 
 import (

@@ -1,0 +1,22 @@
+// Package docs keeps the prose honest: it is the documentation
+// counterpart of the convet static-analysis suite, checking in CI the
+// claims the repository's markdown and godoc make about itself.
+//
+// Three checks, each runnable standalone and wired into `make
+// docs-check`:
+//
+//   - Links: every relative markdown link in the top-level documents
+//     (README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md, CHANGES.md)
+//     resolves to a file that exists in the repository — renames and
+//     deletions cannot silently strand a cross-reference.
+//   - Godoc: every internal/* package has a doc.go whose package
+//     comment states its contract (a bare `package x` clause hides the
+//     package from godoc and from this audit).
+//   - Curl examples: every `curl ... -d '...'` body in README.md and
+//     the conserve command documentation decodes as a valid
+//     service.Request (or SweepRequest for /sweep) with unknown fields
+//     rejected — the quickstart cannot drift from the actual API.
+//
+// The contract above is owned by DESIGN.md §"Statically enforced
+// contracts".
+package docs

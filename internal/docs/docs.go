@@ -1,0 +1,192 @@
+package docs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"plurality/internal/service"
+)
+
+// TopLevelDocs are the markdown files the link checker walks. They are
+// repo-root-relative, like every path in this package's reports.
+var TopLevelDocs = []string{
+	"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "CHANGES.md",
+}
+
+// CurlDocs are the files whose curl examples must decode as valid
+// service requests: the README quickstart and the conserve command
+// documentation.
+var CurlDocs = []string{"README.md", "cmd/conserve/main.go"}
+
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// MarkdownLinks extracts the targets of inline markdown links
+// [text](target) from md, in order of appearance.
+func MarkdownLinks(md string) []string {
+	var targets []string
+	for _, m := range linkRe.FindAllStringSubmatch(md, -1) {
+		targets = append(targets, m[1])
+	}
+	return targets
+}
+
+// CheckLinks verifies that every relative link in the given
+// repo-root-relative markdown files points at an existing file.
+// External links (scheme://, mailto:) and pure in-page anchors are
+// skipped; a fragment on a relative link ("DESIGN.md#layering") is
+// checked against the file part only. It returns one message per
+// problem, empty when the docs are clean.
+func CheckLinks(root string, files ...string) []string {
+	var problems []string
+	for _, f := range files {
+		md, err := os.ReadFile(filepath.Join(root, f))
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", f, err))
+			continue
+		}
+		for _, target := range MarkdownLinks(string(md)) {
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, _, _ := strings.Cut(target, "#")
+			if path == "" {
+				continue // in-page anchor
+			}
+			// Links resolve relative to the linking file, as on GitHub.
+			resolved := filepath.Join(root, filepath.Dir(f), path)
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: broken link %q", f, target))
+			}
+		}
+	}
+	return problems
+}
+
+// CheckGodoc verifies that every package directory under internal/ has
+// a doc.go containing a godoc package comment ("// Package <name>").
+// It returns one message per missing or malformed doc.go.
+func CheckGodoc(root string) []string {
+	entries, err := os.ReadDir(filepath.Join(root, "internal"))
+	if err != nil {
+		return []string{fmt.Sprintf("internal/: %v", err)}
+	}
+	var problems []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		src, err := os.ReadFile(filepath.Join(root, "internal", name, "doc.go"))
+		switch {
+		case err != nil:
+			problems = append(problems, fmt.Sprintf("internal/%s: no doc.go (package contract undocumented)", name))
+		case !strings.Contains(string(src), "// Package "+name+" "):
+			problems = append(problems, fmt.Sprintf("internal/%s: doc.go lacks a \"// Package %s\" comment", name, name))
+		}
+	}
+	return problems
+}
+
+// CurlExample is one curl invocation found in a document: the endpoint
+// path it POSTs to and its -d request body.
+type CurlExample struct {
+	Source   string // file the example came from
+	Endpoint string // "/run" or "/sweep"
+	Body     string // the single-quoted -d payload, verbatim
+}
+
+var (
+	curlSplitRe = regexp.MustCompile(`(?m)^\s*(//\s*)?curl `)
+	endpointRe  = regexp.MustCompile(`localhost:\d+/(run|sweep)`)
+	bodyRe      = regexp.MustCompile(`(?s)-d '([^']*)'`)
+)
+
+// CurlExamples extracts every curl POST with a -d body from text.
+// Bodies may span lines (the README wraps long JSON), and the text may
+// be a Go source file whose examples live in // comments.
+func CurlExamples(source, text string) []CurlExample {
+	// Split at each curl invocation; the body and endpoint of command i
+	// live between split i and split i+1.
+	idx := curlSplitRe.FindAllStringIndex(text, -1)
+	var out []CurlExample
+	for i, loc := range idx {
+		end := len(text)
+		if i+1 < len(idx) {
+			end = idx[i+1][0]
+		}
+		cmd := text[loc[0]:end]
+		ep := endpointRe.FindStringSubmatch(cmd)
+		body := bodyRe.FindStringSubmatch(cmd)
+		if ep == nil || body == nil {
+			continue // healthz, metrics, bodiless forms
+		}
+		// A body wrapped across doc-comment lines would carry "//"
+		// continuation markers into the payload and fail JSON decoding
+		// downstream — which is the desired signal, not a parser bug.
+		out = append(out, CurlExample{Source: source, Endpoint: "/" + ep[1], Body: body[1]})
+	}
+	return out
+}
+
+// CheckCurlExamples verifies that every curl example in the given
+// repo-root-relative files decodes as a valid, normalizable service
+// request: /run bodies as service.Request, /sweep bodies as
+// service.SweepRequest (expanded to points, each validated), unknown
+// fields rejected in both — exactly the server's own decoding rules.
+// It returns one message per invalid example, and an error message if
+// a file yields no examples at all (the extractor has gone stale).
+func CheckCurlExamples(root string, files ...string) []string {
+	var problems []string
+	for _, f := range files {
+		text, err := os.ReadFile(filepath.Join(root, f))
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", f, err))
+			continue
+		}
+		examples := CurlExamples(f, string(text))
+		if len(examples) == 0 {
+			problems = append(problems, fmt.Sprintf("%s: no curl examples found (extractor or doc stale)", f))
+			continue
+		}
+		for _, ex := range examples {
+			if err := validateExample(ex); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: curl %s body %s: %v", ex.Source, ex.Endpoint, ex.Body, err))
+			}
+		}
+	}
+	return problems
+}
+
+func validateExample(ex CurlExample) error {
+	dec := json.NewDecoder(strings.NewReader(ex.Body))
+	dec.DisallowUnknownFields()
+	switch ex.Endpoint {
+	case "/run":
+		var q service.Request
+		if err := dec.Decode(&q); err != nil {
+			return err
+		}
+		return q.Normalize().Validate()
+	case "/sweep":
+		var sr service.SweepRequest
+		if err := dec.Decode(&sr); err != nil {
+			return err
+		}
+		points, err := sr.Normalize().Points()
+		if err != nil {
+			return err
+		}
+		for _, q := range points {
+			if err := q.Validate(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown endpoint %q", ex.Endpoint)
+	}
+}

@@ -1,0 +1,121 @@
+package docs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot is where the checked documents live; tests run with the
+// package directory as cwd.
+const repoRoot = "../.."
+
+func TestMarkdownLinks(t *testing.T) {
+	md := `See [DESIGN](DESIGN.md) and [the API](https://pkg.go.dev/x),
+an [anchor](#local), and [a section](DESIGN.md#layering).
+Not a link: ](orphan) without brackets is still matched by the regex?`
+	got := MarkdownLinks(md)
+	want := []string{"DESIGN.md", "https://pkg.go.dev/x", "#local", "DESIGN.md#layering", "orphan"}
+	if len(got) != len(want) {
+		t.Fatalf("links = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("links[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCheckLinksFlagsBrokenAndAcceptsGood(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "real.md"), []byte("x"), 0o644)
+	doc := "[ok](real.md) [ok2](real.md#frag) [ext](https://example.com) [gone](missing.md)"
+	os.WriteFile(filepath.Join(dir, "doc.md"), []byte(doc), 0o644)
+	problems := CheckLinks(dir, "doc.md")
+	if len(problems) != 1 || !strings.Contains(problems[0], "missing.md") {
+		t.Fatalf("problems = %v, want exactly the missing.md link", problems)
+	}
+}
+
+func TestCheckGodocFlagsMissingDoc(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(pkg, docSrc string) {
+		d := filepath.Join(dir, "internal", pkg)
+		os.MkdirAll(d, 0o755)
+		if docSrc != "" {
+			os.WriteFile(filepath.Join(d, "doc.go"), []byte(docSrc), 0o644)
+		}
+	}
+	mk("good", "// Package good is documented.\npackage good\n")
+	mk("bare", "package bare\n")
+	mk("absent", "")
+	problems := CheckGodoc(dir)
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v, want 2 (bare + absent)", problems)
+	}
+	for _, p := range problems {
+		if !strings.Contains(p, "bare") && !strings.Contains(p, "absent") {
+			t.Errorf("unexpected problem %q", p)
+		}
+	}
+}
+
+func TestCurlExamplesExtraction(t *testing.T) {
+	text := `
+curl -s localhost:8080/healthz
+curl -s -X POST localhost:8080/run \
+    -d '{"protocol":"3-majority","n":1000,
+         "k":4}'
+curl -s -X POST localhost:8080/sweep -d '{"base":{"protocol":"voter","n":100},"sweep":"k","values":[2]}'
+curl -s localhost:8080/metrics
+`
+	got := CurlExamples("t.md", text)
+	if len(got) != 2 {
+		t.Fatalf("examples = %+v, want 2", got)
+	}
+	if got[0].Endpoint != "/run" || !strings.Contains(got[0].Body, `"k":4`) {
+		t.Fatalf("run example = %+v", got[0])
+	}
+	if got[1].Endpoint != "/sweep" || !strings.HasPrefix(got[1].Body, `{"base"`) {
+		t.Fatalf("sweep example = %+v", got[1])
+	}
+}
+
+func TestValidateExampleRejectsUnknownFieldAndBadConfig(t *testing.T) {
+	bad := []CurlExample{
+		{Endpoint: "/run", Body: `{"protocol":"3-majority","n":1000,"k":4,"bogus":1}`},
+		{Endpoint: "/run", Body: `{"protocol":"nope","n":1000,"k":4}`},
+		{Endpoint: "/sweep", Body: `{"base":{"protocol":"3-majority","n":1000},"sweep":"nope","values":[1]}`},
+	}
+	for _, ex := range bad {
+		if err := validateExample(ex); err == nil {
+			t.Errorf("example %+v accepted", ex)
+		}
+	}
+	good := CurlExample{Endpoint: "/run", Body: `{"protocol":"3-majority","n":1000000000,"k":100,"tier":"analytic"}`}
+	if err := validateExample(good); err != nil {
+		t.Errorf("analytic quickstart example rejected: %v", err)
+	}
+}
+
+// The repo-level audits: these are the checks `make docs-check` and
+// the CI docs job run against the actual documentation.
+
+func TestRepoLinks(t *testing.T) {
+	for _, p := range CheckLinks(repoRoot, TopLevelDocs...) {
+		t.Error(p)
+	}
+}
+
+func TestRepoGodoc(t *testing.T) {
+	for _, p := range CheckGodoc(repoRoot) {
+		t.Error(p)
+	}
+}
+
+func TestRepoCurlExamples(t *testing.T) {
+	for _, p := range CheckCurlExamples(repoRoot, CurlDocs...) {
+		t.Error(p)
+	}
+}

@@ -1,0 +1,11 @@
+// Package experiments contains one driver per figure, table, and
+// quantitative theorem of the paper. Every driver regenerates the
+// corresponding artifact empirically — consensus-time scaling curves,
+// drift tables, thresholds — and returns its results as renderable
+// tables. The experiment IDs, paper artifacts, and expectations are
+// indexed in DESIGN.md; measured-vs-paper records live in
+// EXPERIMENTS.md.
+//
+// The contract above is owned by DESIGN.md §"Experiment / artifact
+// index".
+package experiments

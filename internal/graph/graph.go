@@ -1,11 +1,3 @@
-// Package graph provides the topology substrate for running the
-// consensus dynamics beyond the complete graph — the paper's §2.5 open
-// problem ("analyze 3-Majority or 2-Choices with many opinions on
-// graphs other than the complete graph"). It defines a minimal Graph
-// interface sufficient for pull-based dynamics (sampling a uniformly
-// random neighbor), a set of standard topologies, and an agent-based
-// synchronous engine that runs any of the core update rules on any
-// Graph.
 package graph
 
 import (

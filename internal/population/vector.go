@@ -1,20 +1,3 @@
-// Package population represents opinion configurations of synchronous
-// consensus dynamics: the count vector (c(1), ..., c(k)) of how many of
-// the n vertices currently support each opinion, together with the
-// derived quantities the paper analyzes — the fractions α(i), the
-// squared ℓ²-norm γ = Σ α(i)², and pairwise biases δ(i,j) = α(i)−α(j)
-// (paper Definition 3.2).
-//
-// On the complete graph with self-loops the count vector is a complete
-// description of the process state, which is what makes the exact
-// count-space engine in internal/core possible. Because extinct
-// opinions can never return under the paper's dynamics (validity,
-// Eq. (5)/(6)), the live set shrinks monotonically from k to 1 over a
-// run; Vector therefore maintains a compacted slice of live opinion
-// indices plus incrementally updated aggregates (N, Σc², live count),
-// so that Gamma, Live and Consensus are O(1), MaxOpinion and SumCubes
-// are O(live), and the engines update a round in O(live) via CommitLive
-// instead of O(k) via SetAll.
 package population
 
 import (

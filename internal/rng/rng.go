@@ -1,13 +1,3 @@
-// Package rng provides the random-number substrate for the plurality
-// library: a fast, reproducible xoshiro256++ generator plus the exact
-// discrete samplers (binomial, multinomial, categorical) that the
-// counts-based consensus-dynamics engine in internal/core relies on.
-//
-// The package deliberately does not use math/rand: the engine needs
-// (a) reproducible streams that are stable across platforms and Go
-// releases, (b) an exact binomial sampler (math/rand has none), and
-// (c) cheap derivation of statistically independent sub-streams for
-// parallel trials.
 package rng
 
 import (

@@ -1,0 +1,217 @@
+package service
+
+import (
+	"fmt"
+	"math"
+
+	"plurality/internal/analytic"
+)
+
+// Answer tiers accepted by Request.Tier. The zero value means
+// simulation — the tier every pre-tier request implicitly ran on.
+const (
+	// TierSimulation is the explicit name for the default tier;
+	// Normalize clears it to "" so naming the default cannot split the
+	// cache key of otherwise identical requests.
+	TierSimulation = "simulation"
+	// TierAnalytic answers from the calibrated scaling-law model
+	// (internal/analytic) without simulating: microseconds and O(k)
+	// memory at any n up to MaxAnalyticN. Requests whose n exceeds
+	// MaxSyncN are promoted to it automatically when eligible.
+	TierAnalytic = "analytic"
+)
+
+// MethodAnalytic is Response.Method for analytic-tier answers. The
+// simulation tier leaves Method empty — its Response bytes (and cache
+// keys) are pinned byte-identical to the pre-tier era.
+const MethodAnalytic = "analytic"
+
+// MaxAnalyticN bounds N for the analytic tier. The model evaluates in
+// float64 and extrapolates in ln n beyond its calibrated range
+// (population.MaxN ≈ 3·10⁹), so the cap is about honesty, not memory:
+// 10¹⁵ already stretches the fitted constants six decades past
+// calibration, and the prediction interval does not widen to say so.
+const MaxAnalyticN = 1_000_000_000_000_000
+
+// analyticDynamics reports whether the protocol has a fitted analytic
+// law (the paper's two dynamics).
+func analyticDynamics(protocol string) bool {
+	_, ok := analytic.DynamicsByName(protocol)
+	return ok
+}
+
+// validateAnalytic is Validate's tier-analytic arm. The analytic
+// answer is a closed-form function of (protocol, n, initial densities)
+// — anything that only makes sense trial-by-trial (adversaries,
+// traces, stop conditions, non-sync engines) is rejected rather than
+// silently ignored, and the init profile is computed here so a bad
+// generator parameter is a 400 at admission, not a failed job.
+func (q Request) validateAnalytic() error {
+	if q.Mode != ModeSync {
+		return fmt.Errorf("service: tier %q supports mode %q only, got %q", TierAnalytic, ModeSync, q.Mode)
+	}
+	if !analyticDynamics(q.Protocol) {
+		return fmt.Errorf("service: tier %q covers protocols 3-majority and 2-choices, got %q", TierAnalytic, q.Protocol)
+	}
+	if q.N < 2 || q.N > MaxAnalyticN {
+		return fmt.Errorf("service: n must be in [2, %d] for tier %q, got %d", int64(MaxAnalyticN), TierAnalytic, q.N)
+	}
+	if q.Init != "counts" && q.K < 1 {
+		return fmt.Errorf("service: k must be >= 1, got %d", q.K)
+	}
+	if q.K > MaxK {
+		return fmt.Errorf("service: k must be <= %d, got %d", MaxK, q.K)
+	}
+	if q.Adversary != "" {
+		return fmt.Errorf("service: tier %q cannot model adversaries; drop the adversary or the tier", TierAnalytic)
+	}
+	if q.Trace != nil {
+		return fmt.Errorf("service: tier %q produces no rounds to trace; drop the trace or the tier", TierAnalytic)
+	}
+	if q.Stop != nil {
+		return fmt.Errorf("service: tier %q predicts consensus times only; drop the stop condition or the tier", TierAnalytic)
+	}
+	_, _, err := q.initProfile()
+	return err
+}
+
+// initProfile reduces the normalized request's initial condition to
+// the densities the analytic model consumes: γ₀ = Σα_i² and
+// δ = max α_i. Counts and balanced are exact; the parametric
+// generators use their continuum fractions, whose largest-remainder
+// rounding the simulation applies is O(1/n) — far inside the model's
+// prediction interval (TestInitProfileMatchesGenerators pins the
+// agreement). Cost is O(1) for balanced/geometric/planted/two-leaders
+// and O(k) for zipf and counts; nothing depends on n.
+func (q Request) initProfile() (gamma0, delta float64, err error) {
+	n := float64(q.N)
+	k := float64(q.K)
+	switch q.Init {
+	case "counts":
+		for i, c := range q.Counts {
+			if c < 0 {
+				return 0, 0, fmt.Errorf("service: counts[%d] = %d is negative", i, c)
+			}
+		}
+		gamma0, delta = analytic.Profile(q.Counts)
+		if delta == 0 {
+			return 0, 0, fmt.Errorf("service: counts are all zero")
+		}
+		return gamma0, delta, nil
+	case "balanced":
+		if int64(q.K) > q.N {
+			return 0, 0, fmt.Errorf("service: balanced init needs k <= n, got k=%d n=%d", q.K, q.N)
+		}
+		base := q.N / int64(q.K)
+		extra := q.N % int64(q.K)
+		bf, ef := float64(base), float64(extra)
+		gamma0 = (ef*(bf+1)*(bf+1) + (k-ef)*bf*bf) / (n * n)
+		delta = bf / n
+		if extra > 0 {
+			delta = (bf + 1) / n
+		}
+		return gamma0, delta, nil
+	case "planted":
+		if q.K < 2 || int64(q.K) > q.N {
+			return 0, 0, fmt.Errorf("service: planted init needs 2 <= k <= n, got k=%d n=%d", q.K, q.N)
+		}
+		f := q.InitParam
+		if f < 0 || math.IsNaN(f) {
+			return 0, 0, fmt.Errorf("service: planted extra fraction %v is negative", f)
+		}
+		other := 1/k - f/(k-1)
+		if other < 0 {
+			return 0, 0, fmt.Errorf("service: planted extra fraction %v exceeds the donors' supply", f)
+		}
+		leader := 1/k + f
+		return leader*leader + (k-1)*other*other, leader, nil
+	case "zipf":
+		if int64(q.K) > q.N {
+			return 0, 0, fmt.Errorf("service: zipf init needs k <= n, got k=%d n=%d", q.K, q.N)
+		}
+		s := q.InitParam
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return 0, 0, fmt.Errorf("service: zipf exponent %v is not finite", s)
+		}
+		var sum, sumSq, maxW float64
+		for i := 0; i < q.K; i++ {
+			w := math.Pow(float64(i+1), -s)
+			sum += w
+			sumSq += w * w
+			maxW = math.Max(maxW, w)
+		}
+		return sumSq / (sum * sum), maxW / sum, nil
+	case "geometric":
+		if int64(q.K) > q.N {
+			return 0, 0, fmt.Errorf("service: geometric init needs k <= n, got k=%d n=%d", q.K, q.N)
+		}
+		r := q.InitParam
+		if r <= 0 || r > 1 || math.IsNaN(r) {
+			return 0, 0, fmt.Errorf("service: geometric ratio %v out of (0, 1]", r)
+		}
+		if r == 1 {
+			return 1 / k, 1 / k, nil
+		}
+		sum := (1 - math.Pow(r, k)) / (1 - r)
+		sumSq := (1 - math.Pow(r, 2*k)) / (1 - r*r)
+		return sumSq / (sum * sum), 1 / sum, nil
+	case "two-leaders":
+		if q.K < 2 || int64(q.K) > q.N {
+			return 0, 0, fmt.Errorf("service: two-leaders init needs 2 <= k <= n, got k=%d n=%d", q.K, q.N)
+		}
+		topFrac, bias := q.InitParam, q.InitParam2
+		if topFrac <= 0 || topFrac > 1 || bias < 0 || bias > topFrac ||
+			math.IsNaN(topFrac) || math.IsNaN(bias) {
+			return 0, 0, fmt.Errorf("service: two-leaders top_frac=%v bias=%v out of range", topFrac, bias)
+		}
+		f0 := topFrac/2 + bias/2
+		f1 := topFrac/2 - bias/2
+		rest := 0.0
+		if q.K > 2 {
+			rest = (1 - topFrac) / (k - 2)
+		} else {
+			// With k == 2 all mass is on the two leaders.
+			f0 /= topFrac
+			f1 /= topFrac
+		}
+		gamma0 = f0*f0 + f1*f1 + (k-2)*rest*rest
+		return gamma0, math.Max(f0, rest), nil
+	default:
+		return 0, 0, fmt.Errorf("service: unknown init %q", q.Init)
+	}
+}
+
+// executeAnalytic answers a validated tier-analytic request from the
+// embedded calibrated model. The Summary reuses the simulation tier's
+// vocabulary for the prediction — Median/Mean carry the point
+// estimate, Min/Max the prediction-interval bounds, Trials 0 because
+// nothing ran — and the full prediction (with model version and
+// confidence) rides in Response.Analytic.
+func executeAnalytic(q Request) (*Response, error) {
+	m, err := analytic.Default()
+	if err != nil {
+		return nil, err
+	}
+	gamma0, delta, err := q.initProfile()
+	if err != nil {
+		return nil, err
+	}
+	pred, err := m.Predict(q.Protocol, float64(q.N), gamma0, delta)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		Key:      q.Key(),
+		Request:  q,
+		Method:   MethodAnalytic,
+		Analytic: &pred,
+		Summary: Summary{
+			MedianRounds: pred.Rounds,
+			MeanRounds:   pred.Rounds,
+			MinRounds:    pred.RoundsLo,
+			MaxRounds:    pred.RoundsHi,
+			TopWinner:    -1,
+		},
+		Trials: []Trial{},
+	}, nil
+}

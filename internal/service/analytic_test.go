@@ -1,0 +1,272 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"plurality/internal/analytic"
+	"plurality/internal/population"
+	"plurality/internal/stop"
+	"plurality/internal/trace"
+)
+
+// TestSimulationTierKeysPinned is the tier twin of
+// TestUntracedKeysPinned: adding the tier field must leave every
+// simulation-tier key byte-identical (absent field, omitempty), the
+// explicit default tier must key like the absent one, and the
+// analytic keys themselves are pinned — with the per-trial knobs
+// cleared as inert, so seed-sweeping clients land on one cache entry.
+func TestSimulationTierKeysPinned(t *testing.T) {
+	// The first TestUntracedKeysPinned request, with its pre-tier key.
+	base := Request{Protocol: "3-majority", N: 100_000, K: 100, Seed: 1}
+	const baseKey = "be721c080276ca0dacf7088cac1edd6a21d5186e75e830d27f737ef4c1f2f87c"
+	if got := base.Key(); got != baseKey {
+		t.Errorf("simulation key rotated:\n got %s\nwant %s", got, baseKey)
+	}
+	explicit := base
+	explicit.Tier = "simulation"
+	if explicit.Key() != baseKey {
+		t.Error("explicit tier \"simulation\" split the cache key of the default tier")
+	}
+
+	pinned := []struct {
+		req Request
+		key string
+	}{
+		{Request{Protocol: "3-majority", N: 1_000_000_000, K: 100, Tier: "analytic"},
+			"d72603934ffa7d995c2cd056069e00c3e4b2c6ac6f23bfb7ed22d4539eb44749"},
+		// Auto-promoted (n > MaxSyncN, no explicit tier).
+		{Request{Protocol: "2-choices", N: 10_000_000_000, K: 64},
+			"35cb269bfafb59d4ec41df1a0269dd93f0949ce11a00198350de8ed6eb6198b6"},
+	}
+	for _, p := range pinned {
+		if got := p.req.Key(); got != p.key {
+			t.Errorf("analytic key of %+v rotated:\n got %s\nwant %s", p.req, got, p.key)
+		}
+	}
+
+	// The promoted form and the explicit analytic form are one key.
+	promoted := Request{Protocol: "2-choices", N: 10_000_000_000, K: 64}
+	explicitA := promoted
+	explicitA.Tier = TierAnalytic
+	if promoted.Key() != explicitA.Key() {
+		t.Error("auto-promoted and explicit analytic requests key differently")
+	}
+
+	// Seed, trials and max_rounds are inert under the analytic tier.
+	varied := Request{Protocol: "3-majority", N: 1_000_000_000, K: 100, Tier: "analytic",
+		Seed: 99, Trials: 7, MaxRounds: 5000}
+	if varied.Key() != pinned[0].key {
+		t.Error("inert per-trial knobs split the analytic cache key")
+	}
+}
+
+func TestAnalyticExecuteEndToEnd(t *testing.T) {
+	q := Request{Protocol: "3-majority", N: 1_000_000_000, K: 100, Tier: "analytic"}
+	resp, err := Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Method != MethodAnalytic {
+		t.Errorf("method = %q, want %q", resp.Method, MethodAnalytic)
+	}
+	p := resp.Analytic
+	if p == nil {
+		t.Fatal("no analytic prediction on the response")
+	}
+	if !(p.RoundsLo < p.Rounds && p.Rounds < p.RoundsHi) {
+		t.Errorf("prediction interval not ordered: %+v", p)
+	}
+	if p.ModelVersion != analytic.ModelVersion || p.Confidence <= 0 {
+		t.Errorf("prediction metadata: %+v", p)
+	}
+	if resp.Summary.MedianRounds != p.Rounds || resp.Summary.MinRounds != p.RoundsLo ||
+		resp.Summary.MaxRounds != p.RoundsHi || resp.Summary.Trials != 0 {
+		t.Errorf("summary does not mirror the prediction: %+v", resp.Summary)
+	}
+	if resp.Key != q.Key() {
+		t.Errorf("key mismatch: %s vs %s", resp.Key, q.Key())
+	}
+	// Canonical bytes: same request ⇒ same bytes, and the trials field
+	// is an empty array, not null.
+	first, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(first), `"trials":[]`) {
+		t.Errorf("analytic response should carry an empty trials array: %s", first)
+	}
+	again, err := Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _ := json.Marshal(again)
+	if string(first) != string(second) {
+		t.Error("analytic responses are not byte-identical across executions")
+	}
+}
+
+func TestAnalyticAutoPromotion(t *testing.T) {
+	// n beyond MaxSyncN used to be a hard 400; an eligible request is
+	// now promoted and answered analytically.
+	q := Request{Protocol: "2-choices", N: 10_000_000_000, K: 64}
+	resp, err := Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Request.Tier != TierAnalytic || resp.Method != MethodAnalytic {
+		t.Errorf("request not promoted: tier %q method %q", resp.Request.Tier, resp.Method)
+	}
+	// Ineligible protocols keep the old rejection.
+	if _, err := Execute(Request{Protocol: "voter", N: 10_000_000_000, K: 64}); err == nil {
+		t.Error("voter beyond MaxSyncN should still be rejected")
+	}
+	// Non-sync modes keep their own caps.
+	if _, err := Execute(Request{Protocol: "3-majority", Mode: "graph", N: 10_000_000_000, K: 8}); err == nil {
+		t.Error("graph mode beyond MaxGraphN should still be rejected")
+	}
+}
+
+func TestAnalyticValidation(t *testing.T) {
+	bad := []Request{
+		{Protocol: "3-majority", N: 1000, K: 8, Tier: "oracle"},
+		{Protocol: "voter", N: 1000, K: 8, Tier: "analytic"},
+		{Protocol: "3-majority", N: 1000, K: 8, Tier: "analytic", Mode: "async"},
+		{Protocol: "3-majority", N: 1000, K: 8, Tier: "analytic", Adversary: "hinder", AdversaryF: 5},
+		{Protocol: "3-majority", N: 1000, K: 8, Tier: "analytic", Trace: &trace.Spec{}},
+		{Protocol: "3-majority", N: 1000, K: 8, Tier: "analytic", Stop: &stop.Spec{GammaAtLeast: 0.5}},
+		{Protocol: "3-majority", N: 1, K: 1, Tier: "analytic"},
+		{Protocol: "3-majority", N: MaxAnalyticN + 1, K: 8, Tier: "analytic"},
+		{Protocol: "3-majority", N: 1000, K: 2000, Tier: "analytic"}, // k > n
+		{Protocol: "3-majority", N: 1000, K: 8, Tier: "analytic", Init: "zipf", InitParam: math.Inf(1)},
+		{Protocol: "3-majority", N: 1000, K: 8, Tier: "analytic", Init: "geometric", InitParam: 1.5},
+		{Protocol: "3-majority", N: 1000, K: 8, Tier: "analytic", Init: "planted", InitParam: 0.99},
+		{Protocol: "3-majority", N: 1000, K: 8, Tier: "analytic", Init: "two-leaders", InitParam: 1.4},
+		{Protocol: "3-majority", Tier: "analytic", Counts: []int64{10, -1}},
+	}
+	for _, q := range bad {
+		if err := q.Normalize().Validate(); err == nil {
+			t.Errorf("accepted %+v", q)
+		}
+	}
+	good := []Request{
+		{Protocol: "3-majority", N: 1_000_000_000, K: 100, Tier: "analytic"},
+		{Protocol: "2-choices", N: MaxAnalyticN, K: 1 << 20, Tier: "analytic", Init: "zipf", InitParam: 1.1},
+		{Protocol: "3-majority", Tier: "analytic", Counts: []int64{500_000, 250_000, 250_000}},
+		{Protocol: "3-majority", N: 1_000_000_000, K: 50, Tier: "analytic", Init: "planted", InitParam: 0.2},
+		{Protocol: "2-choices", N: 1_000_000_000, K: 2, Tier: "analytic", Init: "two-leaders", InitParam: 0.6, InitParam2: 0.2},
+	}
+	for _, q := range good {
+		if err := q.Normalize().Validate(); err != nil {
+			t.Errorf("rejected %+v: %v", q, err)
+		}
+	}
+}
+
+// TestInitProfileMatchesGenerators pins the closed-form init profiles
+// to the generators they model: the analytic tier's (γ₀, δ) must
+// agree with the exact profile of the materialized configuration up
+// to the O(1/n) largest-remainder rounding.
+func TestInitProfileMatchesGenerators(t *testing.T) {
+	const n = int64(1_000_000)
+	cases := []struct {
+		name string
+		req  Request
+		vec  *population.Vector
+	}{
+		{"balanced", Request{Init: "balanced", K: 97}, population.Balanced(n, 97)},
+		{"planted", Request{Init: "planted", K: 50, InitParam: 0.2}, population.PlantedBias(n, 50, int64(0.2*float64(n)))},
+		{"zipf", Request{Init: "zipf", K: 100, InitParam: 1.2}, mustVec(population.Zipf(n, 100, 1.2))},
+		{"zipf-flat", Request{Init: "zipf", K: 50, InitParam: 0}, mustVec(population.Zipf(n, 50, 0))},
+		{"geometric", Request{Init: "geometric", K: 40, InitParam: 0.7}, mustVec(population.Geometric(n, 40, 0.7))},
+		{"geometric-flat", Request{Init: "geometric", K: 10, InitParam: 1}, mustVec(population.Geometric(n, 10, 1))},
+		{"two-leaders", Request{Init: "two-leaders", K: 30, InitParam: 0.5, InitParam2: 0.1}, mustVec(population.TwoLeaders(n, 30, 0.5, 0.1))},
+		{"two-leaders-k2", Request{Init: "two-leaders", K: 2, InitParam: 0.6, InitParam2: 0.2}, mustVec(population.TwoLeaders(n, 2, 0.6, 0.2))},
+	}
+	for _, c := range cases {
+		c.req.Protocol = "3-majority"
+		c.req.N = n
+		c.req.Tier = TierAnalytic
+		q := c.req.Normalize()
+		gamma0, delta, err := q.initProfile()
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		wantG, wantD := analytic.Profile(c.vec.Counts())
+		if relDiff(gamma0, wantG) > 1e-2 || relDiff(delta, wantD) > 1e-2 {
+			t.Errorf("%s: profile (%v, %v) vs materialized (%v, %v)", c.name, gamma0, delta, wantG, wantD)
+		}
+	}
+}
+
+func mustVec(v *population.Vector, err error) *population.Vector {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+// TestAnalyticTierThroughServer drives the tier through the full HTTP
+// stack: POST /run with n=10⁹ answers 200 with method "analytic", a
+// second POST is a cache hit, and /metrics exposes the tier counter.
+func TestAnalyticTierThroughServer(t *testing.T) {
+	rn := NewRunner(Options{Workers: 1})
+	defer rn.Close()
+	srv := httptest.NewServer(NewServer(rn))
+	defer srv.Close()
+
+	body := `{"protocol":"3-majority","n":1000000000,"k":100,"tier":"analytic"}`
+	var bodies []string
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(srv.URL+"/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /run: %d: %s", resp.StatusCode, data)
+		}
+		wantCache := "miss"
+		if i > 0 {
+			wantCache = "hit"
+		}
+		if got := resp.Header.Get(CacheHeader); got != wantCache {
+			t.Errorf("request %d: cache header %q, want %q", i, got, wantCache)
+		}
+		bodies = append(bodies, string(data))
+		var r Response
+		if err := json.Unmarshal(data, &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Method != MethodAnalytic || r.Analytic == nil {
+			t.Errorf("request %d: method %q analytic %v", i, r.Method, r.Analytic)
+		}
+	}
+	if bodies[0] != bodies[1] {
+		t.Error("cold and cached analytic bodies differ")
+	}
+
+	m, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(m.Body)
+	m.Body.Close()
+	if !strings.Contains(string(metrics), "conserve_analytic_requests_total 2") {
+		t.Errorf("metrics missing analytic counter:\n%s", metrics)
+	}
+}

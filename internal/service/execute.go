@@ -7,6 +7,7 @@ import (
 	"runtime"
 
 	"plurality"
+	"plurality/internal/analytic"
 	"plurality/internal/stats"
 	"plurality/internal/trace"
 )
@@ -75,6 +76,14 @@ type Response struct {
 	// Tracing never perturbs the engines' RNG streams: Summary and
 	// Trials are byte-identical with and without it.
 	Trace []trace.Point `json:"trace,omitempty"`
+	// Method identifies the answer tier that produced the response:
+	// "analytic" for the calibrated-model tier, absent for simulation
+	// — so simulation Response bytes stay pinned to the pre-tier era.
+	Method string `json:"method,omitempty"`
+	// Analytic carries the analytic tier's full prediction (point
+	// estimate, prediction interval, model version and confidence);
+	// absent on simulated responses.
+	Analytic *analytic.Prediction `json:"analytic,omitempty"`
 }
 
 // Execute runs the request in the calling goroutine (expanding into
@@ -147,6 +156,12 @@ func ExecuteResumable(ctx context.Context, q Request, parallelism int, resume *R
 	q = q.Normalize()
 	if err := q.Validate(); err != nil {
 		return nil, err
+	}
+	// Analytic-tier requests are answered in closed form: nothing to
+	// stream, checkpoint or resume. They still flow through the
+	// runner's cache and job machinery above this call unchanged.
+	if q.Tier == TierAnalytic {
+		return executeAnalytic(q)
 	}
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)

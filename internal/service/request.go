@@ -159,6 +159,17 @@ type Request struct {
 	// the Response bytes, exactly as they were before stop conditions
 	// existed. Works in every mode.
 	Stop *stop.Spec `json:"stop,omitempty"`
+	// Tier selects the answer tier: "" or "simulation" (run the
+	// engines; the implicit tier of every pre-tier request) or
+	// "analytic" (answer from the calibrated scaling-law model, valid
+	// up to MaxAnalyticN). Normalize promotes an eligible sync request
+	// whose n exceeds MaxSyncN to the analytic tier automatically, and
+	// clears the fields the analytic answer does not depend on (seed,
+	// trials, max_rounds) so they cannot split its cache key. An
+	// absent tier leaves simulation keys, and their Response bytes,
+	// exactly as they were before tiers existed (see
+	// TestSimulationTierKeysPinned).
+	Tier string `json:"tier,omitempty"`
 }
 
 // Normalize returns the request with defaults filled in and names
@@ -170,6 +181,12 @@ func (q Request) Normalize() Request {
 	q.Adversary = strings.ToLower(strings.TrimSpace(q.Adversary))
 	q.Mode = strings.ToLower(strings.TrimSpace(q.Mode))
 	q.Topology = strings.ToLower(strings.TrimSpace(q.Topology))
+	q.Tier = strings.ToLower(strings.TrimSpace(q.Tier))
+	if q.Tier == TierSimulation {
+		// Naming the default tier is inert: it must not split the
+		// cache key of otherwise identical requests.
+		q.Tier = ""
+	}
 	if q.Mode == "" {
 		q.Mode = ModeSync
 	}
@@ -249,6 +266,21 @@ func (q Request) Normalize() Request {
 			q.Stop = &s
 		}
 	}
+	// Answer-tier dispatch: an eligible sync request whose n exceeds
+	// the simulation cap is promoted to the analytic tier instead of
+	// being left to 400. The promotion is part of normalization so the
+	// promoted and the explicitly-analytic form share one cache key.
+	if q.Tier == "" && q.Mode == ModeSync && q.N > MaxSyncN && analyticDynamics(q.Protocol) {
+		q.Tier = TierAnalytic
+	}
+	// The analytic answer is a closed-form function of (protocol, n,
+	// initial densities): the per-trial knobs are inert, and clearing
+	// them keeps e.g. seed-sweeping clients on one cache entry.
+	if q.Tier == TierAnalytic {
+		q.Seed = 0
+		q.Trials = 1
+		q.MaxRounds = 0
+	}
 	return q
 }
 
@@ -260,6 +292,15 @@ func (q Request) Validate() error {
 	}
 	if _, err := buildInit(q); err != nil {
 		return err
+	}
+	switch q.Tier {
+	case "":
+	case TierAnalytic:
+		// The analytic tier has its own caps and rejections; the
+		// simulation-shape checks below do not apply to it.
+		return q.validateAnalytic()
+	default:
+		return fmt.Errorf("service: unknown tier %q (want %q or %q)", q.Tier, TierSimulation, TierAnalytic)
 	}
 	maxN := int64(MaxSyncN)
 	switch q.Mode {

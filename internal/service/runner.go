@@ -204,6 +204,9 @@ type Metrics struct {
 	// Requests counts admissions attempts (Do + Submit, after
 	// validation).
 	Requests uint64
+	// Analytic counts admissions dispatched to the analytic answer
+	// tier (a subset of Requests; cache hits included).
+	Analytic uint64
 	// CacheHits / CacheMisses count result-cache lookups.
 	CacheHits   uint64
 	CacheMisses uint64
@@ -261,6 +264,7 @@ type Runner struct {
 	cancelBase context.CancelFunc
 
 	requests    atomic.Uint64
+	analytic    atomic.Uint64
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
 	joined      atomic.Uint64
@@ -478,6 +482,9 @@ func (r *Runner) submit(ctx context.Context, req Request, block bool) (*Job, *Re
 		return nil, nil, err
 	}
 	r.requests.Add(1)
+	if req.Tier == TierAnalytic {
+		r.analytic.Add(1)
+	}
 	key := req.Key()
 
 	r.mu.Lock()
@@ -749,6 +756,7 @@ func (r *Runner) Metrics() Metrics {
 	r.mu.Unlock()
 	return Metrics{
 		Requests:      r.requests.Load(),
+		Analytic:      r.analytic.Load(),
 		CacheHits:     r.cacheHits.Load(),
 		CacheMisses:   r.cacheMisses.Load(),
 		Joined:        r.joined.Load(),

@@ -230,6 +230,8 @@ func writeMetrics(w http.ResponseWriter, m Metrics) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprintf(w, "# HELP conserve_requests_total Admission attempts (run + sweep points).\n")
 	fmt.Fprintf(w, "conserve_requests_total %d\n", m.Requests)
+	fmt.Fprintf(w, "# HELP conserve_analytic_requests_total Admissions dispatched to the analytic answer tier.\n")
+	fmt.Fprintf(w, "conserve_analytic_requests_total %d\n", m.Analytic)
 	fmt.Fprintf(w, "# HELP conserve_cache_hits_total Requests served from the result cache.\n")
 	fmt.Fprintf(w, "conserve_cache_hits_total %d\n", m.CacheHits)
 	fmt.Fprintf(w, "conserve_cache_misses_total %d\n", m.CacheMisses)

@@ -1,0 +1,8 @@
+// Package sim orchestrates repeated dynamics runs: deterministic
+// per-trial seeding, parallel execution across a worker pool, and the
+// observers/recorders the experiments use to extract trajectories and
+// stopping times.
+//
+// The contract above is owned by DESIGN.md §"The unified Experiment
+// API".
+package sim

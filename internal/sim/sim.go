@@ -1,7 +1,3 @@
-// Package sim orchestrates repeated dynamics runs: deterministic
-// per-trial seeding, parallel execution across a worker pool, and the
-// observers/recorders the experiments use to extract trajectories and
-// stopping times.
 package sim
 
 import (

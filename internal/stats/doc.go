@@ -1,0 +1,7 @@
+// Package stats provides the small statistics toolkit used by the
+// experiment harness: streaming moments, quantiles, least-squares and
+// log-log slope fits, and binomial confidence intervals.
+//
+// The contract above is owned by DESIGN.md §"Experiment / artifact
+// index".
+package stats

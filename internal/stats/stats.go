@@ -1,6 +1,3 @@
-// Package stats provides the small statistics toolkit used by the
-// experiment harness: streaming moments, quantiles, least-squares and
-// log-log slope fits, and binomial confidence intervals.
 package stats
 
 import (

@@ -1,0 +1,7 @@
+// Package tablefmt renders the experiment tables as aligned text and
+// CSV. Every experiment driver in internal/experiments produces
+// []Table, which cmd/conbench prints and EXPERIMENTS.md records.
+//
+// The contract above is owned by DESIGN.md §"Experiment / artifact
+// index".
+package tablefmt

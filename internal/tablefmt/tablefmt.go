@@ -1,6 +1,3 @@
-// Package tablefmt renders the experiment tables as aligned text and
-// CSV. Every experiment driver in internal/experiments produces
-// []Table, which cmd/conbench prints and EXPERIMENTS.md records.
 package tablefmt
 
 import (

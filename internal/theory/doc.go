@@ -1,0 +1,11 @@
+// Package theory encodes the paper's analytical apparatus in
+// executable form: the Lemma 4.1 closed-form drift expressions, the
+// Definition 4.4 weak/strong/active classification with the paper's
+// constants, the Bernstein condition of Definition 3.3, the
+// Freedman-type tail bound of Corollary 3.8, and the theorem-level
+// consensus-time predictors used by the experiments to normalize
+// measured round counts.
+//
+// The contract above is owned by DESIGN.md §"Answer tiers: simulation
+// and analytic".
+package theory

@@ -1,10 +1,3 @@
-// Package theory encodes the paper's analytical apparatus in
-// executable form: the Lemma 4.1 closed-form drift expressions, the
-// Definition 4.4 weak/strong/active classification with the paper's
-// constants, the Bernstein condition of Definition 3.3, the
-// Freedman-type tail bound of Corollary 3.8, and the theorem-level
-// consensus-time predictors used by the experiments to normalize
-// measured round counts.
 package theory
 
 import (

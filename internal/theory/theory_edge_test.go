@@ -1,0 +1,209 @@
+package theory
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge-case and property tests for the theorem-level predictors: the
+// boundaries of their domains (γ₀ → 0, γ₀ → 1, n → ∞, k = 2),
+// monotonicity in each argument, and agreement between the Theorem 1.1
+// and Theorem 2.1 formulations where their regimes overlap.
+
+var bothDynamics = []Dynamics{ThreeMajority, TwoChoices}
+
+func TestGammaBoundaries(t *testing.T) {
+	const n = 1e6
+
+	// γ₀ → 0: the Theorem 2.1 shape ln(n)/γ₀ diverges — no finite
+	// consensus-time prediction from a vanishing norm.
+	if got := ConsensusTimeFromGamma(n, 0); !math.IsInf(got, 1) {
+		t.Errorf("ConsensusTimeFromGamma(n, 0) = %v, want +Inf", got)
+	}
+	for _, g := range []float64{1e-3, 1e-6, 1e-9} {
+		if got := ConsensusTimeFromGamma(n, g); !(got > 0) || math.IsInf(got, 1) {
+			t.Errorf("ConsensusTimeFromGamma(n, %g) = %v, want finite positive", g, got)
+		}
+	}
+
+	// γ₀ = 1 is consensus: the shape bottoms out at ln n, and one round
+	// of either dynamics keeps γ exactly at 1 (consensus is absorbing,
+	// so the Lemma 4.1(iii) lower bound must not overshoot).
+	if got, want := ConsensusTimeFromGamma(n, 1), math.Log(n); got != want {
+		t.Errorf("ConsensusTimeFromGamma(n, 1) = %v, want ln n = %v", got, want)
+	}
+	for _, d := range bothDynamics {
+		if got := ExpGammaNextLowerBound(d, 1, n); got != 1 {
+			t.Errorf("%v: ExpGammaNextLowerBound(γ=1) = %v, want 1 (absorbing)", d, got)
+		}
+	}
+
+	// The submartingale property (Eq. (2)) on the whole of [0, 1]: the
+	// lower bound on E[γ'] never falls below γ, and never exceeds 1.
+	for _, d := range bothDynamics {
+		for g := 0.0; g <= 1.0; g += 1.0 / 64 {
+			got := ExpGammaNextLowerBound(d, g, n)
+			if got < g || got > 1 {
+				t.Errorf("%v: ExpGammaNextLowerBound(γ=%v) = %v, want in [γ, 1]", d, g, got)
+			}
+		}
+	}
+}
+
+func TestDriftFixedPoints(t *testing.T) {
+	// Extinct opinions stay extinct (validity): α = 0 is a fixed point
+	// of Eq. (1) for every γ, and δ = 0 of Eq. (3).
+	for _, g := range []float64{0, 0.25, 0.5, 1} {
+		if got := ExpAlphaNext(0, g); got != 0 {
+			t.Errorf("ExpAlphaNext(0, %v) = %v, want 0", g, got)
+		}
+		if got := ExpDeltaNext(0, 0.3, 0.3, g); got != 0 {
+			t.Errorf("ExpDeltaNext(0, ·, ·, %v) = %v, want 0", g, got)
+		}
+	}
+	// Consensus (α = γ = 1) is a fixed point of Eq. (1).
+	if got := ExpAlphaNext(1, 1); got != 1 {
+		t.Errorf("ExpAlphaNext(1, 1) = %v, want 1", got)
+	}
+}
+
+func TestKEqualsTwoClosedForm(t *testing.T) {
+	// k = 2 with fractions (1+δ)/2 and (1−δ)/2: γ = (1+δ²)/2 and
+	// Eq. (3) collapses to the classical two-opinion drift
+	// E[δ'] = δ(3−δ²)/2, since α(1)+α(2) = 1.
+	for _, delta := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		a1, a2 := (1+delta)/2, (1-delta)/2
+		gamma := a1*a1 + a2*a2
+		got := ExpDeltaNext(delta, a1, a2, gamma)
+		want := delta * (3 - delta*delta) / 2
+		if math.Abs(got-want) > 1e-15 {
+			t.Errorf("δ=%v: ExpDeltaNext = %v, want δ(3−δ²)/2 = %v", delta, got, want)
+		}
+	}
+
+	// At k = 2 the Theorem 1.1 shape is the k-branch for any realistic
+	// n (2·ln n is far below both norm-growth shapes), and the balanced
+	// configuration has γ₀ = 1/2, so Theorem 2.1 gives the same number.
+	for _, d := range bothDynamics {
+		for _, n := range []float64{100, 1e6, 1e12} {
+			shape := ConsensusTimeShape(d, n, 2)
+			fromGamma := ConsensusTimeFromGamma(n, 0.5)
+			if math.Abs(shape-fromGamma) > 1e-12*fromGamma {
+				t.Errorf("%v n=%g: ConsensusTimeShape(k=2) = %v, ConsensusTimeFromGamma(γ₀=1/2) = %v", d, n, shape, fromGamma)
+			}
+		}
+	}
+}
+
+func TestLargeNLimits(t *testing.T) {
+	// n → ∞ at fixed k: the min in Theorem 1.1 settles on the k·ln n
+	// branch (the norm-growth branches grow polynomially), so the ratio
+	// shape/(k·ln n) reaches exactly 1 and stays there.
+	for _, d := range bothDynamics {
+		for _, n := range []float64{1e6, 1e9, 1e15} {
+			const k = 64
+			if got, want := ConsensusTimeShape(d, n, k), k*math.Log(n); got != want {
+				t.Errorf("%v n=%g: shape = %v, want k·ln n = %v", d, n, got, want)
+			}
+		}
+	}
+
+	// The Theorem 2.1 applicability threshold vanishes as n → ∞, but is
+	// strictly positive at every finite n and decreasing in n beyond
+	// e² (where ln n/√n and ln²n/n both turn monotone).
+	for _, d := range bothDynamics {
+		prev := math.Inf(1)
+		for _, n := range []float64{10, 1e3, 1e6, 1e9, 1e12} {
+			th := GammaThreshold(d, n)
+			if !(th > 0) || th >= prev {
+				t.Errorf("%v: GammaThreshold(%g) = %v, want positive and decreasing (prev %v)", d, n, th, prev)
+			}
+			prev = th
+		}
+	}
+
+	// Remark 2.5: at t ≤ 0 nothing has been eliminated (bound = n), the
+	// bound decays like 1/t, and by t = n·ln n at most a constant
+	// number of opinions can remain.
+	const n = 1e6
+	if got := RemainingOpinionsBound(n, 0); got != n {
+		t.Errorf("RemainingOpinionsBound(n, 0) = %v, want n", got)
+	}
+	if got := RemainingOpinionsBound(n, n*math.Log(n)); got != 1 {
+		t.Errorf("RemainingOpinionsBound(n, n·ln n) = %v, want 1", got)
+	}
+}
+
+func TestPredictorMonotonicity(t *testing.T) {
+	ns := []float64{100, 1e4, 1e6, 1e9, 1e12}
+	ks := []float64{2, 4, 16, 64, 1024, 1 << 20}
+
+	for _, d := range bothDynamics {
+		// Nondecreasing in k at fixed n: more opinions never speed
+		// consensus up (Theorem 2.7's Ω(k) lower bound).
+		for _, n := range ns {
+			for i := 1; i < len(ks); i++ {
+				lo, hi := ConsensusTimeShape(d, n, ks[i-1]), ConsensusTimeShape(d, n, ks[i])
+				if hi < lo {
+					t.Errorf("%v n=%g: shape(k=%g)=%v > shape(k=%g)=%v", d, n, ks[i-1], lo, ks[i], hi)
+				}
+			}
+		}
+		// Nondecreasing in n at fixed k.
+		for _, k := range ks {
+			for i := 1; i < len(ns); i++ {
+				lo, hi := ConsensusTimeShape(d, ns[i-1], k), ConsensusTimeShape(d, ns[i], k)
+				if hi < lo {
+					t.Errorf("%v k=%g: shape(n=%g)=%v > shape(n=%g)=%v", d, k, ns[i-1], lo, ns[i], hi)
+				}
+			}
+		}
+	}
+
+	// ConsensusTimeFromGamma: strictly decreasing in γ₀, increasing in n.
+	for i, g := range []float64{1e-6, 1e-3, 0.1, 0.5, 1} {
+		if i > 0 {
+			prevG := []float64{1e-6, 1e-3, 0.1, 0.5, 1}[i-1]
+			if !(ConsensusTimeFromGamma(1e6, g) < ConsensusTimeFromGamma(1e6, prevG)) {
+				t.Errorf("ConsensusTimeFromGamma not decreasing at γ₀=%v", g)
+			}
+		}
+	}
+	for i := 1; i < len(ns); i++ {
+		if !(ConsensusTimeFromGamma(ns[i], 0.25) > ConsensusTimeFromGamma(ns[i-1], 0.25)) {
+			t.Errorf("ConsensusTimeFromGamma not increasing in n at n=%g", ns[i])
+		}
+	}
+}
+
+func TestFormulationAgreement(t *testing.T) {
+	// The two theorem formulations agree on their overlap: from the
+	// balanced configuration γ₀ = 1/k, so wherever the k-branch of
+	// Theorem 1.1 is active, ln(n)/γ₀ is the identical number — and the
+	// other branch is by definition the Theorem 2.2 norm-growth shape.
+	for _, d := range bothDynamics {
+		for _, n := range []float64{1e3, 1e6, 1e9} {
+			for _, k := range []float64{2, 8, 64, 512} {
+				shape := ConsensusTimeShape(d, n, k)
+				fromGamma := ConsensusTimeFromGamma(n, 1/k)
+				growth := NormGrowthTimeShape(d, n)
+				want := math.Min(fromGamma, growth)
+				if math.Abs(shape-want) > 1e-12*want {
+					t.Errorf("%v n=%g k=%g: shape = %v, min(ln n·k, growth) = %v", d, n, k, shape, want)
+				}
+			}
+		}
+	}
+
+	// Unknown dynamics answer NaN, never a plausible number.
+	for _, f := range []float64{
+		ConsensusTimeShape(0, 1e6, 8),
+		GammaThreshold(0, 1e6),
+		NormGrowthTimeShape(0, 1e6),
+		ExpGammaNextLowerBound(0, 0.5, 1e6),
+	} {
+		if !math.IsNaN(f) {
+			t.Errorf("unknown Dynamics produced %v, want NaN", f)
+		}
+	}
+}
