@@ -2,7 +2,7 @@
 # .github/workflows/ci.yml), so a green `make check bench-diff` locally
 # predicts a green pipeline.
 
-.PHONY: check lint lint-fix test docs-check bench-baseline bench-diff
+.PHONY: check lint lint-fix test docs-check cluster-e2e bench-baseline bench-diff
 
 check: lint test docs-check
 
@@ -42,6 +42,14 @@ test:
 # covers these too; the named target exists for doc-only edits.
 docs-check:
 	go test -count=1 ./internal/docs/
+
+# cluster-e2e reproduces the CI cluster job locally: the replicated
+# ledger's unit/fleet tests plus the real 5-process kill/failover e2e
+# (SIGKILL the leader and a worker mid-sweep; the merged NDJSON must be
+# byte-identical to a single-process run), all under -race.
+cluster-e2e:
+	go test -race -count=1 -timeout 300s ./internal/cluster/...
+	go test -race -count=1 -timeout 300s -run 'ClusterKillFailover' ./cmd/conserve/
 
 # bench-baseline refreshes the committed bench-regression baseline.
 # Run it on an otherwise idle machine after a deliberate perf change

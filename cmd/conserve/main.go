@@ -13,6 +13,7 @@
 //
 //	conserve [-addr :8080] [-workers 0] [-parallelism 0] [-queue 64] [-cache 256]
 //	         [-data-dir DIR] [-max-retries 0] [-job-timeout 0] [-drain-timeout 30s]
+//	         [-cluster coordinator|worker -node-id ID -peers id=url,... -coordinators id,...]
 //
 // -workers sizes the request pool (how many requests run at once);
 // -parallelism is each request's internal budget (trial fan-out in
@@ -77,9 +78,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"plurality/internal/cluster"
 	"plurality/internal/durable"
 	"plurality/internal/service"
 )
@@ -87,6 +92,92 @@ import (
 // onListen, when set (tests), observes the bound address before the
 // server starts accepting.
 var onListen func(net.Addr)
+
+// clusterFlags gathers the -cluster* flag values.
+type clusterFlags struct {
+	role         string
+	nodeID       string
+	peers        string
+	coordinators string
+	heartbeat    time.Duration
+	leaseTimeout time.Duration
+	parallelism  int
+	dataDir      string
+}
+
+// newClusterNode validates the cluster flags and builds the node. With
+// -data-dir the replica log persists to DIR/cluster.journal, so a
+// restarted node recovers its term and entries and rejoins without
+// violating its votes.
+func newClusterNode(cf clusterFlags) (*cluster.Node, error) {
+	role := cluster.Role(cf.role)
+	if role != cluster.RoleCoordinator && role != cluster.RoleWorker {
+		return nil, fmt.Errorf("-cluster must be %q or %q, got %q", cluster.RoleCoordinator, cluster.RoleWorker, cf.role)
+	}
+	if cf.nodeID == "" {
+		return nil, fmt.Errorf("-cluster requires -node-id")
+	}
+	peers, err := parsePeers(cf.peers)
+	if err != nil {
+		return nil, err
+	}
+	var coords []string
+	for _, c := range strings.Split(cf.coordinators, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			coords = append(coords, c)
+		}
+	}
+	if len(coords) == 0 {
+		return nil, fmt.Errorf("-cluster requires -coordinators")
+	}
+	cfg := cluster.NodeConfig{
+		ID:           cf.nodeID,
+		Role:         role,
+		Peers:        peers,
+		Coordinators: coords,
+		Parallelism:  cf.parallelism,
+		Heartbeat:    cf.heartbeat,
+		LeaseTimeout: cf.leaseTimeout,
+		Logf:         log.Printf,
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if cf.dataDir != "" {
+		j, recs, info, err := durable.OpenJournal(durable.OSFS{}, filepath.Join(cf.dataDir, "cluster.journal"))
+		if err != nil {
+			return nil, fmt.Errorf("cluster journal: %w", err)
+		}
+		log.Printf("conserve: cluster journal replay: %d records (%d bytes)", info.Records, info.ValidBytes)
+		cfg.Journal, cfg.Records = j, recs
+	}
+	node, err := cluster.NewNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("conserve: cluster node %s (%s), %d peers, %d coordinators", cf.nodeID, role, len(peers), len(coords))
+	return node, nil
+}
+
+// parsePeers parses "id=http://host:port,..." into the fleet map.
+func parsePeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("-peers entry %q: want id=http://host:port", part)
+		}
+		peers[id] = strings.TrimSuffix(addr, "/")
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-cluster requires -peers")
+	}
+	return peers, nil
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -109,6 +200,13 @@ func run(ctx context.Context, args []string) error {
 		maxRetries   = fs.Int("max-retries", 0, "in-process retries per failing job, resuming from its last checkpoint")
 		jobTimeout   = fs.Duration("job-timeout", 0, "wall-clock bound per execution attempt (0 = none)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound: how long to let in-flight jobs checkpoint and finish")
+
+		clusterRole  = fs.String("cluster", "", `cluster role: "coordinator" or "worker" (empty = single node)`)
+		nodeID       = fs.String("node-id", "", "this node's cluster ID (required with -cluster)")
+		peersFlag    = fs.String("peers", "", "comma-separated fleet as id=http://host:port, self included (required with -cluster)")
+		coordsFlag   = fs.String("coordinators", "", "comma-separated coordinator node IDs (required with -cluster)")
+		clusterTick  = fs.Duration("cluster-heartbeat", 150*time.Millisecond, "ledger replication tick: leader heartbeat interval")
+		leaseTimeout = fs.Duration("lease-timeout", 2*time.Minute, "per-shard execution bound; past it the lease expires and the shard requeues")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -140,6 +238,34 @@ func run(ctx context.Context, args []string) error {
 		opts.Store = store
 	}
 
+	var extra service.Extra
+	if *clusterRole != "" {
+		node, err := newClusterNode(clusterFlags{
+			role:         *clusterRole,
+			nodeID:       *nodeID,
+			peers:        *peersFlag,
+			coordinators: *coordsFlag,
+			heartbeat:    *clusterTick,
+			leaseTimeout: *leaseTimeout,
+			parallelism:  *parallelism,
+			dataDir:      *dataDir,
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		extra = service.Extra{
+			Routes:  map[string]http.Handler{"/cluster/": node.Handler()},
+			Metrics: node.WriteMetrics,
+		}
+		if cluster.Role(*clusterRole) == cluster.RoleCoordinator {
+			// Coordinators route local jobs through the fleet: peer-cache
+			// read-through first, then sharded cluster execution, falling
+			// back to the ordinary local path when not applicable.
+			opts.Remote = node
+		}
+	}
+
 	runner := service.NewRunner(opts)
 	defer runner.Close()
 
@@ -153,7 +279,7 @@ func run(ctx context.Context, args []string) error {
 	log.Printf("conserve: listening on %s (workers=%d parallelism=%d queue=%d cache=%d)",
 		ln.Addr(), runner.Metrics().Workers, runner.Metrics().Parallelism, *queue, *cache)
 
-	srv := &http.Server{Handler: service.NewServer(runner)}
+	srv := &http.Server{Handler: service.NewServerWith(runner, extra)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {

@@ -1,0 +1,337 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Ledger record operations, in job-lifecycle order. Every record is
+// proposed by the coordinator leader, replicated through the quorum
+// log, and applied — in commit order, deterministically — by every
+// replica, so all nodes converge on the same job/shard states.
+const (
+	// OpSubmit admits a job: the request, its canonical key, and the
+	// index-contiguous shard plan. A submit for a key that is already
+	// active or decided applies as a no-op — cluster-wide dedup.
+	OpSubmit = "submit"
+	// OpLease grants one shard to one worker. Applies only to a
+	// pending shard; anything else is a no-op (e.g. a stale lease
+	// proposed by a deposed leader racing a completed shard).
+	OpLease = "lease"
+	// OpRequeue returns a leased shard to pending — the worker died,
+	// timed out, or the lease belonged to a deposed leader. Applies
+	// only to a leased shard.
+	OpRequeue = "requeue"
+	// OpShardDone records a shard's result payload. The first
+	// completion wins: a duplicate (two workers raced after a spurious
+	// requeue) applies as a no-op, so every replica keeps the same
+	// bytes for the shard.
+	OpShardDone = "shard_done"
+	// OpDecide marks the job decided and pins the SHA-256 of the
+	// merged canonical response. Exactly one decide applies per key
+	// (first wins); the convergence tests' ndecided check counts these.
+	OpDecide = "decide"
+)
+
+// LedgerRecord is one replicated ledger entry's payload.
+type LedgerRecord struct {
+	// Op is one of the Op* constants.
+	Op string `json:"op"`
+	// Key is the canonical SHA-256 request key the record is about.
+	Key string `json:"key"`
+	// Request is the normalized request JSON (OpSubmit).
+	Request json.RawMessage `json:"request,omitempty"`
+	// Shards is the job's shard plan (OpSubmit): index-contiguous
+	// trial ranges tiling [0, trials).
+	Shards []ShardRange `json:"shards,omitempty"`
+	// Shard indexes into the plan (OpLease/OpRequeue/OpShardDone).
+	Shard int `json:"shard,omitempty"`
+	// Worker is the executing node ID (OpLease/OpShardDone).
+	Worker string `json:"worker,omitempty"`
+	// Result is the shard's service.ShardResult JSON (OpShardDone).
+	Result json.RawMessage `json:"result,omitempty"`
+	// Reason explains a requeue (for logs and tests).
+	Reason string `json:"reason,omitempty"`
+	// MergedSHA is the hex SHA-256 of the merged canonical response
+	// bytes (OpDecide) — what the ndecided convergence check compares.
+	MergedSHA string `json:"merged_sha,omitempty"`
+}
+
+// ShardRange is one index-contiguous trial range [Lo, Hi).
+type ShardRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Shard lifecycle states.
+const (
+	ShardPending = "pending"
+	ShardLeased  = "leased"
+	ShardDone    = "done"
+)
+
+// ShardState is one shard's current state in the ledger's view.
+type ShardState struct {
+	Range  ShardRange `json:"range"`
+	Status string     `json:"status"`
+	// Worker holds the lease (leased) or computed the result (done).
+	Worker string `json:"worker,omitempty"`
+	// LeaseIndex is the ledger index of the granting lease record; a
+	// requeue for an older lease than the current one is stale and
+	// applies as a no-op.
+	LeaseIndex uint64 `json:"lease_index,omitempty"`
+	// Result is the shard's result payload (done only).
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// JobView is a snapshot of one job's ledger state.
+type JobView struct {
+	Key     string          `json:"key"`
+	Request json.RawMessage `json:"request"`
+	Shards  []ShardState    `json:"shards"`
+	// Decided reports an applied OpDecide; MergedSHA is its pinned
+	// response hash.
+	Decided   bool   `json:"decided"`
+	MergedSHA string `json:"merged_sha,omitempty"`
+	// DoneShards counts shards in state done.
+	DoneShards int `json:"done_shards"`
+}
+
+type jobState struct {
+	key       string
+	request   json.RawMessage
+	shards    []ShardState
+	decided   bool
+	mergedSHA string
+	done      int
+}
+
+// Ledger is the replicated job ledger's state machine: the fold of the
+// committed log, identical on every replica because Apply is a pure
+// function of (state, record) applied in commit order. It is the
+// coordinator's source of truth for dispatch (which shards are
+// pending), completion (all shards done), and the fleet-wide dedup and
+// exactly-one-decision guarantees. Safe for concurrent use.
+type Ledger struct {
+	mu    sync.Mutex
+	jobs  map[string]*jobState
+	order []string // submission order, for deterministic scans
+
+	requeues uint64 // applied OpRequeue count (metrics)
+	applied  uint64 // highest applied log index
+
+	// notify is closed and replaced on every applied record, waking
+	// WaitDecided pollers.
+	notify chan struct{}
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{jobs: make(map[string]*jobState), notify: make(chan struct{})}
+}
+
+// Apply folds one committed record into the state machine. It is
+// called by the replica in commit order, exactly once per index, on
+// every node. Unknown ops and records that do not fit the current
+// state apply as no-ops: replicas must never diverge or crash on a
+// record a different leader legitimately raced in.
+func (l *Ledger) Apply(index uint64, rec LedgerRecord) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	defer l.wakeLocked()
+	if index > l.applied {
+		l.applied = index
+	}
+	j := l.jobs[rec.Key]
+	switch rec.Op {
+	case OpSubmit:
+		if j != nil {
+			return // cluster-wide dedup: first submission wins
+		}
+		j = &jobState{key: rec.Key, request: rec.Request}
+		for _, sr := range rec.Shards {
+			j.shards = append(j.shards, ShardState{Range: sr, Status: ShardPending})
+		}
+		l.jobs[rec.Key] = j
+		l.order = append(l.order, rec.Key)
+	case OpLease:
+		if j == nil || rec.Shard < 0 || rec.Shard >= len(j.shards) {
+			return
+		}
+		s := &j.shards[rec.Shard]
+		if s.Status != ShardPending {
+			return
+		}
+		s.Status, s.Worker, s.LeaseIndex = ShardLeased, rec.Worker, index
+	case OpRequeue:
+		if j == nil || rec.Shard < 0 || rec.Shard >= len(j.shards) {
+			return
+		}
+		s := &j.shards[rec.Shard]
+		if s.Status != ShardLeased {
+			return
+		}
+		s.Status, s.Worker, s.LeaseIndex = ShardPending, "", 0
+		l.requeues++
+	case OpShardDone:
+		if j == nil || rec.Shard < 0 || rec.Shard >= len(j.shards) {
+			return
+		}
+		s := &j.shards[rec.Shard]
+		if s.Status == ShardDone {
+			return // first completion wins
+		}
+		s.Status, s.Worker, s.Result = ShardDone, rec.Worker, rec.Result
+		j.done++
+	case OpDecide:
+		if j == nil || j.decided {
+			return // exactly one decision per key
+		}
+		j.decided, j.mergedSHA = true, rec.MergedSHA
+	}
+}
+
+func (l *Ledger) wakeLocked() {
+	close(l.notify)
+	l.notify = make(chan struct{})
+}
+
+// changed returns a channel closed at the next applied record.
+func (l *Ledger) changed() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.notify
+}
+
+// Job returns a deep-enough snapshot of one job's state (shard slice
+// copied; raw payloads shared read-only).
+func (l *Ledger) Job(key string) (JobView, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.jobLocked(key)
+}
+
+func (l *Ledger) jobLocked(key string) (JobView, bool) {
+	j, ok := l.jobs[key]
+	if !ok {
+		return JobView{}, false
+	}
+	v := JobView{
+		Key:        j.key,
+		Request:    j.request,
+		Shards:     append([]ShardState(nil), j.shards...),
+		Decided:    j.decided,
+		MergedSHA:  j.mergedSHA,
+		DoneShards: j.done,
+	}
+	return v, true
+}
+
+// Jobs returns snapshots of every job, in submission order.
+func (l *Ledger) Jobs() []JobView {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	views := make([]JobView, 0, len(l.order))
+	for _, key := range l.order {
+		v, _ := l.jobLocked(key)
+		views = append(views, v)
+	}
+	return views
+}
+
+// WaitApplied blocks until the ledger has applied the log entry at
+// index. Commit and apply are asynchronous: a proposer that saw its
+// record commit must wait for the local apply before reading the
+// ledger's view of it.
+func (l *Ledger) WaitApplied(done <-chan struct{}, index uint64) error {
+	for {
+		l.mu.Lock()
+		ok := l.applied >= index
+		ch := l.notify
+		l.mu.Unlock()
+		if ok {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-done:
+			return fmt.Errorf("cluster: wait for apply %d cancelled", index)
+		}
+	}
+}
+
+// WaitDecided blocks until key's job has an applied decision.
+func (l *Ledger) WaitDecided(done <-chan struct{}, key string) (JobView, error) {
+	for {
+		l.mu.Lock()
+		v, ok := l.jobLocked(key)
+		ch := l.notify
+		l.mu.Unlock()
+		if ok && v.Decided {
+			return v, nil
+		}
+		select {
+		case <-ch:
+		case <-done:
+			return JobView{}, fmt.Errorf("cluster: wait for decision on %s cancelled", key)
+		}
+	}
+}
+
+// Requeues returns the applied requeue count.
+func (l *Ledger) Requeues() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.requeues
+}
+
+// WaitAllDone blocks until every shard of key is done (returning the
+// job view) or ctx-style cancellation via done.
+func (l *Ledger) WaitAllDone(done <-chan struct{}, key string) (JobView, error) {
+	for {
+		l.mu.Lock()
+		j, ok := l.jobs[key]
+		var v JobView
+		complete := false
+		if ok && j.done == len(j.shards) && len(j.shards) > 0 {
+			v, _ = l.jobLocked(key)
+			complete = true
+		}
+		ch := l.notify
+		l.mu.Unlock()
+		if complete {
+			return v, nil
+		}
+		select {
+		case <-ch:
+		case <-done:
+			return JobView{}, fmt.Errorf("cluster: wait for job %s cancelled", key)
+		}
+	}
+}
+
+// PlanShards splits trials into at most parts index-contiguous ranges
+// of near-equal size (the first trials%parts ranges get one extra).
+// The plan is recorded in the submit entry, so every replica sees the
+// same tiling whatever the fleet looked like to other coordinators.
+func PlanShards(trials, parts int) []ShardRange {
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > trials {
+		parts = trials
+	}
+	base, extra := trials/parts, trials%parts
+	var out []ShardRange
+	lo := 0
+	for i := 0; i < parts; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		out = append(out, ShardRange{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	return out
+}

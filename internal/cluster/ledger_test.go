@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestLedgerLifecycle walks one job through submit → lease → done →
+// decide and checks each guarded transition.
+func TestLedgerLifecycle(t *testing.T) {
+	l := NewLedger()
+	shards := []ShardRange{{Lo: 0, Hi: 5}, {Lo: 5, Hi: 10}}
+	l.Apply(1, LedgerRecord{Op: OpSubmit, Key: "k", Request: json.RawMessage(`{}`), Shards: shards})
+
+	// Duplicate submit is the cluster-wide dedup no-op.
+	l.Apply(2, LedgerRecord{Op: OpSubmit, Key: "k", Shards: []ShardRange{{Lo: 0, Hi: 10}}})
+	jv, ok := l.Job("k")
+	if !ok || len(jv.Shards) != 2 {
+		t.Fatalf("after duplicate submit: shards = %+v, want the first plan", jv.Shards)
+	}
+
+	l.Apply(3, LedgerRecord{Op: OpLease, Key: "k", Shard: 0, Worker: "w1"})
+	jv, _ = l.Job("k")
+	if jv.Shards[0].Status != ShardLeased || jv.Shards[0].Worker != "w1" || jv.Shards[0].LeaseIndex != 3 {
+		t.Fatalf("lease not applied: %+v", jv.Shards[0])
+	}
+	// Leasing a leased shard is a no-op.
+	l.Apply(4, LedgerRecord{Op: OpLease, Key: "k", Shard: 0, Worker: "w2"})
+	jv, _ = l.Job("k")
+	if jv.Shards[0].Worker != "w1" {
+		t.Fatalf("second lease overwrote the first: %+v", jv.Shards[0])
+	}
+
+	// Requeue returns the shard to pending and counts.
+	l.Apply(5, LedgerRecord{Op: OpRequeue, Key: "k", Shard: 0, Reason: "lost"})
+	jv, _ = l.Job("k")
+	if jv.Shards[0].Status != ShardPending || l.Requeues() != 1 {
+		t.Fatalf("requeue not applied: %+v requeues=%d", jv.Shards[0], l.Requeues())
+	}
+	// Requeueing a pending shard is a no-op.
+	l.Apply(6, LedgerRecord{Op: OpRequeue, Key: "k", Shard: 0})
+	if l.Requeues() != 1 {
+		t.Fatalf("stale requeue counted: %d", l.Requeues())
+	}
+
+	// First completion wins; a raced duplicate is a no-op.
+	l.Apply(7, LedgerRecord{Op: OpShardDone, Key: "k", Shard: 0, Worker: "w2", Result: json.RawMessage(`"r1"`)})
+	l.Apply(8, LedgerRecord{Op: OpShardDone, Key: "k", Shard: 0, Worker: "w3", Result: json.RawMessage(`"r2"`)})
+	jv, _ = l.Job("k")
+	if string(jv.Shards[0].Result) != `"r1"` || jv.DoneShards != 1 {
+		t.Fatalf("first-wins violated: %+v done=%d", jv.Shards[0], jv.DoneShards)
+	}
+	// A requeue against a done shard is a no-op.
+	l.Apply(9, LedgerRecord{Op: OpRequeue, Key: "k", Shard: 0})
+	jv, _ = l.Job("k")
+	if jv.Shards[0].Status != ShardDone {
+		t.Fatalf("requeue clobbered a done shard: %+v", jv.Shards[0])
+	}
+
+	l.Apply(10, LedgerRecord{Op: OpShardDone, Key: "k", Shard: 1, Worker: "w1", Result: json.RawMessage(`"r3"`)})
+
+	// Exactly one decide per key.
+	l.Apply(11, LedgerRecord{Op: OpDecide, Key: "k", MergedSHA: "aaa"})
+	l.Apply(12, LedgerRecord{Op: OpDecide, Key: "k", MergedSHA: "bbb"})
+	jv, _ = l.Job("k")
+	if !jv.Decided || jv.MergedSHA != "aaa" {
+		t.Fatalf("decide not first-wins: %+v", jv)
+	}
+
+	// Unknown ops and unknown keys must be harmless no-ops.
+	l.Apply(13, LedgerRecord{Op: "noop"})
+	l.Apply(14, LedgerRecord{Op: OpLease, Key: "missing", Shard: 0})
+	l.Apply(15, LedgerRecord{Op: OpLease, Key: "k", Shard: 99})
+}
+
+// TestLedgerDeterminism applies the same record sequence to two
+// ledgers and expects identical snapshots — the property that keeps
+// replicas converged.
+func TestLedgerDeterminism(t *testing.T) {
+	seq := []LedgerRecord{
+		{Op: OpSubmit, Key: "a", Shards: []ShardRange{{0, 3}, {3, 6}}},
+		{Op: OpSubmit, Key: "b", Shards: []ShardRange{{0, 10}}},
+		{Op: OpLease, Key: "a", Shard: 0, Worker: "w1"},
+		{Op: OpLease, Key: "a", Shard: 1, Worker: "w2"},
+		{Op: OpRequeue, Key: "a", Shard: 0},
+		{Op: OpLease, Key: "a", Shard: 0, Worker: "w2"},
+		{Op: OpShardDone, Key: "a", Shard: 0, Worker: "w2", Result: json.RawMessage(`1`)},
+		{Op: OpShardDone, Key: "a", Shard: 1, Worker: "w2", Result: json.RawMessage(`2`)},
+		{Op: OpDecide, Key: "a", MergedSHA: "s"},
+	}
+	l1, l2 := NewLedger(), NewLedger()
+	for i, rec := range seq {
+		l1.Apply(uint64(i+1), rec)
+		l2.Apply(uint64(i+1), rec)
+	}
+	j1, _ := json.Marshal(l1.Jobs())
+	j2, _ := json.Marshal(l2.Jobs())
+	if string(j1) != string(j2) {
+		t.Fatalf("replicas diverged:\n%s\n%s", j1, j2)
+	}
+	if l1.Requeues() != l2.Requeues() {
+		t.Fatalf("requeue counters diverged: %d vs %d", l1.Requeues(), l2.Requeues())
+	}
+}
+
+// TestPlanShards checks the plan tiles [0, trials) contiguously with
+// near-equal sizes for assorted shapes.
+func TestPlanShards(t *testing.T) {
+	for _, tc := range []struct{ trials, parts, want int }{
+		{10, 3, 3}, {10, 1, 1}, {3, 5, 3}, {1, 1, 1}, {100, 7, 7}, {5, 0, 1},
+	} {
+		plan := PlanShards(tc.trials, tc.parts)
+		if len(plan) != tc.want {
+			t.Errorf("PlanShards(%d, %d) = %d shards, want %d", tc.trials, tc.parts, len(plan), tc.want)
+			continue
+		}
+		lo := 0
+		minSz, maxSz := tc.trials, 0
+		for _, s := range plan {
+			if s.Lo != lo {
+				t.Fatalf("PlanShards(%d, %d): gap/overlap at %d (plan %v)", tc.trials, tc.parts, lo, plan)
+			}
+			if sz := s.Hi - s.Lo; sz > 0 {
+				if sz < minSz {
+					minSz = sz
+				}
+				if sz > maxSz {
+					maxSz = sz
+				}
+			} else {
+				t.Fatalf("PlanShards(%d, %d): empty shard %v", tc.trials, tc.parts, s)
+			}
+			lo = s.Hi
+		}
+		if lo != tc.trials {
+			t.Fatalf("PlanShards(%d, %d) tiles to %d, want %d", tc.trials, tc.parts, lo, tc.trials)
+		}
+		if maxSz-minSz > 1 {
+			t.Errorf("PlanShards(%d, %d) sizes range [%d, %d], want near-equal", tc.trials, tc.parts, minSz, maxSz)
+		}
+	}
+}

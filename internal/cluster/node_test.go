@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"plurality/internal/service"
+)
+
+// lateHandler lets the httptest server exist before the node whose
+// Handler it serves (the node needs every peer URL at construction).
+type lateHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (l *lateHandler) set(h http.Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.h = h
+}
+
+func (l *lateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	l.mu.Lock()
+	h := l.h
+	l.mu.Unlock()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+type testCluster struct {
+	nodes    map[string]*Node
+	servers  map[string]*httptest.Server
+	handlers map[string]*lateHandler
+}
+
+// newTestCluster stands up an in-process fleet over loopback HTTP:
+// 2 coordinators (c1, c2) + 3 workers (w1..w3), no journals.
+func newTestCluster(t *testing.T) *testCluster {
+	t.Helper()
+	ids := []string{"c1", "c2", "w1", "w2", "w3"}
+	tc := &testCluster{
+		nodes:    make(map[string]*Node),
+		servers:  make(map[string]*httptest.Server),
+		handlers: make(map[string]*lateHandler),
+	}
+	peers := make(map[string]string)
+	for _, id := range ids {
+		lh := &lateHandler{}
+		srv := httptest.NewServer(lh)
+		tc.handlers[id] = lh
+		tc.servers[id] = srv
+		peers[id] = srv.URL
+	}
+	for _, id := range ids {
+		role := RoleWorker
+		if id[0] == 'c' {
+			role = RoleCoordinator
+		}
+		n, err := NewNode(NodeConfig{
+			ID:            id,
+			Role:          role,
+			Peers:         peers,
+			Coordinators:  []string{"c1", "c2"},
+			Parallelism:   2,
+			Heartbeat:     10 * time.Millisecond,
+			ElectionTicks: 4,
+			LeaseTimeout:  30 * time.Second,
+			Logf:          t.Logf,
+		})
+		if err != nil {
+			t.Fatalf("node %s: %v", id, err)
+		}
+		tc.nodes[id] = n
+		tc.handlers[id].set(n.Handler())
+	}
+	t.Cleanup(tc.close)
+	if _, ok := tc.nodes["c1"].WaitLeader(10 * time.Second); !ok {
+		t.Fatal("no leader elected")
+	}
+	return tc
+}
+
+func (tc *testCluster) close() {
+	for _, n := range tc.nodes {
+		n.Close()
+	}
+	for _, s := range tc.servers {
+		s.Close()
+	}
+}
+
+// follower returns a coordinator that does not currently lead —
+// exercising the submit-forwarding path.
+func (tc *testCluster) follower() *Node {
+	if tc.nodes["c1"].Replica().IsLeader() {
+		return tc.nodes["c2"]
+	}
+	return tc.nodes["c1"]
+}
+
+// TestNodeClusterByteIdentity runs a request through the cluster from
+// a follower coordinator and expects the exact bytes of a
+// single-process run, a sharded ledger, exactly one decision, and a
+// peer-cache hit afterwards.
+func TestNodeClusterByteIdentity(t *testing.T) {
+	tc := newTestCluster(t)
+	req := service.Request{Protocol: "3-majority", N: 600, K: 5, Seed: 42, Trials: 7}
+
+	want, err := service.ExecuteParallel(req, 4)
+	if err != nil {
+		t.Fatalf("local ground truth: %v", err)
+	}
+	wantJSON, _ := json.Marshal(want)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	co := tc.follower()
+	got, err := co.Run(ctx, req)
+	if err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+	gotJSON, _ := json.Marshal(got)
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("cluster response differs from single-process run:\n%s\n%s", gotJSON, wantJSON)
+	}
+
+	key := req.Normalize().Key()
+	jv, ok := co.Ledger().Job(key)
+	if !ok {
+		t.Fatal("job missing from ledger")
+	}
+	if len(jv.Shards) != 3 {
+		t.Fatalf("plan has %d shards, want one per worker (3)", len(jv.Shards))
+	}
+	if !jv.Decided {
+		t.Fatal("job not decided")
+	}
+	for i, s := range jv.Shards {
+		if s.Status != ShardDone {
+			t.Fatalf("shard %d not done: %+v", i, s)
+		}
+	}
+
+	// Read-through: any coordinator finds the cached canonical bytes.
+	for _, id := range []string{"c1", "c2"} {
+		cached, ok := tc.nodes[id].Lookup(ctx, key)
+		if !ok {
+			t.Fatalf("%s: peer-cache lookup missed after completion", id)
+		}
+		cachedJSON, _ := json.Marshal(cached)
+		if string(cachedJSON) != string(wantJSON) {
+			t.Fatalf("%s: cached bytes differ from ground truth", id)
+		}
+	}
+	if tc.nodes["c1"].Metrics().PeerCacheHits+tc.nodes["c2"].Metrics().PeerCacheHits == 0 {
+		t.Fatal("peer cache hits not counted")
+	}
+}
+
+// TestNodeClusterDedup submits the same request from both coordinators
+// concurrently: the ledger admits one job, both callers get identical
+// bytes.
+func TestNodeClusterDedup(t *testing.T) {
+	tc := newTestCluster(t)
+	req := service.Request{Protocol: "2-choices", N: 400, K: 4, Seed: 7, Trials: 6}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	results := make([]*service.Response, 2)
+	errs := make([]error, 2)
+	for i, id := range []string{"c1", "c2"} {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			results[i], errs[i] = n.Run(ctx, req)
+		}(i, tc.nodes[id])
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	a, _ := json.Marshal(results[0])
+	b, _ := json.Marshal(results[1])
+	if string(a) != string(b) {
+		t.Fatalf("concurrent submitters saw different bytes:\n%s\n%s", a, b)
+	}
+	if jobs := tc.nodes["c1"].Ledger().Jobs(); len(jobs) != 1 {
+		t.Fatalf("ledger admitted %d jobs, want 1 (cluster-wide dedup)", len(jobs))
+	}
+}
+
+// TestNodeWorkerFailureRequeues kills one worker's HTTP surface before
+// the run: its shard leases fail, requeue, and rotate to live workers;
+// the run still completes with the single-process bytes.
+func TestNodeWorkerFailureRequeues(t *testing.T) {
+	tc := newTestCluster(t)
+	// Dead worker: still a registered peer (quorum math unchanged at
+	// 4/5 live) but refuses every request.
+	tc.handlers["w2"].set(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "killed", http.StatusBadGateway)
+	}))
+	tc.nodes["w2"].Close()
+
+	// Pick a seed whose first-attempt shard placement hits the dead
+	// worker (placement is a pure function of key and worker set).
+	ring := NewRing([]string{"w1", "w2", "w3"})
+	var req service.Request
+	for seed := uint64(1); ; seed++ {
+		req = service.Request{Protocol: "3-majority", N: 500, K: 4, Seed: seed, Trials: 6}
+		key := req.Normalize().Key()
+		hit := false
+		for i := 0; i < 3; i++ {
+			if ring.Owner(shardID(key, i)) == "w2" {
+				hit = true
+			}
+		}
+		if hit {
+			break
+		}
+	}
+	want, err := service.ExecuteParallel(req, 4)
+	if err != nil {
+		t.Fatalf("local ground truth: %v", err)
+	}
+	wantJSON, _ := json.Marshal(want)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	got, err := tc.follower().Run(ctx, req)
+	if err != nil {
+		t.Fatalf("cluster run with dead worker: %v", err)
+	}
+	gotJSON, _ := json.Marshal(got)
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatal("bytes diverged after worker failure")
+	}
+	if tc.follower().Ledger().Requeues() == 0 {
+		t.Fatal("dead worker's shard was never requeued")
+	}
+}

@@ -1,0 +1,728 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"plurality/internal/durable"
+)
+
+// Replica roles. Coordinators are the preferred candidates; other
+// replicas campaign only after a long fallback silence (see
+// fallbackCandidateSlack).
+const (
+	roleFollower = iota
+	roleCandidate
+	roleLeader
+)
+
+// Entry is one slot of the replicated log: a ledger record stamped
+// with its index and the term of the leader that proposed it.
+type Entry struct {
+	Index uint64       `json:"index"`
+	Term  uint64       `json:"term"`
+	Rec   LedgerRecord `json:"rec"`
+}
+
+// VoteRequest asks a peer for its vote in an election.
+type VoteRequest struct {
+	Term      uint64 `json:"term"`
+	Candidate string `json:"candidate"`
+	LastIndex uint64 `json:"last_index"`
+	LastTerm  uint64 `json:"last_term"`
+}
+
+// VoteResponse is a peer's answer.
+type VoteResponse struct {
+	Term    uint64 `json:"term"`
+	Granted bool   `json:"granted"`
+}
+
+// AppendRequest replicates log entries (empty Entries = heartbeat).
+type AppendRequest struct {
+	Term      uint64  `json:"term"`
+	Leader    string  `json:"leader"`
+	PrevIndex uint64  `json:"prev_index"`
+	PrevTerm  uint64  `json:"prev_term"`
+	Entries   []Entry `json:"entries,omitempty"`
+	Commit    uint64  `json:"commit"`
+}
+
+// AppendResponse acknowledges replication up to MatchIndex.
+type AppendResponse struct {
+	Term       uint64 `json:"term"`
+	Success    bool   `json:"success"`
+	MatchIndex uint64 `json:"match_index"`
+}
+
+// Transport carries replica RPCs to a peer by ID. Implementations must
+// bound each call (the HTTP transport uses a per-RPC timeout); an
+// unreachable peer returns an error, never blocks forever.
+type Transport interface {
+	Vote(ctx context.Context, peer string, req VoteRequest) (VoteResponse, error)
+	Append(ctx context.Context, peer string, req AppendRequest) (AppendResponse, error)
+}
+
+// Journal record ops for replica persistence, layered on the
+// internal/durable journal (CRC-framed, fsync'd appends, valid-prefix
+// replay). The ledger needs no snapshotting at this scale: restart
+// replays the log and refolds the state machine.
+const (
+	// opClusterTerm persists a term/vote change — the double-vote
+	// guard must survive a crash.
+	opClusterTerm = "cluster-term"
+	// opClusterEntry persists one appended log entry.
+	opClusterEntry = "cluster-entry"
+	// opClusterTruncate persists a conflict truncation: every entry
+	// with Index >= the payload index is discarded.
+	opClusterTruncate = "cluster-truncate"
+)
+
+type termRecord struct {
+	Term     uint64 `json:"term"`
+	VotedFor string `json:"voted_for"`
+}
+
+type truncateRecord struct {
+	Index uint64 `json:"index"`
+}
+
+// ReplicaConfig configures one ledger replica.
+type ReplicaConfig struct {
+	// ID is this node's cluster ID.
+	ID string
+	// Peers lists every replica ID, self included.
+	Peers []string
+	// Candidates lists the IDs allowed to campaign (the coordinators).
+	Candidates []string
+	// Transport reaches the other replicas.
+	Transport Transport
+	// Journal, when non-nil, persists terms, votes and entries; pass
+	// the records OpenJournal replayed in Records to recover state.
+	Journal *durable.Journal
+	// Records are the replayed journal records (nil on first boot).
+	Records []durable.Record
+	// Heartbeat is the tick interval: leaders broadcast every tick,
+	// non-leaders count ticks toward an election (default 150ms).
+	Heartbeat time.Duration
+	// ElectionTicks is the base number of silent ticks before a
+	// candidate campaigns (default 10). The effective timeout adds a
+	// deterministic per-(node, term) jitter in [0, ElectionTicks) so
+	// candidates decorrelate without consuming entropy.
+	ElectionTicks int
+	// Apply consumes committed entries, in index order, exactly once
+	// per index per process.
+	Apply func(index uint64, rec LedgerRecord)
+	// OnLeader, when non-nil, runs on its own goroutine each time
+	// this replica wins an election. barrier is the index of the
+	// no-op entry the new leader proposed: once it is applied, every
+	// entry inherited from earlier terms is too. The node uses it to
+	// requeue leases granted by deposed leaders.
+	OnLeader func(term, barrier uint64)
+	// Logf, when non-nil, receives replica lifecycle logs.
+	Logf func(format string, args ...any)
+}
+
+// Replica is one node's view of the replicated ledger log: an
+// election-capable (for coordinators) quorum-replicated log in the
+// Raft mold, with tick-driven timeouts — no wall-clock reads — and
+// persistence through the durable journal. Committed entries flow to
+// cfg.Apply in index order on every replica, which is what makes the
+// ledger state machine identical fleet-wide.
+type Replica struct {
+	cfg      ReplicaConfig
+	majority int
+
+	mu       sync.Mutex
+	term     uint64
+	votedFor string
+	log      []Entry // log[i] has Index i+1
+	commit   uint64
+	applied  uint64
+	role     int
+	leader   string // leader known for the current term ("" if none)
+
+	// Leader bookkeeping, rebuilt on each election win.
+	nextIndex  map[string]uint64
+	matchIndex map[string]uint64
+
+	electionElapsed int
+	notify          chan struct{} // closed+replaced on commit/role change
+
+	applyCh   chan struct{}
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewReplica builds the replica, recovers persisted state from
+// cfg.Records, and starts its ticker and apply loops.
+func NewReplica(cfg ReplicaConfig) *Replica {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 150 * time.Millisecond
+	}
+	if cfg.ElectionTicks <= 0 {
+		cfg.ElectionTicks = 10
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	r := &Replica{
+		cfg:      cfg,
+		majority: len(cfg.Peers)/2 + 1,
+		notify:   make(chan struct{}),
+		applyCh:  make(chan struct{}, 1),
+		closed:   make(chan struct{}),
+	}
+	r.recover(cfg.Records)
+	r.wg.Add(2)
+	go r.tickLoop()
+	go r.applyLoop()
+	return r
+}
+
+// recover folds replayed journal records back into term/vote/log.
+func (r *Replica) recover(records []durable.Record) {
+	for _, rec := range records {
+		switch rec.Op {
+		case opClusterTerm:
+			var tr termRecord
+			if json.Unmarshal(rec.State, &tr) == nil {
+				r.term, r.votedFor = tr.Term, tr.VotedFor
+			}
+		case opClusterEntry:
+			var e Entry
+			if json.Unmarshal(rec.State, &e) == nil && e.Index == uint64(len(r.log))+1 {
+				r.log = append(r.log, e)
+			}
+		case opClusterTruncate:
+			var tr truncateRecord
+			if json.Unmarshal(rec.State, &tr) == nil && tr.Index >= 1 && tr.Index <= uint64(len(r.log)) {
+				r.log = r.log[:tr.Index-1]
+			}
+		}
+	}
+	if len(r.log) > 0 {
+		r.cfg.Logf("cluster: replica %s recovered term=%d log=%d entries", r.cfg.ID, r.term, len(r.log))
+	}
+}
+
+// Close stops the replica's loops. In-flight RPC handlers finish.
+func (r *Replica) Close() {
+	r.closeOnce.Do(func() {
+		close(r.closed)
+		r.wg.Wait()
+	})
+}
+
+// persistTerm journals a term/vote change (caller holds mu). A failed
+// append degrades durability, not availability: the in-memory protocol
+// stays correct for this process's lifetime.
+func (r *Replica) persistTerm() {
+	if r.cfg.Journal == nil {
+		return
+	}
+	data, _ := json.Marshal(termRecord{Term: r.term, VotedFor: r.votedFor})
+	_ = r.cfg.Journal.Append(durable.Record{Op: opClusterTerm, State: data})
+}
+
+func (r *Replica) persistEntry(e Entry) {
+	if r.cfg.Journal == nil {
+		return
+	}
+	data, _ := json.Marshal(e)
+	_ = r.cfg.Journal.Append(durable.Record{Op: opClusterEntry, Key: e.Rec.Key, State: data})
+}
+
+func (r *Replica) persistTruncate(index uint64) {
+	if r.cfg.Journal == nil {
+		return
+	}
+	data, _ := json.Marshal(truncateRecord{Index: index})
+	_ = r.cfg.Journal.Append(durable.Record{Op: opClusterTruncate, State: data})
+}
+
+func (r *Replica) lastIndexLocked() uint64 { return uint64(len(r.log)) }
+
+func (r *Replica) termAtLocked(index uint64) uint64 {
+	if index == 0 || index > uint64(len(r.log)) {
+		return 0
+	}
+	return r.log[index-1].Term
+}
+
+func (r *Replica) wakeLocked() {
+	close(r.notify)
+	r.notify = make(chan struct{})
+}
+
+// isCandidate reports whether id is a preferred candidate (a
+// coordinator).
+func (r *Replica) isCandidate(id string) bool {
+	for _, c := range r.cfg.Candidates {
+		if c == id {
+			return true
+		}
+	}
+	return false
+}
+
+// fallbackCandidateSlack stretches a non-coordinator's election
+// timeout. Coordinators are the preferred leaders, but restricting
+// candidacy to them outright opens a liveness hole: an entry can
+// commit on a quorum that contains the leader and only workers, and if
+// that leader then dies the surviving coordinator — missing the
+// committed entry — is rightly refused every vote, forever. Any
+// replica may therefore stand, but workers wait ~8 election timeouts
+// of silence first, so they only ever lead when no coordinator can.
+const fallbackCandidateSlack = 8
+
+// electionTimeoutTicks derives this node's effective timeout for the
+// current term: base + hash(id, term) % base, with base stretched by
+// fallbackCandidateSlack for non-coordinators. Deterministic — no
+// entropy — yet different per node and per term, which is all the
+// decorrelation leader election needs.
+func (r *Replica) electionTimeoutTicks() int {
+	base := r.cfg.ElectionTicks
+	if !r.isCandidate(r.cfg.ID) {
+		base *= fallbackCandidateSlack
+	}
+	return base + int(ringHash(fmt.Sprintf("%s/election/%d", r.cfg.ID, r.term))%uint64(base))
+}
+
+// tickLoop drives time-dependent behavior off one ticker: leaders
+// broadcast, would-be candidates count silence toward an election.
+func (r *Replica) tickLoop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.cfg.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.closed:
+			return
+		case <-ticker.C:
+		}
+		r.mu.Lock()
+		role := r.role
+		var campaign bool
+		if role != roleLeader {
+			r.electionElapsed++
+			if r.electionElapsed >= r.electionTimeoutTicks() {
+				r.electionElapsed = 0
+				campaign = true
+			}
+		}
+		r.mu.Unlock()
+		switch {
+		case campaign:
+			r.campaign()
+		case role == roleLeader:
+			r.broadcast()
+		}
+	}
+}
+
+// campaign runs one election round: bump term, vote self, solicit the
+// fleet, and take leadership on a majority.
+func (r *Replica) campaign() {
+	r.mu.Lock()
+	r.term++
+	r.role = roleCandidate
+	r.votedFor = r.cfg.ID
+	r.leader = ""
+	term := r.term
+	req := VoteRequest{
+		Term:      term,
+		Candidate: r.cfg.ID,
+		LastIndex: r.lastIndexLocked(),
+		LastTerm:  r.termAtLocked(r.lastIndexLocked()),
+	}
+	r.persistTerm()
+	r.wakeLocked()
+	r.mu.Unlock()
+	r.cfg.Logf("cluster: %s campaigning in term %d", r.cfg.ID, term)
+
+	votes := make(chan bool, len(r.cfg.Peers))
+	votes <- true // self
+	for _, p := range r.cfg.Peers {
+		if p == r.cfg.ID {
+			continue
+		}
+		go func(peer string) {
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Heartbeat*time.Duration(r.cfg.ElectionTicks))
+			defer cancel()
+			resp, err := r.cfg.Transport.Vote(ctx, peer, req)
+			if err != nil {
+				votes <- false
+				return
+			}
+			if resp.Term > term {
+				r.stepDown(resp.Term)
+			}
+			votes <- resp.Granted
+		}(p)
+	}
+	granted := 0
+	for i := 0; i < len(r.cfg.Peers); i++ {
+		var ok bool
+		select {
+		case ok = <-votes:
+		case <-r.closed:
+			return
+		}
+		if !ok {
+			continue
+		}
+		granted++
+		if granted < r.majority {
+			continue
+		}
+		// Majority: take leadership if the term still stands.
+		r.mu.Lock()
+		if r.term != term || r.role != roleCandidate {
+			r.mu.Unlock()
+			return
+		}
+		r.role = roleLeader
+		r.leader = r.cfg.ID
+		r.nextIndex = make(map[string]uint64, len(r.cfg.Peers))
+		r.matchIndex = make(map[string]uint64, len(r.cfg.Peers))
+		for _, p := range r.cfg.Peers {
+			r.nextIndex[p] = r.lastIndexLocked() + 1
+			r.matchIndex[p] = 0
+		}
+		// Barrier entry: the commit rule only commits entries of the
+		// current term, so a fresh leader proposes a no-op to unlock
+		// commitment of any older-term tail it inherited.
+		e := Entry{Index: r.lastIndexLocked() + 1, Term: term, Rec: LedgerRecord{Op: "noop"}}
+		r.log = append(r.log, e)
+		r.persistEntry(e)
+		r.wakeLocked()
+		r.mu.Unlock()
+		r.cfg.Logf("cluster: %s leads term %d", r.cfg.ID, term)
+		r.broadcast()
+		if r.cfg.OnLeader != nil {
+			// Own goroutine: OnLeader may block on commit/apply, and
+			// this goroutine must return to the tick loop to drive the
+			// heartbeats that make commits happen.
+			go r.cfg.OnLeader(term, e.Index)
+		}
+		return
+	}
+}
+
+// stepDown adopts a higher term observed in any RPC.
+func (r *Replica) stepDown(term uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if term <= r.term {
+		return
+	}
+	r.term = term
+	r.votedFor = ""
+	r.role = roleFollower
+	r.leader = ""
+	r.persistTerm()
+	r.wakeLocked()
+}
+
+// broadcast pushes log state to every peer: entries from nextIndex for
+// the laggards, a bare heartbeat for the caught-up. Runs on the ticker
+// goroutine and after Propose.
+func (r *Replica) broadcast() {
+	r.mu.Lock()
+	if r.role != roleLeader {
+		r.mu.Unlock()
+		return
+	}
+	term := r.term
+	type out struct {
+		peer string
+		req  AppendRequest
+	}
+	var outs []out
+	for _, p := range r.cfg.Peers {
+		if p == r.cfg.ID {
+			continue
+		}
+		next := r.nextIndex[p]
+		if next < 1 {
+			next = 1
+		}
+		req := AppendRequest{
+			Term:      term,
+			Leader:    r.cfg.ID,
+			PrevIndex: next - 1,
+			PrevTerm:  r.termAtLocked(next - 1),
+			Commit:    r.commit,
+		}
+		if last := r.lastIndexLocked(); next <= last {
+			req.Entries = append([]Entry(nil), r.log[next-1:last]...)
+		}
+		outs = append(outs, out{peer: p, req: req})
+	}
+	r.mu.Unlock()
+
+	for _, o := range outs {
+		go func(peer string, req AppendRequest) {
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Heartbeat*time.Duration(r.cfg.ElectionTicks))
+			defer cancel()
+			resp, err := r.cfg.Transport.Append(ctx, peer, req)
+			if err != nil {
+				return
+			}
+			if resp.Term > req.Term {
+				r.stepDown(resp.Term)
+				return
+			}
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if r.role != roleLeader || r.term != req.Term {
+				return
+			}
+			if resp.Success {
+				if resp.MatchIndex > r.matchIndex[peer] {
+					r.matchIndex[peer] = resp.MatchIndex
+					r.nextIndex[peer] = resp.MatchIndex + 1
+					r.advanceCommitLocked()
+				}
+			} else if r.nextIndex[peer] > 1 {
+				r.nextIndex[peer]--
+			}
+		}(o.peer, o.req)
+	}
+}
+
+// advanceCommitLocked commits the largest current-term index a
+// majority has replicated (caller holds mu).
+func (r *Replica) advanceCommitLocked() {
+	for n := r.lastIndexLocked(); n > r.commit; n-- {
+		if r.termAtLocked(n) != r.term {
+			// The commit rule: only entries of the leader's own term
+			// commit by counting — older entries commit transitively.
+			break
+		}
+		count := 1 // self
+		for _, p := range r.cfg.Peers {
+			if p != r.cfg.ID && r.matchIndex[p] >= n {
+				count++
+			}
+		}
+		if count >= r.majority {
+			r.commit = n
+			r.wakeLocked()
+			select {
+			case r.applyCh <- struct{}{}:
+			default:
+			}
+			break
+		}
+	}
+}
+
+// applyLoop feeds committed entries to cfg.Apply in index order.
+func (r *Replica) applyLoop() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.closed:
+			return
+		case <-r.applyCh:
+		}
+		for {
+			r.mu.Lock()
+			if r.applied >= r.commit {
+				r.mu.Unlock()
+				break
+			}
+			r.applied++
+			e := r.log[r.applied-1]
+			r.mu.Unlock()
+			if r.cfg.Apply != nil {
+				r.cfg.Apply(e.Index, e.Rec)
+			}
+		}
+	}
+}
+
+// HandleVote answers a peer's vote solicitation.
+func (r *Replica) HandleVote(req VoteRequest) VoteResponse {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if req.Term < r.term {
+		return VoteResponse{Term: r.term, Granted: false}
+	}
+	if req.Term > r.term {
+		r.term = req.Term
+		r.votedFor = ""
+		r.role = roleFollower
+		r.leader = ""
+		r.persistTerm()
+		r.wakeLocked()
+	}
+	upToDate := req.LastTerm > r.termAtLocked(r.lastIndexLocked()) ||
+		(req.LastTerm == r.termAtLocked(r.lastIndexLocked()) && req.LastIndex >= r.lastIndexLocked())
+	if (r.votedFor == "" || r.votedFor == req.Candidate) && upToDate {
+		r.votedFor = req.Candidate
+		r.electionElapsed = 0
+		r.persistTerm()
+		return VoteResponse{Term: r.term, Granted: true}
+	}
+	return VoteResponse{Term: r.term, Granted: false}
+}
+
+// HandleAppend answers a leader's replication push.
+func (r *Replica) HandleAppend(req AppendRequest) AppendResponse {
+	r.mu.Lock()
+	if req.Term < r.term {
+		defer r.mu.Unlock()
+		return AppendResponse{Term: r.term, Success: false}
+	}
+	if req.Term > r.term {
+		r.term = req.Term
+		r.votedFor = ""
+		r.persistTerm()
+	}
+	r.role = roleFollower
+	if r.leader != req.Leader {
+		r.leader = req.Leader
+		r.wakeLocked()
+	}
+	r.electionElapsed = 0
+
+	// Log-matching check.
+	if req.PrevIndex > r.lastIndexLocked() || r.termAtLocked(req.PrevIndex) != req.PrevTerm {
+		defer r.mu.Unlock()
+		return AppendResponse{Term: r.term, Success: false}
+	}
+	// Append, truncating a conflicting suffix exactly once.
+	for _, e := range req.Entries {
+		if e.Index <= r.lastIndexLocked() {
+			if r.termAtLocked(e.Index) == e.Term {
+				continue // already have it
+			}
+			r.log = r.log[:e.Index-1]
+			r.persistTruncate(e.Index)
+		}
+		r.log = append(r.log, e)
+		r.persistEntry(e)
+	}
+	match := req.PrevIndex + uint64(len(req.Entries))
+	if req.Commit > r.commit {
+		c := req.Commit
+		if last := r.lastIndexLocked(); c > last {
+			c = last
+		}
+		if c > r.commit {
+			r.commit = c
+			r.wakeLocked()
+			select {
+			case r.applyCh <- struct{}{}:
+			default:
+			}
+		}
+	}
+	term := r.term
+	r.mu.Unlock()
+	return AppendResponse{Term: term, Success: true, MatchIndex: match}
+}
+
+// Propose appends a record to the log if this replica currently leads.
+// It returns the entry's (index, term) for WaitCommitted; followers
+// get ErrNotLeader and should redirect to Leader().
+func (r *Replica) Propose(rec LedgerRecord) (uint64, uint64, error) {
+	r.mu.Lock()
+	if r.role != roleLeader {
+		r.mu.Unlock()
+		return 0, 0, ErrNotLeader
+	}
+	e := Entry{Index: r.lastIndexLocked() + 1, Term: r.term, Rec: rec}
+	r.log = append(r.log, e)
+	r.persistEntry(e)
+	r.mu.Unlock()
+	r.broadcast()
+	return e.Index, e.Term, nil
+}
+
+// ErrNotLeader rejects proposals on a non-leader replica.
+var ErrNotLeader = fmt.Errorf("cluster: not the leader")
+
+// WaitCommitted blocks until the entry at (index, term) commits, or
+// fails if the entry was overwritten by a different term (the proposal
+// was lost to a leader change) or done closes.
+func (r *Replica) WaitCommitted(done <-chan struct{}, index, term uint64) error {
+	for {
+		r.mu.Lock()
+		committed := r.commit >= index
+		entryTerm := r.termAtLocked(index)
+		// If the slot now holds a different term's entry, a competing
+		// leader overwrote the proposal; it will never commit as ours.
+		lost := r.lastIndexLocked() >= index && entryTerm != term
+		ch := r.notify
+		r.mu.Unlock()
+		if committed && entryTerm == term {
+			return nil
+		}
+		if lost {
+			return fmt.Errorf("cluster: proposal at index %d lost to term change", index)
+		}
+		select {
+		case <-ch:
+		case <-done:
+			return fmt.Errorf("cluster: wait for commit %d cancelled", index)
+		}
+	}
+}
+
+// Status is a point-in-time replica snapshot for /cluster/status and
+// the metrics lines.
+type Status struct {
+	ID        string `json:"id"`
+	Term      uint64 `json:"term"`
+	Leader    string `json:"leader"`
+	IsLeader  bool   `json:"is_leader"`
+	Commit    uint64 `json:"commit"`
+	Applied   uint64 `json:"applied"`
+	LastIndex uint64 `json:"last_index"`
+}
+
+// Status returns the replica's current view.
+func (r *Replica) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Status{
+		ID:        r.cfg.ID,
+		Term:      r.term,
+		Leader:    r.leader,
+		IsLeader:  r.role == roleLeader,
+		Commit:    r.commit,
+		Applied:   r.applied,
+		LastIndex: r.lastIndexLocked(),
+	}
+}
+
+// Leader returns the leader this replica currently believes in ("" if
+// none known).
+func (r *Replica) Leader() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leader
+}
+
+// IsLeader reports whether this replica currently leads.
+func (r *Replica) IsLeader() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.role == roleLeader
+}
+
+// LeaderChanged returns a channel closed at the next role/term/commit
+// transition — a cheap way for Run loops to re-check leadership.
+func (r *Replica) LeaderChanged() <-chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.notify
+}

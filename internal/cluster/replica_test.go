@@ -1,0 +1,337 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"plurality/internal/durable"
+)
+
+// memTransport wires replicas together in-process, with a down set to
+// simulate killed or partitioned nodes.
+type memTransport struct {
+	mu       sync.Mutex
+	replicas map[string]*Replica
+	down     map[string]bool
+}
+
+func newMemTransport() *memTransport {
+	return &memTransport{replicas: make(map[string]*Replica), down: make(map[string]bool)}
+}
+
+func (m *memTransport) register(id string, r *Replica) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.replicas[id] = r
+}
+
+func (m *memTransport) setDown(id string, down bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.down[id] = down
+}
+
+func (m *memTransport) get(from, to string) (*Replica, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down[from] || m.down[to] {
+		return nil, fmt.Errorf("memtransport: %s -> %s unreachable", from, to)
+	}
+	r, ok := m.replicas[to]
+	if !ok {
+		return nil, fmt.Errorf("memtransport: unknown peer %s", to)
+	}
+	return r, nil
+}
+
+// peerTransport is one node's view of the mesh (so the transport knows
+// who is calling and can cut a down node's outbound RPCs too).
+type peerTransport struct {
+	id string
+	m  *memTransport
+}
+
+func (p *peerTransport) Vote(ctx context.Context, peer string, req VoteRequest) (VoteResponse, error) {
+	r, err := p.m.get(p.id, peer)
+	if err != nil {
+		return VoteResponse{}, err
+	}
+	return r.HandleVote(req), nil
+}
+
+func (p *peerTransport) Append(ctx context.Context, peer string, req AppendRequest) (AppendResponse, error) {
+	r, err := p.m.get(p.id, peer)
+	if err != nil {
+		return AppendResponse{}, err
+	}
+	return r.HandleAppend(req), nil
+}
+
+// applyLog collects each replica's applied sequence for convergence
+// checks.
+type applyLog struct {
+	mu   sync.Mutex
+	recs []LedgerRecord
+}
+
+func (a *applyLog) apply(index uint64, rec LedgerRecord) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.recs = append(a.recs, rec)
+}
+
+func (a *applyLog) snapshot() []LedgerRecord {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]LedgerRecord(nil), a.recs...)
+}
+
+type testFleet struct {
+	ids        []string
+	candidates []string
+	transport  *memTransport
+	replicas   map[string]*Replica
+	applied    map[string]*applyLog
+}
+
+func newTestFleet(t *testing.T, journalDir string) *testFleet {
+	t.Helper()
+	f := &testFleet{
+		ids:        []string{"c1", "c2", "w1", "w2", "w3"},
+		candidates: []string{"c1", "c2"},
+		transport:  newMemTransport(),
+		replicas:   make(map[string]*Replica),
+		applied:    make(map[string]*applyLog),
+	}
+	for _, id := range f.ids {
+		f.start(t, id, journalDir)
+	}
+	return f
+}
+
+func (f *testFleet) start(t *testing.T, id, journalDir string) {
+	t.Helper()
+	var j *durable.Journal
+	var recs []durable.Record
+	if journalDir != "" {
+		var err error
+		j, recs, _, err = durable.OpenJournal(durable.OSFS{}, filepath.Join(journalDir, id+".journal"))
+		if err != nil {
+			t.Fatalf("open journal for %s: %v", id, err)
+		}
+	}
+	al := &applyLog{}
+	f.applied[id] = al
+	r := NewReplica(ReplicaConfig{
+		ID:            id,
+		Peers:         f.ids,
+		Candidates:    f.candidates,
+		Transport:     &peerTransport{id: id, m: f.transport},
+		Journal:       j,
+		Records:       recs,
+		Heartbeat:     5 * time.Millisecond,
+		ElectionTicks: 4,
+		Apply:         al.apply,
+	})
+	f.replicas[id] = r
+	f.transport.register(id, r)
+	f.transport.setDown(id, false)
+}
+
+func (f *testFleet) close() {
+	for _, r := range f.replicas {
+		if r != nil {
+			r.Close()
+		}
+	}
+}
+
+// leader returns the live replica that currently leads, if any (any
+// node may lead — workers are fallback candidates).
+func (f *testFleet) leader() *Replica {
+	for _, id := range f.ids {
+		r := f.replicas[id]
+		if r != nil && r.IsLeader() {
+			return r
+		}
+	}
+	return nil
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if cond() {
+			return
+		}
+		select {
+		case <-deadline.C:
+			t.Fatalf("timed out waiting for %s", what)
+		case <-tick.C:
+		}
+	}
+}
+
+func propose(t *testing.T, f *testFleet, rec LedgerRecord) {
+	t.Helper()
+	waitFor(t, 5*time.Second, "a leader", func() bool { return f.leader() != nil })
+	waitFor(t, 5*time.Second, "proposal to commit", func() bool {
+		l := f.leader()
+		if l == nil {
+			return false
+		}
+		idx, term, err := l.Propose(rec)
+		if err != nil {
+			return false
+		}
+		done := make(chan struct{})
+		time.AfterFunc(time.Second, func() { close(done) })
+		return l.WaitCommitted(done, idx, term) == nil
+	})
+}
+
+// nonNoop filters the barrier entries leaders insert on election.
+func nonNoop(recs []LedgerRecord) []LedgerRecord {
+	var out []LedgerRecord
+	for _, r := range recs {
+		if r.Op != "noop" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TestReplicaElectsAndReplicates: the fleet elects exactly one of the
+// candidates, and committed records reach every replica in order.
+func TestReplicaElectsAndReplicates(t *testing.T) {
+	f := newTestFleet(t, "")
+	defer f.close()
+
+	waitFor(t, 5*time.Second, "leader election", func() bool { return f.leader() != nil })
+	for _, id := range []string{"w1", "w2", "w3"} {
+		if f.replicas[id].IsLeader() {
+			t.Fatalf("worker %s became leader", id)
+		}
+	}
+
+	want := []LedgerRecord{
+		{Op: OpSubmit, Key: "j1", Shards: []ShardRange{{0, 4}, {4, 8}}},
+		{Op: OpLease, Key: "j1", Shard: 0, Worker: "w1"},
+		{Op: OpShardDone, Key: "j1", Shard: 0, Worker: "w1", Result: json.RawMessage(`7`)},
+	}
+	for _, rec := range want {
+		propose(t, f, rec)
+	}
+	for _, id := range f.ids {
+		id := id
+		waitFor(t, 5*time.Second, "replica "+id+" to apply all records", func() bool {
+			return len(nonNoop(f.applied[id].snapshot())) >= len(want)
+		})
+		got, _ := json.Marshal(nonNoop(f.applied[id].snapshot())[:len(want)])
+		exp, _ := json.Marshal(want)
+		if string(got) != string(exp) {
+			t.Fatalf("replica %s applied %s, want %s", id, got, exp)
+		}
+	}
+}
+
+// TestReplicaLeaderFailover kills the leader (plus one worker — the
+// e2e fleet shape) and expects the surviving candidate to take over
+// and keep committing.
+func TestReplicaLeaderFailover(t *testing.T) {
+	f := newTestFleet(t, "")
+	defer f.close()
+
+	propose(t, f, LedgerRecord{Op: OpSubmit, Key: "j1", Shards: []ShardRange{{0, 8}}})
+	old := f.leader()
+	if old == nil {
+		t.Fatal("no leader after first commit")
+	}
+	oldID := old.cfg.ID
+
+	// SIGKILL equivalents: unreachable and stopped.
+	f.transport.setDown(oldID, true)
+	f.transport.setDown("w3", true)
+	old.Close()
+	f.replicas[oldID] = nil
+	f.replicas["w3"].Close()
+	f.replicas["w3"] = nil
+
+	waitFor(t, 10*time.Second, "failover to the surviving candidate", func() bool {
+		l := f.leader()
+		return l != nil && l.cfg.ID != oldID
+	})
+
+	propose(t, f, LedgerRecord{Op: OpShardDone, Key: "j1", Shard: 0, Worker: "w1", Result: json.RawMessage(`1`)})
+	propose(t, f, LedgerRecord{Op: OpDecide, Key: "j1", MergedSHA: "s"})
+
+	// All survivors converge on the same applied sequence.
+	survivors := []string{}
+	for _, id := range f.ids {
+		if f.replicas[id] != nil {
+			survivors = append(survivors, id)
+		}
+	}
+	for _, id := range survivors {
+		id := id
+		waitFor(t, 5*time.Second, "survivor "+id+" to apply the decide", func() bool {
+			recs := nonNoop(f.applied[id].snapshot())
+			return len(recs) >= 3 && recs[len(recs)-1].Op == OpDecide
+		})
+	}
+	base, _ := json.Marshal(nonNoop(f.applied[survivors[0]].snapshot()))
+	for _, id := range survivors[1:] {
+		got, _ := json.Marshal(nonNoop(f.applied[id].snapshot()))
+		if string(got) != string(base) {
+			t.Fatalf("survivors diverged:\n%s: %s\n%s: %s", survivors[0], base, id, got)
+		}
+	}
+}
+
+// TestReplicaJournalRecovery restarts a journal-backed replica and
+// expects its term and log to survive.
+func TestReplicaJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	f := newTestFleet(t, dir)
+
+	propose(t, f, LedgerRecord{Op: OpSubmit, Key: "j1", Shards: []ShardRange{{0, 2}}})
+	propose(t, f, LedgerRecord{Op: OpLease, Key: "j1", Shard: 0, Worker: "w1"})
+
+	// Wait for w1 to hold the whole log, then stop it.
+	waitFor(t, 5*time.Second, "w1 to apply both records", func() bool {
+		return len(nonNoop(f.applied["w1"].snapshot())) >= 2
+	})
+	stBefore := f.replicas["w1"].Status()
+	f.transport.setDown("w1", true)
+	f.replicas["w1"].Close()
+
+	// Restart from the same journal.
+	f.start(t, "w1", dir)
+	stAfter := f.replicas["w1"].Status()
+	if stAfter.LastIndex < stBefore.LastIndex {
+		t.Fatalf("restart lost log entries: %d < %d", stAfter.LastIndex, stBefore.LastIndex)
+	}
+	if stAfter.Term < stBefore.Term {
+		t.Fatalf("restart lost term: %d < %d", stAfter.Term, stBefore.Term)
+	}
+
+	// The restarted replica re-applies the same sequence (its applyLog
+	// was replaced by start) once the leader re-advances its commit.
+	waitFor(t, 10*time.Second, "restarted w1 to re-apply the log", func() bool {
+		return len(nonNoop(f.applied["w1"].snapshot())) >= 2
+	})
+	recs := nonNoop(f.applied["w1"].snapshot())
+	if recs[0].Op != OpSubmit || recs[1].Op != OpLease {
+		t.Fatalf("restarted w1 applied %+v, want submit then lease", recs[:2])
+	}
+	f.close()
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	return keys
+}
+
+// TestRingBalance bounds the load imbalance: with 128 vnodes per peer,
+// every peer's share of 20k keys stays within a factor of two of fair.
+func TestRingBalance(t *testing.T) {
+	peers := []string{"a", "b", "c", "d", "e"}
+	r := NewRing(peers)
+	counts := make(map[string]int)
+	keys := ringKeys(20000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	fair := len(keys) / len(peers)
+	for _, p := range peers {
+		if counts[p] < fair/2 || counts[p] > fair*2 {
+			t.Errorf("peer %s owns %d keys, want within [%d, %d]", p, counts[p], fair/2, fair*2)
+		}
+	}
+}
+
+// TestRingMinimalMovement checks the consistent-hashing property:
+// adding one peer only moves keys onto the new peer (nothing shuffles
+// between survivors), and the moved fraction is near 1/(n+1).
+func TestRingMinimalMovement(t *testing.T) {
+	before := NewRing([]string{"a", "b", "c", "d"})
+	after := NewRing([]string{"a", "b", "c", "d", "e"})
+	keys := ringKeys(20000)
+	moved := 0
+	for _, k := range keys {
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if oa != "e" {
+			t.Fatalf("key %s moved %s -> %s, not to the new peer", k, ob, oa)
+		}
+	}
+	// Expect ~1/5 of keys to move; allow generous slack either way.
+	if lo, hi := len(keys)/10, len(keys)*2/5; moved < lo || moved > hi {
+		t.Errorf("moved %d keys on join, want within [%d, %d]", moved, lo, hi)
+	}
+
+	// Leaving is symmetric: removing "e" restores every original owner.
+	restored := NewRing([]string{"a", "b", "c", "d"})
+	for _, k := range keys {
+		if before.Owner(k) != restored.Owner(k) {
+			t.Fatalf("key %s changed owner after a join/leave round trip", k)
+		}
+	}
+}
+
+// TestRingDeterministicOwnership checks the ring is a pure function of
+// the peer set: order and duplicates do not matter, and Owners returns
+// distinct peers with the owner first.
+func TestRingDeterministicOwnership(t *testing.T) {
+	r1 := NewRing([]string{"a", "b", "c"})
+	r2 := NewRing([]string{"c", "a", "b", "a", "c"})
+	for _, k := range ringKeys(1000) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("ownership of %s depends on peer order: %s vs %s", k, r1.Owner(k), r2.Owner(k))
+		}
+		owners := r1.Owners(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%s, 3) = %v, want 3 distinct peers", k, owners)
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("Owners(%s, 3) repeats %s: %v", k, o, owners)
+			}
+			seen[o] = true
+		}
+		if owners[0] != r1.Owner(k) {
+			t.Fatalf("Owners(%s)[0] = %s, want the owner %s", k, owners[0], r1.Owner(k))
+		}
+	}
+}
+
+// TestRingEmptyAndOversized covers the degenerate shapes.
+func TestRingEmptyAndOversized(t *testing.T) {
+	if got := NewRing(nil).Owner("k"); got != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", got)
+	}
+	r := NewRing([]string{"a", "b"})
+	if got := r.Owners("k", 10); len(got) != 2 {
+		t.Errorf("Owners(k, 10) over 2 peers = %v, want both peers", got)
+	}
+}

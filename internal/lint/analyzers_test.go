@@ -20,6 +20,18 @@ func TestNoRawEntropy(t *testing.T) {
 	linttest.Run(t, "testdata", lint.NoRawEntropy, "norawentropy/internal/sim")
 }
 
+// The determinism analyzers also scope the replicated cluster layer:
+// ledger folds must be identical on every node, so map-order
+// nondeterminism and clock reads are banned there like in the kernel.
+
+func TestDetMapRangeClusterScope(t *testing.T) {
+	linttest.Run(t, "testdata", lint.DetMapRange, "detmaprange/internal/cluster")
+}
+
+func TestNoRawEntropyClusterScope(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoRawEntropy, "norawentropy/internal/cluster")
+}
+
 func TestRNGPurityImportBan(t *testing.T) {
 	linttest.Run(t, "testdata", lint.RNGPurity, "rngpurity/internal/stop")
 }
@@ -60,5 +72,26 @@ func TestScoping(t *testing.T) {
 		if got := lint.IsKernelPkg(tc.path); got != tc.kernel {
 			t.Errorf("IsKernelPkg(%q) = %v, want %v", tc.path, got, tc.kernel)
 		}
+	}
+
+	// The determinism scope is the kernel plus internal/cluster —
+	// cluster is not a kernel package (gammafloat must stay out) but the
+	// determinism analyzers cover it.
+	for _, tc := range []struct {
+		path   string
+		scoped bool
+	}{
+		{"plurality/internal/cluster", true},
+		{"norawentropy/internal/cluster", true},
+		{"plurality/internal/core", true},
+		{"plurality/internal/service", false},
+		{"internal/clusterx", false},
+	} {
+		if got := lint.IsDeterminismScopedPkg(tc.path); got != tc.scoped {
+			t.Errorf("IsDeterminismScopedPkg(%q) = %v, want %v", tc.path, got, tc.scoped)
+		}
+	}
+	if lint.IsKernelPkg("plurality/internal/cluster") {
+		t.Error("internal/cluster must not scope as a kernel package")
 	}
 }

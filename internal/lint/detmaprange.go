@@ -14,14 +14,15 @@ import (
 var DetMapRange = &Analyzer{
 	Name: "detmaprange",
 	Doc: "flags range-over-map (and unsorted maps.Keys/Values/All) in the " +
-		"deterministic-kernel packages, where iteration-order nondeterminism " +
-		"breaks byte-identical trial results",
+		"deterministic-kernel packages and the replicated cluster layer, " +
+		"where iteration-order nondeterminism breaks byte-identical trial " +
+		"results (or diverges replica state)",
 	Contract: `DESIGN.md "Determinism & the cache key"`,
 	Run:      runDetMapRange,
 }
 
 func runDetMapRange(pass *Pass) error {
-	if !IsKernelPkg(pass.Pkg.Path()) {
+	if !IsDeterminismScopedPkg(pass.Pkg.Path()) {
 		return nil
 	}
 	for _, f := range pass.Files {

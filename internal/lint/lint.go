@@ -117,6 +117,30 @@ func IsKernelPkg(path string) bool {
 	return false
 }
 
+// Determinism-scoped packages beyond the kernel: layers that replay a
+// replicated log and must fold to identical state on every node.
+// internal/cluster's ledger Apply runs in commit order on every
+// replica, so map-order nondeterminism and ambient entropy there
+// diverge the fleet exactly like they diverge trial results.
+var determinismExtraSuffixes = []string{
+	"internal/cluster",
+}
+
+// IsDeterminismScopedPkg reports whether the import path is covered by
+// the determinism analyzers (detmaprange, norawentropy): the kernel
+// packages plus the replicated-cluster layer.
+func IsDeterminismScopedPkg(path string) bool {
+	if IsKernelPkg(path) {
+		return true
+	}
+	for _, s := range determinismExtraSuffixes {
+		if hasPathSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
 // isRNGPkg reports whether the import path is the seeded-stream
 // substrate (internal/rng) — the one legitimate randomness source.
 func isRNGPkg(path string) bool { return hasPathSuffix(path, "internal/rng") }

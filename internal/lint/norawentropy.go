@@ -15,8 +15,9 @@ import (
 var NoRawEntropy = &Analyzer{
 	Name: "norawentropy",
 	Doc: "forbids math/rand, crypto/rand, time.Now and process-identity " +
-		"entropy in the deterministic-kernel packages; all randomness must " +
-		"flow through internal/rng seeded streams",
+		"entropy in the deterministic-kernel packages and the replicated " +
+		"cluster layer; all randomness must flow through internal/rng " +
+		"seeded streams (the cluster's election jitter hashes id/term)",
 	Contract: `DESIGN.md "Seed & stream contract"`,
 	Run:      runNoRawEntropy,
 }
@@ -44,7 +45,7 @@ var entropyCalls = map[string]map[string]string{
 }
 
 func runNoRawEntropy(pass *Pass) error {
-	if !IsKernelPkg(pass.Pkg.Path()) {
+	if !IsDeterminismScopedPkg(pass.Pkg.Path()) {
 		return nil
 	}
 	for _, f := range pass.Files {

@@ -1,0 +1,30 @@
+// Fixture for detmaprange's extended scope: the import path ends in
+// internal/cluster — not a kernel package, but determinism-scoped
+// because the replicated ledger must fold identically on every node.
+package cluster
+
+import (
+	"maps"
+	"slices"
+)
+
+// Peers ranges a map bare: flagged — replicas folding this order into
+// state would diverge.
+func Peers(addrs map[string]string) []string {
+	var ids []string
+	for id := range addrs { // want `range over map addrs iterates in nondeterministic order`
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// SortedPeers imposes a total order before anything observes the
+// sequence: clean.
+func SortedPeers(addrs map[string]string) []string {
+	return slices.Sorted(maps.Keys(addrs))
+}
+
+// BareKeys hands out an unsorted key sequence: flagged.
+func BareKeys(addrs map[string]string) []string {
+	return slices.Collect(maps.Keys(addrs)) // want `maps.Keys iterates the map in nondeterministic order`
+}

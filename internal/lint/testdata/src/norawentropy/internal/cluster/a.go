@@ -1,0 +1,21 @@
+// Fixture for norawentropy's extended scope: the import path ends in
+// internal/cluster — determinism-scoped, so ambient entropy is banned.
+// Election jitter must hash (id, term), never sample the clock.
+package cluster
+
+import (
+	"time"
+)
+
+// JitterTicks reads the wall clock for election jitter: flagged.
+func JitterTicks() int {
+	return int(time.Now().UnixNano() % 7) // want `call to time.Now in a deterministic-kernel package`
+}
+
+// Tick is a duration constant; timers and tickers measure real time
+// without folding it into replicated state, so the time package itself
+// stays importable.
+const Tick = 150 * time.Millisecond
+
+// After is the legitimate use: waiting, not deciding.
+func After() <-chan time.Time { return time.After(Tick) }

@@ -3,8 +3,10 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"runtime"
+	"sort"
 
 	"plurality"
 	"plurality/internal/analytic"
@@ -213,6 +215,117 @@ func ExecuteResumable(ctx context.Context, q Request, parallelism int, resume *R
 	})
 	if streamErr != nil {
 		return nil, streamErr
+	}
+	if len(points) == 0 {
+		points = nil
+	}
+	return &Response{
+		Key:     q.Key(),
+		Request: q,
+		Summary: summarize(trials),
+		Trials:  trials,
+		Trace:   points,
+	}, nil
+}
+
+// ShardResult is the outcome of executing one index-contiguous trial
+// range of a request — the unit a cluster worker computes and ships
+// back to its coordinator. Concatenating the shards of a request in
+// range order reproduces exactly the trial (and trace) sequence of a
+// single-process run: trial i's RNG stream is rng.DeriveSeed(Seed, i),
+// independent of which process executes it, so sharding is an
+// execution detail outside the response's identity.
+type ShardResult struct {
+	// Lo and Hi delimit the executed trial range [Lo, Hi).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Trials holds the per-trial outcomes for trials Lo..Hi-1, in
+	// trial-index order.
+	Trials []Trial `json:"trials"`
+	// Trace holds the range's sampled points in trial order (only when
+	// the request traces).
+	Trace []trace.Point `json:"trace,omitempty"`
+}
+
+// ExecuteShard runs only trials [lo, hi) of the request — the worker
+// half of distributed execution. It is not a tier dispatcher: analytic
+// requests have no trials to shard and must be answered by Execute.
+// The shard's trials are byte-identical to the same index range of a
+// local ExecuteParallel run (see the Request equivalence contract).
+func ExecuteShard(ctx context.Context, q Request, parallelism int, lo, hi int) (*ShardResult, error) {
+	q = q.Normalize()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.Tier == TierAnalytic {
+		return nil, fmt.Errorf("service: analytic-tier requests have no trial shards")
+	}
+	if lo < 0 || hi > q.Trials || lo >= hi {
+		return nil, fmt.Errorf("service: shard [%d, %d) out of range for %d trials", lo, hi, q.Trials)
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	exp, err := q.Experiment()
+	if err != nil {
+		return nil, err
+	}
+	exp.Parallelism = parallelism
+	exp.FirstTrial = lo
+	exp.NumTrials = hi
+	sr := &ShardResult{Lo: lo, Hi: hi}
+	streamErr := exp.Stream(ctx, func(i int, tr plurality.TrialResult) bool {
+		t := Trial{
+			Trial:     i,
+			Rounds:    tr.Rounds,
+			Consensus: tr.Consensus,
+			Winner:    tr.Winner,
+		}
+		if q.Mode == ModeAsync {
+			ticks := tr.Ticks
+			t.Ticks = &ticks
+		}
+		sr.Trials = append(sr.Trials, t)
+		if q.Trace != nil {
+			sr.Trace = append(sr.Trace, tr.Trace...)
+		}
+		return true
+	})
+	if streamErr != nil {
+		return nil, streamErr
+	}
+	return sr, nil
+}
+
+// MergeShards assembles the canonical Response from a request's shard
+// results. The shards must exactly tile [0, q.Trials) — any gap,
+// overlap, or out-of-range shard is an error, because a merged
+// response with missing or duplicated trials would silently poison the
+// result cache. The returned bytes-level encoding is identical to a
+// single-process ExecuteParallel run of the same request: trials and
+// trace points concatenate in trial-index order and the summary is
+// recomputed from the full set.
+func MergeShards(q Request, shards []*ShardResult) (*Response, error) {
+	q = q.Normalize()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	ordered := make([]*ShardResult, len(shards))
+	copy(ordered, shards)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Lo < ordered[j].Lo })
+	var trials []Trial
+	var points []trace.Point
+	next := 0
+	for _, s := range ordered {
+		if s == nil || s.Lo != next || s.Hi <= s.Lo || len(s.Trials) != s.Hi-s.Lo {
+			return nil, fmt.Errorf("service: shard results do not tile [0, %d) (next=%d)", q.Trials, next)
+		}
+		trials = append(trials, s.Trials...)
+		points = append(points, s.Trace...)
+		next = s.Hi
+	}
+	if next != q.Trials {
+		return nil, fmt.Errorf("service: shard results cover [0, %d) of %d trials", next, q.Trials)
 	}
 	if len(points) == 0 {
 		points = nil

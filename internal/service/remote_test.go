@@ -1,0 +1,176 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeRemote scripts the cluster side of Options.Remote.
+type fakeRemote struct {
+	lookups atomic.Int64
+	runs    atomic.Int64
+
+	lookup func(key string) (*Response, bool)
+	run    func(req Request) (*Response, error)
+}
+
+func (f *fakeRemote) Lookup(ctx context.Context, key string) (*Response, bool) {
+	f.lookups.Add(1)
+	if f.lookup == nil {
+		return nil, false
+	}
+	return f.lookup(key)
+}
+
+func (f *fakeRemote) Run(ctx context.Context, req Request) (*Response, error) {
+	f.runs.Add(1)
+	if f.run == nil {
+		return nil, ErrNotClustered
+	}
+	return f.run(req)
+}
+
+// TestRemoteDedupJoinedWaitersObserveClusterCompletion is the
+// regression test for the dedup/cluster seam: a second client that
+// dedup-joins a key whose computation is running on the cluster must
+// observe the remote completion exactly like a local one — same
+// response object, no local execution, no recompute.
+func TestRemoteDedupJoinedWaitersObserveClusterCompletion(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	remote := &fakeRemote{}
+	remote.run = func(req Request) (*Response, error) {
+		close(started)
+		<-release
+		return Execute(req)
+	}
+	r := NewRunner(Options{Workers: 2, QueueDepth: 4, Remote: remote})
+	defer r.Close()
+
+	ctx := context.Background()
+	type out struct {
+		resp   *Response
+		cached bool
+		err    error
+	}
+	results := make(chan out, 2)
+	go func() {
+		resp, cached, err := r.Do(ctx, testRequest(7))
+		results <- out{resp, cached, err}
+	}()
+	<-started // the cluster is computing the key on another node
+	go func() {
+		resp, cached, err := r.Do(ctx, testRequest(7))
+		results <- out{resp, cached, err}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the second client join
+	close(release)
+
+	a, b := <-results, <-results
+	if a.err != nil || b.err != nil {
+		t.Fatal(a.err, b.err)
+	}
+	if a.resp != b.resp {
+		t.Fatal("dedup-joined waiter got a different response than the cluster completion")
+	}
+	m := r.Metrics()
+	if m.Joined != 1 {
+		t.Fatalf("joined = %d, want 1", m.Joined)
+	}
+	if m.Executions != 0 {
+		t.Fatalf("executions = %d, want 0 (the cluster ran it)", m.Executions)
+	}
+	if remote.runs.Load() != 1 {
+		t.Fatalf("remote runs = %d, want 1", remote.runs.Load())
+	}
+
+	// A later identical request is a plain local cache hit — the
+	// remote result entered the cache through the normal finish path.
+	resp, cached, err := r.Do(ctx, testRequest(7))
+	if err != nil || !cached || resp != a.resp {
+		t.Fatalf("post-completion request: cached=%v err=%v", cached, err)
+	}
+}
+
+// TestRemoteLookupServesPeerResult: a key already computed elsewhere in
+// the fleet is served from the peer cache read-through — byte-identical
+// bytes, zero local executions.
+func TestRemoteLookupServesPeerResult(t *testing.T) {
+	want, err := Execute(testRequest(9).Normalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := &fakeRemote{}
+	remote.lookup = func(key string) (*Response, bool) {
+		if key == want.Key {
+			return want, true
+		}
+		return nil, false
+	}
+	r := NewRunner(Options{Workers: 1, QueueDepth: 2, Remote: remote})
+	defer r.Close()
+
+	got, _, err := r.Do(context.Background(), testRequest(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(want)
+	b, _ := json.Marshal(got)
+	if string(a) != string(b) {
+		t.Fatalf("peer-cached bytes differ:\n%s\n%s", a, b)
+	}
+	if m := r.Metrics(); m.Executions != 0 {
+		t.Fatalf("executions = %d, want 0 (served from the fleet cache)", m.Executions)
+	}
+	if remote.runs.Load() != 0 {
+		t.Fatalf("remote runs = %d, want 0", remote.runs.Load())
+	}
+}
+
+// TestRemoteNotClusteredFallsBackLocally: ErrNotClustered routes the
+// job down the ordinary local execution path.
+func TestRemoteNotClusteredFallsBackLocally(t *testing.T) {
+	remote := &fakeRemote{} // Run returns ErrNotClustered
+	r := NewRunner(Options{Workers: 1, QueueDepth: 2, Remote: remote})
+	defer r.Close()
+
+	want, err := Execute(testRequest(5).Normalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := r.Do(context.Background(), testRequest(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(want)
+	b, _ := json.Marshal(got)
+	if string(a) != string(b) {
+		t.Fatal("local fallback bytes differ from ground truth")
+	}
+	if m := r.Metrics(); m.Executions != 1 {
+		t.Fatalf("executions = %d, want 1 (local fallback)", m.Executions)
+	}
+	if remote.runs.Load() != 1 {
+		t.Fatalf("remote runs = %d, want 1", remote.runs.Load())
+	}
+}
+
+// TestRemoteSkipsAnalyticTier: analytic-tier requests are pure local
+// computation — the cluster must never see them.
+func TestRemoteSkipsAnalyticTier(t *testing.T) {
+	remote := &fakeRemote{}
+	r := NewRunner(Options{Workers: 1, QueueDepth: 2, Remote: remote})
+	defer r.Close()
+
+	req := Request{Protocol: "3-majority", N: 1_000_000_000, K: 100, Tier: TierAnalytic, Seed: 1}
+	if _, _, err := r.Do(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if remote.lookups.Load() != 0 || remote.runs.Load() != 0 {
+		t.Fatalf("analytic request reached the remote: lookups=%d runs=%d",
+			remote.lookups.Load(), remote.runs.Load())
+	}
+}

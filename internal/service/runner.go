@@ -30,6 +30,30 @@ var errClosed = errors.New("service: runner is closed")
 // such a job resubmit instead of inheriting the stranger's failure.
 var errAbandoned = errors.New("service: job abandoned before execution")
 
+// ErrNotClustered is returned by a Remote whose cluster declines the
+// request (nothing to shard, or the node prefers local execution); the
+// runner then executes the job locally, exactly as without a Remote.
+var ErrNotClustered = errors.New("service: request not executed on the cluster")
+
+// Remote is the cluster face the runner executes through when
+// Options.Remote is set (internal/cluster implements it). Both methods
+// must honor ctx. The contract that makes remote and local execution
+// interchangeable: a Remote's Response for a request is byte-identical
+// (in canonical JSON encoding) to ExecuteParallel's for the same
+// request — guaranteed by the frozen (seed, trial) stream contract,
+// which makes cross-machine trial shards merge into the exact local
+// trial sequence.
+type Remote interface {
+	// Lookup consults the fleet's shared result cache (consistent-hash
+	// read-through) for a finished response under key.
+	Lookup(ctx context.Context, key string) (*Response, bool)
+	// Run executes the request on the cluster — coordinator shard
+	// fan-out, worker execution, in-order merge — and returns the
+	// canonical response. ErrNotClustered falls the job back to local
+	// execution.
+	Run(ctx context.Context, req Request) (*Response, error)
+}
+
 // Options configures a Runner. The zero value picks sensible defaults.
 type Options struct {
 	// Workers is the number of simulation workers (default
@@ -80,6 +104,15 @@ type Options struct {
 	// 100ms and 5s).
 	RetryBaseDelay time.Duration
 	RetryMaxDelay  time.Duration
+	// Remote, when non-nil, executes simulation jobs through the
+	// cluster instead of the local engines: each job first consults the
+	// fleet's shared result cache (Lookup), then runs via coordinated
+	// shard fan-out (Run). Waiters — including clients dedup-joined
+	// onto the job — observe a cluster-remote completion exactly as a
+	// local one: same finishJob path, same cache insertion, same
+	// response bytes. Analytic-tier jobs always run locally (closed
+	// form, microseconds — not worth a network hop).
+	Remote Remote
 }
 
 func (o Options) withDefaults() Options {
@@ -641,11 +674,25 @@ func (r *Runner) runJob(j *Job) {
 					resp, err = nil, fmt.Errorf("service: job %s panicked: %v", j.ID, p)
 				}
 			}()
+			if remote := r.opts.Remote; remote != nil && j.req.Tier != TierAnalytic {
+				// A peer may already hold the finished result (computed
+				// on another node of the fleet); serving it completes
+				// this job — and every dedup-joined waiter — without a
+				// recompute.
+				if pr, ok := remote.Lookup(ctx, j.Key); ok {
+					return pr, nil
+				}
+				pr, rerr := remote.Run(ctx, j.req)
+				if !errors.Is(rerr, ErrNotClustered) {
+					return pr, rerr
+				}
+				// Cluster declined: fall through to local execution.
+			}
+			r.executions.Add(1)
 			return r.exec(ctx, j.req, r.opts.Parallelism, resume,
 				r.opts.CheckpointEvery, func(rs ResumeState) { r.checkpoint(j, rs) })
 		}()
 		cancel()
-		r.executions.Add(1)
 
 		switch {
 		case err == nil:

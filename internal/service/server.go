@@ -39,6 +39,24 @@ const (
 // /run bodies are canonical: byte-identical cold, cached, or via the
 // CLIs' -json/-ndjson modes.
 func NewServer(rn *Runner) http.Handler {
+	return NewServerWith(rn, Extra{})
+}
+
+// Extra extends the conserve handler for cluster mode without the
+// service layer importing the cluster package: extra route prefixes
+// (the /cluster/* replication and shard endpoints) and extra /metrics
+// lines (cluster leadership, shard requeues, peer-cache hits) appended
+// after the runner's own counters.
+type Extra struct {
+	// Routes maps mux patterns (e.g. "/cluster/") to their handlers.
+	Routes map[string]http.Handler
+	// Metrics, when non-nil, writes additional Prometheus-style lines
+	// after the runner metrics.
+	Metrics func(w io.Writer)
+}
+
+// NewServerWith is NewServer plus cluster extensions.
+func NewServerWith(rn *Runner, extra Extra) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
 		handleRun(rn, w, r)
@@ -55,7 +73,13 @@ func NewServer(rn *Runner) http.Handler {
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeMetrics(w, rn.Metrics())
+		if extra.Metrics != nil {
+			extra.Metrics(w)
+		}
 	})
+	for pattern, h := range extra.Routes {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }
 
